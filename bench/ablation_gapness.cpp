@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablation of the DESIGN.md-called-out design choices: what each level
+ * of the optimizer contributes. For every (device, application) pair
+ * the deployed schedule's measured latency is compared across four
+ * configurations:
+ *   full      - interference table + gapness filter + autotuning,
+ *   no-tune   - same but deploy the predicted-best (no level 3),
+ *   no-gap    - latency-only optimization (no level 1 filter),
+ *   isolated  - prior work: isolated table + latency-only, no tuning.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common/bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/autotuner.hpp"
+#include "core/optimizer.hpp"
+#include "core/profiler.hpp"
+#include "core/sim_executor.hpp"
+
+using namespace bt;
+using namespace bt::bench;
+
+namespace {
+
+struct Variant
+{
+    const char* name;
+    bool interference_table;
+    bool gapness_filter;
+    bool autotune;
+};
+
+double
+deployedLatencyMs(const platform::SocDescription& soc,
+                  const core::Application& app,
+                  const core::ProfileResult& profile, const Variant& v)
+{
+    const platform::PerfModel model(soc);
+    core::OptimizerConfig cfg;
+    cfg.utilizationFilter = v.gapness_filter;
+    const auto& tbl
+        = v.interference_table ? profile.interference : profile.isolated;
+    core::Optimizer opt(soc, tbl, cfg);
+    const auto cands = opt.optimize();
+
+    const core::SimExecutor executor(model);
+    if (!v.autotune)
+        return executor.execute(app, cands.front().schedule)
+                   .taskIntervalSeconds
+            * 1e3;
+    const core::AutoTuner tuner(executor);
+    return tuner.tune(app, cands).best().measuredLatency * 1e3;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Ablation: contribution of each optimization level",
+                "DESIGN.md ablation; lower is better, 'full' should "
+                "win or tie");
+
+    const Variant variants[] = {
+        {"full", true, true, true},
+        {"no-tune", true, true, false},
+        {"no-gap", true, false, true},
+        {"isolated", false, false, false},
+    };
+
+    Table table({"Device", "App", "full (ms)", "no-tune", "no-gap",
+                 "isolated", "worst regression"});
+    CsvWriter csv("ablation_gapness.csv",
+                  {"device", "app", "variant", "latency_ms"});
+
+    std::vector<double> regressions;
+    const auto socs = devices();
+    for (const auto& soc : socs) {
+        const platform::PerfModel model(soc);
+        const core::Profiler profiler(model);
+        for (int a = 0; a < kNumApps; ++a) {
+            const auto app = paperApp(a);
+            const auto profile = profiler.profile(app);
+            std::vector<double> ms;
+            for (const auto& v : variants) {
+                ms.push_back(deployedLatencyMs(soc, app, profile, v));
+                csv.addRow({soc.name,
+                            kAppNames[static_cast<std::size_t>(a)],
+                            v.name, Table::num(ms.back(), 4)});
+            }
+            const double worst
+                = *std::max_element(ms.begin() + 1, ms.end());
+            regressions.push_back(worst / ms[0]);
+            table.addRow({soc.name,
+                          kAppNames[static_cast<std::size_t>(a)],
+                          Table::num(ms[0], 2), Table::num(ms[1], 2),
+                          Table::num(ms[2], 2), Table::num(ms[3], 2),
+                          Table::num(worst / ms[0], 2) + "x"});
+        }
+    }
+    table.print(std::cout);
+    std::printf("\nGeomean worst-ablation regression vs full flow: "
+                "%.2fx\n",
+                geomean(regressions));
+    return 0;
+}

@@ -1,0 +1,58 @@
+#include "bench/common/bench_util.hpp"
+
+#include <cstdio>
+
+#include "apps/alexnet.hpp"
+#include "apps/octree_app.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+namespace bt::bench {
+
+core::Application
+paperApp(int app_index)
+{
+    switch (app_index) {
+      case 0:
+        return apps::alexnetDense();
+      case 1:
+        return apps::alexnetSparse();
+      case 2:
+        return apps::octreeApp();
+      default:
+        fatal("unknown application index ", app_index);
+    }
+}
+
+std::vector<platform::SocDescription>
+devices()
+{
+    return platform::paperDevices();
+}
+
+core::BetterTogetherReport
+runFlow(const platform::SocDescription& soc,
+        const core::Application& app)
+{
+    const core::BetterTogether bt(soc);
+    return bt.run(app);
+}
+
+std::string
+baselineCell(double cpu_ms, double gpu_ms)
+{
+    const bool cpu_wins = cpu_ms <= gpu_ms;
+    std::string cell = Table::num(cpu_ms, 2) + " | "
+        + Table::num(gpu_ms, 2);
+    return (cpu_wins ? "*" : " ") + cell
+        + (cpu_wins ? " " : " *");
+}
+
+void
+printHeader(const std::string& title, const std::string& paper_ref)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("(reproduces %s)\n\n", paper_ref.c_str());
+}
+
+} // namespace bt::bench

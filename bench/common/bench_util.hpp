@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmarks: paper-scale
+ * application builders, device lookup, and the standard flow runner.
+ */
+
+#ifndef BT_BENCH_BENCH_UTIL_HPP
+#define BT_BENCH_BENCH_UTIL_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/common/paper_data.hpp"
+#include "core/pipeline.hpp"
+#include "platform/devices.hpp"
+
+namespace bt::bench {
+
+/** Paper-scale instance of application @p app_index (Table-1 order). */
+core::Application paperApp(int app_index);
+
+/** Devices in Table-2 order. */
+std::vector<platform::SocDescription> devices();
+
+/** Run the full BetterTogether flow for (device, app). */
+core::BetterTogetherReport runFlow(const platform::SocDescription& soc,
+                                   const core::Application& app);
+
+/** Format helper: "8.40 | 34.73" with the smaller value marked. */
+std::string baselineCell(double cpu_ms, double gpu_ms);
+
+/** Print the standard bench header line. */
+void printHeader(const std::string& title, const std::string& paper_ref);
+
+} // namespace bt::bench
+
+#endif // BT_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reference numbers transcribed from the paper's evaluation section, so
+ * every benchmark can print its measured result next to the published
+ * one. Indices: devices in Table-2 order (Pixel, OnePlus, Jetson,
+ * Jetson LP), applications in Table-1 order (AlexNet-dense,
+ * AlexNet-sparse, Octree).
+ */
+
+#ifndef BT_BENCH_PAPER_DATA_HPP
+#define BT_BENCH_PAPER_DATA_HPP
+
+#include <array>
+#include <string>
+
+namespace bt::bench {
+
+constexpr int kNumDevices = 4;
+constexpr int kNumApps = 3;
+
+inline const std::array<std::string, kNumDevices> kDeviceNames{
+    "Google Pixel 7a", "OnePlus 11", "Jetson Orin Nano",
+    "Jetson Orin Nano (LP)"};
+
+inline const std::array<std::string, kNumApps> kAppNames{
+    "AlexNet-Dense", "AlexNet-Sparse", "Octree"};
+
+/** Paper Table 3: homogeneous baseline latency (ms), CPU then GPU. */
+struct BaselinePair
+{
+    double cpuMs;
+    double gpuMs;
+};
+
+inline constexpr std::array<std::array<BaselinePair, kNumApps>,
+                            kNumDevices>
+    kTable3{{
+        // Pixel:     dense            sparse          octree
+        {{{155.63, 1.89}, {8.51, 8.35}, {8.40, 34.73}}},
+        // OnePlus
+        {{{113.88, 1.89}, {7.52, 3.95}, {5.99, 22.26}}},
+        // Jetson
+        {{{19.90, 1.04}, {4.81, 1.14}, {3.29, 1.08}}},
+        // Jetson LP
+        {{{11.36, 1.08}, {4.58, 1.78}, {4.26, 0.74}}},
+    }};
+
+/** Sec. 5.1: per-platform geomean speedups over the best baseline. */
+inline constexpr std::array<double, kNumDevices> kFig4GeomeanPerDevice{
+    5.10, 3.55, 1.09, 1.15};
+/** Fig. 4 caption overall geomean (abstract quotes 2.72). */
+inline constexpr double kFig4OverallGeomean = 2.17;
+inline constexpr double kAbstractGeomean = 2.72;
+inline constexpr double kMaxSpeedup = 8.40;
+
+/**
+ * Fig. 6a: Pearson correlation of the full BetterTogether flow, rows =
+ * apps (dense, sparse, tree), cols = devices in OUR device order
+ * (the paper's figure lists OnePlus first; re-ordered here).
+ */
+inline constexpr std::array<std::array<double, kNumDevices>, kNumApps>
+    kFig6aBetterTogether{{
+        {0.9990, 0.9968, 0.9491, 0.9548}, // CIFAR-D
+        {0.9441, 0.9684, 0.8668, 0.8926}, // CIFAR-S
+        {0.8450, 0.9418, 0.8283, 0.8886}, // Tree
+    }};
+
+/** Fig. 6b: isolated profiles + latency-only optimization. */
+inline constexpr std::array<std::array<double, kNumDevices>, kNumApps>
+    kFig6bIsolated{{
+        {0.9497, 0.9740, 0.9481, 0.9472},
+        {0.8887, 0.9678, 0.7005, 0.7325},
+        {0.8220, 0.9816, 0.6532, 0.6839},
+    }};
+
+/**
+ * Fig. 7 / Sec. 5.3: average interference-heavy / isolated time ratio
+ * per PU class. Entries follow each device's PU order in
+ * platform::paperDevices(); -1 marks classes the paper does not report.
+ */
+inline constexpr std::array<std::array<double, 4>, kNumDevices>
+    kFig7Ratios{{
+        // little, mid,  big,  gpu
+        {1.39, 1.20, 1.40, 0.86},   // Pixel
+        {0.63, 1.00, 1.38, 0.639},  // OnePlus
+        {1.43, 1.19, -1.0, -1.0},   // Jetson: cpu, gpu
+        {1.29, 1.74, -1.0, -1.0},   // Jetson LP: cpu, gpu
+    }};
+
+/** Table 4: top-10 AlexNet-sparse schedules on the Pixel (ms). */
+inline constexpr std::array<double, 10> kTable4Measured{
+    5.34, 5.38, 4.23, 3.96, 7.67, 5.35, 6.99, 5.48, 5.86, 7.37};
+inline constexpr std::array<double, 10> kTable4Predicted{
+    5.65, 5.86, 5.86, 5.86, 7.95, 7.95, 7.95, 7.95, 7.95, 7.95};
+
+/** Sec. 5.2: mean correlation the paper reports for BT overall. */
+inline constexpr double kMeanCorrelation = 0.92;
+
+} // namespace bt::bench
+
+#endif // BT_BENCH_PAPER_DATA_HPP

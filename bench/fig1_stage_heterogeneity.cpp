@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces paper Fig. 1: per-stage execution time of three Octree
+ * stages (Sort, Build Radix Tree, Build Octree) on every PU class of
+ * the Google Pixel, illustrating why stage-to-PU mapping matters. The
+ * paper's qualitative shape: the GPU loses badly on Sort, wins on
+ * Build Radix Tree, and ties the big/mid CPUs on Build Octree.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common/bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/profiler.hpp"
+
+using namespace bt;
+using namespace bt::bench;
+
+int
+main()
+{
+    printHeader("Octree stage time per PU on the Google Pixel (ms)",
+                "paper Fig. 1");
+
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const core::Profiler profiler(model);
+    const auto app = paperApp(2); // Octree
+    const auto result = profiler.profile(app);
+
+    std::vector<std::string> headers{"Stage"};
+    for (const auto& pu : soc.pus)
+        headers.push_back(pu.label + " (ms)");
+    Table table(headers);
+    CsvWriter csv("fig1_stage_heterogeneity.csv",
+                  {"stage", "pu", "isolated_ms"});
+
+    for (int s = 0; s < app.numStages(); ++s) {
+        const std::string& name = app.stage(s).name();
+        // Fig. 1 shows Sort, Build Radix Tree and Build Octree.
+        if (name != "sort" && name != "radix_tree"
+            && name != "build_octree")
+            continue;
+        std::vector<std::string> row{name};
+        for (int p = 0; p < soc.numPus(); ++p) {
+            row.push_back(Table::num(result.isolated.at(s, p) * 1e3,
+                                     3));
+            csv.addRow({name, soc.pu(p).label,
+                        Table::num(result.isolated.at(s, p) * 1e3, 4)});
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::printf("\nShape check (paper): GPU slowest on sort; GPU "
+                "fastest on radix_tree; big/mid close to GPU on "
+                "build_octree.\n");
+
+    std::printf("\nFull profiling table (isolated, ms):\n");
+    result.isolated.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4 and the Sec. 5.1 headline numbers: the
+ * speedup of the autotuned BetterTogether pipeline over the best
+ * homogeneous baseline for every (application, device) pair, plus
+ * per-device and overall geometric means and the CPU-only/GPU-only
+ * speedups quoted in the abstract.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/common/bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace bt;
+using namespace bt::bench;
+
+int
+main()
+{
+    printHeader("BetterTogether speedup over best homogeneous baseline",
+                "paper Fig. 4 / Sec. 5.1");
+
+    Table table({"Device", "App", "BT (ms)", "best base (ms)",
+                 "speedup", "schedule"});
+    CsvWriter csv("fig4_speedup.csv",
+                  {"device", "app", "bt_ms", "cpu_ms", "gpu_ms",
+                   "speedup", "schedule"});
+
+    std::vector<double> all_speedups;
+    std::vector<double> cpu_speedups, gpu_speedups;
+    const auto socs = devices();
+    double max_speedup = 0.0;
+
+    for (int d = 0; d < kNumDevices; ++d) {
+        const auto& soc = socs[static_cast<std::size_t>(d)];
+        std::vector<double> device_speedups;
+        for (int a = 0; a < kNumApps; ++a) {
+            const auto app = paperApp(a);
+            const auto report = runFlow(soc, app);
+
+            const double speedup = report.speedupOverBestBaseline();
+            device_speedups.push_back(speedup);
+            all_speedups.push_back(speedup);
+            cpu_speedups.push_back(report.speedupOverCpu());
+            gpu_speedups.push_back(report.speedupOverGpu());
+            max_speedup = std::max(max_speedup, speedup);
+
+            std::vector<std::string> names;
+            for (const auto& s : app.stages())
+                names.push_back(s.name());
+            table.addRow(
+                {soc.name, kAppNames[static_cast<std::size_t>(a)],
+                 Table::num(report.bestLatencySeconds * 1e3, 2),
+                 Table::num(report.bestBaselineSeconds() * 1e3, 2),
+                 Table::num(speedup, 2) + "x",
+                 report.bestSchedule.compactString()});
+            csv.addRow({soc.name,
+                        kAppNames[static_cast<std::size_t>(a)],
+                        Table::num(report.bestLatencySeconds * 1e3, 4),
+                        Table::num(report.cpuBaselineSeconds * 1e3, 4),
+                        Table::num(report.gpuBaselineSeconds * 1e3, 4),
+                        Table::num(speedup, 4),
+                        report.bestSchedule.compactString()});
+        }
+        table.addRow({soc.name, "geomean", "", "",
+                      Table::num(geomean(device_speedups), 2) + "x ("
+                          + "paper "
+                          + Table::num(kFig4GeomeanPerDevice[
+                                static_cast<std::size_t>(d)], 2)
+                          + "x)",
+                      ""});
+    }
+    table.print(std::cout);
+
+    std::printf("\nOverall geomean speedup: %.2fx (paper Fig. 4: "
+                "%.2fx, abstract: %.2fx)\n",
+                geomean(all_speedups), kFig4OverallGeomean,
+                kAbstractGeomean);
+    std::printf("Max speedup: %.2fx (paper: %.2fx)\n", max_speedup,
+                kMaxSpeedup);
+    std::printf("Geomean over CPU-only: %.2fx (paper: 11.23x); over "
+                "GPU-only: %.2fx (paper: 2.72x)\n",
+                geomean(cpu_speedups), geomean(gpu_speedups));
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reproduces paper Fig. 6: the Pearson correlation between predicted
+ * and measured latency of the top-20 schedules, for every application
+ * on every device, under (a) the full BetterTogether methodology and
+ * (b) the prior-work baseline (isolated profiling table, latency-only
+ * optimization).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/common/bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/optimizer.hpp"
+#include "core/profiler.hpp"
+#include "core/sim_executor.hpp"
+
+using namespace bt;
+using namespace bt::bench;
+
+namespace {
+
+double
+correlationFor(const platform::SocDescription& soc,
+               const core::Application& app,
+               const core::ProfileResult& profile, bool bt_mode)
+{
+    const platform::PerfModel model(soc);
+    core::OptimizerConfig cfg;
+    cfg.utilizationFilter = bt_mode;
+    const auto& tbl
+        = bt_mode ? profile.interference : profile.isolated;
+    core::Optimizer opt(soc, tbl, cfg);
+    const auto cands = opt.optimize();
+
+    const core::SimExecutor executor(model);
+    std::vector<double> predicted, measured;
+    for (const auto& c : cands) {
+        predicted.push_back(c.predictedLatency);
+        measured.push_back(
+            executor.execute(app, c.schedule).taskIntervalSeconds);
+    }
+    return pearson(predicted, measured);
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Correlation predicted vs measured (top-20 schedules)",
+                "paper Fig. 6a (BetterTogether) and Fig. 6b (isolated)");
+
+    CsvWriter csv("fig6_correlation.csv",
+                  {"mode", "app", "device", "correlation",
+                   "paper_correlation"});
+
+    const auto socs = devices();
+    for (const bool bt_mode : {true, false}) {
+        std::vector<std::string> headers{"App \\ Device"};
+        for (const auto& soc : socs)
+            headers.push_back(soc.name);
+        headers.push_back("row avg");
+        Table table(headers);
+
+        std::vector<double> all;
+        for (int a = 0; a < kNumApps; ++a) {
+            const auto app = paperApp(a);
+            std::vector<std::string> row{
+                kAppNames[static_cast<std::size_t>(a)]};
+            std::vector<double> row_vals;
+            for (int d = 0; d < kNumDevices; ++d) {
+                const auto& soc = socs[static_cast<std::size_t>(d)];
+                const platform::PerfModel model(soc);
+                const core::Profiler profiler(model);
+                const auto profile = profiler.profile(app);
+                const double r
+                    = correlationFor(soc, app, profile, bt_mode);
+                row_vals.push_back(r);
+                all.push_back(r);
+                const double paper = bt_mode
+                    ? kFig6aBetterTogether[static_cast<std::size_t>(a)]
+                                          [static_cast<std::size_t>(d)]
+                    : kFig6bIsolated[static_cast<std::size_t>(a)]
+                                    [static_cast<std::size_t>(d)];
+                row.push_back(Table::num(r, 3) + " (" +
+                              Table::num(paper, 3) + ")");
+                csv.addRow({bt_mode ? "BetterTogether" : "isolated",
+                            kAppNames[static_cast<std::size_t>(a)],
+                            soc.name, Table::num(r, 4),
+                            Table::num(paper, 4)});
+            }
+            row.push_back(Table::num(mean(row_vals), 3));
+            table.addRow(std::move(row));
+        }
+
+        std::printf("--- %s (measured, paper in parentheses) ---\n",
+                    bt_mode ? "Fig. 6a: BetterTogether"
+                            : "Fig. 6b: isolated + latency-only");
+        table.print(std::cout);
+        std::printf("Mean correlation: %.3f (paper overall %s)\n\n",
+                    mean(all),
+                    bt_mode ? "0.92 avg, Fig. 6a" : "0.85 avg, Fig. 6b");
+    }
+
+    std::printf("Shape check: BetterTogether column means should "
+                "dominate the isolated ones, with the largest gaps on "
+                "sparse/tree workloads.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces paper Fig. 7: the average ratio of interference-heavy to
+ * isolated execution time per PU class on each device, averaged over
+ * all three applications. Ratios above 1 mean contention slows the PU;
+ * below 1 mean the firmware boosts it under load (the surprising
+ * mobile-GPU behaviour of Sec. 5.3).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/common/bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/profiler.hpp"
+
+using namespace bt;
+using namespace bt::bench;
+
+int
+main()
+{
+    printHeader("Interference-heavy / isolated time ratio per PU",
+                "paper Fig. 7; <1 = speedup under load, >1 = slowdown");
+
+    Table table({"Device", "PU", "measured ratio", "paper ratio"});
+    CsvWriter csv("fig7_interference.csv",
+                  {"device", "pu", "ratio", "paper_ratio"});
+
+    const auto socs = devices();
+    for (int d = 0; d < kNumDevices; ++d) {
+        const auto& soc = socs[static_cast<std::size_t>(d)];
+        const platform::PerfModel model(soc);
+        const core::Profiler profiler(model);
+
+        // Profile all three applications once on this device.
+        std::vector<core::ProfileResult> results;
+        for (int a = 0; a < kNumApps; ++a)
+            results.push_back(profiler.profile(paperApp(a)));
+
+        for (int p = 0; p < soc.numPus(); ++p) {
+            // Average the ratio over every stage of every application.
+            std::vector<double> ratios;
+            for (const auto& result : results) {
+                for (int s = 0; s < result.isolated.numStages(); ++s)
+                    ratios.push_back(result.interference.at(s, p)
+                                     / result.isolated.at(s, p));
+            }
+            const double measured = mean(ratios);
+            const double paper
+                = kFig7Ratios[static_cast<std::size_t>(d)]
+                             [static_cast<std::size_t>(p)];
+            table.addRow({soc.name, soc.pu(p).label,
+                          Table::num(measured, 3),
+                          paper > 0 ? Table::num(paper, 3) : "-"});
+            csv.addRow({soc.name, soc.pu(p).label,
+                        Table::num(measured, 4),
+                        Table::num(paper, 3)});
+        }
+    }
+    table.print(std::cout);
+    std::printf("\nShape check: sign of the effect (boost vs slowdown) "
+                "should match the paper per PU.\n");
+    return 0;
+}

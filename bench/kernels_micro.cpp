@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the compute kernels (the paper's
+ * harness is "built on top of Google Benchmark", Sec. 4). These measure
+ * the host's functional execution speed - useful for regression
+ * tracking of the kernel implementations themselves; simulated-device
+ * timing is covered by the table/figure benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/conv2d.hpp"
+#include "kernels/morton.hpp"
+#include "kernels/prefix_sum.hpp"
+#include "kernels/radix_tree.hpp"
+#include "kernels/sort.hpp"
+#include "kernels/sparse_conv.hpp"
+#include "kernels/unique.hpp"
+
+namespace {
+
+using namespace bt;
+using namespace bt::kernels;
+
+std::vector<float>
+randomFloats(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto& x : v)
+        x = static_cast<float>(rng.nextRange(-1.0, 1.0));
+    return v;
+}
+
+std::vector<std::uint32_t>
+randomKeys(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint32_t> v(n);
+    for (auto& x : v)
+        x = static_cast<std::uint32_t>(rng.nextU64()) & 0x3FFFFFFFu;
+    return v;
+}
+
+void
+BM_Conv2dDense(benchmark::State& state)
+{
+    const int c = static_cast<int>(state.range(0));
+    const ConvShape shape{Shape3{c, 16, 16}, c * 2};
+    const auto in = randomFloats(static_cast<std::size_t>(
+        shape.in.elems()), 1);
+    const auto w = randomFloats(static_cast<std::size_t>(
+        shape.weightElems()), 2);
+    const auto b = randomFloats(static_cast<std::size_t>(shape.outC),
+                                3);
+    std::vector<float> out(static_cast<std::size_t>(
+        shape.out().elems()));
+    for (auto _ : state) {
+        conv2dCpu(CpuExec{nullptr}, shape, in, w, b, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * shape.out().elems());
+}
+BENCHMARK(BM_Conv2dDense)->Arg(8)->Arg(32);
+
+void
+BM_SparseConv(benchmark::State& state)
+{
+    const ConvShape shape{Shape3{32, 16, 16}, 64};
+    const auto dense = randomFloats(static_cast<std::size_t>(
+        shape.weightElems()), 4);
+    const CsrMatrix csr = pruneToCsr(
+        dense, shape.outC, shape.in.c * 9,
+        static_cast<double>(state.range(0)) / 100.0);
+    const auto in = randomFloats(static_cast<std::size_t>(
+        shape.in.elems()), 5);
+    const auto b = randomFloats(static_cast<std::size_t>(shape.outC),
+                                6);
+    std::vector<float> out(static_cast<std::size_t>(
+        shape.out().elems()));
+    for (auto _ : state) {
+        sparseConvCpu(CpuExec{nullptr}, shape, in, csr, b, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * csr.nnz());
+}
+BENCHMARK(BM_SparseConv)->Arg(1)->Arg(10)->Arg(100);
+
+void
+BM_MortonEncode(benchmark::State& state)
+{
+    const std::int64_t n = state.range(0);
+    const auto pts = randomFloats(static_cast<std::size_t>(3 * n), 7);
+    std::vector<std::uint32_t> codes(static_cast<std::size_t>(n));
+    for (auto _ : state) {
+        mortonEncodeCpu(CpuExec{nullptr}, pts, codes, n);
+        benchmark::DoNotOptimize(codes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MortonEncode)->Arg(1 << 14)->Arg(1 << 17);
+
+void
+BM_RadixSortCpu(benchmark::State& state)
+{
+    const auto keys = randomKeys(static_cast<std::size_t>(
+        state.range(0)), 8);
+    std::vector<std::uint32_t> work(keys.size());
+    std::vector<std::uint32_t> scratch(keys.size());
+    for (auto _ : state) {
+        work = keys;
+        radixSortCpu(CpuExec{nullptr}, work, scratch);
+        benchmark::DoNotOptimize(work.data());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_RadixSortCpu)->Arg(1 << 14)->Arg(1 << 17);
+
+void
+BM_RadixSortGpuBackend(benchmark::State& state)
+{
+    const auto keys = randomKeys(static_cast<std::size_t>(
+        state.range(0)), 9);
+    std::vector<std::uint32_t> work(keys.size());
+    std::vector<std::uint32_t> scratch(keys.size());
+    for (auto _ : state) {
+        work = keys;
+        radixSortGpu(work, scratch);
+        benchmark::DoNotOptimize(work.data());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_RadixSortGpuBackend)->Arg(1 << 14)->Arg(1 << 17);
+
+void
+BM_RadixTreeBuild(benchmark::State& state)
+{
+    auto codes = randomKeys(static_cast<std::size_t>(state.range(0)),
+                            10);
+    std::sort(codes.begin(), codes.end());
+    codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+    const auto k = static_cast<std::int64_t>(codes.size());
+    std::vector<std::int32_t> left(codes.size()), right(codes.size()),
+        parent(codes.size()), leaf_parent(codes.size()),
+        prefix_len(codes.size()), first(codes.size()),
+        last(codes.size());
+    const RadixTreeView view{left, right, parent, leaf_parent,
+                             prefix_len, first, last};
+    for (auto _ : state) {
+        buildRadixTreeCpu(CpuExec{nullptr}, codes, k, view);
+        benchmark::DoNotOptimize(left.data());
+    }
+    state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_RadixTreeBuild)->Arg(1 << 14)->Arg(1 << 16);
+
+void
+BM_ExclusiveScan(benchmark::State& state)
+{
+    Rng rng(11);
+    std::vector<std::uint32_t> in(static_cast<std::size_t>(
+        state.range(0)));
+    for (auto& x : in)
+        x = static_cast<std::uint32_t>(rng.nextBounded(8));
+    std::vector<std::uint32_t> out(in.size());
+    for (auto _ : state) {
+        exclusiveScanCpu(CpuExec{nullptr}, in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_ExclusiveScan)->Arg(1 << 16)->Arg(1 << 18);
+
+} // namespace

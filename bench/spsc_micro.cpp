@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the pipeline hand-off machinery:
+ * SPSC queue throughput (single-threaded and ping-pong) and thread-pool
+ * fork-join overhead - the per-task costs the BT-Implementer pays at
+ * every chunk boundary.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "sched/spsc_queue.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace {
+
+using namespace bt::sched;
+
+void
+BM_SpscPushPop(benchmark::State& state)
+{
+    SpscQueue<void*> q(64);
+    int x = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(q.tryPush(&x));
+        benchmark::DoNotOptimize(q.tryPop());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscPushPop);
+
+void
+BM_SpscPingPong(benchmark::State& state)
+{
+    SpscQueue<std::int64_t> to_worker(16);
+    SpscQueue<std::int64_t> from_worker(16);
+    std::atomic<bool> stop{false};
+
+    std::thread worker([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            auto v = to_worker.tryPop();
+            if (!v) {
+                std::this_thread::yield();
+                continue;
+            }
+            while (!from_worker.tryPush(*v))
+                std::this_thread::yield();
+        }
+    });
+
+    std::int64_t i = 0;
+    for (auto _ : state) {
+        while (!to_worker.tryPush(i))
+            std::this_thread::yield();
+        std::optional<std::int64_t> v;
+        while (!(v = from_worker.tryPop()))
+            std::this_thread::yield();
+        benchmark::DoNotOptimize(*v);
+        ++i;
+    }
+    stop.store(true);
+    worker.join();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscPingPong);
+
+void
+BM_ThreadPoolForkJoin(benchmark::State& state)
+{
+    ThreadPool pool(static_cast<int>(state.range(0)));
+    std::atomic<std::int64_t> sink{0};
+    for (auto _ : state) {
+        pool.parallelFor(0, 64, [&](std::int64_t v) {
+            sink.fetch_add(v, std::memory_order_relaxed);
+        });
+    }
+    benchmark::DoNotOptimize(sink.load());
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolForkJoin)->Arg(1)->Arg(2)->Arg(4);
+
+} // namespace

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Reproduces paper Table 1: characteristics of the evaluated
+ * applications, generated from the actual Application objects.
+ */
+
+#include <iostream>
+
+#include "bench/common/bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace bt;
+using namespace bt::bench;
+
+int
+main()
+{
+    printHeader("Characteristics of evaluated applications",
+                "paper Table 1");
+
+    Table table({"Application", "Input", "Stages", "Characteristics"});
+    for (int a = 0; a < kNumApps; ++a) {
+        const auto app = paperApp(a);
+        table.addRow({app.name(), app.inputKind(),
+                      std::to_string(app.numStages()),
+                      app.characteristics()});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces paper Table 2: hardware specifications of the evaluated
+ * platforms, generated from the simulated device catalog (including
+ * the affinity map each PU class exposes).
+ */
+
+#include <iostream>
+
+#include "bench/common/bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace bt;
+using namespace bt::bench;
+
+int
+main()
+{
+    printHeader("Hardware specifications of tested edge platforms",
+                "paper Table 2");
+
+    Table table({"Device", "PU", "Hardware", "Cores", "Clock (GHz)",
+                 "Affinity", "API"});
+    for (const auto& soc : devices()) {
+        for (const auto& pu : soc.pus) {
+            table.addRow({soc.name, pu.label, pu.hardware,
+                          std::to_string(pu.cores),
+                          Table::num(pu.freqGhz, 2),
+                          pu.coreIds.empty() ? "-"
+                                             : pu.coreIds.toString(),
+                          pu.kind == platform::PuKind::Gpu ? soc.gpuApi
+                                                           : "-"});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

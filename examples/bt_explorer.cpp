@@ -1,0 +1,246 @@
+/**
+ * @file
+ * bt_explorer: a command-line front end to the whole framework. Pick a
+ * simulated device and an application, tweak the optimizer, cache
+ * profiling tables on disk, and optionally compare against the dynamic
+ * and data-parallel baselines and report energy.
+ *
+ *     bt_explorer --device pixel --app octree
+ *     bt_explorer --device jetson --app sparse --no-autotune --energy
+ *     bt_explorer --device oneplus --app dense \
+ *                 --save-profile /tmp/p.csv
+ *     bt_explorer --device oneplus --app dense \
+ *                 --load-profile /tmp/p.csv --compare-dynamic
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "apps/alexnet.hpp"
+#include "common/logging.hpp"
+#include "apps/octree_app.hpp"
+#include "core/data_parallel.hpp"
+#include "core/dynamic_executor.hpp"
+#include "core/pipeline.hpp"
+#include "platform/devices.hpp"
+
+using namespace bt;
+
+namespace {
+
+struct Options
+{
+    std::string device = "pixel";
+    std::string app = "octree";
+    int candidates = 20;
+    bool autotune = true;
+    bool energy = false;
+    bool compare_dynamic = false;
+    double latency_slack = 0.45;
+    double gapness_slack = 1.0;
+    bool edp_objective = false;
+    std::string save_profile;
+    std::string load_profile;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: bt_explorer [options]\n"
+        "  --device pixel|oneplus|jetson|jetson-lp   (default pixel)\n"
+        "  --app dense|sparse|octree                 (default octree)\n"
+        "  --candidates K          optimizer output size (default 20)\n"
+        "  --no-autotune           deploy the predicted-best schedule\n"
+        "  --energy                report energy per task and power\n"
+        "  --compare-dynamic       also run the dynamic/date-parallel "
+        "baselines\n"
+        "  --latency-slack F       level-1 latency slack (default "
+        "0.45)\n"
+        "  --gapness-slack F       level-1 gapness slack (default "
+        "1.0)\n"
+        "  --objective-edp         rank candidates by energy-delay "
+        "product\n"
+        "  --save-profile FILE     write the interference table as "
+        "CSV\n"
+        "  --load-profile FILE     reuse a cached interference table\n");
+}
+
+bool
+parse(int argc, char** argv, Options& opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](std::string& out) {
+            if (i + 1 >= argc)
+                return false;
+            out = argv[++i];
+            return true;
+        };
+        std::string value;
+        if (arg == "--device" && next(value)) {
+            opt.device = value;
+        } else if (arg == "--app" && next(value)) {
+            opt.app = value;
+        } else if (arg == "--candidates" && next(value)) {
+            opt.candidates = std::stoi(value);
+        } else if (arg == "--no-autotune") {
+            opt.autotune = false;
+        } else if (arg == "--energy") {
+            opt.energy = true;
+        } else if (arg == "--compare-dynamic") {
+            opt.compare_dynamic = true;
+        } else if (arg == "--objective-edp") {
+            opt.edp_objective = true;
+        } else if (arg == "--latency-slack" && next(value)) {
+            opt.latency_slack = std::stod(value);
+        } else if (arg == "--gapness-slack" && next(value)) {
+            opt.gapness_slack = std::stod(value);
+        } else if (arg == "--save-profile" && next(value)) {
+            opt.save_profile = value;
+        } else if (arg == "--load-profile" && next(value)) {
+            opt.load_profile = value;
+        } else {
+            usage();
+            return false;
+        }
+    }
+    return true;
+}
+
+platform::SocDescription
+pickDevice(const std::string& name)
+{
+    if (name == "pixel")
+        return platform::pixel7a();
+    if (name == "oneplus")
+        return platform::oneplus11();
+    if (name == "jetson")
+        return platform::jetsonOrinNano();
+    if (name == "jetson-lp")
+        return platform::jetsonOrinNanoLp();
+    bt::fatal("unknown device: ", name);
+}
+
+core::Application
+pickApp(const std::string& name)
+{
+    if (name == "dense")
+        return apps::alexnetDense();
+    if (name == "sparse")
+        return apps::alexnetSparse();
+    if (name == "octree")
+        return apps::octreeApp();
+    bt::fatal("unknown application: ", name);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt;
+    if (!parse(argc, argv, opt))
+        return 1;
+
+    const auto soc = pickDevice(opt.device);
+    const auto app = pickApp(opt.app);
+    const platform::PerfModel model(soc);
+    std::printf("device: %s | app: %s (%d stages)\n\n",
+                soc.name.c_str(), app.name().c_str(), app.numStages());
+
+    // Profiling, or a cached table.
+    core::ProfileResult profile;
+    if (!opt.load_profile.empty()) {
+        std::ifstream in(opt.load_profile);
+        auto loaded = core::ProfilingTable::loadCsv(in);
+        if (!loaded) {
+            std::fprintf(stderr, "could not parse %s\n",
+                         opt.load_profile.c_str());
+            return 1;
+        }
+        profile.interference = *loaded;
+        profile.isolated = *loaded; // cached runs reuse one table
+        std::printf("loaded cached profiling table from %s\n",
+                    opt.load_profile.c_str());
+    } else {
+        const core::Profiler profiler(model);
+        profile = profiler.profile(app);
+        std::printf("profiled in %.0f virtual seconds\n",
+                    profile.profilingCostSeconds);
+    }
+    if (!opt.save_profile.empty()) {
+        std::ofstream out(opt.save_profile);
+        profile.interference.saveCsv(out);
+        std::printf("saved interference table to %s\n",
+                    opt.save_profile.c_str());
+    }
+    std::printf("\ninterference-aware table (ms):\n");
+    profile.interference.print(std::cout);
+
+    // Optimize (+ autotune).
+    core::OptimizerConfig ocfg;
+    ocfg.numCandidates = opt.candidates;
+    ocfg.latencySlack = opt.latency_slack;
+    ocfg.gapnessSlack = opt.gapness_slack;
+    if (opt.edp_objective)
+        ocfg.objective = core::OptimizerConfig::Objective::EnergyDelay;
+    core::Optimizer optimizer(soc, profile.interference, ocfg);
+    const auto candidates = optimizer.optimize();
+
+    const core::SimExecutor executor(model);
+    core::Schedule best = candidates.front().schedule;
+    if (opt.autotune) {
+        const core::AutoTuner tuner(executor);
+        const auto tuned = tuner.tune(app, candidates);
+        best = tuned.best().candidate.schedule;
+        std::printf("\nautotuned over %zu candidates (gain %.2fx, "
+                    "campaign %.0f s virtual)\n",
+                    tuned.all.size(), tuned.autotuningGain(),
+                    tuned.campaignCostSeconds);
+    }
+
+    std::vector<std::string> names;
+    for (const auto& s : app.stages())
+        names.push_back(s.name());
+    const auto run = executor.execute(app, best);
+    std::printf("\ndeployed schedule: %s\n",
+                best.toString(soc, names).c_str());
+    std::printf("latency: %.3f ms/task (makespan %.1f ms for %d "
+                "tasks)\n",
+                run.latencyMs(), run.makespanSeconds * 1e3, run.tasks);
+
+    // Baselines.
+    const core::BetterTogether flow(soc);
+    const double cpu_ms
+        = flow.measureHomogeneous(app, soc.bigCpuIndex()) * 1e3;
+    const double gpu_ms
+        = flow.measureHomogeneous(app, soc.gpuIndex()) * 1e3;
+    std::printf("baselines: CPU-only %.3f ms | GPU-only %.3f ms | "
+                "speedup over best %.2fx\n",
+                cpu_ms, gpu_ms,
+                std::min(cpu_ms, gpu_ms) / run.latencyMs());
+
+    if (opt.energy) {
+        std::printf("\nenergy: %.2f mJ/task, average power %.2f W "
+                    "(device peak %.1f W)\n",
+                    run.energyPerTaskJ() * 1e3, run.averagePowerW(),
+                    soc.peakPowerW());
+    }
+
+    if (opt.compare_dynamic) {
+        const core::DynamicExecutor dyn(model, profile.interference);
+        const auto dyn_run = dyn.execute(app);
+        const double dp_ms
+            = core::dataParallelLatency(app, profile.interference)
+            * 1e3;
+        std::printf("\nalternatives: dynamic greedy %.3f ms/task "
+                    "(50us dispatch) | data-parallel %.3f ms/task "
+                    "(predicted)\n",
+                    dyn_run.latencyMs(), dp_ms);
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The two AlexNet evaluation workloads (paper Sec. 4.1): a CIFAR-sized
+ * AlexNet with nine pipeline stages - four conv layers each followed by
+ * 2x2 max pooling, and a final fully connected classifier.
+ *
+ *  - AlexNet-dense: dense convolutions, one image per task (regular,
+ *    dense linear algebra).
+ *  - AlexNet-sparse: the same network magnitude-pruned to CSR weights,
+ *    batches of images per task (irregular sparse computation).
+ *
+ * Weights are seeded-random (the paper's accuracy is irrelevant to
+ * scheduling; the computation pattern is what matters) and shared
+ * read-only across all TaskObjects.
+ */
+
+#ifndef BT_APPS_ALEXNET_HPP
+#define BT_APPS_ALEXNET_HPP
+
+#include <cstdint>
+
+#include "core/application.hpp"
+
+namespace bt::apps {
+
+/** Configuration of either AlexNet variant. */
+struct AlexNetConfig
+{
+    int batch = 1;              ///< images per task
+    bool sparse = false;        ///< CSR-pruned convolutions
+    double density = 0.01;      ///< kept weight fraction when sparse
+    std::uint64_t weightSeed = 42;
+
+    /**
+     * Attach the reference validator (recomputes the whole network
+     * serially per task - use only with small batches in tests).
+     */
+    bool withValidator = false;
+};
+
+/** Paper configuration: dense, one image per task. */
+core::Application alexnetDense(AlexNetConfig cfg = {});
+
+/** Paper configuration: sparse, 128 images per task. */
+core::Application alexnetSparse(AlexNetConfig cfg = {.batch = 128,
+                                                     .sparse = true});
+
+} // namespace bt::apps
+
+#endif // BT_APPS_ALEXNET_HPP

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Feature-extraction case-study application (beyond the paper's three
+ * workloads): an ORB-like corner/descriptor pipeline with seven stages
+ * of mixed computational patterns -
+ *
+ *   blur_h -> blur_v -> sobel -> harris -> nms -> compact -> brief
+ *
+ * Regular stencils (blurs, Sobel), window reductions (Harris),
+ * divergent suppression (NMS), a scan/compaction, and gather-heavy
+ * descriptor extraction. Built entirely on the public Stage /
+ * Application API to demonstrate that the framework generalizes past
+ * the paper's evaluation set.
+ */
+
+#ifndef BT_APPS_FEATURES_HPP
+#define BT_APPS_FEATURES_HPP
+
+#include <cstdint>
+
+#include "core/application.hpp"
+
+namespace bt::apps {
+
+/** Feature-extraction workload configuration. */
+struct FeaturesConfig
+{
+    int width = 640;
+    int height = 480;
+
+    /** Harris response threshold for NMS. */
+    float threshold = 0.01f;
+
+    /** Attach the reference validator (tests only; re-runs the whole
+     *  pipeline serially per task). */
+    bool withValidator = false;
+};
+
+/** Build the seven-stage feature-extraction application. */
+core::Application featuresApp(FeaturesConfig cfg = {});
+
+} // namespace bt::apps
+
+#endif // BT_APPS_FEATURES_HPP

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The Octree evaluation workload (paper Sec. 4.1): seven stages of mixed
+ * computational patterns following Karras 2012, from Morton encoding of
+ * a streaming point cloud to the final parent-linked octree. The final
+ * stage depends on several earlier outputs, so the application is
+ * declared as a task graph and linearized by topological sort (paper
+ * Sec. 3.1).
+ */
+
+#ifndef BT_APPS_OCTREE_APP_HPP
+#define BT_APPS_OCTREE_APP_HPP
+
+#include <cstdint>
+
+#include "core/application.hpp"
+
+namespace bt::apps {
+
+/** Point-cloud distribution of the synthetic input stream. */
+enum class PointDistribution
+{
+    Uniform,   ///< uniform in the unit cube
+    Clustered, ///< Gaussian clusters (more duplicate/nearby codes)
+};
+
+/** Octree workload configuration. */
+struct OctreeConfig
+{
+    std::int64_t numPoints = 1 << 18; ///< points per task (paper scale)
+    PointDistribution distribution = PointDistribution::Uniform;
+    int numClusters = 16; ///< for the clustered distribution
+
+    /** Attach the structural validator (sorted/unique/radix/octree). */
+    bool withValidator = false;
+};
+
+/** Build the seven-stage octree application. */
+core::Application octreeApp(OctreeConfig cfg = {});
+
+} // namespace bt::apps
+
+#endif // BT_APPS_OCTREE_APP_HPP

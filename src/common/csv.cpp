@@ -1,0 +1,58 @@
+#include "common/csv.hpp"
+
+#include "common/logging.hpp"
+
+namespace bt {
+
+namespace {
+
+std::string
+quote(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> headers)
+    : out(path), columns(headers.size())
+{
+    BT_ASSERT(columns > 0, "csv needs at least one column");
+    if (!out) {
+        warn("could not open csv output file: ", path);
+        return;
+    }
+    emit(headers);
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string>& cells)
+{
+    BT_ASSERT(cells.size() == columns,
+              "csv row width mismatch: ", cells.size(), " vs ", columns);
+    if (out)
+        emit(cells);
+}
+
+void
+CsvWriter::emit(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        out << quote(cells[i]);
+        if (i + 1 < cells.size())
+            out << ',';
+    }
+    out << '\n';
+}
+
+} // namespace bt

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal CSV writer so every benchmark can dump machine-readable results
+ * next to its human-readable table.
+ */
+
+#ifndef BT_COMMON_CSV_HPP
+#define BT_COMMON_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace bt {
+
+/**
+ * Writes rows to a CSV file with RFC-4180 quoting. The file is created on
+ * construction and flushed on destruction.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing and emit the header row. */
+    CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+    /** Append one data row (widths are validated against the header). */
+    void addRow(const std::vector<std::string>& cells);
+
+    /** Whether the output file opened successfully. */
+    bool ok() const { return static_cast<bool>(out); }
+
+  private:
+    void emit(const std::vector<std::string>& cells);
+
+    std::ofstream out;
+    std::size_t columns;
+};
+
+} // namespace bt
+
+#endif // BT_COMMON_CSV_HPP

@@ -1,0 +1,16 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace bt {
+namespace detail {
+
+void
+logMessage(const char* tag, const std::string& msg)
+{
+    std::fprintf(stderr, "[bt:%s] %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+} // namespace bt

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Status-message and error-termination helpers.
+ *
+ * Follows the gem5 convention: panic() flags internal framework bugs and
+ * aborts; fatal() flags user errors (bad configuration, invalid arguments)
+ * and exits cleanly; warn()/inform() report conditions without stopping.
+ */
+
+#ifndef BT_COMMON_LOGGING_HPP
+#define BT_COMMON_LOGGING_HPP
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bt {
+
+namespace detail {
+
+/** Print a tagged message to stderr. */
+void logMessage(const char* tag, const std::string& msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Terminate because of an internal framework bug. Never use for conditions
+ * a user could trigger with bad input; use fatal() for those.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::logMessage("panic", detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/**
+ * Terminate because the caller supplied an unusable configuration or
+ * argument. Exits with status 1 rather than aborting.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::logMessage("fatal", detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::logMessage("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operational status. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::logMessage("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Internal invariant check that is active in all build types (unlike
+ * assert). On failure it panics with the stringified condition.
+ */
+#define BT_ASSERT(cond, ...)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::bt::panic("assertion failed: ", #cond, " at ", __FILE__,     \
+                        ":", __LINE__, " ", ##__VA_ARGS__);                \
+        }                                                                  \
+    } while (0)
+
+} // namespace bt
+
+#endif // BT_COMMON_LOGGING_HPP

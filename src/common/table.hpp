@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fixed-width console table printer used by the benchmark harness to
+ * emit paper-style tables (Table 3, Table 4, the Fig. 6 heatmaps, ...).
+ */
+
+#ifndef BT_COMMON_TABLE_HPP
+#define BT_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bt {
+
+/**
+ * Accumulates rows of string cells and prints them with aligned columns.
+ * The first row added is treated as the header and is underlined.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows (excluding the header). */
+    std::size_t rows() const { return body.size(); }
+
+    /** Render with two-space gutters and a dashed underline. */
+    void print(std::ostream& os) const;
+
+    /** Format a double with the given precision (defaults to 2 digits). */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace bt
+
+#endif // BT_COMMON_TABLE_HPP

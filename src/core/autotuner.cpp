@@ -1,0 +1,53 @@
+#include "core/autotuner.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bt::core {
+
+double
+TuningReport::autotuningGain() const
+{
+    // The predicted-best schedule is the one ranked first by the
+    // optimizer (rankPredicted == 0); the gain is how much faster the
+    // measured best is.
+    for (const auto& t : all) {
+        if (t.rankPredicted == 0) {
+            BT_ASSERT(best().measuredLatency > 0.0);
+            return t.measuredLatency / best().measuredLatency;
+        }
+    }
+    return 1.0;
+}
+
+TuningReport
+AutoTuner::tune(const Application& app,
+                const std::vector<Candidate>& candidates) const
+{
+    BT_ASSERT(!candidates.empty(), "autotuner needs candidates");
+
+    TuningReport report;
+    report.all.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const ExecutionResult run
+            = executor_.execute(app, candidates[i].schedule);
+        TunedCandidate tc;
+        tc.candidate = candidates[i];
+        tc.measuredLatency = run.taskIntervalSeconds;
+        tc.rankPredicted = static_cast<int>(i);
+        report.campaignCostSeconds
+            += std::max(run.makespanSeconds, windowSeconds);
+        report.all.push_back(tc);
+    }
+
+    std::stable_sort(report.all.begin(), report.all.end(),
+                     [](const TunedCandidate& a, const TunedCandidate& b)
+                     {
+                         return a.measuredLatency < b.measuredLatency;
+                     });
+    report.bestIndex = 0;
+    return report;
+}
+
+} // namespace bt::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dynamic greedy scheduling baseline (extension): instead of a static
+ * pipeline schedule, every (task, stage) is dispatched at runtime to
+ * the idle PU with the best predicted completion time, StarPU-style
+ * (paper Sec. 6 contrasts BetterTogether's static schedules with such
+ * "heavyweight scheduling runtimes"). Each dispatch pays a runtime
+ * overhead, and stage-to-PU locality is whatever the greedy choice
+ * produces - the two effects static pipelining avoids.
+ *
+ * Runs on the same discrete-event substrate and interference model as
+ * the SimExecutor, so results are directly comparable.
+ */
+
+#ifndef BT_CORE_DYNAMIC_EXECUTOR_HPP
+#define BT_CORE_DYNAMIC_EXECUTOR_HPP
+
+#include "core/application.hpp"
+#include "core/profiling_table.hpp"
+#include "core/sim_executor.hpp"
+#include "platform/perf_model.hpp"
+
+namespace bt::core {
+
+/** Dynamic scheduler knobs. */
+struct DynamicExecConfig
+{
+    int numTasks = 30;
+    int tasksInFlight = 0; ///< 0 = one per PU class plus one
+
+    /** Runtime cost charged per dispatch decision (queue locks, cost
+     *  model lookup, kernel argument marshalling). */
+    double dispatchOverheadUs = 50.0;
+
+    std::uint64_t noiseSalt = 0;
+    int warmupTasks = 3;
+};
+
+/**
+ * Greedy earliest-finish dynamic executor. Uses @p table (normally the
+ * interference-aware profiling table) as its cost model when ranking
+ * idle PUs for a ready stage.
+ */
+class DynamicExecutor
+{
+  public:
+    DynamicExecutor(const platform::PerfModel& model,
+                    const ProfilingTable& table,
+                    DynamicExecConfig cfg = {});
+
+    /** Execute @p app dynamically and measure it. */
+    ExecutionResult execute(const Application& app) const;
+
+  private:
+    const platform::PerfModel& model;
+    const ProfilingTable& table;
+    DynamicExecConfig config;
+};
+
+} // namespace bt::core
+
+#endif // BT_CORE_DYNAMIC_EXECUTOR_HPP

@@ -1,0 +1,427 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/logging.hpp"
+#include "solver/solver.hpp"
+
+namespace bt::core {
+
+namespace {
+
+/// Penalty offsets making the level-2 objective lexicographic: schedules
+/// violating the latency/utilization feasibility class sort after those
+/// merely exceeding the gapness budget, which sort after fully feasible
+/// ones. Latencies are in seconds (~1e-3), so the offsets dominate.
+constexpr double kGapnessPenalty = 1e6;
+constexpr double kFeasibilityPenalty = 2e6;
+
+/** Variable layout helper: x(i, c) is true iff stage i runs on PU c. */
+struct VarGrid
+{
+    int numStages;
+    int numPus;
+    std::vector<solver::Var> vars;
+
+    solver::Var
+    at(int i, int c) const
+    {
+        return vars[static_cast<std::size_t>(i)
+                    * static_cast<std::size_t>(numPus)
+                    + static_cast<std::size_t>(c)];
+    }
+};
+
+VarGrid
+buildScheduleModel(solver::Model& model, int num_stages, int num_pus)
+{
+    VarGrid grid{num_stages, num_pus, {}};
+    grid.vars.reserve(static_cast<std::size_t>(num_stages)
+                      * static_cast<std::size_t>(num_pus));
+    for (int i = 0; i < num_stages; ++i)
+        for (int c = 0; c < num_pus; ++c)
+            grid.vars.push_back(model.newVar(
+                "x_" + std::to_string(i) + "_" + std::to_string(c)));
+
+    // C1: exactly one PU per stage.
+    for (int i = 0; i < num_stages; ++i) {
+        std::vector<solver::Var> row;
+        for (int c = 0; c < num_pus; ++c)
+            row.push_back(grid.at(i, c));
+        model.addExactlyOne(std::move(row));
+    }
+
+    // C2: contiguity - (x_{i,c} & x_{k,c}) -> x_{j,c} for i < j < k.
+    for (int c = 0; c < num_pus; ++c)
+        for (int i = 0; i < num_stages; ++i)
+            for (int k = i + 2; k < num_stages; ++k)
+                for (int j = i + 1; j < k; ++j)
+                    model.addImplication(
+                        {solver::pos(grid.at(i, c)),
+                         solver::pos(grid.at(k, c))},
+                        solver::pos(grid.at(j, c)));
+    return grid;
+}
+
+Schedule
+scheduleFromAssignment(const VarGrid& grid,
+                       const solver::Assignment& assignment)
+{
+    std::vector<int> stage_to_pu(static_cast<std::size_t>(
+        grid.numStages));
+    for (int i = 0; i < grid.numStages; ++i) {
+        int chosen = -1;
+        for (int c = 0; c < grid.numPus; ++c) {
+            if (assignment.value(grid.at(i, c))) {
+                BT_ASSERT(chosen < 0, "two PUs for one stage");
+                chosen = c;
+            }
+        }
+        BT_ASSERT(chosen >= 0, "stage ", i, " unassigned");
+        stage_to_pu[static_cast<std::size_t>(i)] = chosen;
+    }
+    return Schedule::fromAssignment(stage_to_pu);
+}
+
+/** Blocking clause C5: forbid this exact assignment. */
+void
+blockSchedule(solver::Model& model, const VarGrid& grid,
+              const Schedule& schedule)
+{
+    const auto assignment = schedule.toAssignment();
+    std::vector<solver::Lit> clause;
+    clause.reserve(assignment.size());
+    for (int i = 0; i < grid.numStages; ++i)
+        clause.push_back(solver::neg(
+            grid.at(i, assignment[static_cast<std::size_t>(i)])));
+    model.addClause(std::move(clause));
+}
+
+/** (first stage, last stage, pu) identity of one chunk assignment. */
+using ChunkKey = std::tuple<int, int, int>;
+
+ChunkKey
+keyOf(const Chunk& c)
+{
+    return {c.firstStage, c.lastStage, c.pu};
+}
+
+/** The chunk that determines the schedule's bottleneck latency. */
+ChunkKey
+bottleneckKey(const Schedule& s, const ProfilingTable& table)
+{
+    int best = 0;
+    double worst = -1.0;
+    for (int c = 0; c < s.numChunks(); ++c) {
+        const double t = s.chunkTime(table, c);
+        if (t > worst) {
+            worst = t;
+            best = c;
+        }
+    }
+    return keyOf(s.chunks()[static_cast<std::size_t>(best)]);
+}
+
+/** Forbid ever assigning this chunk's stages to this PU again. */
+void
+blockChunk(solver::Model& model, const VarGrid& grid,
+           const ChunkKey& key)
+{
+    const auto [first, last, pu] = key;
+    std::vector<solver::Lit> clause;
+    for (int i = first; i <= last; ++i)
+        clause.push_back(solver::neg(grid.at(i, pu)));
+    model.addClause(std::move(clause));
+}
+
+} // namespace
+
+Optimizer::Optimizer(const platform::SocDescription& soc_,
+                     const ProfilingTable& table_, OptimizerConfig cfg)
+    : soc(soc_), table(table_), config(cfg), powerModel(soc_)
+{
+    BT_ASSERT(table.numPus() == soc.numPus(),
+              "profiling table PU count does not match device");
+    BT_ASSERT(config.numCandidates > 0);
+    BT_ASSERT(config.gapnessSlack >= 0.0);
+    BT_ASSERT(config.latencySlack >= 0.0);
+}
+
+Candidate
+Optimizer::makeCandidate(const Schedule& s) const
+{
+    Candidate c;
+    c.schedule = s;
+    c.predictedLatency = s.bottleneckTime(table);
+    c.predictedGapness = s.gapness(table);
+
+    // Predicted per-task energy: each used PU is active for its chunk
+    // time (duty-cycled against the bottleneck interval), idle for the
+    // rest; unused PUs idle throughout; plus the uncore floor.
+    const double interval = c.predictedLatency;
+    const int busy_others = s.numChunks() - 1;
+    double energy = soc.basePowerW * interval;
+    std::vector<bool> used(static_cast<std::size_t>(soc.numPus()),
+                           false);
+    for (int ch = 0; ch < s.numChunks(); ++ch) {
+        const int pu = s.chunks()[static_cast<std::size_t>(ch)].pu;
+        used[static_cast<std::size_t>(pu)] = true;
+        const double active = s.chunkTime(table, ch);
+        energy += active * powerModel.activePowerW(pu, busy_others)
+            + std::max(0.0, interval - active)
+                * soc.pu(pu).idlePowerW;
+    }
+    for (int p = 0; p < soc.numPus(); ++p)
+        if (!used[static_cast<std::size_t>(p)])
+            energy += interval * soc.pu(p).idlePowerW;
+    c.predictedEnergyJ = energy;
+    return c;
+}
+
+double
+Optimizer::rankScore(const Candidate& c) const
+{
+    return config.objective == OptimizerConfig::Objective::EnergyDelay
+        ? c.predictedEdp()
+        : c.predictedLatency;
+}
+
+int
+Optimizer::rankClass(const Candidate& c) const
+{
+    if (!config.utilizationFilter)
+        return 0;
+    if (c.predictedLatency > stats_.latencyBound + 1e-12
+        || c.schedule.numChunks() < stats_.requiredPus)
+        return 2; // outside the feasibility class
+    if (c.predictedGapness > stats_.gapnessBound + 1e-12)
+        return 1; // feasible but over the gapness budget
+    return 0;
+}
+
+void
+Optimizer::sortCandidates(std::vector<Candidate>& cands) const
+{
+    // Tie-break on the lexicographically smallest stage-to-PU vector,
+    // which is exactly the order the DPLL solver (true-first, row-major
+    // variables) prefers - keeping both engines' outputs identical.
+    std::stable_sort(cands.begin(), cands.end(),
+                     [&](const Candidate& a, const Candidate& b) {
+                         const int ra = rankClass(a);
+                         const int rb = rankClass(b);
+                         if (ra != rb)
+                             return ra < rb;
+                         const double sa = rankScore(a);
+                         const double sb = rankScore(b);
+                         if (sa != sb)
+                             return sa < sb;
+                         return a.schedule.toAssignment()
+                             < b.schedule.toAssignment();
+                     });
+}
+
+std::vector<Candidate>
+Optimizer::optimize()
+{
+    stats_ = OptimizeStats{};
+    stats_.latencyBound = std::numeric_limits<double>::infinity();
+    stats_.gapnessBound = std::numeric_limits<double>::infinity();
+    auto cands = config.engine == OptimizerConfig::Engine::Exhaustive
+        ? optimizeExhaustive()
+        : optimizeWithSolver();
+    sortCandidates(cands);
+    if (static_cast<int>(cands.size()) > config.numCandidates)
+        cands.resize(static_cast<std::size_t>(config.numCandidates));
+    stats_.candidatesWithinBound = 0;
+    for (const auto& c : cands)
+        if (rankClass(c) == 0)
+            ++stats_.candidatesWithinBound;
+    return cands;
+}
+
+std::vector<Candidate>
+Optimizer::optimizeWithSolver()
+{
+    const int n = table.numStages();
+    const int m = soc.numPus();
+
+    solver::Model model;
+    const VarGrid grid = buildScheduleModel(model, n, m);
+
+    auto latencyOf = [&](const solver::Assignment& a) {
+        return scheduleFromAssignment(grid, a).bottleneckTime(table);
+    };
+
+    // Level 1a: unrestricted latency optimum (defines the Tmax bound).
+    {
+        solver::Solver s(model);
+        auto best = s.minimize(latencyOf);
+        stats_.solverNodes += s.nodesExplored();
+        BT_ASSERT(best.has_value(), "schedule space is empty");
+        stats_.unrestrictedLatency = latencyOf(*best);
+    }
+
+    if (config.utilizationFilter) {
+        stats_.latencyBound = stats_.unrestrictedLatency
+                * (1.0 + config.latencySlack)
+            + 1e-12;
+
+        // Level 1b: the highest PU-class count attainable within the
+        // latency bound (maximize utilization subject to C3).
+        stats_.requiredPus = 1;
+        for (int r = std::min(m, n); r >= 1; --r) {
+            solver::Solver s(model);
+            auto best = s.minimize([&](const solver::Assignment& a) {
+                const Schedule sched = scheduleFromAssignment(grid, a);
+                if (sched.numChunks() < r)
+                    return kFeasibilityPenalty
+                        + sched.bottleneckTime(table);
+                return sched.bottleneckTime(table);
+            });
+            stats_.solverNodes += s.nodesExplored();
+            if (best.has_value()) {
+                const Schedule sched
+                    = scheduleFromAssignment(grid, *best);
+                if (sched.numChunks() >= r
+                    && sched.bottleneckTime(table)
+                        <= stats_.latencyBound) {
+                    stats_.requiredPus = r;
+                    break;
+                }
+            }
+        }
+
+        // Level 1c: minimal gapness within the feasibility class
+        // (objective O1 under C3).
+        solver::Solver s(model);
+        auto best = s.minimize([&](const solver::Assignment& a) {
+            const Schedule sched = scheduleFromAssignment(grid, a);
+            if (sched.numChunks() < stats_.requiredPus
+                || sched.bottleneckTime(table) > stats_.latencyBound)
+                return kFeasibilityPenalty + sched.gapness(table);
+            return sched.gapness(table);
+        });
+        stats_.solverNodes += s.nodesExplored();
+        BT_ASSERT(best.has_value());
+        stats_.minimalGapness
+            = scheduleFromAssignment(grid, *best).gapness(table);
+        stats_.gapnessBound = stats_.minimalGapness
+                * (1.0 + config.gapnessSlack)
+            + 1e-9;
+    }
+
+    // Level 2: K diverse candidates; each found schedule is blocked
+    // (C5) and the solve repeated. The penalty terms mirror the final
+    // ranking so in-class schedules surface first; once a performance
+    // tier (critical chunk assignment) is saturated, the whole tier is
+    // blocked so the list spans tiers.
+    std::vector<Candidate> cands;
+    std::map<ChunkKey, int> tier_count;
+    for (int k = 0; k < config.numCandidates; ++k) {
+        solver::Solver s(model);
+        auto next = s.minimize([&](const solver::Assignment& a) {
+            const Candidate c
+                = makeCandidate(scheduleFromAssignment(grid, a));
+            switch (rankClass(c)) {
+              case 2:
+                return kFeasibilityPenalty + rankScore(c);
+              case 1:
+                return kGapnessPenalty + rankScore(c);
+              default:
+                return rankScore(c);
+            }
+        });
+        stats_.solverNodes += s.nodesExplored();
+        if (!next.has_value())
+            break; // space exhausted
+        const Schedule sched = scheduleFromAssignment(grid, *next);
+        cands.push_back(makeCandidate(sched));
+        blockSchedule(model, grid, sched);
+
+        if (config.maxPerTier > 0) {
+            const ChunkKey tier = bottleneckKey(sched, table);
+            if (++tier_count[tier] >= config.maxPerTier)
+                blockChunk(model, grid, tier);
+        }
+    }
+    return cands;
+}
+
+std::vector<Candidate>
+Optimizer::optimizeExhaustive()
+{
+    const int n = table.numStages();
+    const int m = soc.numPus();
+    const auto all = enumerateSchedules(n, m);
+
+    std::vector<Candidate> cands;
+    cands.reserve(all.size());
+    double best_latency = std::numeric_limits<double>::infinity();
+    for (const auto& s : all) {
+        cands.push_back(makeCandidate(s));
+        best_latency
+            = std::min(best_latency, cands.back().predictedLatency);
+    }
+    stats_.unrestrictedLatency = best_latency;
+
+    if (config.utilizationFilter) {
+        stats_.latencyBound
+            = best_latency * (1.0 + config.latencySlack) + 1e-12;
+
+        // Highest PU count within the latency bound.
+        stats_.requiredPus = 1;
+        for (const auto& c : cands)
+            if (c.predictedLatency <= stats_.latencyBound)
+                stats_.requiredPus = std::max(
+                    stats_.requiredPus, c.schedule.numChunks());
+
+        // Minimal gapness within the feasibility class.
+        double min_gap = std::numeric_limits<double>::infinity();
+        for (const auto& c : cands)
+            if (c.predictedLatency <= stats_.latencyBound
+                && c.schedule.numChunks() >= stats_.requiredPus)
+                min_gap = std::min(min_gap, c.predictedGapness);
+        BT_ASSERT(min_gap < std::numeric_limits<double>::infinity());
+        stats_.minimalGapness = min_gap;
+        stats_.gapnessBound
+            = min_gap * (1.0 + config.gapnessSlack) + 1e-9;
+    }
+
+    // Selection with the same tier-diversity rule as the solver path:
+    // walk schedules best-first, cap per-tier membership, and treat a
+    // saturated tier's chunk assignment as blocked anywhere.
+    sortCandidates(cands);
+    std::vector<Candidate> picked;
+    std::map<ChunkKey, int> tier_count;
+    std::set<ChunkKey> blocked;
+    for (const auto& c : cands) {
+        if (static_cast<int>(picked.size()) >= config.numCandidates)
+            break;
+        // A blocked (range, pu) bans every schedule assigning that
+        // whole stage range to that PU - even inside a larger chunk -
+        // exactly like the solver's blocking clause.
+        const auto assign = c.schedule.toAssignment();
+        bool banned = false;
+        for (const auto& [first, last, pu] : blocked) {
+            bool covered = true;
+            for (int i = first; i <= last && covered; ++i)
+                covered = assign[static_cast<std::size_t>(i)] == pu;
+            banned = banned || covered;
+        }
+        if (banned)
+            continue;
+        picked.push_back(c);
+        if (config.maxPerTier > 0) {
+            const ChunkKey tier = bottleneckKey(c.schedule, table);
+            if (++tier_count[tier] >= config.maxPerTier)
+                blocked.insert(tier);
+        }
+    }
+    return picked;
+}
+
+} // namespace bt::core

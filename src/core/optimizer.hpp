@@ -1,0 +1,148 @@
+/**
+ * @file
+ * BT-Optimizer (paper Sec. 3.3): turns a profiling table into a ranked
+ * list of candidate pipeline schedules via three levels:
+ *
+ *  1. *Utilization under a latency bound*: find the unrestricted
+ *     latency optimum, bound acceptable schedules to within
+ *     latencySlack of it (the C3-style Tmax bound), require the
+ *     maximum attainable PU-class count inside the bound, and compute
+ *     the minimal Gapness = Tmax - Tmin there (objective O1) - keeping
+ *     predictions close to the interference-heavy conditions the table
+ *     was profiled under without sacrificing latency.
+ *  2. *Ranking*: enumerate K diverse candidates (blocking clauses C5,
+ *     with a per-performance-tier cap) ordered by the configured
+ *     objective (latency, or energy-delay product).
+ *  3. *Autotuning* is a separate component (autotuner.hpp) because it
+ *     needs an executor.
+ *
+ * Two interchangeable engines produce identical results: the constraint
+ * solver (the Z3 stand-in) and brute-force enumeration of the schedule
+ * space; tests cross-validate them.
+ */
+
+#ifndef BT_CORE_OPTIMIZER_HPP
+#define BT_CORE_OPTIMIZER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profiling_table.hpp"
+#include "core/schedule.hpp"
+#include "platform/perf_model.hpp"
+#include "platform/soc.hpp"
+
+namespace bt::core {
+
+/** Optimizer knobs. */
+struct OptimizerConfig
+{
+    /** K: number of candidate schedules handed to autotuning. */
+    int numCandidates = 20;
+
+    /**
+     * Level-1 utilization filter (paper O1 + C3): among schedules whose
+     * predicted latency stays within (1 + latencySlack) of the
+     * unrestricted optimum, prefer those using as many PU classes as
+     * possible, and within that set keep gapness within
+     * (1 + gapnessSlack) * g* of the minimum. Disabled for the
+     * "latency-only" comparison models of Fig. 5b/5c.
+     */
+    bool utilizationFilter = true;
+    double gapnessSlack = 1.00;
+    double latencySlack = 0.45;
+
+    /**
+     * Diversity control for level 2: at most this many candidates may
+     * share the same critical (bottleneck) chunk assignment before
+     * that assignment is blocked outright. The paper observes that
+     * top schedules cluster into performance tiers defined by their
+     * critical assignments; capping per-tier membership makes the
+     * candidate list span tiers the way the paper's Table 4 does.
+     * 0 disables the cap.
+     */
+    int maxPerTier = 3;
+
+    /** Use the exact constraint solver or plain enumeration. */
+    enum class Engine { ConstraintSolver, Exhaustive };
+    Engine engine = Engine::ConstraintSolver;
+
+    /**
+     * Ranking objective within the feasibility class (extension):
+     * Latency reproduces the paper; EnergyDelay ranks by predicted
+     * energy-delay product, trading a little latency for schedules
+     * that keep expensive PUs idle longer - the natural objective for
+     * battery-powered deployments.
+     */
+    enum class Objective { Latency, EnergyDelay };
+    Objective objective = Objective::Latency;
+};
+
+/** One optimizer output with its model-predicted costs. */
+struct Candidate
+{
+    Schedule schedule;
+    double predictedLatency = 0.0; ///< bottleneck chunk time, seconds
+    double predictedGapness = 0.0; ///< seconds
+    double predictedEnergyJ = 0.0; ///< per-task SoC energy, joules
+
+    /** Energy-delay product (J*s), the EnergyDelay ranking key. */
+    double
+    predictedEdp() const
+    {
+        return predictedEnergyJ * predictedLatency;
+    }
+};
+
+/** Summary of one optimization run. */
+struct OptimizeStats
+{
+    double unrestrictedLatency = 0.0; ///< predicted optimum, no filter
+    double latencyBound = 0.0;        ///< C3-style Tmax bound applied
+    int requiredPus = 1;              ///< utilization level achieved
+    double minimalGapness = 0.0;      ///< level-1 optimum g*
+    double gapnessBound = 0.0;        ///< bound applied in level 2
+    std::uint64_t solverNodes = 0;    ///< search nodes across all calls
+    int candidatesWithinBound = 0;
+};
+
+/**
+ * Schedule generator over one (device, profiling table) pair. The table
+ * decides predicted costs; the SoC supplies the PU classes.
+ */
+class Optimizer
+{
+  public:
+    Optimizer(const platform::SocDescription& soc,
+              const ProfilingTable& table, OptimizerConfig cfg = {});
+
+    /**
+     * Run levels 1 and 2.
+     * @return up to K candidates sorted by predicted latency (ties by
+     *         gapness); never empty for a valid table.
+     */
+    std::vector<Candidate> optimize();
+
+    /** Statistics of the most recent optimize() call. */
+    const OptimizeStats& stats() const { return stats_; }
+
+  private:
+    std::vector<Candidate> optimizeWithSolver();
+    std::vector<Candidate> optimizeExhaustive();
+    Candidate makeCandidate(const Schedule& s) const;
+    /** 0 = fully feasible, 1 = over gapness budget, 2 = out of class. */
+    int rankClass(const Candidate& c) const;
+    /** Objective value used to order candidates within a class. */
+    double rankScore(const Candidate& c) const;
+    void sortCandidates(std::vector<Candidate>& cands) const;
+
+    const platform::SocDescription& soc;
+    const ProfilingTable& table;
+    OptimizerConfig config;
+    platform::PerfModel powerModel;
+    OptimizeStats stats_;
+};
+
+} // namespace bt::core
+
+#endif // BT_CORE_OPTIMIZER_HPP

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * End-to-end BetterTogether facade (paper Fig. 2): profile -> optimize
+ * -> autotune -> report, plus the homogeneous CPU/GPU baselines every
+ * evaluation compares against. This is the one-call entry point used by
+ * the examples and the benchmark harness.
+ */
+
+#ifndef BT_CORE_PIPELINE_HPP
+#define BT_CORE_PIPELINE_HPP
+
+#include "core/autotuner.hpp"
+#include "core/optimizer.hpp"
+#include "core/profiler.hpp"
+#include "core/sim_executor.hpp"
+#include "platform/perf_model.hpp"
+
+namespace bt::core {
+
+/** Knobs for the full flow. */
+struct BetterTogetherConfig
+{
+    ProfilerConfig profiler;
+    OptimizerConfig optimizer;
+    SimExecConfig executor;
+    bool autotune = true; ///< run level 3; else take the predicted best
+};
+
+/** Everything the flow produced, for reporting and tests. */
+struct BetterTogetherReport
+{
+    ProfileResult profile;
+    std::vector<Candidate> candidates; ///< optimizer output, ranked
+    TuningReport tuning;               ///< level-3 measurements
+    Schedule bestSchedule;
+    double bestLatencySeconds = 0.0;   ///< measured, steady state
+
+    double cpuBaselineSeconds = 0.0;   ///< best CPU class, homogeneous
+    double gpuBaselineSeconds = 0.0;   ///< GPU-only
+    int cpuBaselinePu = -1;
+    int gpuBaselinePu = -1;
+
+    /** min(CPU, GPU) homogeneous latency. */
+    double bestBaselineSeconds() const;
+
+    /** Headline metric: best baseline / BetterTogether. */
+    double speedupOverBestBaseline() const;
+    double speedupOverCpu() const;
+    double speedupOverGpu() const;
+};
+
+/** One-call driver for a (device, application) pair. */
+class BetterTogether
+{
+  public:
+    BetterTogether(const platform::SocDescription& soc,
+                   BetterTogetherConfig cfg = {});
+
+    /** Run the complete flow on @p app. */
+    BetterTogetherReport run(const Application& app) const;
+
+    /** Measure a homogeneous schedule on @p pu (baseline helper). */
+    double measureHomogeneous(const Application& app, int pu) const;
+
+    const platform::PerfModel& model() const { return model_; }
+
+  private:
+    platform::PerfModel model_;
+    BetterTogetherConfig config;
+};
+
+} // namespace bt::core
+
+#endif // BT_CORE_PIPELINE_HPP

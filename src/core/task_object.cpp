@@ -1,0 +1,65 @@
+#include "core/task_object.hpp"
+
+#include "common/logging.hpp"
+
+namespace bt::core {
+
+UsmBuffer&
+TaskObject::addBuffer(const std::string& name, std::size_t bytes)
+{
+    BT_ASSERT(!name.empty(), "buffer needs a name");
+    auto [it, inserted] = buffers.emplace(name, UsmBuffer(bytes));
+    BT_ASSERT(inserted, "duplicate buffer name: ", name);
+    return it->second;
+}
+
+bool
+TaskObject::hasBuffer(const std::string& name) const
+{
+    return buffers.count(name) > 0;
+}
+
+UsmBuffer&
+TaskObject::buffer(const std::string& name)
+{
+    auto it = buffers.find(name);
+    BT_ASSERT(it != buffers.end(), "unknown buffer: ", name);
+    return it->second;
+}
+
+const UsmBuffer&
+TaskObject::buffer(const std::string& name) const
+{
+    auto it = buffers.find(name);
+    BT_ASSERT(it != buffers.end(), "unknown buffer: ", name);
+    return it->second;
+}
+
+void
+TaskObject::setScalar(const std::string& name, std::int64_t value)
+{
+    scalars[name] = value;
+}
+
+std::int64_t
+TaskObject::scalar(const std::string& name) const
+{
+    auto it = scalars.find(name);
+    BT_ASSERT(it != scalars.end(), "unknown scalar: ", name);
+    return it->second;
+}
+
+bool
+TaskObject::hasScalar(const std::string& name) const
+{
+    return scalars.count(name) > 0;
+}
+
+void
+TaskObject::reset()
+{
+    scalars.clear();
+    index = -1;
+}
+
+} // namespace bt::core

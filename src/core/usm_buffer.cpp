@@ -1,0 +1,95 @@
+#include "core/usm_buffer.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "common/logging.hpp"
+
+namespace bt::core {
+
+namespace {
+
+/** Host-memory allocator: 64-byte aligned, zero-initialized. */
+class HostUsmAllocator final : public UsmAllocator
+{
+  public:
+    void*
+    allocate(std::size_t bytes) override
+    {
+        // Round the size up to the alignment as aligned_alloc requires.
+        const std::size_t padded = (bytes + 63) / 64 * 64;
+        void* p = std::aligned_alloc(64, padded);
+        if (!p)
+            throw std::bad_alloc();
+        std::memset(p, 0, padded);
+        return p;
+    }
+
+    void
+    deallocate(void* p, std::size_t) override
+    {
+        std::free(p);
+    }
+};
+
+} // namespace
+
+UsmAllocator&
+UsmAllocator::host()
+{
+    static HostUsmAllocator instance;
+    return instance;
+}
+
+UsmBuffer::UsmBuffer(std::size_t bytes, UsmAllocator& alloc)
+    : allocator(&alloc), bytes_(bytes)
+{
+    if (bytes_ > 0)
+        base = allocator->allocate(bytes_);
+}
+
+UsmBuffer::~UsmBuffer()
+{
+    release();
+}
+
+UsmBuffer::UsmBuffer(UsmBuffer&& other) noexcept
+    : allocator(other.allocator), base(other.base), bytes_(other.bytes_)
+{
+    other.base = nullptr;
+    other.bytes_ = 0;
+}
+
+UsmBuffer&
+UsmBuffer::operator=(UsmBuffer&& other) noexcept
+{
+    if (this != &other) {
+        release();
+        allocator = other.allocator;
+        base = other.base;
+        bytes_ = other.bytes_;
+        other.base = nullptr;
+        other.bytes_ = 0;
+    }
+    return *this;
+}
+
+void
+UsmBuffer::release()
+{
+    if (base) {
+        allocator->deallocate(base, bytes_);
+        base = nullptr;
+        bytes_ = 0;
+    }
+}
+
+void
+UsmBuffer::clear()
+{
+    if (base)
+        std::memset(base, 0, bytes_);
+}
+
+} // namespace bt::core

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unified shared memory buffers (paper Sec. 3.1).
+ *
+ * On a UMA SoC every PU addresses one DRAM pool, so a buffer is a single
+ * allocation visible to host and device kernels with zero copies. The
+ * paper fronts this with std::pmr::vector over backend allocators
+ * (cudaMallocManaged on CUDA, VkBuffer memory on Vulkan); here the
+ * backend allocator abstraction is kept - UsmAllocator - with a host
+ * implementation, since the simulated devices share the host address
+ * space anyway. Kernels receive raw pointers/spans into these buffers,
+ * exactly as in the paper's kernel signatures (Fig. 3).
+ */
+
+#ifndef BT_CORE_USM_BUFFER_HPP
+#define BT_CORE_USM_BUFFER_HPP
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace bt::core {
+
+/**
+ * Backend allocator for unified memory, the seam where
+ * cudaMallocManaged / VkDeviceMemory would plug in on real hardware.
+ */
+class UsmAllocator
+{
+  public:
+    virtual ~UsmAllocator() = default;
+
+    /** Allocate @p bytes with at least 64-byte alignment. */
+    virtual void* allocate(std::size_t bytes) = 0;
+
+    /** Release a pointer previously returned by allocate. */
+    virtual void deallocate(void* p, std::size_t bytes) = 0;
+
+    /** Process-wide host allocator instance. */
+    static UsmAllocator& host();
+};
+
+/**
+ * One unified-memory allocation. Move-only; owns its storage via the
+ * allocator it was created with.
+ */
+class UsmBuffer
+{
+  public:
+    UsmBuffer() = default;
+
+    /** Allocate @p bytes (zero-initialized) from @p alloc. */
+    explicit UsmBuffer(std::size_t bytes,
+                       UsmAllocator& alloc = UsmAllocator::host());
+
+    ~UsmBuffer();
+    UsmBuffer(UsmBuffer&& other) noexcept;
+    UsmBuffer& operator=(UsmBuffer&& other) noexcept;
+    UsmBuffer(const UsmBuffer&) = delete;
+    UsmBuffer& operator=(const UsmBuffer&) = delete;
+
+    std::size_t sizeBytes() const { return bytes_; }
+    bool empty() const { return bytes_ == 0; }
+
+    /** Raw device+host visible base pointer. */
+    void* data() { return base; }
+    const void* data() const { return base; }
+
+    /** Typed view over the full buffer; size must divide evenly. */
+    template <typename T>
+    std::span<T>
+    span()
+    {
+        return {static_cast<T*>(base), bytes_ / sizeof(T)};
+    }
+
+    template <typename T>
+    std::span<const T>
+    span() const
+    {
+        return {static_cast<const T*>(base), bytes_ / sizeof(T)};
+    }
+
+    /** Zero the contents. */
+    void clear();
+
+  private:
+    void release();
+
+    UsmAllocator* allocator = nullptr;
+    void* base = nullptr;
+    std::size_t bytes_ = 0;
+};
+
+} // namespace bt::core
+
+#endif // BT_CORE_USM_BUFFER_HPP

@@ -1,0 +1,97 @@
+#include "kernels/conv2d.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bt::kernels {
+
+namespace {
+
+/** Shared element body: compute output element @p idx. */
+inline float
+convElement(const ConvShape& shape, std::span<const float> in,
+            std::span<const float> weights, std::span<const float> bias,
+            std::int64_t idx)
+{
+    const Shape3 os = shape.out();
+    const int x = static_cast<int>(idx % os.w);
+    const int y = static_cast<int>((idx / os.w) % os.h);
+    const int oc = static_cast<int>(idx / (static_cast<std::int64_t>(
+        os.w) * os.h));
+
+    float acc = bias[static_cast<std::size_t>(oc)];
+    const std::int64_t wbase
+        = static_cast<std::int64_t>(oc) * shape.in.c * 9;
+    for (int ic = 0; ic < shape.in.c; ++ic) {
+        const std::int64_t wrow = wbase + static_cast<std::int64_t>(ic)
+            * 9;
+        for (int ky = 0; ky < 3; ++ky) {
+            const int iy = y + ky - 1;
+            if (iy < 0 || iy >= shape.in.h)
+                continue;
+            for (int kx = 0; kx < 3; ++kx) {
+                const int ix = x + kx - 1;
+                if (ix < 0 || ix >= shape.in.w)
+                    continue;
+                acc += weights[static_cast<std::size_t>(
+                           wrow + ky * 3 + kx)]
+                    * in[static_cast<std::size_t>(
+                        shape.in.at(ic, iy, ix))];
+            }
+        }
+    }
+    return std::max(acc, 0.0f);
+}
+
+void
+checkSizes(const ConvShape& shape, std::span<const float> in,
+           std::span<const float> weights, std::span<const float> bias,
+           std::span<float> out)
+{
+    BT_ASSERT(in.size() >= static_cast<std::size_t>(shape.in.elems()));
+    BT_ASSERT(weights.size() >= static_cast<std::size_t>(
+        shape.weightElems()));
+    BT_ASSERT(bias.size() >= static_cast<std::size_t>(shape.outC));
+    BT_ASSERT(out.size() >= static_cast<std::size_t>(
+        shape.out().elems()));
+}
+
+} // namespace
+
+void
+conv2dCpu(const CpuExec& exec, const ConvShape& shape,
+          std::span<const float> in, std::span<const float> weights,
+          std::span<const float> bias, std::span<float> out)
+{
+    checkSizes(shape, in, weights, bias, out);
+    exec.forEach(shape.out().elems(), [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)]
+            = convElement(shape, in, weights, bias, i);
+    });
+}
+
+void
+conv2dGpu(const GpuExec& exec, const ConvShape& shape,
+          std::span<const float> in, std::span<const float> weights,
+          std::span<const float> bias, std::span<float> out)
+{
+    checkSizes(shape, in, weights, bias, out);
+    exec.forEach(shape.out().elems(), [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)]
+            = convElement(shape, in, weights, bias, i);
+    });
+}
+
+void
+conv2dReference(const ConvShape& shape, std::span<const float> in,
+                std::span<const float> weights,
+                std::span<const float> bias, std::span<float> out)
+{
+    checkSizes(shape, in, weights, bias, out);
+    for (std::int64_t i = 0; i < shape.out().elems(); ++i)
+        out[static_cast<std::size_t>(i)]
+            = convElement(shape, in, weights, bias, i);
+}
+
+} // namespace bt::kernels

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Dense 3x3 convolution with bias and ReLU, the workhorse of
+ * AlexNet-dense. CPU and GPU (SIMT) backends over CHW tensors; batch is
+ * handled by calling per image (the stage wrappers loop the batch).
+ */
+
+#ifndef BT_KERNELS_CONV2D_HPP
+#define BT_KERNELS_CONV2D_HPP
+
+#include <span>
+
+#include "kernels/exec.hpp"
+#include "kernels/tensor.hpp"
+
+namespace bt::kernels {
+
+/**
+ * out = relu(conv3x3(in, weights) + bias), stride 1, zero padding 1.
+ *
+ * @param weights outC*inC*3*3 elements, [oc][ic][ky][kx] layout.
+ * @param bias outC elements.
+ */
+void conv2dCpu(const CpuExec& exec, const ConvShape& shape,
+               std::span<const float> in, std::span<const float> weights,
+               std::span<const float> bias, std::span<float> out);
+
+/** Device version: one SIMT thread per output element (grid-stride). */
+void conv2dGpu(const GpuExec& exec, const ConvShape& shape,
+               std::span<const float> in, std::span<const float> weights,
+               std::span<const float> bias, std::span<float> out);
+
+/** Single-threaded reference used by the test suite. */
+void conv2dReference(const ConvShape& shape, std::span<const float> in,
+                     std::span<const float> weights,
+                     std::span<const float> bias, std::span<float> out);
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_CONV2D_HPP

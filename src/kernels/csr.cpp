@@ -1,0 +1,120 @@
+#include "kernels/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace bt::kernels {
+
+double
+CsrMatrix::density() const
+{
+    const std::int64_t total
+        = static_cast<std::int64_t>(rows) * cols;
+    return total > 0 ? static_cast<double>(nnz()) / total : 0.0;
+}
+
+bool
+CsrMatrix::wellFormed() const
+{
+    if (rows < 0 || cols < 0)
+        return false;
+    if (rowPtr.size() != static_cast<std::size_t>(rows) + 1)
+        return false;
+    if (rowPtr.front() != 0
+        || rowPtr.back() != static_cast<std::uint32_t>(nnz()))
+        return false;
+    if (colIdx.size() != values.size())
+        return false;
+    for (int r = 0; r < rows; ++r) {
+        const std::uint32_t lo = rowPtr[static_cast<std::size_t>(r)];
+        const std::uint32_t hi = rowPtr[static_cast<std::size_t>(r) + 1];
+        if (lo > hi)
+            return false;
+        for (std::uint32_t k = lo; k < hi; ++k) {
+            if (colIdx[k] >= static_cast<std::uint32_t>(cols))
+                return false;
+            if (k > lo && colIdx[k] <= colIdx[k - 1])
+                return false; // columns must be strictly increasing
+        }
+    }
+    return true;
+}
+
+CsrMatrix
+pruneToCsr(std::span<const float> dense, int rows, int cols,
+           double target_density)
+{
+    BT_ASSERT(rows > 0 && cols > 0);
+    BT_ASSERT(target_density > 0.0 && target_density <= 1.0);
+    const std::size_t total = static_cast<std::size_t>(rows)
+        * static_cast<std::size_t>(cols);
+    BT_ASSERT(dense.size() >= total);
+
+    // Find the magnitude threshold keeping ~target_density entries.
+    const std::size_t keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(
+               static_cast<double>(total) * target_density)));
+    std::vector<float> magnitudes(total);
+    for (std::size_t i = 0; i < total; ++i)
+        magnitudes[i] = std::fabs(dense[i]);
+    std::vector<float> sorted = magnitudes;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(
+                         total - keep),
+                     sorted.end());
+    const float threshold = sorted[total - keep];
+
+    // Entries strictly above the threshold are always kept; entries at
+    // the threshold fill the remaining budget in scan order (makes tie
+    // handling deterministic without dropping larger weights).
+    std::size_t above = 0;
+    for (std::size_t i = 0; i < total; ++i)
+        if (magnitudes[i] > threshold)
+            ++above;
+    std::size_t tie_budget = keep > above ? keep - above : 0;
+
+    CsrMatrix m;
+    m.rows = rows;
+    m.cols = cols;
+    m.rowPtr.resize(static_cast<std::size_t>(rows) + 1, 0);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const std::size_t i = static_cast<std::size_t>(r)
+                * static_cast<std::size_t>(cols)
+                + static_cast<std::size_t>(c);
+            bool keep_it = magnitudes[i] > threshold;
+            if (!keep_it && magnitudes[i] == threshold
+                && tie_budget > 0) {
+                keep_it = true;
+                --tie_budget;
+            }
+            if (keep_it) {
+                m.colIdx.push_back(static_cast<std::uint32_t>(c));
+                m.values.push_back(dense[i]);
+            }
+        }
+        m.rowPtr[static_cast<std::size_t>(r) + 1]
+            = static_cast<std::uint32_t>(m.values.size());
+    }
+    return m;
+}
+
+std::vector<float>
+csrToDense(const CsrMatrix& m)
+{
+    std::vector<float> dense(static_cast<std::size_t>(m.rows)
+                             * static_cast<std::size_t>(m.cols), 0.0f);
+    for (int r = 0; r < m.rows; ++r) {
+        for (std::uint32_t k = m.rowPtr[static_cast<std::size_t>(r)];
+             k < m.rowPtr[static_cast<std::size_t>(r) + 1]; ++k) {
+            dense[static_cast<std::size_t>(r)
+                  * static_cast<std::size_t>(m.cols) + m.colIdx[k]]
+                = m.values[k];
+        }
+    }
+    return dense;
+}
+
+} // namespace bt::kernels

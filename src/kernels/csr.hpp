@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Compressed Sparse Row weight matrices for AlexNet-sparse.
+ *
+ * The paper prunes the convolutional layers with Condensa and stores
+ * them in CSR; here magnitude pruning to a target density plays that
+ * role (the resulting computation pattern - irregular gathers driven by
+ * column indices - is identical, which is what matters for scheduling).
+ */
+
+#ifndef BT_KERNELS_CSR_HPP
+#define BT_KERNELS_CSR_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bt::kernels {
+
+/** CSR matrix with 32-bit indices. */
+struct CsrMatrix
+{
+    int rows = 0;
+    int cols = 0;
+    std::vector<std::uint32_t> rowPtr; ///< rows + 1 entries
+    std::vector<std::uint32_t> colIdx; ///< nnz entries
+    std::vector<float> values;         ///< nnz entries
+
+    std::int64_t nnz() const
+    {
+        return static_cast<std::int64_t>(values.size());
+    }
+
+    /** Fraction of nonzero entries. */
+    double density() const;
+
+    /** Structural sanity: monotone rowPtr, in-range sorted columns. */
+    bool wellFormed() const;
+};
+
+/**
+ * Magnitude-prune @p dense (row-major rows x cols) to approximately
+ * @p target_density by zeroing the smallest-magnitude entries, then
+ * compress to CSR. Deterministic: ties keep the earlier element.
+ */
+CsrMatrix pruneToCsr(std::span<const float> dense, int rows, int cols,
+                     double target_density);
+
+/** Expand back to a dense row-major matrix (test helper). */
+std::vector<float> csrToDense(const CsrMatrix& m);
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_CSR_HPP

@@ -1,0 +1,100 @@
+#include "kernels/gemm_conv.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bt::kernels {
+
+void
+im2col(const CpuExec& exec, const Shape3& in_shape,
+       std::span<const float> in, std::span<float> cols)
+{
+    const std::int64_t pixels
+        = static_cast<std::int64_t>(in_shape.h) * in_shape.w;
+    const std::int64_t rows
+        = static_cast<std::int64_t>(in_shape.c) * 9;
+    BT_ASSERT(in.size() >= static_cast<std::size_t>(in_shape.elems()));
+    BT_ASSERT(cols.size() >= static_cast<std::size_t>(rows * pixels));
+
+    exec.forEach(rows, [&](std::int64_t r) {
+        const int ic = static_cast<int>(r / 9);
+        const int ky = static_cast<int>((r % 9) / 3);
+        const int kx = static_cast<int>(r % 3);
+        float* dst = &cols[static_cast<std::size_t>(r * pixels)];
+        for (int y = 0; y < in_shape.h; ++y) {
+            const int iy = y + ky - 1;
+            for (int x = 0; x < in_shape.w; ++x) {
+                const int ix = x + kx - 1;
+                const bool pad = iy < 0 || iy >= in_shape.h || ix < 0
+                    || ix >= in_shape.w;
+                dst[y * in_shape.w + x] = pad
+                    ? 0.0f
+                    : in[static_cast<std::size_t>(
+                          in_shape.at(ic, iy, ix))];
+            }
+        }
+    });
+}
+
+void
+gemmCpu(const CpuExec& exec, int m, int n, int k,
+        std::span<const float> a, std::span<const float> b,
+        std::span<float> c)
+{
+    BT_ASSERT(m > 0 && n > 0 && k > 0);
+    BT_ASSERT(a.size() >= static_cast<std::size_t>(m)
+                  * static_cast<std::size_t>(k));
+    BT_ASSERT(b.size() >= static_cast<std::size_t>(k)
+                  * static_cast<std::size_t>(n));
+    BT_ASSERT(c.size() >= static_cast<std::size_t>(m)
+                  * static_cast<std::size_t>(n));
+
+    exec.forEach(m, [&](std::int64_t row) {
+        float* crow = &c[static_cast<std::size_t>(row)
+                         * static_cast<std::size_t>(n)];
+        std::fill(crow, crow + n, 0.0f);
+        const float* arow = &a[static_cast<std::size_t>(row)
+                               * static_cast<std::size_t>(k)];
+        // ikj order: streams B row-wise so the inner loop vectorizes.
+        for (int kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f)
+                continue;
+            const float* brow = &b[static_cast<std::size_t>(kk)
+                                   * static_cast<std::size_t>(n)];
+            for (int col = 0; col < n; ++col)
+                crow[col] += av * brow[col];
+        }
+    });
+}
+
+void
+conv2dGemmCpu(const CpuExec& exec, const ConvShape& shape,
+              std::span<const float> in, std::span<const float> weights,
+              std::span<const float> bias, std::span<float> cols_scratch,
+              std::span<float> out)
+{
+    const std::int64_t pixels
+        = static_cast<std::int64_t>(shape.in.h) * shape.in.w;
+    const int k = shape.in.c * 9;
+    BT_ASSERT(cols_scratch.size()
+              >= static_cast<std::size_t>(k) * pixels);
+    BT_ASSERT(out.size() >= static_cast<std::size_t>(
+        shape.out().elems()));
+
+    im2col(exec, shape.in, in, cols_scratch);
+    // weights is exactly the outC x (inC*9) row-major matrix.
+    gemmCpu(exec, shape.outC, static_cast<int>(pixels), k, weights,
+            cols_scratch, out);
+
+    // Bias + ReLU epilogue.
+    exec.forEach(shape.out().elems(), [&](std::int64_t i) {
+        const int oc = static_cast<int>(i / pixels);
+        const float v = out[static_cast<std::size_t>(i)]
+            + bias[static_cast<std::size_t>(oc)];
+        out[static_cast<std::size_t>(i)] = std::max(v, 0.0f);
+    });
+}
+
+} // namespace bt::kernels

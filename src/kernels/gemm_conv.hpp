@@ -1,0 +1,49 @@
+/**
+ * @file
+ * GEMM-based dense convolution: the classic im2col + matrix-multiply
+ * lowering used by optimized CNN libraries, as an alternative backend
+ * to the direct loops of conv2d.hpp. Included both as library
+ * functionality and as the concrete illustration of the WorkProfile
+ * cpuWorkScale knob: the direct host convolution wastes issue slots
+ * that this lowering recovers (DESIGN.md, performance model section).
+ */
+
+#ifndef BT_KERNELS_GEMM_CONV_HPP
+#define BT_KERNELS_GEMM_CONV_HPP
+
+#include <span>
+
+#include "kernels/exec.hpp"
+#include "kernels/tensor.hpp"
+
+namespace bt::kernels {
+
+/**
+ * Expand @p in (CHW) into the column matrix for 3x3/pad-1 convolution:
+ * cols is (inC*9) x (H*W), row-major, with column index = output pixel
+ * and row index = (ic*9 + ky*3 + kx). Out-of-bounds taps are zero.
+ */
+void im2col(const CpuExec& exec, const Shape3& in_shape,
+            std::span<const float> in, std::span<float> cols);
+
+/**
+ * Row-major matrix multiply C = A * B with A: MxK, B: KxN, C: MxN,
+ * parallel over rows of C.
+ */
+void gemmCpu(const CpuExec& exec, int m, int n, int k,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c);
+
+/**
+ * Dense conv via im2col + GEMM (+ bias + ReLU); numerically equivalent
+ * to conv2dCpu. @p cols_scratch needs inC*9*H*W floats.
+ */
+void conv2dGemmCpu(const CpuExec& exec, const ConvShape& shape,
+                   std::span<const float> in,
+                   std::span<const float> weights,
+                   std::span<const float> bias,
+                   std::span<float> cols_scratch, std::span<float> out);
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_GEMM_CONV_HPP

@@ -1,0 +1,334 @@
+#include "kernels/image.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace bt::kernels {
+
+namespace {
+
+inline int
+clampi(int v, int lo, int hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+inline float
+at(const ImageShape& s, std::span<const float> img, int x, int y)
+{
+    x = clampi(x, 0, s.w - 1);
+    y = clampi(y, 0, s.h - 1);
+    return img[static_cast<std::size_t>(y) * static_cast<std::size_t>(
+                   s.w)
+               + static_cast<std::size_t>(x)];
+}
+
+constexpr float kBinomial[5] = {1.0f / 16, 4.0f / 16, 6.0f / 16,
+                                4.0f / 16, 1.0f / 16};
+
+inline float
+blurHAt(const ImageShape& s, std::span<const float> in, std::int64_t i)
+{
+    const int x = static_cast<int>(i % s.w);
+    const int y = static_cast<int>(i / s.w);
+    float acc = 0.0f;
+    for (int t = -2; t <= 2; ++t)
+        acc += kBinomial[t + 2] * at(s, in, x + t, y);
+    return acc;
+}
+
+inline float
+blurVAt(const ImageShape& s, std::span<const float> in, std::int64_t i)
+{
+    const int x = static_cast<int>(i % s.w);
+    const int y = static_cast<int>(i / s.w);
+    float acc = 0.0f;
+    for (int t = -2; t <= 2; ++t)
+        acc += kBinomial[t + 2] * at(s, in, x, y + t);
+    return acc;
+}
+
+inline void
+sobelAt(const ImageShape& s, std::span<const float> in, std::int64_t i,
+        float& gx, float& gy)
+{
+    const int x = static_cast<int>(i % s.w);
+    const int y = static_cast<int>(i / s.w);
+    const float tl = at(s, in, x - 1, y - 1);
+    const float tc = at(s, in, x, y - 1);
+    const float tr = at(s, in, x + 1, y - 1);
+    const float ml = at(s, in, x - 1, y);
+    const float mr = at(s, in, x + 1, y);
+    const float bl = at(s, in, x - 1, y + 1);
+    const float bc = at(s, in, x, y + 1);
+    const float br = at(s, in, x + 1, y + 1);
+    gx = (tr + 2.0f * mr + br) - (tl + 2.0f * ml + bl);
+    gy = (bl + 2.0f * bc + br) - (tl + 2.0f * tc + tr);
+}
+
+inline float
+harrisAt(const ImageShape& s, std::span<const float> gx,
+         std::span<const float> gy, std::int64_t i)
+{
+    const int x = static_cast<int>(i % s.w);
+    const int y = static_cast<int>(i / s.w);
+    float sxx = 0.0f, syy = 0.0f, sxy = 0.0f;
+    for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+            const float vx = at(s, gx, x + dx, y + dy);
+            const float vy = at(s, gy, x + dx, y + dy);
+            sxx += vx * vx;
+            syy += vy * vy;
+            sxy += vx * vy;
+        }
+    }
+    const float det = sxx * syy - sxy * sxy;
+    const float trace = sxx + syy;
+    return det - 0.04f * trace * trace;
+}
+
+inline std::uint32_t
+nmsAt(const ImageShape& s, std::span<const float> response,
+      float threshold, std::int64_t i)
+{
+    const int x = static_cast<int>(i % s.w);
+    const int y = static_cast<int>(i / s.w);
+    if (x < 1 || y < 1 || x >= s.w - 1 || y >= s.h - 1)
+        return 0u;
+    const float v = at(s, response, x, y);
+    if (v <= threshold)
+        return 0u;
+    for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx)
+            if ((dx || dy) && at(s, response, x + dx, y + dy) >= v)
+                return 0u;
+    return 1u;
+}
+
+/** Seeded BRIEF sampling pattern, identical on every backend. */
+struct BriefPattern
+{
+    // dx/dy pairs for each bit: (p, q) offsets in [-7, 7].
+    std::array<std::int8_t, kDescriptorWords * 32 * 4> offsets;
+
+    BriefPattern()
+    {
+        Rng rng(0xb41ef);
+        for (auto& v : offsets)
+            v = static_cast<std::int8_t>(
+                static_cast<int>(rng.nextBounded(15)) - 7);
+    }
+};
+
+const BriefPattern&
+pattern()
+{
+    static const BriefPattern p;
+    return p;
+}
+
+inline void
+briefAt(const ImageShape& s, std::span<const float> image,
+        std::uint32_t corner, std::uint32_t* out_words)
+{
+    const int x = static_cast<int>(corner % static_cast<std::uint32_t>(
+        s.w));
+    const int y = static_cast<int>(corner / static_cast<std::uint32_t>(
+        s.w));
+    const auto& pat = pattern().offsets;
+    for (int word = 0; word < kDescriptorWords; ++word) {
+        std::uint32_t bits = 0;
+        for (int b = 0; b < 32; ++b) {
+            const std::size_t base = static_cast<std::size_t>(
+                (word * 32 + b) * 4);
+            const float p = at(s, image, x + pat[base],
+                               y + pat[base + 1]);
+            const float q = at(s, image, x + pat[base + 2],
+                               y + pat[base + 3]);
+            bits |= static_cast<std::uint32_t>(p < q) << b;
+        }
+        out_words[word] = bits;
+    }
+}
+
+void
+checkImage(const ImageShape& s, std::span<const float> in,
+           std::span<float> out)
+{
+    BT_ASSERT(s.w >= 1 && s.h >= 1);
+    BT_ASSERT(in.size() >= static_cast<std::size_t>(s.pixels()));
+    BT_ASSERT(out.size() >= static_cast<std::size_t>(s.pixels()));
+}
+
+} // namespace
+
+#define BT_IMAGE_MAP_KERNEL(NAME, BODY)                                \
+    void NAME##Cpu(const CpuExec& exec, const ImageShape& shape,       \
+                   std::span<const float> in, std::span<float> out)    \
+    {                                                                  \
+        checkImage(shape, in, out);                                    \
+        exec.forEach(shape.pixels(), [&](std::int64_t i) {             \
+            out[static_cast<std::size_t>(i)] = BODY(shape, in, i);     \
+        });                                                            \
+    }                                                                  \
+    void NAME##Gpu(const GpuExec& exec, const ImageShape& shape,       \
+                   std::span<const float> in, std::span<float> out)    \
+    {                                                                  \
+        checkImage(shape, in, out);                                    \
+        exec.forEach(shape.pixels(), [&](std::int64_t i) {             \
+            out[static_cast<std::size_t>(i)] = BODY(shape, in, i);     \
+        });                                                            \
+    }                                                                  \
+    void NAME##Reference(const ImageShape& shape,                      \
+                         std::span<const float> in,                    \
+                         std::span<float> out)                         \
+    {                                                                  \
+        checkImage(shape, in, out);                                    \
+        for (std::int64_t i = 0; i < shape.pixels(); ++i)              \
+            out[static_cast<std::size_t>(i)] = BODY(shape, in, i);     \
+    }
+
+BT_IMAGE_MAP_KERNEL(blurH, blurHAt)
+BT_IMAGE_MAP_KERNEL(blurV, blurVAt)
+
+#undef BT_IMAGE_MAP_KERNEL
+
+void
+sobelCpu(const CpuExec& exec, const ImageShape& shape,
+         std::span<const float> in, std::span<float> gx,
+         std::span<float> gy)
+{
+    checkImage(shape, in, gx);
+    checkImage(shape, in, gy);
+    exec.forEach(shape.pixels(), [&](std::int64_t i) {
+        sobelAt(shape, in, i, gx[static_cast<std::size_t>(i)],
+                gy[static_cast<std::size_t>(i)]);
+    });
+}
+
+void
+sobelGpu(const GpuExec& exec, const ImageShape& shape,
+         std::span<const float> in, std::span<float> gx,
+         std::span<float> gy)
+{
+    checkImage(shape, in, gx);
+    checkImage(shape, in, gy);
+    exec.forEach(shape.pixels(), [&](std::int64_t i) {
+        sobelAt(shape, in, i, gx[static_cast<std::size_t>(i)],
+                gy[static_cast<std::size_t>(i)]);
+    });
+}
+
+void
+sobelReference(const ImageShape& shape, std::span<const float> in,
+               std::span<float> gx, std::span<float> gy)
+{
+    checkImage(shape, in, gx);
+    for (std::int64_t i = 0; i < shape.pixels(); ++i)
+        sobelAt(shape, in, i, gx[static_cast<std::size_t>(i)],
+                gy[static_cast<std::size_t>(i)]);
+}
+
+void
+harrisCpu(const CpuExec& exec, const ImageShape& shape,
+          std::span<const float> gx, std::span<const float> gy,
+          std::span<float> response)
+{
+    checkImage(shape, gx, response);
+    exec.forEach(shape.pixels(), [&](std::int64_t i) {
+        response[static_cast<std::size_t>(i)]
+            = harrisAt(shape, gx, gy, i);
+    });
+}
+
+void
+harrisGpu(const GpuExec& exec, const ImageShape& shape,
+          std::span<const float> gx, std::span<const float> gy,
+          std::span<float> response)
+{
+    checkImage(shape, gx, response);
+    exec.forEach(shape.pixels(), [&](std::int64_t i) {
+        response[static_cast<std::size_t>(i)]
+            = harrisAt(shape, gx, gy, i);
+    });
+}
+
+void
+harrisReference(const ImageShape& shape, std::span<const float> gx,
+                std::span<const float> gy, std::span<float> response)
+{
+    checkImage(shape, gx, response);
+    for (std::int64_t i = 0; i < shape.pixels(); ++i)
+        response[static_cast<std::size_t>(i)]
+            = harrisAt(shape, gx, gy, i);
+}
+
+void
+nmsCpu(const CpuExec& exec, const ImageShape& shape,
+       std::span<const float> response, float threshold,
+       std::span<std::uint32_t> flags)
+{
+    BT_ASSERT(flags.size() >= static_cast<std::size_t>(shape.pixels()));
+    exec.forEach(shape.pixels(), [&](std::int64_t i) {
+        flags[static_cast<std::size_t>(i)]
+            = nmsAt(shape, response, threshold, i);
+    });
+}
+
+void
+nmsGpu(const GpuExec& exec, const ImageShape& shape,
+       std::span<const float> response, float threshold,
+       std::span<std::uint32_t> flags)
+{
+    BT_ASSERT(flags.size() >= static_cast<std::size_t>(shape.pixels()));
+    exec.forEach(shape.pixels(), [&](std::int64_t i) {
+        flags[static_cast<std::size_t>(i)]
+            = nmsAt(shape, response, threshold, i);
+    });
+}
+
+void
+nmsReference(const ImageShape& shape, std::span<const float> response,
+             float threshold, std::span<std::uint32_t> flags)
+{
+    BT_ASSERT(flags.size() >= static_cast<std::size_t>(shape.pixels()));
+    for (std::int64_t i = 0; i < shape.pixels(); ++i)
+        flags[static_cast<std::size_t>(i)]
+            = nmsAt(shape, response, threshold, i);
+}
+
+void
+briefCpu(const CpuExec& exec, const ImageShape& shape,
+         std::span<const float> image,
+         std::span<const std::uint32_t> corner_idx,
+         std::int64_t num_corners, std::span<std::uint32_t> descriptors)
+{
+    BT_ASSERT(descriptors.size() >= static_cast<std::size_t>(
+        num_corners * kDescriptorWords));
+    exec.forEach(num_corners, [&](std::int64_t c) {
+        briefAt(shape, image, corner_idx[static_cast<std::size_t>(c)],
+                &descriptors[static_cast<std::size_t>(
+                    c * kDescriptorWords)]);
+    });
+}
+
+void
+briefGpu(const GpuExec& exec, const ImageShape& shape,
+         std::span<const float> image,
+         std::span<const std::uint32_t> corner_idx,
+         std::int64_t num_corners, std::span<std::uint32_t> descriptors)
+{
+    BT_ASSERT(descriptors.size() >= static_cast<std::size_t>(
+        num_corners * kDescriptorWords));
+    exec.forEach(num_corners, [&](std::int64_t c) {
+        briefAt(shape, image, corner_idx[static_cast<std::size_t>(c)],
+                &descriptors[static_cast<std::size_t>(
+                    c * kDescriptorWords)]);
+    });
+}
+
+} // namespace bt::kernels

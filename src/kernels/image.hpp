@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Image-processing kernels for the feature-extraction case-study
+ * application (an ORB-like corner detector): separable Gaussian blur,
+ * Sobel gradients, Harris corner response, non-maximum suppression,
+ * and BRIEF-style binary descriptors. Every kernel has a CPU
+ * (thread-team) and a GPU (SIMT) backend plus a single-threaded
+ * reference, like the paper workloads' kernels.
+ *
+ * Images are single-channel float, row-major, with clamped borders.
+ */
+
+#ifndef BT_KERNELS_IMAGE_HPP
+#define BT_KERNELS_IMAGE_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "kernels/exec.hpp"
+
+namespace bt::kernels {
+
+/** Image geometry. */
+struct ImageShape
+{
+    int w = 0;
+    int h = 0;
+
+    std::int64_t
+    pixels() const
+    {
+        return static_cast<std::int64_t>(w) * h;
+    }
+};
+
+/** 5-tap binomial blur along rows (1 4 6 4 1)/16, clamped borders. */
+void blurHCpu(const CpuExec& exec, const ImageShape& shape,
+              std::span<const float> in, std::span<float> out);
+void blurHGpu(const GpuExec& exec, const ImageShape& shape,
+              std::span<const float> in, std::span<float> out);
+
+/** 5-tap binomial blur along columns. */
+void blurVCpu(const CpuExec& exec, const ImageShape& shape,
+              std::span<const float> in, std::span<float> out);
+void blurVGpu(const GpuExec& exec, const ImageShape& shape,
+              std::span<const float> in, std::span<float> out);
+
+/**
+ * Sobel gradients: writes gx and gy (each pixels() floats).
+ */
+void sobelCpu(const CpuExec& exec, const ImageShape& shape,
+              std::span<const float> in, std::span<float> gx,
+              std::span<float> gy);
+void sobelGpu(const GpuExec& exec, const ImageShape& shape,
+              std::span<const float> in, std::span<float> gx,
+              std::span<float> gy);
+
+/**
+ * Harris corner response over a 3x3 structure-tensor window:
+ * det(M) - kappa * trace(M)^2 with kappa = 0.04.
+ */
+void harrisCpu(const CpuExec& exec, const ImageShape& shape,
+               std::span<const float> gx, std::span<const float> gy,
+               std::span<float> response);
+void harrisGpu(const GpuExec& exec, const ImageShape& shape,
+               std::span<const float> gx, std::span<const float> gy,
+               std::span<float> response);
+
+/**
+ * Non-maximum suppression: flags[i] = 1 iff response[i] exceeds
+ * @p threshold and strictly dominates its 3x3 neighbourhood (border
+ * pixels never qualify).
+ */
+void nmsCpu(const CpuExec& exec, const ImageShape& shape,
+            std::span<const float> response, float threshold,
+            std::span<std::uint32_t> flags);
+void nmsGpu(const GpuExec& exec, const ImageShape& shape,
+            std::span<const float> response, float threshold,
+            std::span<std::uint32_t> flags);
+
+/** Descriptor size in 32-bit words (128-bit BRIEF-style). */
+constexpr int kDescriptorWords = 4;
+
+/**
+ * BRIEF-style descriptors: for each corner pixel index in
+ * @p corner_idx, compare kDescriptorWords*32 seeded pixel pairs around
+ * the corner (clamped) and pack the sign bits.
+ */
+void briefCpu(const CpuExec& exec, const ImageShape& shape,
+              std::span<const float> image,
+              std::span<const std::uint32_t> corner_idx,
+              std::int64_t num_corners,
+              std::span<std::uint32_t> descriptors);
+void briefGpu(const GpuExec& exec, const ImageShape& shape,
+              std::span<const float> image,
+              std::span<const std::uint32_t> corner_idx,
+              std::int64_t num_corners,
+              std::span<std::uint32_t> descriptors);
+
+/** Single-threaded references for the test suite. */
+void blurHReference(const ImageShape& shape, std::span<const float> in,
+                    std::span<float> out);
+void blurVReference(const ImageShape& shape, std::span<const float> in,
+                    std::span<float> out);
+void sobelReference(const ImageShape& shape, std::span<const float> in,
+                    std::span<float> gx, std::span<float> gy);
+void harrisReference(const ImageShape& shape,
+                     std::span<const float> gx,
+                     std::span<const float> gy,
+                     std::span<float> response);
+void nmsReference(const ImageShape& shape,
+                  std::span<const float> response, float threshold,
+                  std::span<std::uint32_t> flags);
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_IMAGE_HPP

@@ -1,0 +1,72 @@
+#include "kernels/linear.hpp"
+
+#include "common/logging.hpp"
+
+namespace bt::kernels {
+
+namespace {
+
+inline float
+dotRow(int in_features, std::span<const float> in,
+       std::span<const float> weights, std::span<const float> bias,
+       std::int64_t row)
+{
+    float acc = bias[static_cast<std::size_t>(row)];
+    const std::int64_t base = row * in_features;
+    for (int i = 0; i < in_features; ++i)
+        acc += weights[static_cast<std::size_t>(base + i)]
+            * in[static_cast<std::size_t>(i)];
+    return acc;
+}
+
+void
+checkSizes(int in_features, int out_features, std::span<const float> in,
+           std::span<const float> weights, std::span<const float> bias,
+           std::span<float> out)
+{
+    BT_ASSERT(in_features > 0 && out_features > 0);
+    BT_ASSERT(in.size() >= static_cast<std::size_t>(in_features));
+    BT_ASSERT(weights.size() >= static_cast<std::size_t>(in_features)
+                  * static_cast<std::size_t>(out_features));
+    BT_ASSERT(bias.size() >= static_cast<std::size_t>(out_features));
+    BT_ASSERT(out.size() >= static_cast<std::size_t>(out_features));
+}
+
+} // namespace
+
+void
+linearCpu(const CpuExec& exec, int in_features, int out_features,
+          std::span<const float> in, std::span<const float> weights,
+          std::span<const float> bias, std::span<float> out)
+{
+    checkSizes(in_features, out_features, in, weights, bias, out);
+    exec.forEach(out_features, [&](std::int64_t row) {
+        out[static_cast<std::size_t>(row)]
+            = dotRow(in_features, in, weights, bias, row);
+    });
+}
+
+void
+linearGpu(const GpuExec& exec, int in_features, int out_features,
+          std::span<const float> in, std::span<const float> weights,
+          std::span<const float> bias, std::span<float> out)
+{
+    checkSizes(in_features, out_features, in, weights, bias, out);
+    exec.forEach(out_features, [&](std::int64_t row) {
+        out[static_cast<std::size_t>(row)]
+            = dotRow(in_features, in, weights, bias, row);
+    });
+}
+
+void
+linearReference(int in_features, int out_features,
+                std::span<const float> in, std::span<const float> weights,
+                std::span<const float> bias, std::span<float> out)
+{
+    checkSizes(in_features, out_features, in, weights, bias, out);
+    for (std::int64_t row = 0; row < out_features; ++row)
+        out[static_cast<std::size_t>(row)]
+            = dotRow(in_features, in, weights, bias, row);
+}
+
+} // namespace bt::kernels

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fully connected (linear) layer: the final classifier stage of both
+ * AlexNet variants. out = W x + b, no activation.
+ */
+
+#ifndef BT_KERNELS_LINEAR_HPP
+#define BT_KERNELS_LINEAR_HPP
+
+#include <span>
+
+#include "kernels/exec.hpp"
+
+namespace bt::kernels {
+
+/**
+ * @param weights out_features x in_features, row-major.
+ */
+void linearCpu(const CpuExec& exec, int in_features, int out_features,
+               std::span<const float> in, std::span<const float> weights,
+               std::span<const float> bias, std::span<float> out);
+
+void linearGpu(const GpuExec& exec, int in_features, int out_features,
+               std::span<const float> in, std::span<const float> weights,
+               std::span<const float> bias, std::span<float> out);
+
+void linearReference(int in_features, int out_features,
+                     std::span<const float> in,
+                     std::span<const float> weights,
+                     std::span<const float> bias, std::span<float> out);
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_LINEAR_HPP

@@ -1,0 +1,72 @@
+#include "kernels/morton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace bt::kernels {
+
+std::uint32_t
+expandBits3(std::uint32_t v)
+{
+    // Classic bit-spreading sequence (Karras 2012).
+    v = (v * 0x00010001u) & 0xFF0000FFu;
+    v = (v * 0x00000101u) & 0x0F00F00Fu;
+    v = (v * 0x00000011u) & 0xC30C30C3u;
+    v = (v * 0x00000005u) & 0x49249249u;
+    return v;
+}
+
+std::uint32_t
+morton32(float x, float y, float z)
+{
+    auto quantize = [](float f) {
+        const float scaled = f * 1024.0f;
+        const float clamped = std::min(std::max(scaled, 0.0f), 1023.0f);
+        return static_cast<std::uint32_t>(clamped);
+    };
+    return (expandBits3(quantize(x)) << 2)
+        | (expandBits3(quantize(y)) << 1) | expandBits3(quantize(z));
+}
+
+namespace {
+
+void
+checkSizes(std::span<const float> points, std::span<std::uint32_t> codes,
+           std::int64_t n)
+{
+    BT_ASSERT(n >= 0);
+    BT_ASSERT(points.size() >= static_cast<std::size_t>(3 * n));
+    BT_ASSERT(codes.size() >= static_cast<std::size_t>(n));
+}
+
+} // namespace
+
+void
+mortonEncodeCpu(const CpuExec& exec, std::span<const float> points,
+                std::span<std::uint32_t> codes, std::int64_t n)
+{
+    checkSizes(points, codes, n);
+    exec.forEach(n, [&](std::int64_t i) {
+        codes[static_cast<std::size_t>(i)]
+            = morton32(points[static_cast<std::size_t>(3 * i)],
+                       points[static_cast<std::size_t>(3 * i + 1)],
+                       points[static_cast<std::size_t>(3 * i + 2)]);
+    });
+}
+
+void
+mortonEncodeGpu(const GpuExec& exec, std::span<const float> points,
+                std::span<std::uint32_t> codes, std::int64_t n)
+{
+    checkSizes(points, codes, n);
+    exec.forEach(n, [&](std::int64_t i) {
+        codes[static_cast<std::size_t>(i)]
+            = morton32(points[static_cast<std::size_t>(3 * i)],
+                       points[static_cast<std::size_t>(3 * i + 1)],
+                       points[static_cast<std::size_t>(3 * i + 2)]);
+    });
+}
+
+} // namespace bt::kernels

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Morton (Z-order) encoding of 3-D points: stage 1 of the Octree
+ * pipeline and the example kernel of the paper's Fig. 3. Points in
+ * [0,1)^3 quantize to 10 bits per axis, interleaved into a 30-bit code.
+ */
+
+#ifndef BT_KERNELS_MORTON_HPP
+#define BT_KERNELS_MORTON_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "kernels/exec.hpp"
+
+namespace bt::kernels {
+
+/** Spread the low 10 bits of @p v so consecutive bits are 3 apart. */
+std::uint32_t expandBits3(std::uint32_t v);
+
+/** 30-bit Morton code of one point; coordinates clamped to [0,1). */
+std::uint32_t morton32(float x, float y, float z);
+
+/**
+ * Encode @p n points (xyz interleaved, 3 floats each) into @p codes.
+ */
+void mortonEncodeCpu(const CpuExec& exec, std::span<const float> points,
+                     std::span<std::uint32_t> codes, std::int64_t n);
+
+void mortonEncodeGpu(const GpuExec& exec, std::span<const float> points,
+                     std::span<std::uint32_t> codes, std::int64_t n);
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_MORTON_HPP

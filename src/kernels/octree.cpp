@@ -1,0 +1,278 @@
+#include "kernels/octree.hpp"
+
+#include <atomic>
+
+#include "common/logging.hpp"
+
+namespace bt::kernels {
+
+namespace {
+
+/** Octree level (depth) reached by a radix node's prefix. */
+inline int
+levelOf(int prefix_bits)
+{
+    return prefix_bits / 3;
+}
+
+/** Octree level of the radix parent of entity @p node (internal). */
+inline int
+parentLevel(const RadixTreeView& tree, std::int32_t parent)
+{
+    if (parent < 0)
+        return 0; // conceptual root prefix is empty
+    return levelOf(tree.prefixLen[static_cast<std::size_t>(parent)]);
+}
+
+/** Count for internal node i. */
+inline std::uint32_t
+internalCount(const RadixTreeView& tree, std::int64_t i)
+{
+    const auto idx = static_cast<std::size_t>(i);
+    const int own = levelOf(tree.prefixLen[idx]);
+    const int up = parentLevel(tree, tree.parent[idx]);
+    return static_cast<std::uint32_t>(own - up);
+}
+
+/** Count for leaf j: extend to the maximum octree depth. */
+inline std::uint32_t
+leafCount(const RadixTreeView& tree, std::int64_t j)
+{
+    const int up = parentLevel(
+        tree, tree.leafParent[static_cast<std::size_t>(j)]);
+    return static_cast<std::uint32_t>(kMaxOctreeLevel - up);
+}
+
+void
+checkCountSizes(std::int64_t k, std::span<std::uint32_t> counts)
+{
+    BT_ASSERT(k >= 1);
+    BT_ASSERT(counts.size() >= static_cast<std::size_t>(2 * k - 1),
+              "counts needs 2k-1 entries");
+}
+
+template <typename Exec>
+void
+countOctreeNodes(const Exec& exec, const RadixTreeView& tree,
+                 std::int64_t k, std::span<std::uint32_t> counts)
+{
+    checkCountSizes(k, counts);
+    // Entities: internal nodes [0, k-1), leaves [k-1, 2k-1).
+    exec.forEach(2 * k - 1, [&](std::int64_t e) {
+        counts[static_cast<std::size_t>(e)] = e < k - 1
+            ? internalCount(tree, e)
+            : leafCount(tree, e - (k - 1));
+    });
+}
+
+/**
+ * Octree node index of the deepest cell owned by radix entity @p e, or
+ * the root (0) after walking past every zero-count ancestor.
+ */
+inline std::int32_t
+octreeNodeOf(const RadixTreeView& tree,
+             std::span<const std::uint32_t> counts,
+             std::span<const std::uint32_t> offsets, std::int64_t k,
+             std::int32_t radix_parent)
+{
+    std::int32_t p = radix_parent;
+    (void)k;
+    while (p >= 0 && counts[static_cast<std::size_t>(p)] == 0)
+        p = tree.parent[static_cast<std::size_t>(p)];
+    if (p < 0)
+        return 0; // synthetic octree root
+    return static_cast<std::int32_t>(
+        1 + offsets[static_cast<std::size_t>(p)]
+        + counts[static_cast<std::size_t>(p)] - 1);
+}
+
+template <typename Exec>
+std::int64_t
+buildOctree(const Exec& exec, std::span<const std::uint32_t> codes,
+            std::int64_t k, const RadixTreeView& tree,
+            std::span<const std::uint32_t> counts,
+            std::span<const std::uint32_t> offsets, std::uint64_t total,
+            const OctreeView& out)
+{
+    const std::int64_t num_nodes = static_cast<std::int64_t>(total) + 1;
+    BT_ASSERT(out.prefix.size() >= static_cast<std::size_t>(num_nodes),
+              "octree buffers too small");
+    BT_ASSERT(out.level.size() >= static_cast<std::size_t>(num_nodes));
+    BT_ASSERT(out.parent.size() >= static_cast<std::size_t>(num_nodes));
+    BT_ASSERT(out.childMask.size()
+              >= static_cast<std::size_t>(num_nodes));
+    BT_ASSERT(out.firstCode.size()
+              >= static_cast<std::size_t>(num_nodes));
+    BT_ASSERT(out.codeCount.size()
+              >= static_cast<std::size_t>(num_nodes));
+
+    // Synthetic root covers everything.
+    out.prefix[0] = 0;
+    out.level[0] = 0;
+    out.parent[0] = -1;
+    out.childMask[0] = 0;
+    out.firstCode[0] = 0;
+    out.codeCount[0] = static_cast<std::int32_t>(k);
+
+    // Emit each entity's chain of cells.
+    exec.forEach(2 * k - 1, [&](std::int64_t e) {
+        const std::uint32_t c = counts[static_cast<std::size_t>(e)];
+        if (c == 0)
+            return;
+        const bool is_leaf = e >= k - 1;
+        const std::int64_t leaf = e - (k - 1);
+        const std::int32_t radix_parent = is_leaf
+            ? tree.leafParent[static_cast<std::size_t>(leaf)]
+            : tree.parent[static_cast<std::size_t>(e)];
+        const int base_level = parentLevel(tree, radix_parent);
+        const std::int64_t lo = is_leaf
+            ? leaf
+            : tree.first[static_cast<std::size_t>(e)];
+        const std::int64_t hi = is_leaf
+            ? leaf
+            : tree.last[static_cast<std::size_t>(e)];
+        const std::uint32_t code
+            = codes[static_cast<std::size_t>(lo)];
+
+        std::int32_t up = octreeNodeOf(tree, counts, offsets, k,
+                                       radix_parent);
+        for (std::uint32_t t = 0; t < c; ++t) {
+            const std::int64_t idx = 1
+                + static_cast<std::int64_t>(
+                    offsets[static_cast<std::size_t>(e)])
+                + t;
+            const int level = base_level + static_cast<int>(t) + 1;
+            const auto i = static_cast<std::size_t>(idx);
+            out.prefix[i] = code >> (kMortonBits - 3 * level);
+            out.level[i] = level;
+            out.parent[i] = up;
+            out.childMask[i] = 0;
+            out.firstCode[i] = static_cast<std::int32_t>(lo);
+            out.codeCount[i] = static_cast<std::int32_t>(hi - lo + 1);
+            up = static_cast<std::int32_t>(idx);
+        }
+    });
+
+    // Child masks: every non-root cell sets its digit bit in its parent.
+    exec.forEach(num_nodes - 1, [&](std::int64_t n) {
+        const auto i = static_cast<std::size_t>(n + 1);
+        const std::uint32_t digit = out.prefix[i] & 7u;
+        const auto p = static_cast<std::size_t>(out.parent[i]);
+        std::atomic_ref<std::uint32_t> mask(out.childMask[p]);
+        mask.fetch_or(1u << digit, std::memory_order_relaxed);
+    });
+    return num_nodes;
+}
+
+} // namespace
+
+std::int64_t
+maxOctreeNodes(std::int64_t k)
+{
+    BT_ASSERT(k >= 1);
+    // Root + at most kMaxOctreeLevel cells per radix entity.
+    return 1 + (2 * k - 1) * kMaxOctreeLevel;
+}
+
+void
+countOctreeNodesCpu(const CpuExec& exec, const RadixTreeView& tree,
+                    std::int64_t k, std::span<std::uint32_t> counts)
+{
+    countOctreeNodes(exec, tree, k, counts);
+}
+
+void
+countOctreeNodesGpu(const GpuExec& exec, const RadixTreeView& tree,
+                    std::int64_t k, std::span<std::uint32_t> counts)
+{
+    countOctreeNodes(exec, tree, k, counts);
+}
+
+std::int64_t
+buildOctreeCpu(const CpuExec& exec, std::span<const std::uint32_t> codes,
+               std::int64_t k, const RadixTreeView& tree,
+               std::span<const std::uint32_t> counts,
+               std::span<const std::uint32_t> offsets,
+               std::uint64_t total, const OctreeView& out)
+{
+    return buildOctree(exec, codes, k, tree, counts, offsets, total,
+                       out);
+}
+
+std::int64_t
+buildOctreeGpu(const GpuExec& exec, std::span<const std::uint32_t> codes,
+               std::int64_t k, const RadixTreeView& tree,
+               std::span<const std::uint32_t> counts,
+               std::span<const std::uint32_t> offsets,
+               std::uint64_t total, const OctreeView& out)
+{
+    return buildOctree(exec, codes, k, tree, counts, offsets, total,
+                       out);
+}
+
+std::string
+validateOctree(std::span<const std::uint32_t> codes, std::int64_t k,
+               const OctreeView& tree, std::int64_t num_nodes)
+{
+    if (num_nodes < 1)
+        return "no nodes";
+    if (tree.level[0] != 0 || tree.parent[0] != -1
+        || tree.prefix[0] != 0)
+        return "malformed root";
+
+    std::int64_t leaf_code_total = 0;
+    for (std::int64_t n = 0; n < num_nodes; ++n) {
+        const auto i = static_cast<std::size_t>(n);
+        const int level = tree.level[i];
+        if (level < 0 || level > kMaxOctreeLevel)
+            return "level out of range at node " + std::to_string(n);
+
+        if (n > 0) {
+            // Parent indices are not ordered (Karras numbering is
+            // positional); levels decreasing by one rules out cycles.
+            const std::int32_t p = tree.parent[i];
+            if (p < 0 || p >= num_nodes || p == n)
+                return "bad parent at node " + std::to_string(n);
+            const auto pi = static_cast<std::size_t>(p);
+            if (tree.level[pi] != level - 1)
+                return "parent level mismatch at node "
+                    + std::to_string(n);
+            if ((tree.prefix[i] >> 3) != tree.prefix[pi])
+                return "parent prefix mismatch at node "
+                    + std::to_string(n);
+            if (!(tree.childMask[pi]
+                  & (1u << (tree.prefix[i] & 7u))))
+                return "child mask missing at node "
+                    + std::to_string(n);
+        }
+
+        // Every covered code must live inside this cell.
+        const std::int32_t lo = tree.firstCode[i];
+        const std::int32_t cnt = tree.codeCount[i];
+        if (lo < 0 || cnt <= 0 || lo + cnt > k)
+            return "bad code range at node " + std::to_string(n);
+        if (level > 0) {
+            const int shift = kMortonBits - 3 * level;
+            for (std::int32_t c = lo; c < lo + cnt; ++c)
+                if ((codes[static_cast<std::size_t>(c)] >> shift)
+                    != tree.prefix[i])
+                    return "code outside cell at node "
+                        + std::to_string(n);
+        }
+
+        if (tree.childMask[i] == 0) {
+            // Leaf cells sit at max depth and hold exactly one code.
+            if (level != kMaxOctreeLevel)
+                return "shallow leaf at node " + std::to_string(n);
+            if (cnt != 1)
+                return "multi-code leaf at node " + std::to_string(n);
+            leaf_code_total += cnt;
+        }
+    }
+    if (leaf_code_total != k)
+        return "leaves cover " + std::to_string(leaf_code_total)
+            + " of " + std::to_string(k) + " codes";
+    return "";
+}
+
+} // namespace bt::kernels

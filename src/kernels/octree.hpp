@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Octree generation from a radix tree (Karras 2012, Sec. 5): the last
+ * three stages of the Octree pipeline.
+ *
+ *  - Stage 5, *Edge Counting*: each radix-tree node owns the octree
+ *    cells whose 3-bit levels its prefix spans: count = floor(l/3) -
+ *    floor(l_parent/3); radix leaves extend to the maximum depth (10).
+ *  - Stage 6, *Prefix Sum*: exclusive scan of the counts gives each
+ *    node's slot range in the output array (kernels/prefix_sum).
+ *  - Stage 7, *Build Octree*: every node with a nonzero count emits its
+ *    chain of cells and links to the nearest ancestor's deepest cell;
+ *    child masks are filled with atomic ORs.
+ *
+ * The output is a parent-linked octree in structure-of-arrays form with
+ * a synthetic root at index 0.
+ */
+
+#ifndef BT_KERNELS_OCTREE_HPP
+#define BT_KERNELS_OCTREE_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "kernels/exec.hpp"
+#include "kernels/radix_tree.hpp"
+
+namespace bt::kernels {
+
+/** Maximum octree depth with 30-bit Morton codes. */
+constexpr int kMaxOctreeLevel = kMortonBits / 3;
+
+/** Structure-of-arrays octree; index 0 is the root. */
+struct OctreeView
+{
+    std::span<std::uint32_t> prefix;  ///< morton prefix, 3*level bits
+    std::span<std::int32_t> level;    ///< 0 = root
+    std::span<std::int32_t> parent;   ///< -1 for the root
+    std::span<std::uint32_t> childMask; ///< bit d = has child digit d
+    std::span<std::int32_t> firstCode;  ///< covered unique-code range
+    std::span<std::int32_t> codeCount;
+};
+
+/**
+ * Upper bound on octree nodes for @p k unique codes; size the
+ * OctreeView buffers with this.
+ */
+std::int64_t maxOctreeNodes(std::int64_t k);
+
+/**
+ * Stage 5: per-radix-node octree cell counts into @p counts
+ * (2k-1 entries: internal node i at [i], leaf j at [k-1+j]).
+ */
+void countOctreeNodesCpu(const CpuExec& exec, const RadixTreeView& tree,
+                         std::int64_t k,
+                         std::span<std::uint32_t> counts);
+
+void countOctreeNodesGpu(const GpuExec& exec, const RadixTreeView& tree,
+                         std::int64_t k,
+                         std::span<std::uint32_t> counts);
+
+/**
+ * Stage 7: emit octree nodes. @p offsets is the exclusive scan of the
+ * stage-5 counts and @p total its sum.
+ * @return total octree node count including the root (total + 1).
+ */
+std::int64_t buildOctreeCpu(const CpuExec& exec,
+                            std::span<const std::uint32_t> codes,
+                            std::int64_t k, const RadixTreeView& tree,
+                            std::span<const std::uint32_t> counts,
+                            std::span<const std::uint32_t> offsets,
+                            std::uint64_t total, const OctreeView& out);
+
+std::int64_t buildOctreeGpu(const GpuExec& exec,
+                            std::span<const std::uint32_t> codes,
+                            std::int64_t k, const RadixTreeView& tree,
+                            std::span<const std::uint32_t> counts,
+                            std::span<const std::uint32_t> offsets,
+                            std::uint64_t total, const OctreeView& out);
+
+/**
+ * Structural validation: parent/child prefix and level consistency,
+ * child-mask agreement, leaf coverage of every unique code.
+ * @return empty string when valid.
+ */
+std::string validateOctree(std::span<const std::uint32_t> codes,
+                           std::int64_t k, const OctreeView& tree,
+                           std::int64_t num_nodes);
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_OCTREE_HPP

@@ -1,0 +1,80 @@
+#include "kernels/octree_query.hpp"
+
+#include "common/logging.hpp"
+#include "kernels/morton.hpp"
+
+namespace bt::kernels {
+
+OctreeIndex::OctreeIndex(const OctreeView& tree_,
+                         std::int64_t num_nodes)
+    : tree(tree_), nodes(num_nodes)
+{
+    BT_ASSERT(num_nodes >= 1, "empty octree");
+    cells.reserve(static_cast<std::size_t>(num_nodes) * 2);
+    for (std::int64_t n = 0; n < num_nodes; ++n) {
+        const auto i = static_cast<std::size_t>(n);
+        const int level = tree.level[i];
+        BT_ASSERT(level >= 0 && level <= kMaxOctreeLevel);
+        const bool inserted
+            = cells.emplace(key(level, tree.prefix[i]),
+                            static_cast<std::int32_t>(n))
+                  .second;
+        BT_ASSERT(inserted, "duplicate octree cell at node ", n);
+        ++levelCounts[static_cast<std::size_t>(level)];
+    }
+}
+
+std::int32_t
+OctreeIndex::findCell(int level, std::uint32_t prefix) const
+{
+    if (level < 0 || level > kMaxOctreeLevel)
+        return -1;
+    const auto it = cells.find(key(level, prefix));
+    return it == cells.end() ? -1 : it->second;
+}
+
+std::int32_t
+OctreeIndex::locate(std::uint32_t code) const
+{
+    std::int32_t best = 0; // the root always contains the code
+    for (int level = 1; level <= kMaxOctreeLevel; ++level) {
+        const std::uint32_t prefix
+            = code >> (kMortonBits - 3 * level);
+        const std::int32_t node = findCell(level, prefix);
+        if (node < 0)
+            break;
+        best = node;
+    }
+    return best;
+}
+
+bool
+OctreeIndex::contains(std::uint32_t code) const
+{
+    return findCell(kMaxOctreeLevel, code) >= 0;
+}
+
+bool
+OctreeIndex::containsPoint(float x, float y, float z) const
+{
+    return contains(morton32(x, y, z));
+}
+
+std::int64_t
+OctreeIndex::nodesAtLevel(int level) const
+{
+    if (level < 0 || level > kMaxOctreeLevel)
+        return 0;
+    return levelCounts[static_cast<std::size_t>(level)];
+}
+
+std::int64_t
+OctreeIndex::codesInCell(int level, std::uint32_t prefix) const
+{
+    const std::int32_t node = findCell(level, prefix);
+    if (node < 0)
+        return 0;
+    return tree.codeCount[static_cast<std::size_t>(node)];
+}
+
+} // namespace bt::kernels

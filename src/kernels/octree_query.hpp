@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Query layer over a built octree: the consumer side of the Octree
+ * pipeline (OctoMap-style occupancy lookups, paper Sec. 4.1 motivates
+ * the workload with 3-D reconstruction / scene representation).
+ *
+ * The pipeline's octree stores parent links and child masks; queries
+ * need child *navigation*, so OctreeIndex builds a (level, prefix) ->
+ * node lookup once per octree and then answers point/cell queries in
+ * O(depth).
+ */
+
+#ifndef BT_KERNELS_OCTREE_QUERY_HPP
+#define BT_KERNELS_OCTREE_QUERY_HPP
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "kernels/octree.hpp"
+
+namespace bt::kernels {
+
+/** Immutable query accelerator over one octree. */
+class OctreeIndex
+{
+  public:
+    /** Build from a pipeline-produced octree (O(nodes)). */
+    OctreeIndex(const OctreeView& tree, std::int64_t num_nodes);
+
+    std::int64_t numNodes() const { return nodes; }
+
+    /** Node index of the cell (level, prefix), or -1 if absent. */
+    std::int32_t findCell(int level, std::uint32_t prefix) const;
+
+    /**
+     * Deepest existing node whose cell contains @p code; always
+     * succeeds (the root contains everything).
+     */
+    std::int32_t locate(std::uint32_t code) const;
+
+    /** Whether @p code is stored: its max-depth leaf cell exists. */
+    bool contains(std::uint32_t code) const;
+
+    /** Whether the point (in [0,1)^3) falls in an occupied leaf. */
+    bool containsPoint(float x, float y, float z) const;
+
+    /** Number of nodes at @p level. */
+    std::int64_t nodesAtLevel(int level) const;
+
+    /**
+     * Count stored codes inside the cell (level, prefix); zero if the
+     * cell does not exist.
+     */
+    std::int64_t codesInCell(int level, std::uint32_t prefix) const;
+
+  private:
+    static std::uint64_t
+    key(int level, std::uint32_t prefix)
+    {
+        return (static_cast<std::uint64_t>(level) << 32) | prefix;
+    }
+
+    const OctreeView& tree;
+    std::int64_t nodes;
+    std::unordered_map<std::uint64_t, std::int32_t> cells;
+    std::array<std::int64_t, kMaxOctreeLevel + 1> levelCounts{};
+};
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_OCTREE_QUERY_HPP

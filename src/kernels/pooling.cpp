@@ -1,0 +1,77 @@
+#include "kernels/pooling.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bt::kernels {
+
+Shape3
+pooledShape(const Shape3& in)
+{
+    return Shape3{in.c, in.h / 2, in.w / 2};
+}
+
+namespace {
+
+inline float
+poolElement(const Shape3& is, std::span<const float> in,
+            std::int64_t idx)
+{
+    const Shape3 os = pooledShape(is);
+    const int x = static_cast<int>(idx % os.w);
+    const int y = static_cast<int>((idx / os.w) % os.h);
+    const int c = static_cast<int>(idx / (static_cast<std::int64_t>(
+        os.w) * os.h));
+    const int iy = y * 2;
+    const int ix = x * 2;
+    const float a = in[static_cast<std::size_t>(is.at(c, iy, ix))];
+    const float b = in[static_cast<std::size_t>(is.at(c, iy, ix + 1))];
+    const float d = in[static_cast<std::size_t>(is.at(c, iy + 1, ix))];
+    const float e = in[static_cast<std::size_t>(is.at(c, iy + 1,
+                                                      ix + 1))];
+    return std::max(std::max(a, b), std::max(d, e));
+}
+
+void
+checkSizes(const Shape3& is, std::span<const float> in,
+           std::span<float> out)
+{
+    BT_ASSERT(is.h >= 2 && is.w >= 2, "pooling needs a 2x2 window");
+    BT_ASSERT(in.size() >= static_cast<std::size_t>(is.elems()));
+    BT_ASSERT(out.size() >= static_cast<std::size_t>(
+        pooledShape(is).elems()));
+}
+
+} // namespace
+
+void
+maxpoolCpu(const CpuExec& exec, const Shape3& in_shape,
+           std::span<const float> in, std::span<float> out)
+{
+    checkSizes(in_shape, in, out);
+    exec.forEach(pooledShape(in_shape).elems(), [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)] = poolElement(in_shape, in, i);
+    });
+}
+
+void
+maxpoolGpu(const GpuExec& exec, const Shape3& in_shape,
+           std::span<const float> in, std::span<float> out)
+{
+    checkSizes(in_shape, in, out);
+    exec.forEach(pooledShape(in_shape).elems(), [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)] = poolElement(in_shape, in, i);
+    });
+}
+
+void
+maxpoolReference(const Shape3& in_shape, std::span<const float> in,
+                 std::span<float> out)
+{
+    checkSizes(in_shape, in, out);
+    for (std::int64_t i = 0; i < pooledShape(in_shape).elems(); ++i)
+        out[static_cast<std::size_t>(i)] = poolElement(in_shape, in, i);
+}
+
+} // namespace bt::kernels

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * 2x2 stride-2 max pooling (the lightweight stage following every conv
+ * layer in AlexNet-for-CIFAR). CPU and SIMT backends.
+ */
+
+#ifndef BT_KERNELS_POOLING_HPP
+#define BT_KERNELS_POOLING_HPP
+
+#include <span>
+
+#include "kernels/exec.hpp"
+#include "kernels/tensor.hpp"
+
+namespace bt::kernels {
+
+/** Output shape of 2x2/2 pooling over @p in (floor semantics). */
+Shape3 pooledShape(const Shape3& in);
+
+/** out[c][y][x] = max of the 2x2 input window. */
+void maxpoolCpu(const CpuExec& exec, const Shape3& in_shape,
+                std::span<const float> in, std::span<float> out);
+
+void maxpoolGpu(const GpuExec& exec, const Shape3& in_shape,
+                std::span<const float> in, std::span<float> out);
+
+/** Single-threaded reference. */
+void maxpoolReference(const Shape3& in_shape, std::span<const float> in,
+                      std::span<float> out);
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_POOLING_HPP

@@ -1,0 +1,67 @@
+#include "kernels/prefix_sum.hpp"
+
+#include <vector>
+
+#include "common/logging.hpp"
+#include "simt/algorithms.hpp"
+
+namespace bt::kernels {
+
+namespace {
+constexpr int kCpuBlocks = 16;
+} // namespace
+
+std::uint64_t
+exclusiveScanCpu(const CpuExec& exec, std::span<const std::uint32_t> in,
+                 std::span<std::uint32_t> out)
+{
+    BT_ASSERT(out.size() >= in.size(), "scan output too small");
+    const std::int64_t n = static_cast<std::int64_t>(in.size());
+    if (n == 0)
+        return 0;
+
+    auto blockRange = [n](int b) {
+        return std::pair<std::int64_t, std::int64_t>{
+            n * b / kCpuBlocks, n * (b + 1) / kCpuBlocks};
+    };
+
+    // Phase 1: per-block sums.
+    std::vector<std::uint64_t> partial(kCpuBlocks, 0);
+    exec.forEach(kCpuBlocks, [&](std::int64_t b) {
+        const auto [lo, hi] = blockRange(static_cast<int>(b));
+        std::uint64_t acc = 0;
+        for (std::int64_t i = lo; i < hi; ++i)
+            acc += in[static_cast<std::size_t>(i)];
+        partial[static_cast<std::size_t>(b)] = acc;
+    });
+
+    // Phase 2: scan of the block sums (serial, 16 cells).
+    std::uint64_t total = 0;
+    for (auto& p : partial) {
+        const std::uint64_t v = p;
+        p = total;
+        total += v;
+    }
+
+    // Phase 3: per-block rescan with offsets.
+    exec.forEach(kCpuBlocks, [&](std::int64_t b) {
+        const auto [lo, hi] = blockRange(static_cast<int>(b));
+        std::uint64_t run = partial[static_cast<std::size_t>(b)];
+        for (std::int64_t i = lo; i < hi; ++i) {
+            const std::uint32_t v = in[static_cast<std::size_t>(i)];
+            out[static_cast<std::size_t>(i)]
+                = static_cast<std::uint32_t>(run);
+            run += v;
+        }
+    });
+    return total;
+}
+
+std::uint64_t
+exclusiveScanGpu(std::span<const std::uint32_t> in,
+                 std::span<std::uint32_t> out)
+{
+    return simt::deviceExclusiveScan(in, out);
+}
+
+} // namespace bt::kernels

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Exclusive prefix sum: stage 6 of the Octree pipeline (child-offset
+ * computation) and a building block of unique/compaction. CPU backend
+ * is a block-parallel three-phase scan; GPU backend is the SIMT
+ * device-wide scan.
+ */
+
+#ifndef BT_KERNELS_PREFIX_SUM_HPP
+#define BT_KERNELS_PREFIX_SUM_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "kernels/exec.hpp"
+
+namespace bt::kernels {
+
+/**
+ * out[i] = sum of in[0..i); in and out may alias.
+ * @return the total sum.
+ */
+std::uint64_t exclusiveScanCpu(const CpuExec& exec,
+                               std::span<const std::uint32_t> in,
+                               std::span<std::uint32_t> out);
+
+std::uint64_t exclusiveScanGpu(std::span<const std::uint32_t> in,
+                               std::span<std::uint32_t> out);
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_PREFIX_SUM_HPP

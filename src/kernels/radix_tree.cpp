@@ -1,0 +1,219 @@
+#include "kernels/radix_tree.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hpp"
+
+namespace bt::kernels {
+
+int
+commonPrefixBits(std::uint32_t a, std::uint32_t b)
+{
+    BT_ASSERT(a != b, "common prefix undefined for equal codes");
+    // Codes occupy the low 30 bits; measure from bit 29 downwards.
+    return std::countl_zero(a ^ b) - (32 - kMortonBits);
+}
+
+namespace {
+
+/**
+ * Karras delta operator: common prefix of codes[i] and codes[j], or -1
+ * when j is out of range. Codes are unique, so no index tie-break is
+ * needed.
+ */
+inline int
+delta(std::span<const std::uint32_t> codes, std::int64_t k,
+      std::int64_t i, std::int64_t j)
+{
+    if (j < 0 || j >= k)
+        return -1;
+    return commonPrefixBits(codes[static_cast<std::size_t>(i)],
+                            codes[static_cast<std::size_t>(j)]);
+}
+
+/** Construct internal node @p i (Karras Fig. 4 algorithm). */
+inline void
+buildNode(std::span<const std::uint32_t> codes, std::int64_t k,
+          const RadixTreeView& tree, std::int64_t i)
+{
+    const int d
+        = delta(codes, k, i, i + 1) > delta(codes, k, i, i - 1) ? 1 : -1;
+
+    // Upper bound on the range length in direction d.
+    const int delta_min = delta(codes, k, i, i - d);
+    std::int64_t lmax = 2;
+    while (delta(codes, k, i, i + lmax * d) > delta_min)
+        lmax <<= 1;
+
+    // Binary-search the exact other end j.
+    std::int64_t l = 0;
+    for (std::int64_t t = lmax >> 1; t >= 1; t >>= 1)
+        if (delta(codes, k, i, i + (l + t) * d) > delta_min)
+            l += t;
+    const std::int64_t j = i + l * d;
+    const int delta_node = delta(codes, k, i, j);
+
+    // Binary-search the split position (highest differing bit).
+    std::int64_t s = 0;
+    for (std::int64_t t = (l + 1) / 2; true; t = (t + 1) / 2) {
+        if (delta(codes, k, i, i + (s + t) * d) > delta_node)
+            s += t;
+        if (t == 1)
+            break;
+    }
+    const std::int64_t gamma = i + s * d + std::min(d, 0);
+
+    const std::int64_t lo = std::min(i, j);
+    const std::int64_t hi = std::max(i, j);
+    const std::int32_t left_child = (lo == gamma)
+        ? RadixTreeView::encodeLeaf(static_cast<std::int32_t>(gamma))
+        : static_cast<std::int32_t>(gamma);
+    const std::int32_t right_child = (hi == gamma + 1)
+        ? RadixTreeView::encodeLeaf(static_cast<std::int32_t>(gamma + 1))
+        : static_cast<std::int32_t>(gamma + 1);
+
+    const std::size_t idx = static_cast<std::size_t>(i);
+    tree.left[idx] = left_child;
+    tree.right[idx] = right_child;
+    tree.prefixLen[idx] = delta_node;
+    tree.first[idx] = static_cast<std::int32_t>(lo);
+    tree.last[idx] = static_cast<std::int32_t>(hi);
+
+    // Each child has exactly one parent, so these writes are race-free.
+    for (const std::int32_t child : {left_child, right_child}) {
+        if (RadixTreeView::isLeaf(child))
+            tree.leafParent[static_cast<std::size_t>(
+                RadixTreeView::leafIndex(child))]
+                = static_cast<std::int32_t>(i);
+        else
+            tree.parent[static_cast<std::size_t>(child)]
+                = static_cast<std::int32_t>(i);
+    }
+}
+
+void
+checkSizes(std::span<const std::uint32_t> codes, std::int64_t k,
+           const RadixTreeView& tree)
+{
+    BT_ASSERT(k >= 1, "radix tree needs at least one code");
+    BT_ASSERT(codes.size() >= static_cast<std::size_t>(k));
+    const auto internal = static_cast<std::size_t>(k > 1 ? k - 1 : 0);
+    BT_ASSERT(tree.left.size() >= internal);
+    BT_ASSERT(tree.right.size() >= internal);
+    BT_ASSERT(tree.parent.size() >= internal);
+    BT_ASSERT(tree.prefixLen.size() >= internal);
+    BT_ASSERT(tree.first.size() >= internal);
+    BT_ASSERT(tree.last.size() >= internal);
+    BT_ASSERT(tree.leafParent.size() >= static_cast<std::size_t>(k));
+}
+
+template <typename Exec>
+void
+buildRadixTree(const Exec& exec, std::span<const std::uint32_t> codes,
+               std::int64_t k, const RadixTreeView& tree)
+{
+    checkSizes(codes, k, tree);
+    if (k == 1) {
+        tree.leafParent[0] = -1;
+        return;
+    }
+    // The root has no parent; children overwrite the rest.
+    tree.parent[0] = -1;
+    exec.forEach(k - 1, [&](std::int64_t i) {
+        buildNode(codes, k, tree, i);
+    });
+}
+
+} // namespace
+
+void
+buildRadixTreeCpu(const CpuExec& exec,
+                  std::span<const std::uint32_t> codes, std::int64_t k,
+                  const RadixTreeView& tree)
+{
+    buildRadixTree(exec, codes, k, tree);
+}
+
+void
+buildRadixTreeGpu(const GpuExec& exec,
+                  std::span<const std::uint32_t> codes, std::int64_t k,
+                  const RadixTreeView& tree)
+{
+    buildRadixTree(exec, codes, k, tree);
+}
+
+std::string
+validateRadixTree(std::span<const std::uint32_t> codes, std::int64_t k,
+                  const RadixTreeView& tree)
+{
+    auto fail = [](const std::string& msg) { return msg; };
+    if (k < 1)
+        return fail("k < 1");
+    if (k == 1)
+        return tree.leafParent[0] == -1 ? "" : fail("single-leaf parent");
+
+    for (std::int64_t i = 0; i + 1 < k; ++i)
+        if (codes[static_cast<std::size_t>(i)]
+            >= codes[static_cast<std::size_t>(i + 1)])
+            return fail("codes not strictly increasing");
+
+    const std::int64_t internal = k - 1;
+    if (tree.parent[0] != -1)
+        return fail("root parent not -1");
+
+    for (std::int64_t i = 0; i < internal; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const std::int64_t lo = tree.first[idx];
+        const std::int64_t hi = tree.last[idx];
+        if (lo < 0 || hi >= k || lo >= hi)
+            return fail("bad range on node " + std::to_string(i));
+
+        // Prefix length must match the codes in the range.
+        const int expect = commonPrefixBits(
+            codes[static_cast<std::size_t>(lo)],
+            codes[static_cast<std::size_t>(hi)]);
+        if (tree.prefixLen[idx] != expect)
+            return fail("prefix mismatch on node " + std::to_string(i));
+
+        // Children must tile the range and point back to i.
+        auto childRange = [&](std::int32_t child,
+                              std::int64_t& clo, std::int64_t& chi,
+                              std::int32_t& cparent) {
+            if (RadixTreeView::isLeaf(child)) {
+                const std::int32_t leaf
+                    = RadixTreeView::leafIndex(child);
+                clo = chi = leaf;
+                cparent
+                    = tree.leafParent[static_cast<std::size_t>(leaf)];
+            } else {
+                clo = tree.first[static_cast<std::size_t>(child)];
+                chi = tree.last[static_cast<std::size_t>(child)];
+                cparent = tree.parent[static_cast<std::size_t>(child)];
+            }
+        };
+        std::int64_t llo, lhi, rlo, rhi;
+        std::int32_t lpar, rpar;
+        childRange(tree.left[idx], llo, lhi, lpar);
+        childRange(tree.right[idx], rlo, rhi, rpar);
+        if (llo != lo || rhi != hi || lhi + 1 != rlo)
+            return fail("children do not tile node "
+                        + std::to_string(i));
+        if (lpar != i || rpar != i)
+            return fail("child parent mismatch on node "
+                        + std::to_string(i));
+
+        // The split must separate at exactly prefixLen bits.
+        const int split_cpl = commonPrefixBits(
+            codes[static_cast<std::size_t>(lhi)],
+            codes[static_cast<std::size_t>(rlo)]);
+        if (split_cpl != tree.prefixLen[idx])
+            return fail("split depth mismatch on node "
+                        + std::to_string(i));
+    }
+    if (tree.first[0] != 0 || tree.last[0] != k - 1)
+        return fail("root does not cover the full range");
+    return "";
+}
+
+} // namespace bt::kernels

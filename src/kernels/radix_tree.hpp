@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Binary radix tree over sorted unique Morton codes, per Karras 2012
+ * ("Maximizing parallelism in the construction of BVHs, octrees, and
+ * k-d trees") - stage 4 of the Octree pipeline. Every internal node is
+ * constructed independently (in parallel) from the code array via
+ * longest-common-prefix comparisons.
+ */
+
+#ifndef BT_KERNELS_RADIX_TREE_HPP
+#define BT_KERNELS_RADIX_TREE_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "kernels/exec.hpp"
+
+namespace bt::kernels {
+
+/**
+ * Structure-of-arrays view of a radix tree over K unique codes:
+ * K-1 internal nodes (node 0 is the root) and K leaves (the codes).
+ * Children encode leaves as ~leafIndex (negative values).
+ */
+struct RadixTreeView
+{
+    std::span<std::int32_t> left;       ///< K-1: left child
+    std::span<std::int32_t> right;      ///< K-1: right child
+    std::span<std::int32_t> parent;     ///< K-1: internal parent, -1 root
+    std::span<std::int32_t> leafParent; ///< K: internal parent of leaf
+    std::span<std::int32_t> prefixLen;  ///< K-1: common prefix bits 0..30
+    std::span<std::int32_t> first;      ///< K-1: range begin (leaf index)
+    std::span<std::int32_t> last;       ///< K-1: range end, inclusive
+
+    /** Encode / decode leaf children. */
+    static std::int32_t encodeLeaf(std::int32_t leaf) { return ~leaf; }
+    static bool isLeaf(std::int32_t child) { return child < 0; }
+    static std::int32_t leafIndex(std::int32_t child) { return ~child; }
+};
+
+/** Bits in a Morton code (10 octree levels). */
+constexpr int kMortonBits = 30;
+
+/**
+ * Longest common prefix (in code bits, 0..30) of two 30-bit codes;
+ * the codes must be distinct.
+ */
+int commonPrefixBits(std::uint32_t a, std::uint32_t b);
+
+/**
+ * Build the tree over @p codes (sorted, strictly increasing, K >= 1).
+ * With K == 1 there are no internal nodes and leafParent[0] = -1.
+ * All view spans must be sized as documented on RadixTreeView.
+ */
+void buildRadixTreeCpu(const CpuExec& exec,
+                       std::span<const std::uint32_t> codes,
+                       std::int64_t k, const RadixTreeView& tree);
+
+void buildRadixTreeGpu(const GpuExec& exec,
+                       std::span<const std::uint32_t> codes,
+                       std::int64_t k, const RadixTreeView& tree);
+
+/**
+ * Structural validation for tests and application validators: parent /
+ * child consistency, range partition, prefix-length agreement with the
+ * codes. @return empty string when the tree is well formed.
+ */
+std::string validateRadixTree(std::span<const std::uint32_t> codes,
+                              std::int64_t k, const RadixTreeView& tree);
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_RADIX_TREE_HPP

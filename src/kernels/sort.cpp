@@ -1,0 +1,101 @@
+#include "kernels/sort.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "simt/algorithms.hpp"
+
+namespace bt::kernels {
+
+namespace {
+
+constexpr int kRadixBits = 8;
+constexpr std::uint32_t kBuckets = 1u << kRadixBits;
+constexpr std::uint32_t kMask = kBuckets - 1;
+
+/** Number of parallel blocks the CPU sort decomposes into. */
+constexpr int kCpuBlocks = 16;
+
+/**
+ * One stable LSD pass on the host: per-block histograms, a bucket-major
+ * scan giving each block's scatter base per digit, then an in-order
+ * scatter per block.
+ */
+void
+cpuRadixPass(const CpuExec& exec, std::span<const std::uint32_t> in,
+             std::span<std::uint32_t> out, int shift)
+{
+    const std::int64_t n = static_cast<std::int64_t>(in.size());
+    std::vector<std::uint32_t> hist(
+        static_cast<std::size_t>(kCpuBlocks) * kBuckets, 0);
+
+    auto blockRange = [n](int b) {
+        return std::pair<std::int64_t, std::int64_t>{
+            n * b / kCpuBlocks, n * (b + 1) / kCpuBlocks};
+    };
+
+    // Histogram phase.
+    exec.forEach(kCpuBlocks, [&](std::int64_t b) {
+        const auto [lo, hi] = blockRange(static_cast<int>(b));
+        std::uint32_t* mine
+            = &hist[static_cast<std::size_t>(b) * kBuckets];
+        for (std::int64_t i = lo; i < hi; ++i)
+            ++mine[(in[static_cast<std::size_t>(i)] >> shift) & kMask];
+    });
+
+    // Bucket-major exclusive scan (serial; 4096 cells).
+    std::uint32_t run = 0;
+    for (std::uint32_t d = 0; d < kBuckets; ++d) {
+        for (int b = 0; b < kCpuBlocks; ++b) {
+            auto& cell
+                = hist[static_cast<std::size_t>(b) * kBuckets + d];
+            const std::uint32_t v = cell;
+            cell = run;
+            run += v;
+        }
+    }
+
+    // Scatter phase: block-local order preserved => stable.
+    exec.forEach(kCpuBlocks, [&](std::int64_t b) {
+        const auto [lo, hi] = blockRange(static_cast<int>(b));
+        std::uint32_t* mine
+            = &hist[static_cast<std::size_t>(b) * kBuckets];
+        for (std::int64_t i = lo; i < hi; ++i) {
+            const std::uint32_t key = in[static_cast<std::size_t>(i)];
+            out[mine[(key >> shift) & kMask]++] = key;
+        }
+    });
+}
+
+} // namespace
+
+void
+radixSortCpu(const CpuExec& exec, std::span<std::uint32_t> keys,
+             std::span<std::uint32_t> scratch)
+{
+    BT_ASSERT(scratch.size() >= keys.size(), "sort scratch too small");
+    if (keys.size() <= 1)
+        return;
+    std::span<std::uint32_t> src = keys;
+    std::span<std::uint32_t> dst = scratch.subspan(0, keys.size());
+    for (int shift = 0; shift < 32; shift += kRadixBits) {
+        cpuRadixPass(exec, src, dst, shift);
+        std::swap(src, dst);
+    }
+    // Four passes of 8 bits: result ends back in `keys`.
+    static_assert(32 / kRadixBits % 2 == 0,
+                  "odd pass count would leave the result in scratch");
+}
+
+void
+radixSortGpu(std::span<std::uint32_t> keys,
+             std::span<std::uint32_t> scratch)
+{
+    BT_ASSERT(scratch.size() >= keys.size(), "sort scratch too small");
+    if (keys.size() <= 1)
+        return;
+    simt::deviceRadixSort(keys, scratch, kRadixBits);
+}
+
+} // namespace bt::kernels

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Radix sort of 32-bit Morton codes: stage 2 of the Octree pipeline.
+ * The CPU backend is a team-parallel LSD radix sort (per-block digit
+ * histograms + stable scatter); the GPU backend is the SIMT device-wide
+ * radix sort. This is the stage the paper highlights as pathological on
+ * mobile GPUs (Fig. 1).
+ */
+
+#ifndef BT_KERNELS_SORT_HPP
+#define BT_KERNELS_SORT_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "kernels/exec.hpp"
+
+namespace bt::kernels {
+
+/**
+ * Sort @p keys ascending (stable). @p scratch needs keys.size() slots.
+ */
+void radixSortCpu(const CpuExec& exec, std::span<std::uint32_t> keys,
+                  std::span<std::uint32_t> scratch);
+
+void radixSortGpu(std::span<std::uint32_t> keys,
+                  std::span<std::uint32_t> scratch);
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_SORT_HPP

@@ -1,0 +1,92 @@
+#include "kernels/sparse_conv.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bt::kernels {
+
+namespace {
+
+inline float
+sparseConvElement(const ConvShape& shape, std::span<const float> in,
+                  const CsrMatrix& weights, std::span<const float> bias,
+                  std::int64_t idx)
+{
+    const Shape3 os = shape.out();
+    const int x = static_cast<int>(idx % os.w);
+    const int y = static_cast<int>((idx / os.w) % os.h);
+    const int oc = static_cast<int>(idx / (static_cast<std::int64_t>(
+        os.w) * os.h));
+
+    float acc = bias[static_cast<std::size_t>(oc)];
+    const std::uint32_t lo
+        = weights.rowPtr[static_cast<std::size_t>(oc)];
+    const std::uint32_t hi
+        = weights.rowPtr[static_cast<std::size_t>(oc) + 1];
+    for (std::uint32_t k = lo; k < hi; ++k) {
+        const std::uint32_t col = weights.colIdx[k];
+        const int ic = static_cast<int>(col / 9);
+        const int ky = static_cast<int>((col % 9) / 3);
+        const int kx = static_cast<int>(col % 3);
+        const int iy = y + ky - 1;
+        const int ix = x + kx - 1;
+        if (iy < 0 || iy >= shape.in.h || ix < 0 || ix >= shape.in.w)
+            continue;
+        acc += weights.values[k]
+            * in[static_cast<std::size_t>(shape.in.at(ic, iy, ix))];
+    }
+    return std::max(acc, 0.0f);
+}
+
+void
+checkSizes(const ConvShape& shape, std::span<const float> in,
+           const CsrMatrix& weights, std::span<const float> bias,
+           std::span<float> out)
+{
+    BT_ASSERT(weights.rows == shape.outC, "CSR rows != outC");
+    BT_ASSERT(weights.cols == shape.in.c * 9, "CSR cols != inC*9");
+    BT_ASSERT(in.size() >= static_cast<std::size_t>(shape.in.elems()));
+    BT_ASSERT(bias.size() >= static_cast<std::size_t>(shape.outC));
+    BT_ASSERT(out.size() >= static_cast<std::size_t>(
+        shape.out().elems()));
+}
+
+} // namespace
+
+void
+sparseConvCpu(const CpuExec& exec, const ConvShape& shape,
+              std::span<const float> in, const CsrMatrix& weights,
+              std::span<const float> bias, std::span<float> out)
+{
+    checkSizes(shape, in, weights, bias, out);
+    exec.forEach(shape.out().elems(), [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)]
+            = sparseConvElement(shape, in, weights, bias, i);
+    });
+}
+
+void
+sparseConvGpu(const GpuExec& exec, const ConvShape& shape,
+              std::span<const float> in, const CsrMatrix& weights,
+              std::span<const float> bias, std::span<float> out)
+{
+    checkSizes(shape, in, weights, bias, out);
+    exec.forEach(shape.out().elems(), [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)]
+            = sparseConvElement(shape, in, weights, bias, i);
+    });
+}
+
+void
+sparseConvReference(const ConvShape& shape, std::span<const float> in,
+                    const CsrMatrix& weights, std::span<const float> bias,
+                    std::span<float> out)
+{
+    checkSizes(shape, in, weights, bias, out);
+    for (std::int64_t i = 0; i < shape.out().elems(); ++i)
+        out[static_cast<std::size_t>(i)]
+            = sparseConvElement(shape, in, weights, bias, i);
+}
+
+} // namespace bt::kernels

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sparse 3x3 convolution over CSR weights (AlexNet-sparse).
+ *
+ * The weight tensor of each layer is flattened to a CSR matrix of shape
+ * outC x (inC*9); each output element gathers input values through the
+ * row's column indices (implicit im2col). This is the irregular-access
+ * computation the paper contrasts with the dense variant.
+ */
+
+#ifndef BT_KERNELS_SPARSE_CONV_HPP
+#define BT_KERNELS_SPARSE_CONV_HPP
+
+#include <span>
+
+#include "kernels/csr.hpp"
+#include "kernels/exec.hpp"
+#include "kernels/tensor.hpp"
+
+namespace bt::kernels {
+
+/**
+ * out = relu(sparse_conv3x3(in) + bias), stride 1, padding 1.
+ * @param weights CSR of shape outC x (inC*9); column k encodes
+ *        (ic, ky, kx) = (k / 9, (k % 9) / 3, k % 3).
+ */
+void sparseConvCpu(const CpuExec& exec, const ConvShape& shape,
+                   std::span<const float> in, const CsrMatrix& weights,
+                   std::span<const float> bias, std::span<float> out);
+
+void sparseConvGpu(const GpuExec& exec, const ConvShape& shape,
+                   std::span<const float> in, const CsrMatrix& weights,
+                   std::span<const float> bias, std::span<float> out);
+
+void sparseConvReference(const ConvShape& shape,
+                         std::span<const float> in,
+                         const CsrMatrix& weights,
+                         std::span<const float> bias,
+                         std::span<float> out);
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_SPARSE_CONV_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal CHW tensor geometry helpers for the CNN kernels. Data lives in
+ * flat UsmBuffers; these structs only carry shapes and index math.
+ */
+
+#ifndef BT_KERNELS_TENSOR_HPP
+#define BT_KERNELS_TENSOR_HPP
+
+#include <cstdint>
+
+namespace bt::kernels {
+
+/** Channel-major 3-D activation shape. */
+struct Shape3
+{
+    int c = 0;
+    int h = 0;
+    int w = 0;
+
+    std::int64_t
+    elems() const
+    {
+        return static_cast<std::int64_t>(c) * h * w;
+    }
+
+    /** Flat index of (channel, row, col). */
+    std::int64_t
+    at(int ch, int y, int x) const
+    {
+        return (static_cast<std::int64_t>(ch) * h + y) * w + x;
+    }
+};
+
+/** 3x3 convolution geometry: stride 1, zero padding 1 (shape-preserving
+ *  spatially), square kernels - the configuration AlexNet-for-CIFAR
+ *  uses in every conv layer. */
+struct ConvShape
+{
+    Shape3 in;   ///< input activation
+    int outC = 0;
+
+    Shape3
+    out() const
+    {
+        return Shape3{outC, in.h, in.w};
+    }
+
+    /** Weight elements: outC x inC x 3 x 3. */
+    std::int64_t
+    weightElems() const
+    {
+        return static_cast<std::int64_t>(outC) * in.c * 9;
+    }
+};
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_TENSOR_HPP

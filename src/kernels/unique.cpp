@@ -1,0 +1,94 @@
+#include "kernels/unique.hpp"
+
+#include "common/logging.hpp"
+#include "kernels/prefix_sum.hpp"
+#include "simt/algorithms.hpp"
+
+namespace bt::kernels {
+
+namespace {
+
+void
+checkSizes(std::span<const std::uint32_t> in,
+           std::span<std::uint32_t> out, std::span<std::uint32_t> flags)
+{
+    BT_ASSERT(out.size() >= in.size(), "unique output too small");
+    BT_ASSERT(flags.size() >= in.size(), "unique scratch too small");
+}
+
+} // namespace
+
+std::int64_t
+uniqueCpu(const CpuExec& exec, std::span<const std::uint32_t> in,
+          std::span<std::uint32_t> out, std::span<std::uint32_t> flags)
+{
+    checkSizes(in, out, flags);
+    const std::int64_t n = static_cast<std::int64_t>(in.size());
+    if (n == 0)
+        return 0;
+
+    // Boundary flags: 1 where a new value starts.
+    exec.forEach(n, [&](std::int64_t i) {
+        flags[static_cast<std::size_t>(i)]
+            = (i == 0
+               || in[static_cast<std::size_t>(i)]
+                   != in[static_cast<std::size_t>(i - 1)])
+            ? 1u
+            : 0u;
+    });
+
+    // Scan flags in place -> scatter offsets.
+    const std::uint64_t count
+        = exclusiveScanCpu(exec, flags.subspan(0, in.size()),
+                           flags.subspan(0, in.size()));
+
+    // Scatter: an element is unique iff its offset differs from the
+    // next one (or it is the boundary-flagged first of a run).
+    exec.forEach(n, [&](std::int64_t i) {
+        const std::uint32_t off = flags[static_cast<std::size_t>(i)];
+        // After the exclusive scan, position i started a run iff the
+        // scanned value increases right after it (total acts as the
+        // value "one past the end" for the last element).
+        const bool is_boundary = (i + 1 < n)
+            ? flags[static_cast<std::size_t>(i + 1)] != off
+            : static_cast<std::uint64_t>(off) + 1 == count;
+        if (is_boundary)
+            out[off] = in[static_cast<std::size_t>(i)];
+    });
+    return static_cast<std::int64_t>(count);
+}
+
+std::int64_t
+uniqueGpu(std::span<const std::uint32_t> in, std::span<std::uint32_t> out,
+          std::span<std::uint32_t> flags)
+{
+    checkSizes(in, out, flags);
+    const std::int64_t n = static_cast<std::int64_t>(in.size());
+    if (n == 0)
+        return 0;
+
+    GpuExec exec;
+    exec.forEach(n, [&](std::int64_t i) {
+        flags[static_cast<std::size_t>(i)]
+            = (i == 0
+               || in[static_cast<std::size_t>(i)]
+                   != in[static_cast<std::size_t>(i - 1)])
+            ? 1u
+            : 0u;
+    });
+
+    const std::uint64_t count = simt::deviceExclusiveScan(
+        flags.subspan(0, in.size()), flags.subspan(0, in.size()));
+
+    exec.forEach(n, [&](std::int64_t i) {
+        const std::uint32_t off = flags[static_cast<std::size_t>(i)];
+        const bool is_boundary = (i + 1 < n)
+            ? flags[static_cast<std::size_t>(i + 1)] != off
+            : static_cast<std::uint64_t>(off) + 1 == count;
+        if (is_boundary)
+            out[off] = in[static_cast<std::size_t>(i)];
+    });
+    return static_cast<std::int64_t>(count);
+}
+
+} // namespace bt::kernels

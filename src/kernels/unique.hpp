@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Duplicate removal over sorted Morton codes: stage 3 of the Octree
+ * pipeline. Both backends use the standard parallel formulation:
+ * boundary flags, exclusive scan, compaction scatter.
+ */
+
+#ifndef BT_KERNELS_UNIQUE_HPP
+#define BT_KERNELS_UNIQUE_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "kernels/exec.hpp"
+
+namespace bt::kernels {
+
+/**
+ * Compact sorted @p in into @p out, dropping adjacent duplicates.
+ * @param flags scratch of at least in.size() entries.
+ * @return number of unique codes written.
+ */
+std::int64_t uniqueCpu(const CpuExec& exec,
+                       std::span<const std::uint32_t> in,
+                       std::span<std::uint32_t> out,
+                       std::span<std::uint32_t> flags);
+
+std::int64_t uniqueGpu(std::span<const std::uint32_t> in,
+                       std::span<std::uint32_t> out,
+                       std::span<std::uint32_t> flags);
+
+} // namespace bt::kernels
+
+#endif // BT_KERNELS_UNIQUE_HPP

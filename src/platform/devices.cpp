@@ -1,0 +1,182 @@
+#include "platform/devices.hpp"
+
+#include "sched/affinity.hpp"
+
+namespace bt::platform {
+
+namespace {
+
+/// Shorthand for the efficiency array [Dense, Sparse, Irregular, Mixed].
+using Eff = std::array<double, kNumPatterns>;
+
+PuModel
+makePu(std::string label, std::string hw, PuKind kind, int cores,
+       double freq, double ops, Eff eff, double bw, double overhead_us,
+       double busy_factor, double active_w, double idle_w,
+       sched::CpuSet ids = sched::CpuSet())
+{
+    PuModel p;
+    p.label = std::move(label);
+    p.hardware = std::move(hw);
+    p.kind = kind;
+    p.cores = cores;
+    p.freqGhz = freq;
+    p.opsPerCycle = ops;
+    p.eff = eff;
+    p.memBwGbps = bw;
+    p.dispatchOverheadUs = overhead_us;
+    p.busyFreqFactor = busy_factor;
+    p.activePowerW = active_w;
+    p.idlePowerW = idle_w;
+    p.coreIds = std::move(ids);
+    return p;
+}
+
+} // namespace
+
+SocDescription
+pixel7a()
+{
+    SocDescription soc;
+    soc.name = "Google Pixel 7a";
+    soc.vendor = "Google (Arm)";
+    soc.gpuApi = "Vulkan";
+    soc.seed = 0x9001;
+    soc.noiseSigma = 0.030;
+    soc.basePowerW = 1.2;
+    soc.mem = MemorySystem{34.0, 1.0, 1.0};
+
+    soc.pus.push_back(makePu(
+        "little", "4x Cortex-A55 @ 1.80 GHz", PuKind::Cpu,
+        /*cores=*/4, /*freq=*/1.80, /*ops=*/4.0,
+        Eff{0.080, 0.200, 0.080, 0.090},
+        /*bw=*/8.0, /*overhead=*/2.0, /*busy=*/0.72,
+        /*activeW=*/0.8, /*idleW=*/0.05, sched::CpuSet::range(0, 4)));
+    soc.pus.push_back(makePu(
+        "mid", "2x Cortex-A78 @ 2.35 GHz", PuKind::Cpu,
+        2, 2.35, 8.0, Eff{0.140, 0.440, 0.150, 0.150},
+        20.0, 1.0, 0.83, 1.6, 0.08, sched::CpuSet::range(4, 2)));
+    soc.pus.push_back(makePu(
+        "big", "2x Cortex-X1 @ 2.85 GHz", PuKind::Cpu,
+        2, 2.85, 8.0, Eff{0.153, 0.620, 0.160, 0.170},
+        28.0, 1.0, 0.71, 2.8, 0.12, sched::CpuSet::range(6, 2)));
+    soc.pus.push_back(makePu(
+        "gpu", "Arm Mali-G710 MP7", PuKind::Gpu,
+        7, 0.85, 32.0, Eff{0.550, 0.158, 0.002, 0.150},
+        25.0, 60.0, 1.60, 3.5, 0.25));
+    return soc;
+}
+
+SocDescription
+oneplus11()
+{
+    SocDescription soc;
+    soc.name = "OnePlus 11";
+    soc.vendor = "Qualcomm";
+    soc.gpuApi = "Vulkan";
+    soc.seed = 0x9002;
+    soc.noiseSigma = 0.030;
+    soc.basePowerW = 1.3;
+    soc.mem = MemorySystem{36.0, 1.0, 1.0};
+
+    // Only 5 of the 8 cores accept affinity pinning on this device (paper
+    // Sec. 5.1): the X3, both A715s, and two of the three A510s. The
+    // A710 pair is not exposed as a scheduling class.
+    soc.pus.push_back(makePu(
+        "little", "2x Cortex-A510 @ 2.0 GHz (3rd not pinnable)",
+        PuKind::Cpu, 2, 2.00, 2.0, Eff{0.080, 0.260, 0.100, 0.100},
+        8.0, 2.0, 1.75, 0.7, 0.05, sched::CpuSet::range(0, 2)));
+    soc.pus.push_back(makePu(
+        "mid", "2x Cortex-A715 @ 2.8 GHz", PuKind::Cpu,
+        2, 2.80, 8.0, Eff{0.150, 0.480, 0.220, 0.210},
+        22.0, 1.0, 1.00, 1.8, 0.08, sched::CpuSet::range(3, 2)));
+    soc.pus.push_back(makePu(
+        "big", "1x Cortex-X3 @ 3.2 GHz", PuKind::Cpu,
+        1, 3.20, 16.0, Eff{0.186, 0.620, 0.200, 0.190},
+        30.0, 1.0, 0.725, 3.2, 0.12, sched::CpuSet::range(7, 1)));
+    soc.pus.push_back(makePu(
+        "gpu", "Qualcomm Adreno 740", PuKind::Gpu,
+        6, 0.68, 64.0, Eff{0.410, 0.260, 0.002, 0.180},
+        28.0, 50.0, 2.90, 4.5, 0.30));
+    return soc;
+}
+
+SocDescription
+jetsonOrinNano()
+{
+    SocDescription soc;
+    soc.name = "Jetson Orin Nano";
+    soc.vendor = "NVIDIA";
+    soc.gpuApi = "CUDA";
+    soc.seed = 0x9003;
+    soc.noiseSigma = 0.020;
+    soc.basePowerW = 5.0; // 25 W peak across CPU + GPU + uncore
+    // Shared CPU/GPU last-level cache: part of the traffic is absorbed
+    // when running alone, less so under contention.
+    soc.mem = MemorySystem{40.0, 0.50, 0.70};
+
+    soc.pus.push_back(makePu(
+        "cpu", "6x Cortex-A78AE @ 1.7 GHz", PuKind::Cpu,
+        6, 1.70, 8.0, Eff{0.670, 0.560, 0.260, 0.240},
+        25.0, 1.0, 0.705, 9.0, 0.80, sched::CpuSet::range(0, 6)));
+    soc.pus.push_back(makePu(
+        "gpu", "Ampere iGPU (1024 CUDA cores)", PuKind::Gpu,
+        8, 0.625, 128.0, Eff{0.270, 0.400, 0.200, 0.300},
+        34.0, 15.0, 0.84, 11.0, 1.20));
+    return soc;
+}
+
+SocDescription
+jetsonOrinNanoLp()
+{
+    SocDescription soc;
+    soc.name = "Jetson Orin Nano (LP)";
+    soc.vendor = "NVIDIA";
+    soc.gpuApi = "CUDA";
+    soc.seed = 0x9004;
+    soc.noiseSigma = 0.020;
+    soc.basePowerW = 1.5; // 7 W peak in the low-power mode
+    soc.mem = MemorySystem{25.0, 0.30, 0.45};
+
+    soc.pus.push_back(makePu(
+        "cpu", "4x Cortex-A78AE @ ~0.85 GHz", PuKind::Cpu,
+        4, 0.85, 32.0, Eff{0.88, 0.35, 0.10, 0.12},
+        22.0, 1.0, 0.845, 2.4, 0.30, sched::CpuSet::range(0, 4)));
+    soc.pus.push_back(makePu(
+        "gpu", "Ampere iGPU (low-power clocks)", PuKind::Gpu,
+        8, 0.30, 128.0, Eff{0.50, 0.45, 0.42, 0.45},
+        24.0, 15.0, 0.525, 3.1, 0.40));
+    return soc;
+}
+
+SocDescription
+nativeHost()
+{
+    SocDescription soc;
+    soc.name = "Native host";
+    soc.vendor = "local";
+    soc.gpuApi = "SIMT emulation";
+    soc.seed = 0x9005;
+    soc.noiseSigma = 0.0;
+    soc.basePowerW = 5.0;
+
+    const int cores = sched::onlineCoreCount();
+    soc.mem = MemorySystem{20.0, 1.0, 1.0};
+    soc.pus.push_back(makePu(
+        "cpu", "host CPU", PuKind::Cpu, cores, 2.0, 8.0,
+        Eff{0.3, 0.3, 0.3, 0.3}, 10.0, 1.0, 1.0, 10.0, 1.0,
+        sched::CpuSet::range(0, cores)));
+    soc.pus.push_back(makePu(
+        "gpu", "host SIMT emulation", PuKind::Gpu, cores, 2.0, 8.0,
+        Eff{0.3, 0.3, 0.3, 0.3}, 10.0, 5.0, 1.0, 10.0, 1.0));
+    return soc;
+}
+
+std::vector<SocDescription>
+paperDevices()
+{
+    return {pixel7a(), oneplus11(), jetsonOrinNano(),
+            jetsonOrinNanoLp()};
+}
+
+} // namespace bt::platform

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Catalog of simulated target devices.
+ *
+ * These are the four evaluation platforms of the paper (Table 2), plus a
+ * description of the local host for native pipeline execution. The
+ * numeric parameters are calibrated so that the simulated baselines and
+ * interference ratios reproduce the shape of the paper's Table 3 and
+ * Fig. 7 (see EXPERIMENTS.md for the side-by-side comparison).
+ */
+
+#ifndef BT_PLATFORM_DEVICES_HPP
+#define BT_PLATFORM_DEVICES_HPP
+
+#include <vector>
+
+#include "platform/soc.hpp"
+
+namespace bt::platform {
+
+/** Google Pixel 7a: 4x A55 + 2x A78 + 2x X1, Mali-G710 MP7, Vulkan. */
+SocDescription pixel7a();
+
+/** OnePlus 11: X3 + A715s + A510s (5/8 cores pinnable), Adreno 740. */
+SocDescription oneplus11();
+
+/** NVIDIA Jetson Orin Nano 8GB: 6x A78AE, Ampere iGPU, CUDA. */
+SocDescription jetsonOrinNano();
+
+/** Jetson Orin Nano in 7W low-power mode: 4 cores at reduced clock. */
+SocDescription jetsonOrinNanoLp();
+
+/** The machine this process runs on, for native pipeline execution. */
+SocDescription nativeHost();
+
+/** All four paper devices, in the order the paper's tables use. */
+std::vector<SocDescription> paperDevices();
+
+} // namespace bt::platform
+
+#endif // BT_PLATFORM_DEVICES_HPP

@@ -1,0 +1,157 @@
+#include "platform/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.hpp"
+
+namespace bt::platform {
+
+PerfModel::PerfModel(const SocDescription& soc_) : desc(soc_)
+{
+    desc.validate();
+}
+
+double
+PerfModel::computeTime(const WorkProfile& w, const PuModel& p,
+                       double freq_ghz) const
+{
+    const double eff = p.eff[static_cast<std::size_t>(w.pattern)];
+    const double single_core_ops = freq_ghz * 1e9 * p.opsPerCycle * eff;
+    const double flops = p.kind == PuKind::Cpu
+        ? w.flops * w.cpuWorkScale
+        : w.flops;
+    const double t1 = flops / single_core_ops;
+    // Amdahl: serial fraction stays on one core/CU.
+    const double pf = std::clamp(w.parallelFraction, 0.0, 1.0);
+    return t1 * ((1.0 - pf) + pf / p.cores);
+}
+
+double
+PerfModel::memIntensity(const WorkProfile& w, const PuModel& p) const
+{
+    const double comp = computeTime(w, p, p.freqGhz);
+    const double mem = (w.bytes * desc.mem.llcFactorIsolated)
+        / (p.memBwGbps * 1e9);
+    const double denom = std::max(comp, mem);
+    if (denom <= 0.0)
+        return 0.0;
+    return mem / denom;
+}
+
+double
+PerfModel::effectiveFreqGhz(int pu, int busy_others) const
+{
+    const PuModel& p = desc.pu(pu);
+    // Firmware governors react in steps: any concurrent load on another
+    // PU class trips the boost/throttle state (consistent with the
+    // paper's observation that the effect appears as soon as the system
+    // is loaded, Sec. 5.3).
+    const double factor = busy_others > 0 ? p.busyFreqFactor : 1.0;
+    return p.freqGhz * factor;
+}
+
+double
+PerfModel::activePowerW(int pu, int busy_others) const
+{
+    const PuModel& p = desc.pu(pu);
+    const double factor = effectiveFreqGhz(pu, busy_others) / p.freqGhz;
+    return p.activePowerW * factor * factor;
+}
+
+double
+PerfModel::systemPowerW(const std::vector<bool>& pu_active) const
+{
+    BT_ASSERT(pu_active.size() == static_cast<std::size_t>(
+        desc.numPus()));
+    int busy = 0;
+    for (bool b : pu_active)
+        busy += b;
+    double total = desc.basePowerW;
+    for (int p = 0; p < desc.numPus(); ++p) {
+        if (pu_active[static_cast<std::size_t>(p)])
+            total += activePowerW(p, busy - 1);
+        else
+            total += desc.pu(p).idlePowerW;
+    }
+    return total;
+}
+
+double
+PerfModel::timeOf(std::size_t idx, std::span<const Load> active) const
+{
+    BT_ASSERT(idx < active.size(), "load index out of range");
+    const Load& self = active[idx];
+    BT_ASSERT(self.work != nullptr);
+    const PuModel& p = desc.pu(self.pu);
+
+    // How many *other* PU classes have at least one active load, and how
+    // many loads share our own PU (timeslicing).
+    std::set<int> other_classes;
+    int same_pu = 0;
+    for (const auto& l : active) {
+        BT_ASSERT(l.work != nullptr);
+        if (l.pu == self.pu)
+            ++same_pu;
+        else
+            other_classes.insert(l.pu);
+    }
+    const int busy_others = static_cast<int>(other_classes.size());
+    const bool contended = busy_others > 0;
+
+    const double freq = effectiveFreqGhz(self.pu, busy_others);
+    double comp = computeTime(*self.work, p, freq);
+
+    // Memory side: demand-proportional DRAM sharing.
+    const double llc = contended ? desc.mem.llcFactorContended
+                                 : desc.mem.llcFactorIsolated;
+    double demand_total = 0.0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        const Load& l = active[i];
+        const PuModel& lp = desc.pu(l.pu);
+        const double demand
+            = lp.memBwGbps * memIntensity(*l.work, lp);
+        // Other PUs' traffic is partially absorbed by bank-level
+        // parallelism; our own demand counts in full.
+        demand_total += l.pu == self.pu
+            ? demand
+            : demand * desc.mem.contendedDemandWeight;
+    }
+    const double scale = demand_total > desc.mem.dramBwGbps
+        ? desc.mem.dramBwGbps / demand_total
+        : 1.0;
+    const double bw = p.memBwGbps * scale;
+    double mem = (self.work->bytes * llc) / (bw * 1e9);
+
+    // Loads time-sharing one PU stretch both components.
+    comp *= same_pu;
+    mem *= same_pu;
+
+    return std::max(comp, mem) + p.dispatchOverheadUs * 1e-6;
+}
+
+double
+PerfModel::isolatedTime(const WorkProfile& w, int pu) const
+{
+    const Load self{&w, pu};
+    return timeOf(0, std::span<const Load>(&self, 1));
+}
+
+double
+PerfModel::interferenceHeavyTime(const WorkProfile& w, int pu) const
+{
+    // The profiler's interference-heavy mode: every other PU class runs
+    // the same computation while we measure `pu` (paper Sec. 3.2).
+    std::vector<Load> loads;
+    loads.reserve(static_cast<std::size_t>(desc.numPus()));
+    std::size_t self_idx = 0;
+    for (int i = 0; i < desc.numPus(); ++i) {
+        if (i == pu)
+            self_idx = loads.size();
+        loads.push_back(Load{&w, i});
+    }
+    return timeOf(self_idx, loads);
+}
+
+} // namespace bt::platform

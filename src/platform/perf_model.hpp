@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The analytic performance / interference model of a simulated SoC.
+ *
+ * Substitutes for the physical devices of the paper (see DESIGN.md): given
+ * a stage's WorkProfile, the PU it runs on, and the set of concurrently
+ * active stage executions, it returns the stage's execution time. It is a
+ * roofline model (max of compute and memory time) extended with the three
+ * interference mechanisms the paper measures in Sec. 5.3:
+ *
+ *  1. demand-proportional sharing of the single DRAM pool (UMA),
+ *  2. DVFS governor reactions to system load - including the
+ *     counter-intuitive firmware *boost* of mobile GPUs and of the
+ *     OnePlus A510 cluster under heavy CPU load,
+ *  3. shared-LLC degradation under contention (Jetson).
+ *
+ * The model is deterministic; measurement noise is added by its callers
+ * (profiler / executor).
+ */
+
+#ifndef BT_PLATFORM_PERF_MODEL_HPP
+#define BT_PLATFORM_PERF_MODEL_HPP
+
+#include <span>
+
+#include "platform/soc.hpp"
+
+namespace bt::platform {
+
+/** One concurrently executing stage, as seen by the model. */
+struct Load
+{
+    const WorkProfile* work = nullptr;
+    int pu = -1; ///< PU class index within the SoC
+};
+
+/**
+ * Stateless evaluator over one SocDescription. All methods are const and
+ * thread-compatible.
+ */
+class PerfModel
+{
+  public:
+    explicit PerfModel(const SocDescription& soc_);
+
+    const SocDescription& soc() const { return desc; }
+
+    /**
+     * Execution time (seconds) of active[idx] given that every entry of
+     * @p active runs concurrently. Entries sharing a PU timeslice it.
+     */
+    double timeOf(std::size_t idx, std::span<const Load> active) const;
+
+    /** Execution time of @p w on @p pu with nothing else running. */
+    double isolatedTime(const WorkProfile& w, int pu) const;
+
+    /**
+     * Execution time of @p w on @p pu while every other PU runs the same
+     * computation - the profiler's interference-heavy mode (Sec. 3.2).
+     */
+    double interferenceHeavyTime(const WorkProfile& w, int pu) const;
+
+    /** Effective clock of @p pu (GHz) when @p busy_others other PU
+     *  classes are active. Exposed for the Fig. 7 analysis. */
+    double effectiveFreqGhz(int pu, int busy_others) const;
+
+    /**
+     * Instantaneous power (watts) of PU @p pu when it is active and
+     * @p busy_others other classes are active too: active power scales
+     * with the square of the governor's clock factor (voltage tracks
+     * frequency under DVFS).
+     */
+    double activePowerW(int pu, int busy_others) const;
+
+    /**
+     * Whole-SoC power given which PU classes are currently executing:
+     * base power + per-class active/idle draw.
+     */
+    double systemPowerW(const std::vector<bool>& pu_active) const;
+
+  private:
+    /** Compute-side time, before memory effects. */
+    double computeTime(const WorkProfile& w, const PuModel& p,
+                       double freq_ghz) const;
+    /** Standalone memory intensity in [0,1] used for bandwidth demand. */
+    double memIntensity(const WorkProfile& w, const PuModel& p) const;
+
+    const SocDescription& desc;
+};
+
+} // namespace bt::platform
+
+#endif // BT_PLATFORM_PERF_MODEL_HPP

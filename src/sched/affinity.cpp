@@ -1,0 +1,113 @@
+#include "sched/affinity.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "common/logging.hpp"
+
+namespace bt::sched {
+
+CpuSet::CpuSet(std::vector<int> core_ids) : ids(std::move(core_ids))
+{
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    for (int id : ids)
+        BT_ASSERT(id >= 0, "negative core id");
+}
+
+CpuSet
+CpuSet::range(int first, int count)
+{
+    BT_ASSERT(first >= 0 && count >= 0);
+    std::vector<int> v(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        v[static_cast<std::size_t>(i)] = first + i;
+    return CpuSet(std::move(v));
+}
+
+void
+CpuSet::add(int core_id)
+{
+    BT_ASSERT(core_id >= 0);
+    auto it = std::lower_bound(ids.begin(), ids.end(), core_id);
+    if (it == ids.end() || *it != core_id)
+        ids.insert(it, core_id);
+}
+
+bool
+CpuSet::contains(int core_id) const
+{
+    return std::binary_search(ids.begin(), ids.end(), core_id);
+}
+
+std::string
+CpuSet::toString() const
+{
+    std::ostringstream os;
+    os << '{';
+    std::size_t i = 0;
+    while (i < ids.size()) {
+        // Collapse runs into "a-b" spans.
+        std::size_t j = i;
+        while (j + 1 < ids.size() && ids[j + 1] == ids[j] + 1)
+            ++j;
+        if (i > 0)
+            os << ',';
+        if (j == i)
+            os << ids[i];
+        else
+            os << ids[i] << '-' << ids[j];
+        i = j + 1;
+    }
+    os << '}';
+    return os.str();
+}
+
+bool
+bindCurrentThread(const CpuSet& set)
+{
+    if (set.empty())
+        return false;
+#if defined(__linux__)
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    for (int id : set.cores())
+        CPU_SET(static_cast<unsigned>(id), &mask);
+    return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+#else
+    return false; // No affinity control on this platform.
+#endif
+}
+
+CpuSet
+currentThreadAffinity()
+{
+#if defined(__linux__)
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    if (pthread_getaffinity_np(pthread_self(), sizeof(mask), &mask) != 0)
+        return CpuSet();
+    CpuSet set;
+    for (int id = 0; id < CPU_SETSIZE; ++id)
+        if (CPU_ISSET(static_cast<unsigned>(id), &mask))
+            set.add(id);
+    return set;
+#else
+    return CpuSet();
+#endif
+}
+
+int
+onlineCoreCount()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+} // namespace bt::sched

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CPU-affinity plumbing, the stand-in for the paper's
+ * sched_setaffinity()/pthread_setaffinity_np() usage.
+ *
+ * On Linux hosts the calls are real; platforms that refuse a pinning
+ * request (the paper notes OnePlus only exposes 5 of 8 cores) surface the
+ * failure so callers can degrade gracefully, exactly as BT-Implementer
+ * must on unrooted Android.
+ */
+
+#ifndef BT_SCHED_AFFINITY_HPP
+#define BT_SCHED_AFFINITY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bt::sched {
+
+/** A set of logical core IDs a thread may run on. */
+class CpuSet
+{
+  public:
+    CpuSet() = default;
+
+    /** Construct from explicit core IDs. */
+    explicit CpuSet(std::vector<int> core_ids);
+
+    /** Contiguous range [first, first + count). */
+    static CpuSet range(int first, int count);
+
+    /** Add a core ID (idempotent). */
+    void add(int core_id);
+
+    /** Whether the set contains @p core_id. */
+    bool contains(int core_id) const;
+
+    /** Core IDs in ascending order. */
+    const std::vector<int>& cores() const { return ids; }
+
+    bool empty() const { return ids.empty(); }
+    std::size_t size() const { return ids.size(); }
+
+    /** Render as e.g. "{0,1,4-7}" for logs and tables. */
+    std::string toString() const;
+
+  private:
+    std::vector<int> ids;
+};
+
+/**
+ * Bind the calling thread to @p set.
+ * @return true on success; false when the kernel rejects the mask (e.g.
+ *         cores offline or restricted), in which case the thread keeps its
+ *         previous affinity.
+ */
+bool bindCurrentThread(const CpuSet& set);
+
+/** Query the calling thread's current affinity mask. */
+CpuSet currentThreadAffinity();
+
+/** Number of online logical cores on this host. */
+int onlineCoreCount();
+
+} // namespace bt::sched
+
+#endif // BT_SCHED_AFFINITY_HPP

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Lock-free single-producer single-consumer ring buffer.
+ *
+ * This is the hand-off primitive between pipeline dispatcher threads in the
+ * BT-Implementer (Sec. 3.4 of the paper): each queue edge carries
+ * TaskObject pointers from one chunk's dispatcher to the next. The
+ * implementation is the classic Lamport ring with C++11 acquire/release
+ * ordering and cache-line-separated indices.
+ */
+
+#ifndef BT_SCHED_SPSC_QUEUE_HPP
+#define BT_SCHED_SPSC_QUEUE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace bt::sched {
+
+/**
+ * Bounded wait-free SPSC queue. Exactly one thread may call the producer
+ * side (tryPush) and exactly one the consumer side (tryPop) at a time.
+ *
+ * @tparam T element type; must be nothrow-movable.
+ */
+template <typename T>
+class SpscQueue
+{
+  public:
+    /**
+     * @param capacity_ maximum number of elements held at once; one slot
+     *        is reserved internally to distinguish full from empty.
+     */
+    explicit SpscQueue(std::size_t capacity_)
+        : slots(capacity_ + 1), buffer(capacity_ + 1)
+    {
+        BT_ASSERT(capacity_ > 0, "queue capacity must be positive");
+    }
+
+    SpscQueue(const SpscQueue&) = delete;
+    SpscQueue& operator=(const SpscQueue&) = delete;
+
+    /** Usable capacity. */
+    std::size_t capacity() const { return slots - 1; }
+
+    /**
+     * Attempt to enqueue. Producer-side only.
+     * @return false when the queue is full.
+     */
+    bool
+    tryPush(T value)
+    {
+        const std::size_t h = head.load(std::memory_order_relaxed);
+        const std::size_t next = increment(h);
+        if (next == tail.load(std::memory_order_acquire))
+            return false; // full
+        buffer[h] = std::move(value);
+        head.store(next, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Attempt to dequeue. Consumer-side only.
+     * @return std::nullopt when the queue is empty.
+     */
+    std::optional<T>
+    tryPop()
+    {
+        const std::size_t t = tail.load(std::memory_order_relaxed);
+        if (t == head.load(std::memory_order_acquire))
+            return std::nullopt; // empty
+        T value = std::move(buffer[t]);
+        tail.store(increment(t), std::memory_order_release);
+        return value;
+    }
+
+    /** Approximate element count; exact only when both sides are quiet. */
+    std::size_t
+    sizeApprox() const
+    {
+        const std::size_t h = head.load(std::memory_order_acquire);
+        const std::size_t t = tail.load(std::memory_order_acquire);
+        return h >= t ? h - t : h + slots - t;
+    }
+
+    /** True when no elements are visible to the consumer. */
+    bool
+    emptyApprox() const
+    {
+        return head.load(std::memory_order_acquire)
+            == tail.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::size_t
+    increment(std::size_t idx) const
+    {
+        ++idx;
+        return idx == slots ? 0 : idx;
+    }
+
+    std::size_t slots;
+    std::vector<T> buffer;
+    alignas(64) std::atomic<std::size_t> head{0}; ///< next write slot
+    alignas(64) std::atomic<std::size_t> tail{0}; ///< next read slot
+};
+
+} // namespace bt::sched
+
+#endif // BT_SCHED_SPSC_QUEUE_HPP

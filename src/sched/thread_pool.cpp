@@ -1,0 +1,140 @@
+#include "sched/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bt::sched {
+
+ThreadPool::ThreadPool(int num_threads, CpuSet affinity)
+    : teamSize(std::max(1, num_threads)), pinSet(std::move(affinity))
+{
+    // The calling thread participates in every region, so spawn one fewer
+    // worker than the team size.
+    const int helpers = teamSize - 1;
+    workers.reserve(static_cast<std::size_t>(helpers));
+    for (int w = 0; w < helpers; ++w)
+        workers.emplace_back([this, w] { workerLoop(w); });
+
+    if (!pinSet.empty() && !bindCurrentThread(pinSet))
+        boundOk.store(false, std::memory_order_relaxed);
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping.store(true, std::memory_order_relaxed);
+        ++generation;
+    }
+    workReady.notify_all();
+    for (auto& t : workers)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop(int worker_id)
+{
+    (void)worker_id;
+    if (!pinSet.empty() && !bindCurrentThread(pinSet))
+        boundOk.store(false, std::memory_order_relaxed);
+
+    std::uint64_t seen = 0;
+    while (true) {
+        const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+        std::int64_t lo = 0, hi = 0;
+        int my_slot = 0;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            workReady.wait(lock, [&] {
+                return generation != seen
+                    || stopping.load(std::memory_order_relaxed);
+            });
+            if (stopping.load(std::memory_order_relaxed))
+                return;
+            seen = generation;
+            fn = regionFn;
+            lo = regionBegin;
+            hi = regionEnd;
+            my_slot = --slotCounter; // claim a unique block index
+        }
+
+        if (fn) {
+            // Block decomposition: worker w takes block (my_slot + 1); the
+            // caller thread always takes block 0.
+            const std::int64_t n = hi - lo;
+            const std::int64_t team = teamSize;
+            const std::int64_t block = my_slot + 1;
+            const std::int64_t b0 = lo + n * block / team;
+            const std::int64_t b1 = lo + n * (block + 1) / team;
+            if (b0 < b1)
+                (*fn)(b0, b1);
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            ++doneWorkers;
+            workDone.notify_one();
+        }
+    }
+}
+
+void
+ThreadPool::runRegion(std::int64_t begin, std::int64_t end,
+                      const std::function<void(std::int64_t,
+                                               std::int64_t)>& fn)
+{
+    BT_ASSERT(begin <= end, "inverted parallelFor range");
+    if (begin == end)
+        return;
+
+    if (workers.empty()) {
+        fn(begin, end);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        regionBegin = begin;
+        regionEnd = end;
+        regionFn = &fn;
+        slotCounter = static_cast<int>(workers.size());
+        doneWorkers = 0;
+        ++generation;
+    }
+    workReady.notify_all();
+
+    // The calling thread processes block 0.
+    const std::int64_t n = end - begin;
+    const std::int64_t team = teamSize;
+    const std::int64_t b1 = begin + n / team;
+    if (begin < b1)
+        fn(begin, b1);
+
+    std::unique_lock<std::mutex> lock(mtx);
+    workDone.wait(lock, [&] {
+        return doneWorkers == static_cast<int>(workers.size());
+    });
+    regionFn = nullptr;
+}
+
+void
+ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
+                        const std::function<void(std::int64_t)>& fn)
+{
+    parallelForBlocks(begin, end,
+                      [&fn](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t i = lo; i < hi; ++i)
+                              fn(i);
+                      });
+}
+
+void
+ThreadPool::parallelForBlocks(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn)
+{
+    runRegion(begin, end, fn);
+}
+
+} // namespace bt::sched

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Work-sharing thread pool with an OpenMP-style parallelFor.
+ *
+ * The paper's CPU kernels use `#pragma omp parallel for`; this pool is the
+ * framework's equivalent: a fixed team of long-lived workers (avoiding
+ * per-stage thread creation, as the paper notes OpenMP's pool does), an
+ * optional affinity set applied to every worker, and a blocking fork-join
+ * parallelFor that chunks the iteration space.
+ */
+
+#ifndef BT_SCHED_THREAD_POOL_HPP
+#define BT_SCHED_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/affinity.hpp"
+
+namespace bt::sched {
+
+/**
+ * Fixed-size fork-join thread pool.
+ *
+ * parallelFor blocks the caller until the whole range is processed. The
+ * pool is reusable across calls; only one parallel region may be active at
+ * a time (matching the dispatcher-thread usage pattern where each chunk
+ * owns its team).
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p num_threads workers. If @p affinity is non-empty every
+     * worker binds to that core set (best effort; failures are recorded).
+     */
+    explicit ThreadPool(int num_threads, CpuSet affinity = CpuSet());
+
+    /** Join and destroy all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Team size, including the calling thread's share of the work. */
+    int threads() const { return teamSize; }
+
+    /** Whether every worker successfully bound to the affinity set. */
+    bool affinityApplied() const { return boundOk; }
+
+    /**
+     * Execute fn(i) for every i in [begin, end), split into contiguous
+     * blocks across the team. Blocks until complete. fn must be safe to
+     * call concurrently for distinct indices.
+     */
+    void parallelFor(std::int64_t begin, std::int64_t end,
+                     const std::function<void(std::int64_t)>& fn);
+
+    /**
+     * Block-level variant: fn(block_begin, block_end) is invoked once per
+     * contiguous block, letting kernels keep per-block accumulators.
+     */
+    void parallelForBlocks(
+        std::int64_t begin, std::int64_t end,
+        const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  private:
+    void workerLoop(int worker_id);
+    void runRegion(std::int64_t begin, std::int64_t end,
+                   const std::function<void(std::int64_t,
+                                            std::int64_t)>& fn);
+
+    int teamSize;
+    CpuSet pinSet;
+    std::atomic<bool> boundOk{true};
+    std::atomic<bool> stopping{false};
+
+    // Fork-join state, guarded by mtx.
+    std::mutex mtx;
+    std::condition_variable workReady;
+    std::condition_variable workDone;
+    std::uint64_t generation = 0; ///< bumped per parallel region
+    int slotCounter = 0;          ///< hands each worker a unique block
+    int doneWorkers = 0;          ///< workers finished in this region
+    std::int64_t regionBegin = 0;
+    std::int64_t regionEnd = 0;
+    const std::function<void(std::int64_t, std::int64_t)>* regionFn
+        = nullptr;
+
+    std::vector<std::thread> workers;
+};
+
+} // namespace bt::sched
+
+#endif // BT_SCHED_THREAD_POOL_HPP

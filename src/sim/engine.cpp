@@ -1,0 +1,157 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace bt::sim {
+
+namespace {
+/// Work below this threshold counts as complete (guards float drift).
+constexpr double kWorkEpsilon = 1e-12;
+} // namespace
+
+Engine::Engine(RateFn rate_fn) : rateFn(std::move(rate_fn))
+{
+    BT_ASSERT(rateFn, "engine needs a rate function");
+}
+
+TaskId
+Engine::startTask(std::uint64_t tag, double work)
+{
+    BT_ASSERT(work > 0.0, "task work must be positive, got ", work);
+    ActiveTask t;
+    t.id = nextId++;
+    t.tag = tag;
+    t.remaining = work;
+    t.rate = 0.0;
+    active.push_back(t);
+    startTimes[t.id] = clock;
+    ratesStale = true;
+    return t.id;
+}
+
+double
+Engine::startTime(TaskId id) const
+{
+    auto it = startTimes.find(id);
+    BT_ASSERT(it != startTimes.end(), "unknown task id ", id);
+    return it->second;
+}
+
+void
+Engine::scheduleAt(double t, std::function<void()> fn)
+{
+    BT_ASSERT(t >= clock - 1e-15, "timer in the past: ", t, " < ", clock);
+    timers.push(Timer{std::max(t, clock), timerSeq++, std::move(fn)});
+}
+
+void
+Engine::refreshRates()
+{
+    if (!ratesStale || active.empty()) {
+        ratesStale = false;
+        return;
+    }
+    std::vector<double> rates(active.size(), 0.0);
+    rateFn(active, rates);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        BT_ASSERT(rates[i] > 0.0, "rate must be positive for task ",
+                  active[i].id);
+        active[i].rate = rates[i];
+    }
+    ratesStale = false;
+}
+
+void
+Engine::advanceTo(double t)
+{
+    BT_ASSERT(t >= clock - 1e-15);
+    const double dt = t - clock;
+    if (dt > 0.0) {
+        if (advance)
+            advance(clock, t);
+        for (auto& task : active)
+            task.remaining
+                = std::max(0.0, task.remaining - task.rate * dt);
+    }
+    clock = t;
+}
+
+bool
+Engine::step()
+{
+    if (active.empty() && timers.empty())
+        return false;
+
+    refreshRates();
+
+    // Earliest completion at current rates; remember which task it is
+    // so float rounding cannot leave the event without a finisher.
+    double completionAt = std::numeric_limits<double>::infinity();
+    std::size_t earliest = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        const double at = clock + active[i].remaining / active[i].rate;
+        if (at < completionAt) {
+            completionAt = at;
+            earliest = i;
+        }
+    }
+
+    const double timerAt = timers.empty()
+        ? std::numeric_limits<double>::infinity()
+        : timers.top().at;
+
+    if (timerAt <= completionAt) {
+        advanceTo(timerAt);
+        // Pop exactly one timer; callbacks may add tasks/timers.
+        auto fn = std::move(const_cast<Timer&>(timers.top()).fn);
+        timers.pop();
+        fn();
+        ratesStale = true;
+        return true;
+    }
+
+    // Guarantee the argmin task registers as finished despite rounding.
+    active[earliest].remaining = 0.0;
+    advanceTo(completionAt);
+
+    // Collect every task that finished at this instant, remove them from
+    // the active set first, then fire callbacks (which may start tasks).
+    std::vector<ActiveTask> finished;
+    for (auto it = active.begin(); it != active.end();) {
+        if (it->remaining <= kWorkEpsilon) {
+            finished.push_back(*it);
+            it = active.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    BT_ASSERT(!finished.empty(), "completion event with no finished task");
+    ratesStale = true;
+    for (const auto& task : finished) {
+        if (completion)
+            completion(task.id, task.tag);
+        startTimes.erase(task.id);
+    }
+    return true;
+}
+
+double
+Engine::run(double horizon)
+{
+    // A sentinel timer pins the stopping point so the last step cannot
+    // overshoot the horizon.
+    if (horizon >= 0.0 && horizon > clock)
+        scheduleAt(horizon, [] {});
+    while (!active.empty() || !timers.empty()) {
+        if (horizon >= 0.0 && clock >= horizon)
+            break;
+        if (!step())
+            break;
+    }
+    return clock;
+}
+
+} // namespace bt::sim

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Discrete-event engine with processor-sharing task progress.
+ *
+ * This is the virtual-time substrate for the simulated SoCs (DESIGN.md
+ * substitution table): every "execution" of a pipeline stage is a Task
+ * whose progress rate is recomputed each time the set of concurrently
+ * active tasks changes. The rate function is supplied by the platform
+ * performance model, which is where interference (shared DRAM bandwidth,
+ * DVFS boost, etc.) lives. The engine itself only integrates work over
+ * time and fires completion callbacks.
+ *
+ * Rates are piecewise constant between events, so integration is exact:
+ * the next event is either a scheduled timer or the earliest task
+ * completion at current rates.
+ */
+
+#ifndef BT_SIM_ENGINE_HPP
+#define BT_SIM_ENGINE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <span>
+#include <vector>
+
+namespace bt::sim {
+
+/** Opaque handle to a running task. */
+using TaskId = std::int64_t;
+
+/** Snapshot of one active task, visible to the rate function. */
+struct ActiveTask
+{
+    TaskId id = -1;
+    std::uint64_t tag = 0;   ///< caller-defined meaning (e.g. stage|pu key)
+    double remaining = 0.0;  ///< work units left
+    double rate = 0.0;       ///< current work units per second
+};
+
+/**
+ * Computes the progress rate (work units per virtual second) of each
+ * active task given the whole active set. Invoked whenever the active set
+ * changes. Must write a strictly positive rate for every task.
+ */
+using RateFn = std::function<void(std::span<const ActiveTask> active,
+                                  std::span<double> rates_out)>;
+
+/** Fired when a task's work reaches zero. */
+using CompletionFn = std::function<void(TaskId, std::uint64_t tag)>;
+
+/**
+ * Observes every virtual-time interval [t0, t1) over which the active
+ * set was constant; used for time-integrated metrics such as energy.
+ */
+using AdvanceFn = std::function<void(double t0, double t1)>;
+
+/**
+ * Virtual-time engine. Single-threaded: callbacks run inline during
+ * run() and may start further tasks or schedule timers.
+ */
+class Engine
+{
+  public:
+    explicit Engine(RateFn rate_fn);
+
+    /** Current virtual time in seconds. */
+    double now() const { return clock; }
+
+    /** Register the completion callback (may be empty). */
+    void onComplete(CompletionFn fn) { completion = std::move(fn); }
+
+    /** Register the interval observer (called before state changes). */
+    void onAdvance(AdvanceFn fn) { advance = std::move(fn); }
+
+    /**
+     * Begin a task with @p work units of work at the current time.
+     * @return its id, unique within this engine.
+     */
+    TaskId startTask(std::uint64_t tag, double work);
+
+    /** Number of currently active tasks. */
+    std::size_t activeCount() const { return active.size(); }
+
+    /** Virtual time at which @p id started. */
+    double startTime(TaskId id) const;
+
+    /** Schedule @p fn to run at absolute virtual time @p t (>= now). */
+    void scheduleAt(double t, std::function<void()> fn);
+
+    /**
+     * Run until no tasks are active and no timers pending, or until
+     * virtual time exceeds @p horizon (negative = unbounded).
+     * @return final virtual time.
+     */
+    double run(double horizon = -1.0);
+
+    /**
+     * Advance until the next event is processed (one completion or one
+     * timer). @return false when nothing is pending.
+     */
+    bool step();
+
+  private:
+    void refreshRates();
+    void advanceTo(double t);
+
+    RateFn rateFn;
+    CompletionFn completion;
+    AdvanceFn advance;
+    double clock = 0.0;
+    TaskId nextId = 0;
+
+    std::vector<ActiveTask> active;
+    std::map<TaskId, double> startTimes;
+
+    struct Timer
+    {
+        double at;
+        std::uint64_t seq; ///< tie-break: FIFO among equal timestamps
+        std::function<void()> fn;
+        bool operator>(const Timer& o) const
+        {
+            return at > o.at || (at == o.at && seq > o.seq);
+        }
+    };
+    std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers;
+    std::uint64_t timerSeq = 0;
+    bool ratesStale = true;
+};
+
+} // namespace bt::sim
+
+#endif // BT_SIM_ENGINE_HPP

@@ -1,0 +1,221 @@
+#include "simt/algorithms.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bt::simt {
+
+namespace {
+
+/// Number of worker threads a device-wide primitive launches. Chosen to
+/// look like a small integrated GPU (16 "blocks" of 64 threads).
+constexpr int kGrid = 16;
+constexpr int kBlock = 64;
+
+/// Chunk bounds for thread `tid` of `threads` over n items.
+struct Chunk
+{
+    std::int64_t lo;
+    std::int64_t hi;
+};
+
+Chunk
+chunkOf(std::int64_t tid, std::int64_t threads, std::int64_t n)
+{
+    return Chunk{n * tid / threads, n * (tid + 1) / threads};
+}
+
+} // namespace
+
+std::uint64_t
+deviceReduce(std::span<const std::uint32_t> in)
+{
+    const std::int64_t n = static_cast<std::int64_t>(in.size());
+    const LaunchConfig cfg{kGrid, kBlock};
+    const std::int64_t threads = cfg.totalThreads();
+    std::vector<std::uint64_t> partials(
+        static_cast<std::size_t>(threads), 0);
+
+    // Kernel 1: each thread reduces its contiguous chunk.
+    launch(cfg, [&](const WorkItem& item) {
+        const auto [lo, hi] = chunkOf(item.globalId(), threads, n);
+        std::uint64_t acc = 0;
+        for (std::int64_t i = lo; i < hi; ++i)
+            acc += in[static_cast<std::size_t>(i)];
+        partials[static_cast<std::size_t>(item.globalId())] = acc;
+    });
+
+    // Kernel 2: single thread folds the partials (tiny array).
+    std::uint64_t total = 0;
+    launch(LaunchConfig{1, 1}, [&](const WorkItem&) {
+        std::uint64_t acc = 0;
+        for (std::uint64_t p : partials)
+            acc += p;
+        total = acc;
+    });
+    return total;
+}
+
+std::uint64_t
+deviceExclusiveScan(std::span<const std::uint32_t> in,
+                    std::span<std::uint32_t> out)
+{
+    BT_ASSERT(out.size() >= in.size(), "scan output too small");
+    const std::int64_t n = static_cast<std::int64_t>(in.size());
+    const LaunchConfig cfg{kGrid, kBlock};
+    const std::int64_t threads = cfg.totalThreads();
+    std::vector<std::uint64_t> partials(
+        static_cast<std::size_t>(threads), 0);
+
+    // Phase 1: per-chunk sums.
+    launch(cfg, [&](const WorkItem& item) {
+        const auto [lo, hi] = chunkOf(item.globalId(), threads, n);
+        std::uint64_t acc = 0;
+        for (std::int64_t i = lo; i < hi; ++i)
+            acc += in[static_cast<std::size_t>(i)];
+        partials[static_cast<std::size_t>(item.globalId())] = acc;
+    });
+
+    // Phase 2: exclusive scan of the partials array (single thread; the
+    // array has `threads` entries, negligible work).
+    std::uint64_t total = 0;
+    launch(LaunchConfig{1, 1}, [&](const WorkItem&) {
+        std::uint64_t run = 0;
+        for (auto& p : partials) {
+            const std::uint64_t v = p;
+            p = run;
+            run += v;
+        }
+        total = run;
+    });
+
+    // Phase 3: per-chunk exclusive rescan seeded with the chunk offset.
+    // Chunks are written back-to-front inside the loop so in/out may
+    // alias element-wise (each index is read before written).
+    launch(cfg, [&](const WorkItem& item) {
+        const auto [lo, hi] = chunkOf(item.globalId(), threads, n);
+        std::uint64_t run
+            = partials[static_cast<std::size_t>(item.globalId())];
+        for (std::int64_t i = lo; i < hi; ++i) {
+            const std::uint32_t v = in[static_cast<std::size_t>(i)];
+            out[static_cast<std::size_t>(i)]
+                = static_cast<std::uint32_t>(run);
+            run += v;
+        }
+    });
+    return total;
+}
+
+void
+deviceHistogram(std::span<const std::uint32_t> keys, int shift,
+                std::uint32_t buckets, std::span<std::uint32_t> counts)
+{
+    BT_ASSERT(counts.size() >= buckets, "histogram output too small");
+    BT_ASSERT((buckets & (buckets - 1)) == 0, "buckets must be power of 2");
+    const std::uint32_t mask = buckets - 1;
+    const std::int64_t n = static_cast<std::int64_t>(keys.size());
+    const LaunchConfig cfg{kGrid, kBlock};
+    const std::int64_t threads = cfg.totalThreads();
+
+    // Per-thread private histograms (the "shared memory" copy).
+    std::vector<std::uint32_t> priv(
+        static_cast<std::size_t>(threads) * buckets, 0);
+
+    launch(cfg, [&](const WorkItem& item) {
+        const std::int64_t tid = item.globalId();
+        const auto [lo, hi] = chunkOf(tid, threads, n);
+        std::uint32_t* mine
+            = &priv[static_cast<std::size_t>(tid) * buckets];
+        for (std::int64_t i = lo; i < hi; ++i) {
+            const std::uint32_t d
+                = (keys[static_cast<std::size_t>(i)] >> shift) & mask;
+            ++mine[d];
+        }
+    });
+
+    // Reduction kernel: one thread per bucket folds the private copies.
+    launch(LaunchConfig::cover(buckets, kBlock),
+           [&](const WorkItem& item) {
+               gridStride(item, buckets, [&](std::int64_t b) {
+                   std::uint32_t acc = 0;
+                   for (std::int64_t t = 0; t < threads; ++t)
+                       acc += priv[static_cast<std::size_t>(t) * buckets
+                                   + static_cast<std::size_t>(b)];
+                   counts[static_cast<std::size_t>(b)] = acc;
+               });
+           });
+}
+
+void
+deviceRadixPass(std::span<const std::uint32_t> in,
+                std::span<std::uint32_t> out, int shift, int radix_bits)
+{
+    BT_ASSERT(out.size() >= in.size(), "radix pass output too small");
+    BT_ASSERT(radix_bits >= 1 && radix_bits <= 16);
+    const std::uint32_t buckets = 1u << radix_bits;
+    const std::uint32_t mask = buckets - 1;
+    const std::int64_t n = static_cast<std::int64_t>(in.size());
+    const LaunchConfig cfg{kGrid, kBlock};
+    const std::int64_t threads = cfg.totalThreads();
+
+    // Phase 1: per-chunk digit histograms.
+    std::vector<std::uint32_t> hist(
+        static_cast<std::size_t>(threads) * buckets, 0);
+    launch(cfg, [&](const WorkItem& item) {
+        const std::int64_t tid = item.globalId();
+        const auto [lo, hi] = chunkOf(tid, threads, n);
+        std::uint32_t* mine
+            = &hist[static_cast<std::size_t>(tid) * buckets];
+        for (std::int64_t i = lo; i < hi; ++i)
+            ++mine[(in[static_cast<std::size_t>(i)] >> shift) & mask];
+    });
+
+    // Phase 2: column-major exclusive scan of hist -> scatter offsets.
+    // Order (bucket-major, then thread) preserves stability: lower chunks
+    // of the same digit scatter first.
+    launch(LaunchConfig{1, 1}, [&](const WorkItem&) {
+        std::uint64_t run = 0;
+        for (std::uint32_t b = 0; b < buckets; ++b) {
+            for (std::int64_t t = 0; t < threads; ++t) {
+                auto& cell = hist[static_cast<std::size_t>(t) * buckets
+                                  + b];
+                const std::uint32_t v = cell;
+                cell = static_cast<std::uint32_t>(run);
+                run += v;
+            }
+        }
+    });
+
+    // Phase 3: stable scatter; each thread walks its chunk in order.
+    launch(cfg, [&](const WorkItem& item) {
+        const std::int64_t tid = item.globalId();
+        const auto [lo, hi] = chunkOf(tid, threads, n);
+        std::uint32_t* mine
+            = &hist[static_cast<std::size_t>(tid) * buckets];
+        for (std::int64_t i = lo; i < hi; ++i) {
+            const std::uint32_t key = in[static_cast<std::size_t>(i)];
+            const std::uint32_t d = (key >> shift) & mask;
+            out[mine[d]++] = key;
+        }
+    });
+}
+
+void
+deviceRadixSort(std::span<std::uint32_t> keys,
+                std::span<std::uint32_t> scratch, int radix_bits)
+{
+    BT_ASSERT(scratch.size() >= keys.size(), "radix scratch too small");
+    BT_ASSERT(32 % radix_bits == 0, "radix bits must divide 32");
+    std::span<std::uint32_t> src = keys;
+    std::span<std::uint32_t> dst = scratch.subspan(0, keys.size());
+    for (int shift = 0; shift < 32; shift += radix_bits) {
+        deviceRadixPass(src, dst, shift, radix_bits);
+        std::swap(src, dst);
+    }
+    // 32/radix_bits passes: if odd, the result sits in scratch.
+    if (src.data() != keys.data())
+        std::copy(src.begin(), src.end(), keys.begin());
+}
+
+} // namespace bt::simt

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Device-wide cooperative primitives, written the way GPU libraries write
+ * them: multi-kernel phase structure with per-thread chunks and a partials
+ * array standing in for inter-block communication. These are the building
+ * blocks of the GPU backends for Sort, Prefix Sum and Duplicate Removal in
+ * the Octree application.
+ */
+
+#ifndef BT_SIMT_ALGORITHMS_HPP
+#define BT_SIMT_ALGORITHMS_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simt/simt.hpp"
+
+namespace bt::simt {
+
+/** Device-wide sum of 32-bit values (tree reduction over thread chunks). */
+std::uint64_t deviceReduce(std::span<const std::uint32_t> in);
+
+/**
+ * Device-wide exclusive prefix sum. in and out may alias. Implemented as
+ * the classic three-phase scan: per-chunk partial sums, scan of partials,
+ * per-chunk rescan with offsets.
+ * @return the total sum (the value that would follow the last element).
+ */
+std::uint64_t deviceExclusiveScan(std::span<const std::uint32_t> in,
+                                  std::span<std::uint32_t> out);
+
+/**
+ * Device-wide histogram of (key >> shift) & (buckets-1).
+ * @param counts must have `buckets` entries; it is zeroed first.
+ */
+void deviceHistogram(std::span<const std::uint32_t> keys, int shift,
+                     std::uint32_t buckets,
+                     std::span<std::uint32_t> counts);
+
+/**
+ * One stable LSD radix-sort pass over `radixBits`-wide digits at
+ * @p shift: per-chunk digit histograms, a scan producing per-chunk bucket
+ * offsets, then a stable scatter. This mirrors the canonical GPU radix
+ * sort (Satish et al.) with thread-chunks in place of thread blocks.
+ */
+void deviceRadixPass(std::span<const std::uint32_t> in,
+                     std::span<std::uint32_t> out, int shift,
+                     int radix_bits);
+
+/**
+ * Full LSD radix sort of 32-bit keys using ping-pong buffers.
+ * @param scratch must be at least in.size() elements.
+ */
+void deviceRadixSort(std::span<std::uint32_t> keys,
+                     std::span<std::uint32_t> scratch,
+                     int radix_bits = 8);
+
+} // namespace bt::simt
+
+#endif // BT_SIMT_ALGORITHMS_HPP

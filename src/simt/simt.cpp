@@ -1,0 +1,81 @@
+#include "simt/simt.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace bt::simt {
+
+LaunchConfig
+LaunchConfig::cover(std::int64_t n, int block, int max_grid)
+{
+    BT_ASSERT(block > 0 && max_grid > 0);
+    LaunchConfig cfg;
+    cfg.blockDim = block;
+    if (n <= 0) {
+        cfg.gridDim = 1;
+        return cfg;
+    }
+    const std::int64_t blocks = (n + block - 1) / block;
+    cfg.gridDim = static_cast<int>(std::min<std::int64_t>(blocks, max_grid));
+    return cfg;
+}
+
+namespace {
+
+void
+runBlock(const LaunchConfig& cfg, const Kernel& kernel, int block)
+{
+    WorkItem item;
+    item.blockIdx = block;
+    item.blockDim = cfg.blockDim;
+    item.gridDim = cfg.gridDim;
+    for (int t = 0; t < cfg.blockDim; ++t) {
+        item.threadIdx = t;
+        kernel(item);
+    }
+}
+
+} // namespace
+
+void
+launch(const LaunchConfig& cfg, const Kernel& kernel)
+{
+    BT_ASSERT(cfg.gridDim > 0 && cfg.blockDim > 0, "empty launch");
+    for (int b = 0; b < cfg.gridDim; ++b)
+        runBlock(cfg, kernel, b);
+}
+
+void
+launch(sched::ThreadPool& pool, const LaunchConfig& cfg,
+       const Kernel& kernel)
+{
+    BT_ASSERT(cfg.gridDim > 0 && cfg.blockDim > 0, "empty launch");
+    pool.parallelFor(0, cfg.gridDim, [&](std::int64_t b) {
+        runBlock(cfg, kernel, static_cast<int>(b));
+    });
+}
+
+void
+launchShuffled(const LaunchConfig& cfg, const Kernel& kernel,
+               std::uint64_t seed)
+{
+    BT_ASSERT(cfg.gridDim > 0 && cfg.blockDim > 0, "empty launch");
+    std::vector<int> order(static_cast<std::size_t>(cfg.gridDim));
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(seed);
+    // Fisher-Yates with the framework RNG for reproducibility.
+    for (std::size_t i = order.size(); i > 1; --i) {
+        const std::size_t j
+            = static_cast<std::size_t>(rng.nextBounded(i));
+        std::swap(order[i - 1], order[j]);
+    }
+    for (int b : order)
+        runBlock(cfg, kernel, b);
+}
+
+} // namespace bt::simt

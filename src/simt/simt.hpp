@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SIMT-style kernel launch layer: the framework's stand-in for CUDA and
+ * Vulkan compute (see DESIGN.md, substitution table).
+ *
+ * GPU kernels in this codebase are written exactly as they would be in
+ * CUDA: a grid of thread blocks, each thread identified by
+ * (blockIdx, threadIdx), usually iterating a grid-stride loop. Cooperative
+ * algorithms (scan, histogram, radix sort) are phase-structured as multiple
+ * kernel launches - the standard way GPU code expresses device-wide
+ * barriers - so no intra-block barrier primitive is needed.
+ *
+ * Execution is functional and deterministic on the host; timing of GPU
+ * work is the job of the platform performance model, not this layer.
+ */
+
+#ifndef BT_SIMT_SIMT_HPP
+#define BT_SIMT_SIMT_HPP
+
+#include <cstdint>
+#include <functional>
+
+namespace bt::sched { class ThreadPool; }
+
+namespace bt::simt {
+
+/** Grid geometry of one kernel launch (1-D, like all kernels here). */
+struct LaunchConfig
+{
+    int gridDim = 1;   ///< number of thread blocks
+    int blockDim = 64; ///< threads per block
+
+    /** Total threads in the launch. */
+    std::int64_t
+    totalThreads() const
+    {
+        return static_cast<std::int64_t>(gridDim) * blockDim;
+    }
+
+    /** Geometry covering @p n items with @p block threads per block. */
+    static LaunchConfig cover(std::int64_t n, int block = 64,
+                              int max_grid = 1024);
+};
+
+/** Identity of one SIMT thread inside a launch. */
+struct WorkItem
+{
+    int blockIdx = 0;
+    int threadIdx = 0;
+    int blockDim = 1;
+    int gridDim = 1;
+
+    /** Flattened global thread id, CUDA's blockIdx*blockDim+threadIdx. */
+    std::int64_t
+    globalId() const
+    {
+        return static_cast<std::int64_t>(blockIdx) * blockDim + threadIdx;
+    }
+
+    /** Total threads; the stride of a grid-stride loop. */
+    std::int64_t
+    globalSize() const
+    {
+        return static_cast<std::int64_t>(gridDim) * blockDim;
+    }
+};
+
+/** A device kernel body, invoked once per thread in the grid. */
+using Kernel = std::function<void(const WorkItem&)>;
+
+/**
+ * Launch @p kernel over @p cfg, executing every thread exactly once.
+ * Blocks are executed in order; threads within a block in threadIdx order,
+ * which makes kernels deterministic (real GPUs give no such ordering, so
+ * kernels must not rely on it for correctness - tests shuffle block order
+ * to check that).
+ */
+void launch(const LaunchConfig& cfg, const Kernel& kernel);
+
+/**
+ * Launch with blocks distributed over a host thread pool; used to speed up
+ * functional execution on many-core hosts. Semantics are identical to the
+ * serial launch for data-race-free kernels.
+ */
+void launch(sched::ThreadPool& pool, const LaunchConfig& cfg,
+            const Kernel& kernel);
+
+/**
+ * Debug launch that visits blocks in a pseudo-random order derived from
+ * @p seed. Kernels whose output changes under this launch have an
+ * inter-block ordering bug that a real GPU would expose.
+ */
+void launchShuffled(const LaunchConfig& cfg, const Kernel& kernel,
+                    std::uint64_t seed);
+
+/**
+ * Run @p body for every index in [0, n) using a grid-stride loop from
+ * @p item - the canonical "for (i = gid; i < n; i += stride)" idiom.
+ */
+template <typename Body>
+inline void
+gridStride(const WorkItem& item, std::int64_t n, Body&& body)
+{
+    const std::int64_t stride = item.globalSize();
+    for (std::int64_t i = item.globalId(); i < n; i += stride)
+        body(i);
+}
+
+} // namespace bt::simt
+
+#endif // BT_SIMT_SIMT_HPP

@@ -1,0 +1,102 @@
+#include "solver/model.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace bt::solver {
+
+Var
+Model::newVar(std::string name)
+{
+    if (name.empty())
+        name = "v" + std::to_string(names.size());
+    names.push_back(std::move(name));
+    return static_cast<Var>(names.size() - 1);
+}
+
+const std::string&
+Model::varName(Var v) const
+{
+    checkVar(v);
+    return names[static_cast<std::size_t>(v)];
+}
+
+void
+Model::checkVar(Var v) const
+{
+    BT_ASSERT(v >= 0 && v < numVars(), "variable ", v, " out of range");
+}
+
+void
+Model::addClause(std::vector<Lit> lits)
+{
+    for (const auto& l : lits)
+        checkLit(l);
+    cls.push_back(std::move(lits));
+}
+
+void
+Model::addExactlyOne(std::vector<Var> vars)
+{
+    BT_ASSERT(!vars.empty(), "exactly-one over empty set is unsat");
+    for (Var v : vars)
+        checkVar(v);
+    exact1.push_back(std::move(vars));
+}
+
+void
+Model::addAtMostOne(std::vector<Var> vars)
+{
+    for (Var v : vars)
+        checkVar(v);
+    atmost1.push_back(std::move(vars));
+}
+
+void
+Model::addImplication(std::vector<Lit> antecedents, Lit consequent)
+{
+    // (a1 & a2 & ...) -> c  ==  (!a1 | !a2 | ... | c)
+    std::vector<Lit> clause;
+    clause.reserve(antecedents.size() + 1);
+    for (const auto& a : antecedents)
+        clause.push_back(Lit{a.var, !a.positive});
+    clause.push_back(consequent);
+    addClause(std::move(clause));
+}
+
+void
+Model::addLinearLe(std::vector<PbTerm> terms, std::int64_t bound)
+{
+    for (const auto& t : terms) {
+        checkLit(t.lit);
+        BT_ASSERT(t.coeff >= 0, "linear constraints need coeffs >= 0");
+    }
+    linles.push_back(LinearLe{std::move(terms), bound});
+}
+
+void
+Model::addLinearGe(std::vector<PbTerm> terms, std::int64_t bound)
+{
+    // sum_i c_i l_i >= b  <=>  sum_i c_i (1 - l_i) <= total - b, i.e. a
+    // LinearLe over the complemented literals.
+    std::int64_t total = 0;
+    for (const auto& t : terms) {
+        checkLit(t.lit);
+        BT_ASSERT(t.coeff >= 0, "linear constraints need coeffs >= 0");
+        total += t.coeff;
+    }
+    std::vector<PbTerm> comp;
+    comp.reserve(terms.size());
+    for (const auto& t : terms)
+        comp.push_back(PbTerm{Lit{t.lit.var, !t.lit.positive}, t.coeff});
+    linles.push_back(LinearLe{std::move(comp), total - bound});
+}
+
+void
+Model::addUnit(Lit lit)
+{
+    addClause({lit});
+}
+
+} // namespace bt::solver

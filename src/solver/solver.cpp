@@ -1,0 +1,222 @@
+#include "solver/solver.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace bt::solver {
+
+Solver::Tri
+Solver::litValue(const SearchState& st, const Lit& l) const
+{
+    const Tri v = st.value[static_cast<std::size_t>(l.var)];
+    if (v == Tri::Unset)
+        return Tri::Unset;
+    const bool b = (v == Tri::True);
+    return (l.positive ? b : !b) ? Tri::True : Tri::False;
+}
+
+Solver::Prop
+Solver::propagate(SearchState& st) const
+{
+    // Naive fixpoint iteration over all constraints. Instance sizes in
+    // this codebase are tiny, so simplicity beats watched literals.
+    bool changed = true;
+    auto assign = [&](const Lit& l) -> bool {
+        const Tri cur = litValue(st, l);
+        if (cur == Tri::False)
+            return false;
+        if (cur == Tri::Unset) {
+            st.value[static_cast<std::size_t>(l.var)]
+                = l.positive ? Tri::True : Tri::False;
+            changed = true;
+        }
+        return true;
+    };
+
+    while (changed) {
+        changed = false;
+
+        for (const auto& clause : model.clauses()) {
+            int unset = 0;
+            const Lit* last_unset = nullptr;
+            bool satisfied = false;
+            for (const auto& l : clause) {
+                const Tri v = litValue(st, l);
+                if (v == Tri::True) {
+                    satisfied = true;
+                    break;
+                }
+                if (v == Tri::Unset) {
+                    ++unset;
+                    last_unset = &l;
+                }
+            }
+            if (satisfied)
+                continue;
+            if (unset == 0)
+                return Prop::Conflict;
+            if (unset == 1 && !assign(*last_unset))
+                return Prop::Conflict;
+        }
+
+        auto amoPass = [&](const std::vector<Var>& vars,
+                           bool exactly) -> bool {
+            int trues = 0;
+            int unset = 0;
+            for (Var v : vars) {
+                const Tri t = st.value[static_cast<std::size_t>(v)];
+                if (t == Tri::True)
+                    ++trues;
+                else if (t == Tri::Unset)
+                    ++unset;
+            }
+            if (trues > 1)
+                return false;
+            if (trues == 1) {
+                // Force all remaining to false.
+                for (Var v : vars) {
+                    auto& t = st.value[static_cast<std::size_t>(v)];
+                    if (t == Tri::Unset) {
+                        t = Tri::False;
+                        changed = true;
+                    }
+                }
+            } else if (exactly) {
+                if (unset == 0)
+                    return false; // no true possible
+                if (unset == 1) {
+                    for (Var v : vars) {
+                        auto& t = st.value[static_cast<std::size_t>(v)];
+                        if (t == Tri::Unset) {
+                            t = Tri::True;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            return true;
+        };
+
+        for (const auto& group : model.exactlyOnes())
+            if (!amoPass(group, true))
+                return Prop::Conflict;
+        for (const auto& group : model.atMostOnes())
+            if (!amoPass(group, false))
+                return Prop::Conflict;
+
+        for (const auto& le : model.linearLes()) {
+            // Minimum achievable sum = sum over terms already true.
+            std::int64_t lower = 0;
+            for (const auto& t : le.terms)
+                if (litValue(st, t.lit) == Tri::True)
+                    lower += t.coeff;
+            if (lower > le.bound)
+                return Prop::Conflict;
+            // Any unset term whose coefficient would overflow the bound
+            // must be false.
+            for (const auto& t : le.terms) {
+                if (litValue(st, t.lit) == Tri::Unset
+                    && lower + t.coeff > le.bound) {
+                    if (!assign(Lit{t.lit.var, !t.lit.positive}))
+                        return Prop::Conflict;
+                }
+            }
+        }
+    }
+    return Prop::Fixpoint;
+}
+
+bool
+Solver::search(SearchState& st, const Visitor& visit)
+{
+    ++nodes;
+    if (propagate(st) == Prop::Conflict)
+        return true; // keep searching elsewhere
+
+    // Find the first unassigned variable.
+    Var branch = -1;
+    for (Var v = 0; v < model.numVars(); ++v) {
+        if (st.value[static_cast<std::size_t>(v)] == Tri::Unset) {
+            branch = v;
+            break;
+        }
+    }
+
+    if (branch < 0) {
+        // Complete assignment: report it.
+        std::vector<bool> vals(st.value.size());
+        for (std::size_t i = 0; i < st.value.size(); ++i)
+            vals[i] = (st.value[i] == Tri::True);
+        return visit(Assignment(std::move(vals)));
+    }
+
+    for (const Tri choice : {Tri::True, Tri::False}) {
+        SearchState child = st;
+        child.value[static_cast<std::size_t>(branch)] = choice;
+        if (!search(child, visit))
+            return false;
+    }
+    return true;
+}
+
+std::optional<Assignment>
+Solver::solve()
+{
+    nodes = 0;
+    std::optional<Assignment> found;
+    SearchState st;
+    st.value.assign(static_cast<std::size_t>(model.numVars()),
+                    Tri::Unset);
+    search(st, [&](const Assignment& a) {
+        found = a;
+        return false; // stop at first solution
+    });
+    return found;
+}
+
+std::optional<Assignment>
+Solver::minimize(const Objective& objective)
+{
+    BT_ASSERT(objective, "minimize needs an objective");
+    nodes = 0;
+    std::optional<Assignment> best;
+    double best_score = std::numeric_limits<double>::infinity();
+    SearchState st;
+    st.value.assign(static_cast<std::size_t>(model.numVars()),
+                    Tri::Unset);
+    search(st, [&](const Assignment& a) {
+        const double score = objective(a);
+        if (score < best_score) {
+            best_score = score;
+            best = a;
+        }
+        return true; // exhaustive
+    });
+    return best;
+}
+
+void
+Solver::forEachSolution(const Visitor& visit)
+{
+    BT_ASSERT(visit, "forEachSolution needs a visitor");
+    nodes = 0;
+    SearchState st;
+    st.value.assign(static_cast<std::size_t>(model.numVars()),
+                    Tri::Unset);
+    search(st, visit);
+}
+
+std::uint64_t
+Solver::countSolutions()
+{
+    std::uint64_t count = 0;
+    forEachSolution([&](const Assignment&) {
+        ++count;
+        return true;
+    });
+    return count;
+}
+
+} // namespace bt::solver

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Exact DPLL-style search over a Model: unit propagation for clauses,
+ * dedicated propagators for exactly-one / at-most-one groups and
+ * pseudo-boolean sums, and complete enumeration with callback objectives.
+ *
+ * The schedule-optimization instances (<= ~40 variables, heavily
+ * constrained by contiguity) solve in well under a millisecond; the paper
+ * reports < 50 ms per Z3 invocation on comparable instances, so this is a
+ * faithful - if modest - substitute.
+ */
+
+#ifndef BT_SOLVER_SOLVER_HPP
+#define BT_SOLVER_SOLVER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "solver/model.hpp"
+
+namespace bt::solver {
+
+/** A complete assignment of every model variable. */
+class Assignment
+{
+  public:
+    explicit Assignment(std::vector<bool> vals) : values(std::move(vals)) {}
+
+    /** Truth value of @p v. */
+    bool value(Var v) const { return values[static_cast<std::size_t>(v)]; }
+
+    /** Truth value of @p l. */
+    bool
+    value(const Lit& l) const
+    {
+        return l.positive ? value(l.var) : !value(l.var);
+    }
+
+    std::size_t size() const { return values.size(); }
+
+  private:
+    std::vector<bool> values;
+};
+
+/**
+ * Exact solver over a Model snapshot. The model is held by reference;
+ * callers may add constraints (e.g. blocking clauses) between calls, and
+ * the next solve sees them.
+ */
+class Solver
+{
+  public:
+    /** Score a complete assignment; lower is better. */
+    using Objective = std::function<double(const Assignment&)>;
+
+    /** Visit a solution; return false to stop the search. */
+    using Visitor = std::function<bool(const Assignment&)>;
+
+    explicit Solver(const Model& model_) : model(model_) {}
+
+    /** Find any satisfying assignment, or nullopt if unsatisfiable. */
+    std::optional<Assignment> solve();
+
+    /**
+     * Find the satisfying assignment minimizing @p objective (exact, by
+     * complete enumeration of the propagation-pruned space).
+     */
+    std::optional<Assignment> minimize(const Objective& objective);
+
+    /** Enumerate all solutions through @p visit (stops when it refuses). */
+    void forEachSolution(const Visitor& visit);
+
+    /** Count all satisfying assignments. */
+    std::uint64_t countSolutions();
+
+    /** Search-tree nodes expanded by the most recent call. */
+    std::uint64_t nodesExplored() const { return nodes; }
+
+  private:
+    enum class Tri : std::int8_t { False = 0, True = 1, Unset = -1 };
+
+    struct SearchState
+    {
+        std::vector<Tri> value;
+    };
+
+    /// Result of one propagation pass.
+    enum class Prop { Conflict, Fixpoint };
+
+    Prop propagate(SearchState& st) const;
+    bool search(SearchState& st, const Visitor& visit);
+    Tri litValue(const SearchState& st, const Lit& l) const;
+
+    const Model& model;
+    std::uint64_t nodes = 0;
+};
+
+} // namespace bt::solver
+
+#endif // BT_SOLVER_SOLVER_HPP

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG determinism and
+ * distributions, statistics (summary, geomean, Pearson, Spearman),
+ * table rendering, and CSV quoting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace bt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NextBoundedRespectsBound)
+{
+    Rng rng(9);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, NextBoundedCoversAllResidues)
+{
+    Rng rng(11);
+    std::array<int, 5> seen{};
+    for (int i = 0; i < 2000; ++i)
+        ++seen[rng.nextBounded(5)];
+    for (int count : seen)
+        EXPECT_GT(count, 0);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sumsq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, LogNormalFactorCentersNearOne)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextLogNormalFactor(0.02);
+    // E[exp(sigma N)] = exp(sigma^2/2) ~ 1.0002 for sigma = 0.02.
+    EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, HashCombineMixes)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+    EXPECT_NE(hashCombine(0, 0), 0u);
+    EXPECT_NE(hashCombine(1, 2), hashCombine(1, 3));
+}
+
+TEST(Stats, SummaryBasics)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    const Summary s = summarize(xs);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SummaryEmptyAndSingle)
+{
+    EXPECT_EQ(summarize({}).count, 0u);
+    const std::vector<double> one{42.0};
+    const Summary s = summarize(one);
+    EXPECT_DOUBLE_EQ(s.mean, 42.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, GeomeanKnownValues)
+{
+    const std::vector<double> xs{1.0, 4.0};
+    EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+    const std::vector<double> ys{2.0, 2.0, 2.0};
+    EXPECT_NEAR(geomean(ys), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, PearsonPerfectAndInverse)
+{
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    const std::vector<double> ys{2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+    const std::vector<double> zs{10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonNoVarianceIsZero)
+{
+    const std::vector<double> xs{1, 2, 3};
+    const std::vector<double> flat{5, 5, 5};
+    EXPECT_DOUBLE_EQ(pearson(xs, flat), 0.0);
+    EXPECT_DOUBLE_EQ(pearson(flat, xs), 0.0);
+}
+
+TEST(Stats, PearsonKnownValue)
+{
+    // Hand-computed small example.
+    const std::vector<double> xs{1, 2, 3, 4};
+    const std::vector<double> ys{1, 3, 2, 5};
+    // sxy = 5.5, sxx = 5, syy = 8.75 -> r = 5.5 / sqrt(43.75).
+    const double r = pearson(xs, ys);
+    EXPECT_NEAR(r, 5.5 / std::sqrt(43.75), 1e-12);
+}
+
+TEST(Stats, RanksWithTies)
+{
+    const std::vector<double> xs{10.0, 20.0, 20.0, 5.0};
+    const auto r = ranks(xs);
+    EXPECT_DOUBLE_EQ(r[3], 1.0);
+    EXPECT_DOUBLE_EQ(r[0], 2.0);
+    EXPECT_DOUBLE_EQ(r[1], 3.5);
+    EXPECT_DOUBLE_EQ(r[2], 3.5);
+}
+
+TEST(Stats, SpearmanMonotoneNonlinear)
+{
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    const std::vector<double> ys{1, 8, 27, 64, 125}; // monotone
+    EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Table, AlignsAndCounts)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "2.5"});
+    EXPECT_EQ(t.rows(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    // Header line padded to the widest cell.
+    EXPECT_NE(out.find("name         value"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(1.0, 0), "1");
+    EXPECT_EQ(Table::num(2.5, 3), "2.500");
+}
+
+TEST(Csv, WritesQuotedCells)
+{
+    const std::string path = "/tmp/bt_test_csv.csv";
+    {
+        CsvWriter csv(path, {"a", "b"});
+        ASSERT_TRUE(csv.ok());
+        csv.addRow({"plain", "has,comma"});
+        csv.addRow({"has\"quote", "line\nbreak"});
+    }
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    EXPECT_NE(text.find("a,b"), std::string::npos);
+    EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(text.find("\"has\"\"quote\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace bt

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Tests for the extension subsystems: the SoC energy model (power
+ * envelopes, energy integration in the simulated executor), the
+ * HEFT-style dynamic scheduling baseline, and the data-parallel
+ * baseline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/alexnet.hpp"
+#include "apps/octree_app.hpp"
+#include "core/data_parallel.hpp"
+#include "core/dynamic_executor.hpp"
+#include "core/pipeline.hpp"
+#include "core/profiler.hpp"
+#include "core/sim_executor.hpp"
+#include "platform/devices.hpp"
+
+namespace bt::core {
+namespace {
+
+Application
+syntheticApp(int stages)
+{
+    Application app("Synthetic", "token", "test");
+    for (int i = 0; i < stages; ++i) {
+        platform::WorkProfile w;
+        w.flops = 1e6 * (1 + i % 3);
+        w.bytes = 1e3;
+        w.parallelFraction = 1.0;
+        w.pattern = platform::Pattern::Dense;
+        app.addStage(Stage("s" + std::to_string(i), w,
+                           [](KernelCtx&) {}, nullptr));
+    }
+    app.setTaskFactory([](std::int64_t, std::uint64_t) {
+        return std::make_unique<TaskObject>();
+    });
+    app.setTaskRefresher([](TaskObject&, std::int64_t, std::uint64_t) {
+    });
+    return app;
+}
+
+TEST(EnergyModel, PaperPowerEnvelopes)
+{
+    // Paper Sec. 4.2: the Jetson low-power mode reduces consumption
+    // from 25 W to 7 W.
+    EXPECT_NEAR(platform::jetsonOrinNano().peakPowerW(), 25.0, 0.1);
+    EXPECT_NEAR(platform::jetsonOrinNanoLp().peakPowerW(), 7.0, 0.1);
+}
+
+TEST(EnergyModel, SystemPowerBetweenIdleAndPeak)
+{
+    for (const auto& soc : platform::paperDevices()) {
+        const platform::PerfModel model(soc);
+        const std::vector<bool> none(static_cast<std::size_t>(
+            soc.numPus()), false);
+        const std::vector<bool> all(static_cast<std::size_t>(
+            soc.numPus()), true);
+        const double idle = model.systemPowerW(none);
+        const double full = model.systemPowerW(all);
+        EXPECT_GT(idle, 0.0);
+        EXPECT_GT(full, idle);
+        // Governor boosts can push a class above its base-clock power,
+        // so "peak at base clock" is not a strict bound; stay sane.
+        EXPECT_LT(full, soc.peakPowerW() * 10.0);
+    }
+}
+
+TEST(EnergyModel, BoostRaisesActivePowerQuadratically)
+{
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const int gpu = soc.gpuIndex();
+    const double alone = model.activePowerW(gpu, 0);
+    const double boosted = model.activePowerW(gpu, 1);
+    const double f = soc.pu(gpu).busyFreqFactor;
+    EXPECT_NEAR(boosted / alone, f * f, 1e-9);
+}
+
+TEST(EnergyModel, ExecutorIntegratesEnergy)
+{
+    auto soc = platform::jetsonOrinNano();
+    soc.noiseSigma = 0.0;
+    const platform::PerfModel model(soc);
+    const auto app = syntheticApp(4);
+    const SimExecutor exec(model);
+    const auto run
+        = exec.execute(app, Schedule::fromAssignment({0, 0, 1, 1}));
+    EXPECT_GT(run.energyJoules, 0.0);
+    // Average power within the physically sensible band.
+    const std::vector<bool> none(2, false);
+    EXPECT_GT(run.averagePowerW(), model.systemPowerW(none) - 1e-9);
+    EXPECT_LT(run.averagePowerW(), 2.0 * soc.peakPowerW());
+    EXPECT_NEAR(run.energyPerTaskJ() * run.tasks, run.energyJoules,
+                1e-12);
+}
+
+TEST(EnergyModel, BusyPipelineDrawsMoreThanSerial)
+{
+    auto soc = platform::jetsonOrinNano();
+    soc.noiseSigma = 0.0;
+    const platform::PerfModel model(soc);
+    const auto app = syntheticApp(4);
+    const SimExecutor exec(model);
+    const auto serial = exec.execute(
+        app, Schedule::homogeneous(4, 0));
+    const auto piped = exec.execute(
+        app, Schedule::fromAssignment({0, 0, 1, 1}));
+    // Two PUs active concurrently -> higher average power.
+    EXPECT_GT(piped.averagePowerW(), serial.averagePowerW());
+}
+
+class DynamicOverheads : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DynamicOverheads, ExecutesAllTasks)
+{
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto app = apps::alexnetSparse();
+    const Profiler profiler(model);
+    const auto profile = profiler.profile(app);
+
+    DynamicExecConfig cfg;
+    cfg.numTasks = 12;
+    cfg.dispatchOverheadUs = GetParam();
+    const DynamicExecutor dyn(model, profile.interference, cfg);
+    const auto run = dyn.execute(app);
+    EXPECT_EQ(run.tasks, 12);
+    EXPECT_GT(run.taskIntervalSeconds, 0.0);
+    EXPECT_GT(run.makespanSeconds, 0.0);
+    EXPECT_EQ(run.chunkBusyFraction.size(),
+              static_cast<std::size_t>(soc.numPus()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Overheads, DynamicOverheads,
+                         ::testing::Values(0.0, 50.0, 500.0));
+
+TEST(DynamicExecutor, OverheadMonotonicallyHurts)
+{
+    auto soc = platform::jetsonOrinNano();
+    soc.noiseSigma = 0.0;
+    const platform::PerfModel model(soc);
+    const auto app = syntheticApp(6);
+    const Profiler profiler(model);
+    const auto profile = profiler.profile(app);
+
+    double prev = 0.0;
+    for (const double us : {0.0, 100.0, 1000.0}) {
+        DynamicExecConfig cfg;
+        cfg.dispatchOverheadUs = us;
+        const DynamicExecutor dyn(model, profile.interference, cfg);
+        const double t = dyn.execute(app).taskIntervalSeconds;
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(DynamicExecutor, DeterministicAcrossRuns)
+{
+    const auto soc = platform::oneplus11();
+    const platform::PerfModel model(soc);
+    const auto app = apps::octreeApp();
+    const Profiler profiler(model);
+    const auto profile = profiler.profile(app);
+    const DynamicExecutor dyn(model, profile.interference);
+    const auto a = dyn.execute(app);
+    const auto b = dyn.execute(app);
+    EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+}
+
+TEST(DynamicExecutor, SingleStageAppUsesFastestPu)
+{
+    auto soc = platform::jetsonOrinNano();
+    soc.noiseSigma = 0.0;
+    const platform::PerfModel model(soc);
+    auto app = syntheticApp(1);
+    const Profiler profiler(model);
+    const auto profile = profiler.profile(app);
+
+    DynamicExecConfig cfg;
+    cfg.dispatchOverheadUs = 0.0;
+    cfg.tasksInFlight = 1;
+    const DynamicExecutor dyn(model, profile.interference, cfg);
+    const auto run = dyn.execute(app);
+    // With one task in flight and one stage, every task lands on the
+    // table-fastest PU; the other stays idle.
+    const int fastest = profile.interference.at(0, 0)
+                < profile.interference.at(0, 1)
+        ? 0
+        : 1;
+    EXPECT_GT(run.chunkBusyFraction[static_cast<std::size_t>(fastest)],
+              0.5);
+    EXPECT_LT(run.chunkBusyFraction[static_cast<std::size_t>(
+                  1 - fastest)],
+              0.01);
+}
+
+TEST(EnergyObjective, CandidatesCarryEnergyPredictions)
+{
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto app = apps::alexnetSparse();
+    const Profiler profiler(model);
+    const auto profile = profiler.profile(app);
+    Optimizer opt(soc, profile.interference);
+    for (const auto& c : opt.optimize()) {
+        EXPECT_GT(c.predictedEnergyJ, 0.0);
+        EXPECT_GT(c.predictedEdp(), 0.0);
+    }
+}
+
+TEST(EnergyObjective, EdpModeNeverPicksWorseEdpThanLatencyMode)
+{
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto app = apps::octreeApp();
+    const Profiler profiler(model);
+    const auto profile = profiler.profile(app);
+
+    OptimizerConfig lat_cfg;
+    OptimizerConfig edp_cfg;
+    edp_cfg.objective = OptimizerConfig::Objective::EnergyDelay;
+    Optimizer lat_opt(soc, profile.interference, lat_cfg);
+    Optimizer edp_opt(soc, profile.interference, edp_cfg);
+    const auto by_latency = lat_opt.optimize();
+    const auto by_edp = edp_opt.optimize();
+
+    EXPECT_LE(by_edp.front().predictedEdp(),
+              by_latency.front().predictedEdp() + 1e-15);
+    // And the latency-mode winner has the better (or equal) latency.
+    EXPECT_LE(by_latency.front().predictedLatency,
+              by_edp.front().predictedLatency + 1e-15);
+}
+
+TEST(EnergyObjective, EnergyPredictionTracksSimulatedEnergy)
+{
+    auto soc = platform::jetsonOrinNano();
+    soc.noiseSigma = 0.0;
+    const platform::PerfModel model(soc);
+    const auto app = apps::alexnetDense();
+    const Profiler profiler(model);
+    const auto profile = profiler.profile(app);
+    Optimizer opt(soc, profile.interference);
+    const auto cands = opt.optimize();
+
+    const SimExecutor exec(model);
+    const auto& c = cands.front();
+    const auto run = exec.execute(app, c.schedule);
+    // Predicted and simulated energy-per-task agree within 2x (the
+    // prediction uses static duty cycles; the DES has fill/drain and
+    // time-varying rates).
+    const double ratio = run.energyPerTaskJ() / c.predictedEnergyJ;
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST(DataParallel, HarmonicCombinationBounds)
+{
+    ProfilingTable table({"a"}, {"cpu", "gpu"});
+    table.set(0, 0, 4e-3);
+    table.set(0, 1, 1e-3);
+    Application app = syntheticApp(1);
+    DataParallelConfig cfg;
+    cfg.syncOverheadSeconds = 0.0;
+    cfg.splittableFraction = 1.0;
+    // 1 / (1/4 + 1/1) = 0.8 ms.
+    EXPECT_NEAR(dataParallelLatency(app, table, cfg), 0.8e-3, 1e-9);
+}
+
+TEST(DataParallel, SerialFractionStaysOnFastestPu)
+{
+    ProfilingTable table({"a"}, {"cpu", "gpu"});
+    table.set(0, 0, 4e-3);
+    table.set(0, 1, 1e-3);
+    Application app = syntheticApp(1);
+    DataParallelConfig cfg;
+    cfg.syncOverheadSeconds = 0.0;
+    cfg.splittableFraction = 0.0;
+    EXPECT_NEAR(dataParallelLatency(app, table, cfg), 1e-3, 1e-9);
+}
+
+TEST(DataParallel, SyncOverheadPerStage)
+{
+    ProfilingTable table({"a", "b"}, {"cpu"});
+    table.set(0, 0, 1e-3);
+    table.set(1, 0, 1e-3);
+    Application app = syntheticApp(2);
+    DataParallelConfig cfg;
+    cfg.syncOverheadSeconds = 1e-4;
+    cfg.splittableFraction = 1.0;
+    EXPECT_NEAR(dataParallelLatency(app, table, cfg), 2e-3 + 2e-4,
+                1e-9);
+}
+
+TEST(DataParallel, LosesOnMixedWorkloads)
+{
+    // The paper's Sec. 1 argument: forcing the GPU to take a share of
+    // sorting hurts. On octree/Pixel the BT pipeline must beat the
+    // data-parallel estimate.
+    const auto soc = platform::pixel7a();
+    const BetterTogether bt(soc);
+    const auto app = apps::octreeApp();
+    const auto report = bt.run(app);
+    const double dp = dataParallelLatency(
+        app, report.profile.interference);
+    EXPECT_LT(report.bestLatencySeconds, dp);
+}
+
+} // namespace
+} // namespace bt::core

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Tests for the additional kernels: the GEMM convolution backend
+ * (im2col, gemm, full lowering vs the direct reference) and the octree
+ * query index (cell lookup, point containment, level statistics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/conv2d.hpp"
+#include "kernels/gemm_conv.hpp"
+#include "kernels/morton.hpp"
+#include "kernels/octree.hpp"
+#include "kernels/octree_query.hpp"
+#include "kernels/prefix_sum.hpp"
+#include "kernels/radix_tree.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace bt::kernels {
+namespace {
+
+std::vector<float>
+randomVec(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto& x : v)
+        x = static_cast<float>(rng.nextRange(-1.0, 1.0));
+    return v;
+}
+
+TEST(Im2col, IdentityKernelColumnLayout)
+{
+    // One channel, 3x3 image: row (ky=1, kx=1) must reproduce the
+    // image itself (center tap, no padding involved).
+    const Shape3 in_shape{1, 3, 3};
+    std::vector<float> in(9);
+    for (std::size_t i = 0; i < 9; ++i)
+        in[i] = static_cast<float>(i + 1);
+    std::vector<float> cols(9u * 9u, -1.0f);
+    im2col(CpuExec{nullptr}, in_shape, in, cols);
+
+    const std::size_t center_row = 4; // ic=0, ky=1, kx=1
+    for (std::size_t px = 0; px < 9; ++px)
+        EXPECT_FLOAT_EQ(cols[center_row * 9 + px], in[px]);
+
+    // Top-left tap (ky=0, kx=0) of the first pixel reads padding.
+    EXPECT_FLOAT_EQ(cols[0], 0.0f);
+}
+
+TEST(Gemm, SmallKnownProduct)
+{
+    // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+    const std::vector<float> a{1, 2, 3, 4};
+    const std::vector<float> b{5, 6, 7, 8};
+    std::vector<float> c(4);
+    gemmCpu(CpuExec{nullptr}, 2, 2, 2, a, b, c);
+    EXPECT_FLOAT_EQ(c[0], 19.0f);
+    EXPECT_FLOAT_EQ(c[1], 22.0f);
+    EXPECT_FLOAT_EQ(c[2], 43.0f);
+    EXPECT_FLOAT_EQ(c[3], 50.0f);
+}
+
+TEST(Gemm, MatchesNaiveOnRandomMatrices)
+{
+    const int m = 17, n = 23, k = 31;
+    const auto a = randomVec(static_cast<std::size_t>(m * k), 1);
+    const auto b = randomVec(static_cast<std::size_t>(k * n), 2);
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    sched::ThreadPool pool(3);
+    gemmCpu(CpuExec{&pool}, m, n, k, a, b, c);
+
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+            float want = 0.0f;
+            for (int kk = 0; kk < k; ++kk)
+                want += a[static_cast<std::size_t>(i * k + kk)]
+                    * b[static_cast<std::size_t>(kk * n + j)];
+            ASSERT_NEAR(c[static_cast<std::size_t>(i * n + j)], want,
+                        1e-4f);
+        }
+    }
+}
+
+class GemmConvShapes
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(GemmConvShapes, MatchesDirectConvolution)
+{
+    const auto [in_c, size] = GetParam();
+    const ConvShape shape{Shape3{in_c, size, size}, in_c * 2};
+    const auto in = randomVec(static_cast<std::size_t>(
+        shape.in.elems()), 3);
+    const auto w = randomVec(static_cast<std::size_t>(
+        shape.weightElems()), 4);
+    const auto b = randomVec(static_cast<std::size_t>(shape.outC), 5);
+
+    std::vector<float> want(static_cast<std::size_t>(
+        shape.out().elems()));
+    conv2dReference(shape, in, w, b, want);
+
+    std::vector<float> cols(static_cast<std::size_t>(shape.in.c) * 9
+                            * static_cast<std::size_t>(shape.in.h)
+                            * static_cast<std::size_t>(shape.in.w));
+    std::vector<float> got(want.size());
+    sched::ThreadPool pool(2);
+    conv2dGemmCpu(CpuExec{&pool}, shape, in, w, b, cols, got);
+    for (std::size_t i = 0; i < want.size(); ++i)
+        ASSERT_NEAR(got[i], want[i], 1e-3f) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmConvShapes,
+                         ::testing::Values(std::pair{1, 4},
+                                           std::pair{3, 8},
+                                           std::pair{8, 16}));
+
+/** Build an octree over random unique codes; returns index + codes. */
+struct BuiltOctree
+{
+    std::vector<std::uint32_t> codes;
+    std::vector<std::int32_t> left, right, parent, leaf_parent,
+        prefix_len, first, last;
+    std::vector<std::uint32_t> counts, offsets;
+    std::vector<std::uint32_t> prefix, child_mask;
+    std::vector<std::int32_t> level, node_parent, first_code,
+        code_count;
+    std::int64_t num_nodes = 0;
+
+    explicit BuiltOctree(std::int64_t n, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        codes.resize(static_cast<std::size_t>(n));
+        for (auto& c : codes)
+            c = static_cast<std::uint32_t>(rng.nextU64())
+                & ((1u << kMortonBits) - 1);
+        std::sort(codes.begin(), codes.end());
+        codes.erase(std::unique(codes.begin(), codes.end()),
+                    codes.end());
+        const auto k = static_cast<std::int64_t>(codes.size());
+
+        auto resize_all = [&](std::size_t sz) {
+            left.resize(sz);
+            right.resize(sz);
+            parent.resize(sz);
+            leaf_parent.resize(sz);
+            prefix_len.resize(sz);
+            first.resize(sz);
+            last.resize(sz);
+        };
+        resize_all(static_cast<std::size_t>(k));
+        counts.resize(static_cast<std::size_t>(2 * k));
+        offsets.resize(static_cast<std::size_t>(2 * k));
+        const auto max_nodes = static_cast<std::size_t>(
+            maxOctreeNodes(k));
+        prefix.resize(max_nodes);
+        child_mask.resize(max_nodes);
+        level.resize(max_nodes);
+        node_parent.resize(max_nodes);
+        first_code.resize(max_nodes);
+        code_count.resize(max_nodes);
+
+        const CpuExec exec{nullptr};
+        buildRadixTreeCpu(exec, codes, k, treeView());
+        auto counts_span = std::span<std::uint32_t>(counts).subspan(
+            0, static_cast<std::size_t>(2 * k - 1));
+        countOctreeNodesCpu(exec, treeView(), k, counts_span);
+        const std::uint64_t total = exclusiveScanCpu(
+            exec, counts_span, std::span<std::uint32_t>(offsets));
+        num_nodes = buildOctreeCpu(exec, codes, k, treeView(), counts,
+                                   offsets, total, view());
+    }
+
+    RadixTreeView
+    treeView()
+    {
+        const auto k = codes.size();
+        const auto internal = k > 1 ? k - 1 : 0;
+        return RadixTreeView{
+            std::span(left).subspan(0, internal),
+            std::span(right).subspan(0, internal),
+            std::span(parent).subspan(0, internal),
+            std::span(leaf_parent).subspan(0, k),
+            std::span(prefix_len).subspan(0, internal),
+            std::span(first).subspan(0, internal),
+            std::span(last).subspan(0, internal)};
+    }
+
+    OctreeView
+    view()
+    {
+        return OctreeView{prefix, level, node_parent, child_mask,
+                          first_code, code_count};
+    }
+};
+
+TEST(OctreeIndex, EveryStoredCodeIsContained)
+{
+    BuiltOctree built(2000, 11);
+    const OctreeIndex index(built.view(), built.num_nodes);
+    for (auto code : built.codes)
+        EXPECT_TRUE(index.contains(code));
+}
+
+TEST(OctreeIndex, MissingCodesNotContained)
+{
+    BuiltOctree built(500, 12);
+    const OctreeIndex index(built.view(), built.num_nodes);
+    Rng rng(13);
+    int checked = 0;
+    while (checked < 200) {
+        const auto code = static_cast<std::uint32_t>(rng.nextU64())
+            & ((1u << kMortonBits) - 1);
+        if (std::binary_search(built.codes.begin(), built.codes.end(),
+                               code))
+            continue;
+        EXPECT_FALSE(index.contains(code));
+        ++checked;
+    }
+}
+
+TEST(OctreeIndex, LocateReturnsDeepestEnclosingCell)
+{
+    BuiltOctree built(1000, 14);
+    const OctreeIndex index(built.view(), built.num_nodes);
+    for (std::size_t i = 0; i < built.codes.size(); i += 37) {
+        const std::uint32_t code = built.codes[i];
+        const std::int32_t node = index.locate(code);
+        ASSERT_GE(node, 0);
+        const auto ni = static_cast<std::size_t>(node);
+        // A stored code locates to its max-depth leaf.
+        EXPECT_EQ(built.level[ni], kMaxOctreeLevel);
+        EXPECT_EQ(built.prefix[ni], code);
+    }
+}
+
+TEST(OctreeIndex, LocateOnMissingCodeStopsAtAncestor)
+{
+    BuiltOctree built(64, 15);
+    const OctreeIndex index(built.view(), built.num_nodes);
+    Rng rng(16);
+    for (int t = 0; t < 100; ++t) {
+        const auto code = static_cast<std::uint32_t>(rng.nextU64())
+            & ((1u << kMortonBits) - 1);
+        const std::int32_t node = index.locate(code);
+        ASSERT_GE(node, 0);
+        const auto ni = static_cast<std::size_t>(node);
+        const int level = built.level[ni];
+        if (level > 0) {
+            // The cell must actually contain the code's prefix.
+            EXPECT_EQ(built.prefix[ni],
+                      code >> (kMortonBits - 3 * level));
+        }
+    }
+}
+
+TEST(OctreeIndex, ContainsPointMatchesMortonPath)
+{
+    BuiltOctree built(300, 17);
+    const OctreeIndex index(built.view(), built.num_nodes);
+    // Reconstruct a point from one stored code's cell center: the
+    // morton code of that point must be the code itself.
+    const std::uint32_t code = built.codes.front();
+    // Decode axes by collecting every 3rd bit.
+    auto compact = [](std::uint32_t v, int shift) {
+        std::uint32_t out = 0;
+        for (int bit = 0; bit < 10; ++bit)
+            out |= ((v >> (3 * bit + shift)) & 1u) << bit;
+        return out;
+    };
+    const float x = (compact(code, 2) + 0.5f) / 1024.0f;
+    const float y = (compact(code, 1) + 0.5f) / 1024.0f;
+    const float z = (compact(code, 0) + 0.5f) / 1024.0f;
+    ASSERT_EQ(morton32(x, y, z), code);
+    EXPECT_TRUE(index.containsPoint(x, y, z));
+}
+
+TEST(OctreeIndex, LevelCountsSumToNodes)
+{
+    BuiltOctree built(1500, 18);
+    const OctreeIndex index(built.view(), built.num_nodes);
+    std::int64_t sum = 0;
+    for (int level = 0; level <= kMaxOctreeLevel; ++level)
+        sum += index.nodesAtLevel(level);
+    EXPECT_EQ(sum, built.num_nodes);
+    EXPECT_EQ(index.nodesAtLevel(0), 1);
+    EXPECT_EQ(index.nodesAtLevel(kMaxOctreeLevel),
+              static_cast<std::int64_t>(built.codes.size()));
+}
+
+TEST(OctreeIndex, RootCellCoversEverything)
+{
+    BuiltOctree built(100, 19);
+    const OctreeIndex index(built.view(), built.num_nodes);
+    EXPECT_EQ(index.codesInCell(0, 0),
+              static_cast<std::int64_t>(built.codes.size()));
+    EXPECT_EQ(index.findCell(0, 0), 0);
+    EXPECT_EQ(index.findCell(-1, 0), -1);
+    EXPECT_EQ(index.findCell(99, 0), -1);
+}
+
+} // namespace
+} // namespace bt::kernels

@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Unit and property tests for the Octree pipeline kernels: Morton
+ * encoding, radix sort, duplicate removal, prefix sum, the Karras radix
+ * tree, and octree generation - each backend against references, plus
+ * structural invariants on randomized inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/morton.hpp"
+#include "kernels/octree.hpp"
+#include "kernels/prefix_sum.hpp"
+#include "kernels/radix_tree.hpp"
+#include "kernels/sort.hpp"
+#include "kernels/unique.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace bt::kernels {
+namespace {
+
+std::vector<std::uint32_t>
+randomCodes(std::int64_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint32_t> v(static_cast<std::size_t>(n));
+    for (auto& x : v)
+        x = static_cast<std::uint32_t>(rng.nextU64())
+            & ((1u << kMortonBits) - 1);
+    return v;
+}
+
+/** Sorted, deduplicated random codes. */
+std::vector<std::uint32_t>
+uniqueSortedCodes(std::int64_t n, std::uint64_t seed)
+{
+    auto v = randomCodes(n, seed);
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+}
+
+TEST(Morton, ExpandBitsSpreads)
+{
+    EXPECT_EQ(expandBits3(0u), 0u);
+    EXPECT_EQ(expandBits3(1u), 1u);
+    EXPECT_EQ(expandBits3(0b11u), 0b1001u);
+    EXPECT_EQ(expandBits3(0x3FFu) & 0x49249249u, 0x09249249u & 0x49249249u);
+}
+
+TEST(Morton, OriginAndMaxCorner)
+{
+    EXPECT_EQ(morton32(0.0f, 0.0f, 0.0f), 0u);
+    const std::uint32_t max_code = morton32(0.999999f, 0.999999f,
+                                            0.999999f);
+    EXPECT_EQ(max_code, (1u << kMortonBits) - 1);
+}
+
+TEST(Morton, ClampsOutOfRange)
+{
+    EXPECT_EQ(morton32(-1.0f, -2.0f, -3.0f), 0u);
+    EXPECT_EQ(morton32(5.0f, 5.0f, 5.0f), (1u << kMortonBits) - 1);
+}
+
+TEST(Morton, AxisOrderMatchesShift)
+{
+    // x in the highest interleave position, then y, then z.
+    EXPECT_EQ(morton32(1.0f / 1024.0f * 1.0f, 0.0f, 0.0f), 4u);
+    EXPECT_EQ(morton32(0.0f, 1.0f / 1024.0f, 0.0f), 2u);
+    EXPECT_EQ(morton32(0.0f, 0.0f, 1.0f / 1024.0f), 1u);
+}
+
+TEST(Morton, LocalityOrdering)
+{
+    // Points in the low half of x sort before the high half.
+    EXPECT_LT(morton32(0.1f, 0.9f, 0.9f), morton32(0.6f, 0.0f, 0.0f));
+}
+
+TEST(Morton, BackendsAgree)
+{
+    const std::int64_t n = 1000;
+    Rng rng(3);
+    std::vector<float> pts(static_cast<std::size_t>(3 * n));
+    for (auto& p : pts)
+        p = static_cast<float>(rng.nextDouble());
+    std::vector<std::uint32_t> cpu(static_cast<std::size_t>(n));
+    std::vector<std::uint32_t> gpu(static_cast<std::size_t>(n));
+    sched::ThreadPool pool(3);
+    mortonEncodeCpu(CpuExec{&pool}, pts, cpu, n);
+    mortonEncodeGpu(GpuExec{}, pts, gpu, n);
+    EXPECT_EQ(cpu, gpu);
+}
+
+class SortSizes : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(SortSizes, CpuSortMatchesStdSort)
+{
+    auto keys = randomCodes(GetParam(), 4);
+    auto want = keys;
+    std::sort(want.begin(), want.end());
+    std::vector<std::uint32_t> scratch(keys.size());
+    sched::ThreadPool pool(3);
+    radixSortCpu(CpuExec{&pool}, keys, scratch);
+    EXPECT_EQ(keys, want);
+}
+
+TEST_P(SortSizes, GpuSortMatchesStdSort)
+{
+    auto keys = randomCodes(GetParam(), 5);
+    auto want = keys;
+    std::sort(want.begin(), want.end());
+    std::vector<std::uint32_t> scratch(keys.size());
+    radixSortGpu(keys, scratch);
+    EXPECT_EQ(keys, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSizes,
+                         ::testing::Values(0, 1, 2, 100, 1023, 50000));
+
+TEST(Sort, AllEqualKeys)
+{
+    std::vector<std::uint32_t> keys(1000, 42u);
+    std::vector<std::uint32_t> scratch(keys.size());
+    radixSortCpu(CpuExec{nullptr}, keys, scratch);
+    for (auto k : keys)
+        EXPECT_EQ(k, 42u);
+}
+
+class UniqueSizes : public ::testing::TestWithParam<std::int64_t>
+{
+  protected:
+    /** Sorted input with many duplicates. */
+    std::vector<std::uint32_t>
+    dupSorted(std::int64_t n, std::uint64_t seed) const
+    {
+        Rng rng(seed);
+        std::vector<std::uint32_t> v(static_cast<std::size_t>(n));
+        for (auto& x : v)
+            x = static_cast<std::uint32_t>(rng.nextBounded(
+                static_cast<std::uint64_t>(n / 2 + 1)));
+        std::sort(v.begin(), v.end());
+        return v;
+    }
+};
+
+TEST_P(UniqueSizes, CpuMatchesStdUnique)
+{
+    const auto in = dupSorted(GetParam(), 6);
+    auto want = in;
+    want.erase(std::unique(want.begin(), want.end()), want.end());
+
+    std::vector<std::uint32_t> out(in.size());
+    std::vector<std::uint32_t> flags(in.size());
+    sched::ThreadPool pool(3);
+    const std::int64_t k = uniqueCpu(CpuExec{&pool}, in, out, flags);
+    ASSERT_EQ(static_cast<std::size_t>(k), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(out[i], want[i]);
+}
+
+TEST_P(UniqueSizes, GpuMatchesStdUnique)
+{
+    const auto in = dupSorted(GetParam(), 7);
+    auto want = in;
+    want.erase(std::unique(want.begin(), want.end()), want.end());
+
+    std::vector<std::uint32_t> out(in.size());
+    std::vector<std::uint32_t> flags(in.size());
+    const std::int64_t k = uniqueGpu(in, out, flags);
+    ASSERT_EQ(static_cast<std::size_t>(k), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(out[i], want[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UniqueSizes,
+                         ::testing::Values(1, 2, 100, 4096, 30000));
+
+TEST(Unique, NoDuplicatesPassesThrough)
+{
+    const auto in = uniqueSortedCodes(500, 8);
+    std::vector<std::uint32_t> out(in.size());
+    std::vector<std::uint32_t> flags(in.size());
+    const std::int64_t k = uniqueCpu(CpuExec{nullptr}, in, out, flags);
+    EXPECT_EQ(static_cast<std::size_t>(k), in.size());
+}
+
+TEST(Unique, AllDuplicatesCollapseToOne)
+{
+    const std::vector<std::uint32_t> in(777, 5u);
+    std::vector<std::uint32_t> out(in.size());
+    std::vector<std::uint32_t> flags(in.size());
+    EXPECT_EQ(uniqueCpu(CpuExec{nullptr}, in, out, flags), 1);
+    EXPECT_EQ(out[0], 5u);
+}
+
+class ScanSizes : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(ScanSizes, CpuScanMatchesReference)
+{
+    Rng rng(9);
+    std::vector<std::uint32_t> in(static_cast<std::size_t>(
+        GetParam()));
+    for (auto& x : in)
+        x = static_cast<std::uint32_t>(rng.nextBounded(10));
+    std::vector<std::uint32_t> out(in.size());
+    sched::ThreadPool pool(3);
+    const std::uint64_t total = exclusiveScanCpu(CpuExec{&pool}, in,
+                                                 out);
+    std::uint64_t run = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ(out[i], run);
+        run += in[i];
+    }
+    EXPECT_EQ(total, run);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values(0, 1, 15, 16, 17, 1000,
+                                           65536));
+
+TEST(Scan, InPlaceAliasing)
+{
+    std::vector<std::uint32_t> data{3, 1, 4, 1, 5, 9, 2, 6};
+    const auto copy = data;
+    exclusiveScanCpu(CpuExec{nullptr}, data, data);
+    std::uint32_t run = 0;
+    for (std::size_t i = 0; i < copy.size(); ++i) {
+        EXPECT_EQ(data[i], run);
+        run += copy[i];
+    }
+}
+
+TEST(CommonPrefix, KnownValues)
+{
+    EXPECT_EQ(commonPrefixBits(0u, 1u), 29);
+    EXPECT_EQ(commonPrefixBits(0u, 1u << 29), 0);
+    EXPECT_EQ(commonPrefixBits(0b1000u, 0b1001u), 29);
+    EXPECT_EQ(commonPrefixBits(0b1000u, 0b0111u), 26);
+}
+
+struct TreeStorage
+{
+    std::vector<std::int32_t> left, right, parent, leaf_parent;
+    std::vector<std::int32_t> prefix_len, first, last;
+
+    explicit TreeStorage(std::int64_t k)
+        : left(static_cast<std::size_t>(k)),
+          right(static_cast<std::size_t>(k)),
+          parent(static_cast<std::size_t>(k)),
+          leaf_parent(static_cast<std::size_t>(k)),
+          prefix_len(static_cast<std::size_t>(k)),
+          first(static_cast<std::size_t>(k)),
+          last(static_cast<std::size_t>(k))
+    {
+    }
+
+    RadixTreeView
+    view()
+    {
+        return RadixTreeView{left, right, parent, leaf_parent,
+                             prefix_len, first, last};
+    }
+};
+
+class RadixTreeSizes : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(RadixTreeSizes, CpuTreeValidates)
+{
+    const auto codes = uniqueSortedCodes(GetParam(), 10);
+    const auto k = static_cast<std::int64_t>(codes.size());
+    TreeStorage st(k);
+    sched::ThreadPool pool(3);
+    buildRadixTreeCpu(CpuExec{&pool}, codes, k, st.view());
+    EXPECT_EQ(validateRadixTree(codes, k, st.view()), "");
+}
+
+TEST_P(RadixTreeSizes, GpuTreeMatchesCpuTree)
+{
+    const auto codes = uniqueSortedCodes(GetParam(), 11);
+    const auto k = static_cast<std::int64_t>(codes.size());
+    TreeStorage cpu_st(k), gpu_st(k);
+    buildRadixTreeCpu(CpuExec{nullptr}, codes, k, cpu_st.view());
+    buildRadixTreeGpu(GpuExec{}, codes, k, gpu_st.view());
+    EXPECT_EQ(cpu_st.left, gpu_st.left);
+    EXPECT_EQ(cpu_st.right, gpu_st.right);
+    EXPECT_EQ(cpu_st.parent, gpu_st.parent);
+    EXPECT_EQ(cpu_st.leaf_parent, gpu_st.leaf_parent);
+}
+
+TEST_P(RadixTreeSizes, EveryLeafReachableFromRoot)
+{
+    const auto codes = uniqueSortedCodes(GetParam(), 12);
+    const auto k = static_cast<std::int64_t>(codes.size());
+    if (k < 2)
+        GTEST_SKIP() << "no internal nodes";
+    TreeStorage st(k);
+    buildRadixTreeCpu(CpuExec{nullptr}, codes, k, st.view());
+
+    std::set<std::int32_t> leaves;
+    std::vector<std::int32_t> stack{0};
+    while (!stack.empty()) {
+        const std::int32_t node = stack.back();
+        stack.pop_back();
+        for (std::int32_t child :
+             {st.left[static_cast<std::size_t>(node)],
+              st.right[static_cast<std::size_t>(node)]}) {
+            if (RadixTreeView::isLeaf(child))
+                leaves.insert(RadixTreeView::leafIndex(child));
+            else
+                stack.push_back(child);
+        }
+    }
+    EXPECT_EQ(leaves.size(), static_cast<std::size_t>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RadixTreeSizes,
+                         ::testing::Values(1, 2, 3, 5, 64, 1000, 20000));
+
+TEST(RadixTree, TwoCodes)
+{
+    const std::vector<std::uint32_t> codes{0b000u, 0b100u};
+    TreeStorage st(2);
+    buildRadixTreeCpu(CpuExec{nullptr}, codes, 2, st.view());
+    EXPECT_TRUE(RadixTreeView::isLeaf(st.left[0]));
+    EXPECT_TRUE(RadixTreeView::isLeaf(st.right[0]));
+    EXPECT_EQ(st.prefix_len[0], commonPrefixBits(codes[0], codes[1]));
+    EXPECT_EQ(validateRadixTree(codes, 2, st.view()), "");
+}
+
+struct OctStorage
+{
+    TreeStorage tree;
+    std::vector<std::uint32_t> counts, offsets;
+    std::vector<std::uint32_t> prefix, child_mask;
+    std::vector<std::int32_t> level, parent, first_code, code_count;
+
+    explicit OctStorage(std::int64_t k)
+        : tree(k), counts(static_cast<std::size_t>(2 * k)),
+          offsets(static_cast<std::size_t>(2 * k)),
+          prefix(static_cast<std::size_t>(maxOctreeNodes(k))),
+          child_mask(prefix.size()), level(prefix.size()),
+          parent(prefix.size()), first_code(prefix.size()),
+          code_count(prefix.size())
+    {
+    }
+
+    OctreeView
+    view()
+    {
+        return OctreeView{prefix, level, parent, child_mask,
+                          first_code, code_count};
+    }
+};
+
+/** Run stages 4-7 through one backend; returns node count. */
+std::int64_t
+buildAll(const std::vector<std::uint32_t>& codes, OctStorage& st,
+         bool gpu = false)
+{
+    const auto k = static_cast<std::int64_t>(codes.size());
+    sched::ThreadPool pool(3);
+    const CpuExec cpu{&pool};
+    const GpuExec gexec{};
+    if (gpu)
+        buildRadixTreeGpu(gexec, codes, k, st.tree.view());
+    else
+        buildRadixTreeCpu(cpu, codes, k, st.tree.view());
+
+    auto counts_span = std::span<std::uint32_t>(st.counts)
+                           .subspan(0, static_cast<std::size_t>(
+                                           2 * k - 1));
+    if (gpu)
+        countOctreeNodesGpu(gexec, st.tree.view(), k, counts_span);
+    else
+        countOctreeNodesCpu(cpu, st.tree.view(), k, counts_span);
+
+    std::uint64_t total;
+    if (gpu)
+        total = exclusiveScanGpu(counts_span,
+                                 std::span<std::uint32_t>(st.offsets));
+    else
+        total = exclusiveScanCpu(cpu, counts_span,
+                                 std::span<std::uint32_t>(st.offsets));
+
+    if (gpu)
+        return buildOctreeGpu(gexec, codes, k, st.tree.view(),
+                              st.counts, st.offsets, total, st.view());
+    return buildOctreeCpu(cpu, codes, k, st.tree.view(), st.counts,
+                          st.offsets, total, st.view());
+}
+
+class OctreeSizes : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(OctreeSizes, CpuOctreeValidates)
+{
+    const auto codes = uniqueSortedCodes(GetParam(), 13);
+    const auto k = static_cast<std::int64_t>(codes.size());
+    OctStorage st(k);
+    const std::int64_t nodes = buildAll(codes, st);
+    EXPECT_GT(nodes, 0);
+    EXPECT_LE(nodes, maxOctreeNodes(k));
+    EXPECT_EQ(validateOctree(codes, k, st.view(), nodes), "");
+}
+
+TEST_P(OctreeSizes, GpuMatchesCpu)
+{
+    const auto codes = uniqueSortedCodes(GetParam(), 14);
+    const auto k = static_cast<std::int64_t>(codes.size());
+    OctStorage cpu_st(k), gpu_st(k);
+    const std::int64_t cpu_nodes = buildAll(codes, cpu_st, false);
+    const std::int64_t gpu_nodes = buildAll(codes, gpu_st, true);
+    ASSERT_EQ(cpu_nodes, gpu_nodes);
+    for (std::int64_t n = 0; n < cpu_nodes; ++n) {
+        const auto i = static_cast<std::size_t>(n);
+        EXPECT_EQ(cpu_st.prefix[i], gpu_st.prefix[i]);
+        EXPECT_EQ(cpu_st.level[i], gpu_st.level[i]);
+        EXPECT_EQ(cpu_st.parent[i], gpu_st.parent[i]);
+        EXPECT_EQ(cpu_st.child_mask[i], gpu_st.child_mask[i]);
+    }
+}
+
+TEST_P(OctreeSizes, LeafCountEqualsUniqueCodes)
+{
+    const auto codes = uniqueSortedCodes(GetParam(), 15);
+    const auto k = static_cast<std::int64_t>(codes.size());
+    OctStorage st(k);
+    const std::int64_t nodes = buildAll(codes, st);
+    std::int64_t leaves = 0;
+    for (std::int64_t n = 0; n < nodes; ++n)
+        if (st.child_mask[static_cast<std::size_t>(n)] == 0)
+            ++leaves;
+    EXPECT_EQ(leaves, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OctreeSizes,
+                         ::testing::Values(1, 2, 3, 9, 100, 2000,
+                                           10000));
+
+TEST(Octree, SingleCodeChainsToMaxDepth)
+{
+    const std::vector<std::uint32_t> codes{0x12345678u
+                                           & ((1u << kMortonBits) - 1)};
+    OctStorage st(1);
+    sched::ThreadPool pool(2);
+    const CpuExec cpu{&pool};
+    buildRadixTreeCpu(cpu, codes, 1, st.tree.view());
+    auto counts_span
+        = std::span<std::uint32_t>(st.counts).subspan(0, 1);
+    countOctreeNodesCpu(cpu, st.tree.view(), 1, counts_span);
+    EXPECT_EQ(st.counts[0],
+              static_cast<std::uint32_t>(kMaxOctreeLevel));
+    const std::uint64_t total = exclusiveScanCpu(
+        cpu, counts_span, std::span<std::uint32_t>(st.offsets));
+    const std::int64_t nodes
+        = buildOctreeCpu(cpu, codes, 1, st.tree.view(), st.counts,
+                         st.offsets, total, st.view());
+    EXPECT_EQ(nodes, kMaxOctreeLevel + 1); // root + full chain
+    EXPECT_EQ(validateOctree(codes, 1, st.view(), nodes), "");
+}
+
+} // namespace
+} // namespace bt::kernels

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests for BT-Profiler and BT-Optimizer: profiling-table structure and
+ * interference signatures, solver-vs-exhaustive cross-validation
+ * (identical candidate rankings), gapness filtering, blocking-clause
+ * diversity, and the latency-only comparison configurations of
+ * Fig. 5b/5c.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "apps/alexnet.hpp"
+#include "apps/octree_app.hpp"
+#include "core/optimizer.hpp"
+#include "core/profiler.hpp"
+#include "platform/devices.hpp"
+#include "solver/solver.hpp"
+
+namespace bt::core {
+namespace {
+
+/** Fixture giving each test a profiled AlexNet-sparse on the Pixel. */
+class ProfiledPixel : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        soc = platform::pixel7a();
+        model = std::make_unique<platform::PerfModel>(soc);
+        app = std::make_unique<Application>(apps::alexnetSparse());
+        Profiler profiler(*model);
+        result = profiler.profile(*app);
+    }
+
+    platform::SocDescription soc;
+    std::unique_ptr<platform::PerfModel> model;
+    std::unique_ptr<Application> app;
+    ProfileResult result;
+};
+
+TEST_F(ProfiledPixel, TableShapeMatchesAppAndDevice)
+{
+    EXPECT_EQ(result.isolated.numStages(), app->numStages());
+    EXPECT_EQ(result.isolated.numPus(), soc.numPus());
+    EXPECT_EQ(result.interference.numStages(), app->numStages());
+    EXPECT_EQ(result.isolated.stages()[0], "conv1");
+    EXPECT_EQ(result.isolated.pus()[3], "gpu");
+}
+
+TEST_F(ProfiledPixel, AllEntriesPositiveWithNoiseStddev)
+{
+    for (int s = 0; s < result.isolated.numStages(); ++s) {
+        for (int p = 0; p < result.isolated.numPus(); ++p) {
+            EXPECT_GT(result.isolated.at(s, p), 0.0);
+            EXPECT_GT(result.interference.at(s, p), 0.0);
+            EXPECT_GT(result.isolated.stddevAt(s, p), 0.0);
+        }
+    }
+}
+
+TEST_F(ProfiledPixel, GpuBoostShowsInInterferenceTable)
+{
+    // The Mali governor boosts under CPU load: the interference-heavy
+    // entries on the GPU must be faster than isolated ones for
+    // compute-bound stages (conv2 is compute bound on the GPU; conv1
+    // is launch/memory dominated).
+    const int gpu = soc.findPu("gpu");
+    EXPECT_LT(result.interference.at(2, gpu),
+              result.isolated.at(2, gpu));
+}
+
+TEST_F(ProfiledPixel, CpuSlowdownShowsInInterferenceTable)
+{
+    const int big = soc.findPu("big");
+    EXPECT_GT(result.interference.at(0, big),
+              result.isolated.at(0, big));
+}
+
+TEST_F(ProfiledPixel, ProfilingIsDeterministic)
+{
+    Profiler profiler(*model);
+    const ProfileResult again = profiler.profile(*app);
+    for (int s = 0; s < result.isolated.numStages(); ++s)
+        for (int p = 0; p < result.isolated.numPus(); ++p)
+            EXPECT_DOUBLE_EQ(again.isolated.at(s, p),
+                             result.isolated.at(s, p));
+}
+
+TEST_F(ProfiledPixel, ProfilingCostAccumulates)
+{
+    EXPECT_GT(result.profilingCostSeconds, 0.0);
+}
+
+TEST_F(ProfiledPixel, MoreRepsTightenNothingButStillPositive)
+{
+    Profiler profiler(*model, ProfilerConfig{.repetitions = 5});
+    const ProfileResult quick = profiler.profile(*app);
+    for (int s = 0; s < quick.isolated.numStages(); ++s)
+        for (int p = 0; p < quick.isolated.numPus(); ++p)
+            EXPECT_GT(quick.isolated.at(s, p), 0.0);
+}
+
+TEST_F(ProfiledPixel, SolverAndExhaustiveAgreeOnRanking)
+{
+    OptimizerConfig solver_cfg;
+    solver_cfg.engine = OptimizerConfig::Engine::ConstraintSolver;
+    OptimizerConfig brute_cfg = solver_cfg;
+    brute_cfg.engine = OptimizerConfig::Engine::Exhaustive;
+
+    Optimizer with_solver(soc, result.interference, solver_cfg);
+    Optimizer with_brute(soc, result.interference, brute_cfg);
+    const auto a = with_solver.optimize();
+    const auto b = with_brute.optimize();
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i].predictedLatency, b[i].predictedLatency,
+                    1e-12)
+            << "rank " << i;
+    }
+    EXPECT_NEAR(with_solver.stats().minimalGapness,
+                with_brute.stats().minimalGapness, 1e-12);
+}
+
+TEST_F(ProfiledPixel, CandidatesAreDistinctSchedules)
+{
+    Optimizer opt(soc, result.interference);
+    const auto cands = opt.optimize();
+    EXPECT_EQ(cands.size(), 20u);
+    std::set<std::string> seen;
+    for (const auto& c : cands)
+        EXPECT_TRUE(seen.insert(c.schedule.compactString()).second);
+}
+
+TEST_F(ProfiledPixel, CandidatesSortedByLatencyWithinFeasibleClass)
+{
+    Optimizer opt(soc, result.interference);
+    const auto cands = opt.optimize();
+    const auto& st = opt.stats();
+    auto fully_feasible = [&](const Candidate& c) {
+        return c.predictedLatency <= st.latencyBound + 1e-12
+            && c.schedule.numChunks() >= st.requiredPus
+            && c.predictedGapness <= st.gapnessBound + 1e-12;
+    };
+    // Within the fully feasible prefix, latency is non-decreasing, and
+    // no infeasible candidate precedes a feasible one.
+    bool left_class = false;
+    double prev = -1.0;
+    for (const auto& c : cands) {
+        if (fully_feasible(c)) {
+            EXPECT_FALSE(left_class)
+                << "feasible candidate after infeasible one";
+            EXPECT_GE(c.predictedLatency, prev);
+            prev = c.predictedLatency;
+        } else {
+            left_class = true;
+        }
+    }
+    EXPECT_GT(st.candidatesWithinBound, 0);
+}
+
+TEST_F(ProfiledPixel, UtilizationFilterMaximizesPuCountUnderBound)
+{
+    Optimizer opt(soc, result.interference);
+    const auto cands = opt.optimize();
+    const auto& st = opt.stats();
+
+    // The feasibility class: within the latency bound and using the
+    // highest attainable PU-class count.
+    EXPECT_GE(st.requiredPus, 1);
+    EXPECT_LE(st.requiredPus, soc.numPus());
+    EXPECT_GE(st.latencyBound, st.unrestrictedLatency);
+
+    // The top candidate must sit inside the class.
+    EXPECT_LE(cands.front().predictedLatency,
+              st.latencyBound + 1e-12);
+    EXPECT_GE(cands.front().schedule.numChunks(), st.requiredPus);
+
+    // No schedule with MORE distinct PUs fits the latency bound
+    // (otherwise requiredPus was not maximal).
+    for (const auto& s :
+         enumerateSchedules(result.interference.numStages(),
+                            soc.numPus())) {
+        if (s.numChunks() > st.requiredPus)
+            EXPECT_GT(s.bottleneckTime(result.interference),
+                      st.latencyBound - 1e-12);
+    }
+}
+
+TEST_F(ProfiledPixel, LatencyOnlyModeFindsGlobalLatencyOptimum)
+{
+    OptimizerConfig cfg;
+    cfg.utilizationFilter = false;
+    cfg.engine = OptimizerConfig::Engine::Exhaustive;
+    Optimizer opt(soc, result.interference, cfg);
+    const auto cands = opt.optimize();
+
+    // The first candidate must equal the brute-force latency optimum
+    // over the whole schedule space.
+    const auto all = enumerateSchedules(app->numStages(), soc.numPus());
+    double best = 1e300;
+    for (const auto& s : all)
+        best = std::min(best, s.bottleneckTime(result.interference));
+    EXPECT_NEAR(cands.front().predictedLatency, best, 1e-12);
+}
+
+TEST_F(ProfiledPixel, GapnessFilterNeverWorsensBeyondSlack)
+{
+    Optimizer opt(soc, result.interference);
+    const auto cands = opt.optimize();
+    const auto& st = opt.stats();
+    EXPECT_GT(st.candidatesWithinBound, 0);
+    EXPECT_GE(st.gapnessBound, st.minimalGapness);
+    // The level-1 optimum must itself be attainable.
+    bool found_min = false;
+    for (const auto& c : cands)
+        found_min = found_min
+            || c.predictedGapness <= st.gapnessBound + 1e-12;
+    EXPECT_TRUE(found_min);
+}
+
+TEST_F(ProfiledPixel, PipelineSchedulesBeatHomogeneousPrediction)
+{
+    Optimizer opt(soc, result.interference);
+    const auto cands = opt.optimize();
+    // Predicted bottleneck of the best pipeline must beat every
+    // homogeneous schedule's predicted latency (this is the whole
+    // point of pipelining).
+    for (int p = 0; p < soc.numPus(); ++p) {
+        const auto homog
+            = Schedule::homogeneous(app->numStages(), p);
+        EXPECT_LT(cands.front().predictedLatency,
+                  homog.bottleneckTime(result.interference));
+    }
+}
+
+TEST_F(ProfiledPixel, SolverStatsPopulated)
+{
+    Optimizer opt(soc, result.interference);
+    opt.optimize();
+    EXPECT_GT(opt.stats().solverNodes, 0u);
+}
+
+class ScheduleModelCounts
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(ScheduleModelCounts, SolverEncodingCountsMatchEnumeration)
+{
+    // The C1+C2 solver encoding must admit exactly the schedules the
+    // combinatorial enumerator produces.
+    const auto [stages, pus] = GetParam();
+    solver::Model model;
+    std::vector<std::vector<solver::Var>> x(
+        static_cast<std::size_t>(stages));
+    for (int i = 0; i < stages; ++i) {
+        for (int c = 0; c < pus; ++c)
+            x[static_cast<std::size_t>(i)].push_back(model.newVar());
+        model.addExactlyOne(x[static_cast<std::size_t>(i)]);
+    }
+    for (int c = 0; c < pus; ++c)
+        for (int i = 0; i < stages; ++i)
+            for (int k = i + 2; k < stages; ++k)
+                for (int j = i + 1; j < k; ++j)
+                    model.addImplication(
+                        {solver::pos(x[static_cast<std::size_t>(i)]
+                                      [static_cast<std::size_t>(c)]),
+                         solver::pos(x[static_cast<std::size_t>(k)]
+                                      [static_cast<std::size_t>(c)])},
+                        solver::pos(x[static_cast<std::size_t>(j)]
+                                     [static_cast<std::size_t>(c)]));
+    solver::Solver s(model);
+    EXPECT_EQ(s.countSolutions(), countSchedules(stages, pus));
+}
+
+INSTANTIATE_TEST_SUITE_P(Spaces, ScheduleModelCounts,
+                         ::testing::Values(std::pair{1, 1},
+                                           std::pair{3, 2},
+                                           std::pair{5, 3},
+                                           std::pair{7, 4},
+                                           std::pair{9, 4}));
+
+TEST(Optimizer, FewerStagesThanPusStillSolves)
+{
+    const auto soc = platform::pixel7a(); // 4 PUs
+    ProfilingTable table({"a", "b"}, {"little", "mid", "big", "gpu"});
+    for (int s = 0; s < 2; ++s)
+        for (int p = 0; p < 4; ++p)
+            table.set(s, p, 1.0 + s + p);
+    Optimizer opt(soc, table);
+    const auto cands = opt.optimize();
+    EXPECT_FALSE(cands.empty());
+    for (const auto& c : cands)
+        EXPECT_TRUE(c.schedule.valid(2, 4));
+}
+
+TEST(Optimizer, SingleStageSinglePu)
+{
+    platform::SocDescription soc = platform::jetsonOrinNano();
+    ProfilingTable table({"only"}, {"cpu", "gpu"});
+    table.set(0, 0, 2.0);
+    table.set(0, 1, 1.0);
+    Optimizer opt(soc, table);
+    const auto cands = opt.optimize();
+    ASSERT_FALSE(cands.empty());
+    // Best single-stage schedule picks the faster PU.
+    EXPECT_EQ(cands.front().schedule.puOfStage(0), 1);
+}
+
+TEST(Optimizer, CandidateCountRespectsK)
+{
+    const auto soc = platform::jetsonOrinNano();
+    ProfilingTable table({"a", "b", "c"}, {"cpu", "gpu"});
+    for (int s = 0; s < 3; ++s)
+        for (int p = 0; p < 2; ++p)
+            table.set(s, p, 1.0 + s * 0.5 + p * 0.25);
+    OptimizerConfig cfg;
+    cfg.numCandidates = 5;
+    Optimizer opt(soc, table, cfg);
+    EXPECT_LE(opt.optimize().size(), 5u);
+}
+
+TEST(Optimizer, ExhaustsSpaceWhenKExceedsIt)
+{
+    const auto soc = platform::jetsonOrinNano(); // 2 PUs
+    ProfilingTable table({"a", "b"}, {"cpu", "gpu"});
+    for (int s = 0; s < 2; ++s)
+        for (int p = 0; p < 2; ++p)
+            table.set(s, p, 1.0 + s + p);
+    OptimizerConfig cfg;
+    cfg.numCandidates = 50;
+    cfg.utilizationFilter = false;
+    Optimizer opt(soc, table, cfg);
+    // 2 stages, 2 PUs: 2 single-chunk + 2 two-chunk = 4 schedules.
+    EXPECT_EQ(opt.optimize().size(), 4u);
+}
+
+} // namespace
+} // namespace bt::core

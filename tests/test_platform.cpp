@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for the platform models: device catalog sanity, roofline
+ * behaviour of the performance model, and the interference mechanisms
+ * (bandwidth contention, governor boost/throttle, LLC, timeslicing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "platform/devices.hpp"
+#include "platform/perf_model.hpp"
+
+namespace bt::platform {
+namespace {
+
+WorkProfile
+computeBound()
+{
+    return WorkProfile{1e9, 1e3, 1.0, Pattern::Dense};
+}
+
+WorkProfile
+memoryBound()
+{
+    return WorkProfile{1e3, 1e9, 1.0, Pattern::Dense};
+}
+
+class PaperDevices : public ::testing::TestWithParam<int>
+{
+  protected:
+    SocDescription soc = paperDevices()[static_cast<std::size_t>(
+        GetParam())];
+};
+
+TEST_P(PaperDevices, ValidatesAndHasCpuAndGpu)
+{
+    soc.validate();
+    EXPECT_GE(soc.numPus(), 2);
+    EXPECT_GE(soc.gpuIndex(), 0);
+    EXPECT_GE(soc.bigCpuIndex(), 0);
+    EXPECT_NE(soc.gpuIndex(), soc.bigCpuIndex());
+}
+
+TEST_P(PaperDevices, GpuHasNoCoreIds)
+{
+    for (const auto& pu : soc.pus) {
+        if (pu.kind == PuKind::Gpu)
+            EXPECT_TRUE(pu.coreIds.empty());
+        else
+            EXPECT_EQ(pu.coreIds.size(),
+                      static_cast<std::size_t>(pu.cores));
+    }
+}
+
+TEST_P(PaperDevices, IsolatedTimesArePositiveAndFinite)
+{
+    const PerfModel model(soc);
+    for (int p = 0; p < soc.numPus(); ++p) {
+        for (const auto& w : {computeBound(), memoryBound()}) {
+            const double t = model.isolatedTime(w, p);
+            EXPECT_GT(t, 0.0);
+            EXPECT_LT(t, 3600.0);
+        }
+    }
+}
+
+TEST_P(PaperDevices, InterferenceRatioMatchesBusyFactorDirection)
+{
+    // A PU whose governor boosts under load (busyFreqFactor > 1) must
+    // show ratio < 1 on compute-bound work, and vice versa.
+    const PerfModel model(soc);
+    const auto w = computeBound();
+    for (int p = 0; p < soc.numPus(); ++p) {
+        const double iso = model.isolatedTime(w, p);
+        const double heavy = model.interferenceHeavyTime(w, p);
+        const double ratio = heavy / iso;
+        const double busy = soc.pu(p).busyFreqFactor;
+        if (busy > 1.0)
+            EXPECT_LT(ratio, 1.0) << soc.name << " pu " << p;
+        else if (busy < 1.0)
+            EXPECT_GT(ratio, 1.0) << soc.name << " pu " << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, PaperDevices,
+                         ::testing::Range(0, 4));
+
+TEST(DeviceCatalog, FourPaperDevicesWithDistinctNames)
+{
+    const auto devices = paperDevices();
+    ASSERT_EQ(devices.size(), 4u);
+    EXPECT_EQ(devices[0].name, "Google Pixel 7a");
+    EXPECT_EQ(devices[1].name, "OnePlus 11");
+    EXPECT_EQ(devices[2].name, "Jetson Orin Nano");
+    EXPECT_EQ(devices[3].name, "Jetson Orin Nano (LP)");
+}
+
+TEST(DeviceCatalog, PuClassCountsMatchPaper)
+{
+    EXPECT_EQ(pixel7a().numPus(), 4);
+    EXPECT_EQ(oneplus11().numPus(), 4);
+    EXPECT_EQ(jetsonOrinNano().numPus(), 2);
+    EXPECT_EQ(jetsonOrinNanoLp().numPus(), 2);
+}
+
+TEST(DeviceCatalog, NativeHostValid)
+{
+    const auto host = nativeHost();
+    host.validate();
+    EXPECT_GE(host.bigCpuIndex(), 0);
+    EXPECT_GE(host.gpuIndex(), 0);
+}
+
+TEST(PerfModel, MoreWorkTakesLonger)
+{
+    const auto soc = pixel7a();
+    const PerfModel model(soc);
+    WorkProfile small = computeBound();
+    WorkProfile large = small;
+    large.flops *= 10;
+    for (int p = 0; p < soc.numPus(); ++p)
+        EXPECT_GT(model.isolatedTime(large, p),
+                  model.isolatedTime(small, p));
+}
+
+TEST(PerfModel, SerialFractionLimitsSpeedup)
+{
+    const auto soc = pixel7a();
+    const PerfModel model(soc);
+    WorkProfile parallel = computeBound();
+    WorkProfile serial = parallel;
+    serial.parallelFraction = 0.0;
+    const int little = soc.findPu("little"); // 4 cores
+    ASSERT_GE(little, 0);
+    const double tp = model.isolatedTime(parallel, little);
+    const double ts = model.isolatedTime(serial, little);
+    EXPECT_NEAR(ts / tp, 4.0, 0.2); // 4 cores, negligible memory time
+}
+
+TEST(PerfModel, GpuCollapsesOnIrregularWork)
+{
+    const auto soc = pixel7a();
+    const PerfModel model(soc);
+    WorkProfile dense = computeBound();
+    WorkProfile irregular = dense;
+    irregular.pattern = Pattern::Irregular;
+    const int gpu = soc.gpuIndex();
+    // Mali: dense efficiency orders of magnitude above irregular.
+    EXPECT_GT(model.isolatedTime(irregular, gpu)
+                  / model.isolatedTime(dense, gpu),
+              20.0);
+}
+
+TEST(PerfModel, BandwidthContentionSlowsMemoryBoundWork)
+{
+    // On Jetson co-running memory-bound work on both PUs must stretch
+    // memory-bound time (shared DRAM + LLC degradation).
+    const auto soc = jetsonOrinNano();
+    const PerfModel model(soc);
+    const auto w = memoryBound;
+    const auto wp = w();
+    std::vector<Load> both{Load{&wp, 0}, Load{&wp, 1}};
+    const double together = model.timeOf(0, both);
+    const double alone = model.isolatedTime(wp, 0);
+    EXPECT_GT(together, alone);
+}
+
+TEST(PerfModel, ComputeBoundWorkSeesOnlyGovernorUnderMemCoRunner)
+{
+    const auto soc = jetsonOrinNano();
+    const PerfModel model(soc);
+    const auto heavy = computeBound();
+    const auto mem = memoryBound();
+    // CPU compute-bound vs GPU memory-bound: the CPU slows only via
+    // its governor (throttle), not via bandwidth.
+    std::vector<Load> both{Load{&heavy, 0}, Load{&mem, 1}};
+    const double together = model.timeOf(0, both);
+    const double alone = model.isolatedTime(heavy, 0);
+    const double gov = soc.pu(0).busyFreqFactor;
+    EXPECT_NEAR(together / alone, 1.0 / gov, 0.05);
+}
+
+TEST(PerfModel, TimeslicingSamePuStretchesBoth)
+{
+    const auto soc = pixel7a();
+    const PerfModel model(soc);
+    const auto w = computeBound();
+    std::vector<Load> two{Load{&w, 2}, Load{&w, 2}};
+    const double shared = model.timeOf(0, two);
+    const double alone = model.isolatedTime(w, 2);
+    EXPECT_NEAR(shared / alone, 2.0, 0.01);
+}
+
+TEST(PerfModel, EffectiveFreqStepsWithLoad)
+{
+    const auto soc = pixel7a();
+    const PerfModel model(soc);
+    const int gpu = soc.gpuIndex();
+    const double f0 = model.effectiveFreqGhz(gpu, 0);
+    const double f1 = model.effectiveFreqGhz(gpu, 1);
+    const double f3 = model.effectiveFreqGhz(gpu, 3);
+    // Mali boosts under load: a step as soon as any other PU is busy.
+    EXPECT_LT(f0, f1);
+    EXPECT_DOUBLE_EQ(f1, f3);
+    EXPECT_NEAR(f3, soc.pu(gpu).freqGhz * soc.pu(gpu).busyFreqFactor,
+                1e-12);
+}
+
+TEST(PerfModel, DispatchOverheadDominatesTinyKernels)
+{
+    const auto soc = pixel7a();
+    const PerfModel model(soc);
+    WorkProfile tiny{1.0, 1.0, 1.0, Pattern::Dense};
+    const int gpu = soc.gpuIndex();
+    EXPECT_NEAR(model.isolatedTime(tiny, gpu),
+                soc.pu(gpu).dispatchOverheadUs * 1e-6, 1e-7);
+}
+
+TEST(WorkProfile, FusionAddsWorkAndBlendsAmdahl)
+{
+    WorkProfile a{100.0, 10.0, 1.0, Pattern::Dense};
+    WorkProfile b{300.0, 30.0, 0.5, Pattern::Sparse};
+    const WorkProfile f = a.fusedWith(b);
+    EXPECT_DOUBLE_EQ(f.flops, 400.0);
+    EXPECT_DOUBLE_EQ(f.bytes, 40.0);
+    EXPECT_GT(f.parallelFraction, 0.5);
+    EXPECT_LT(f.parallelFraction, 1.0);
+    EXPECT_EQ(f.pattern, Pattern::Sparse); // b dominates by flops
+}
+
+TEST(Soc, FindPuAndLabels)
+{
+    const auto soc = pixel7a();
+    EXPECT_EQ(soc.findPu("gpu"), 3);
+    EXPECT_EQ(soc.findPu("big"), 2);
+    EXPECT_EQ(soc.findPu("nope"), -1);
+}
+
+TEST(Soc, PatternNames)
+{
+    EXPECT_STREQ(patternName(Pattern::Dense), "dense");
+    EXPECT_STREQ(patternName(Pattern::Sparse), "sparse");
+    EXPECT_STREQ(patternName(Pattern::Irregular), "irregular");
+    EXPECT_STREQ(patternName(Pattern::Mixed), "mixed");
+}
+
+} // namespace
+} // namespace bt::platform

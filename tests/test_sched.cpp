@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests for the scheduling substrate: thread pool fork-join
+ * semantics, CPU sets / affinity, and the lock-free SPSC queue
+ * (including a two-thread stress test).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "sched/affinity.hpp"
+#include "sched/spsc_queue.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace bt::sched {
+namespace {
+
+TEST(CpuSet, BasicsAndDedup)
+{
+    CpuSet s({3, 1, 2, 2, 1});
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_FALSE(s.contains(0));
+    s.add(0);
+    EXPECT_TRUE(s.contains(0));
+    s.add(0); // idempotent
+    EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(CpuSet, RangeAndToString)
+{
+    const CpuSet s = CpuSet::range(4, 4);
+    EXPECT_EQ(s.size(), 4u);
+    EXPECT_EQ(s.toString(), "{4-7}");
+
+    CpuSet mixed({0, 2, 3, 4, 9});
+    EXPECT_EQ(mixed.toString(), "{0,2-4,9}");
+    EXPECT_EQ(CpuSet().toString(), "{}");
+}
+
+TEST(Affinity, QueryCurrentNonEmpty)
+{
+    const CpuSet current = currentThreadAffinity();
+    EXPECT_FALSE(current.empty());
+    EXPECT_GE(onlineCoreCount(), 1);
+}
+
+TEST(Affinity, BindToOwnCpuSucceeds)
+{
+    const CpuSet current = currentThreadAffinity();
+    ASSERT_FALSE(current.empty());
+    EXPECT_TRUE(bindCurrentThread(current));
+}
+
+TEST(Affinity, BindEmptyFails)
+{
+    EXPECT_FALSE(bindCurrentThread(CpuSet()));
+}
+
+class ThreadPoolSizes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ThreadPoolSizes, ParallelForSumsCorrectly)
+{
+    ThreadPool pool(GetParam());
+    const std::int64_t n = 10007;
+    std::vector<std::int64_t> out(static_cast<std::size_t>(n), 0);
+    pool.parallelFor(0, n, [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)] = i;
+    });
+    const std::int64_t sum
+        = std::accumulate(out.begin(), out.end(), std::int64_t{0});
+    EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST_P(ThreadPoolSizes, EveryIndexVisitedExactlyOnce)
+{
+    ThreadPool pool(GetParam());
+    const std::int64_t n = 4097;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    pool.parallelFor(0, n, [&](std::int64_t i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ThreadPoolSizes, ReusableAcrossRegions)
+{
+    ThreadPool pool(GetParam());
+    for (int round = 0; round < 10; ++round) {
+        std::atomic<std::int64_t> sum{0};
+        pool.parallelFor(0, 100, [&](std::int64_t i) {
+            sum.fetch_add(i);
+        });
+        EXPECT_EQ(sum.load(), 4950);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ThreadPoolSizes,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ThreadPool, EmptyRangeIsNoop)
+{
+    ThreadPool pool(4);
+    bool called = false;
+    pool.parallelFor(5, 5, [&](std::int64_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, BlocksCoverRangeWithoutOverlap)
+{
+    ThreadPool pool(4);
+    const std::int64_t n = 1000;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    pool.parallelForBlocks(0, n, [&](std::int64_t lo, std::int64_t hi) {
+        EXPECT_LT(lo, hi);
+        for (std::int64_t i = lo; i < hi; ++i)
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SmallRangeFewerItemsThanThreads)
+{
+    ThreadPool pool(8);
+    std::atomic<int> count{0};
+    pool.parallelFor(0, 3, [&](std::int64_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(SpscQueue, PushPopSingleThread)
+{
+    SpscQueue<int> q(4);
+    EXPECT_EQ(q.capacity(), 4u);
+    EXPECT_TRUE(q.emptyApprox());
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_EQ(q.sizeApprox(), 2u);
+    EXPECT_EQ(q.tryPop().value(), 1);
+    EXPECT_EQ(q.tryPop().value(), 2);
+    EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(SpscQueue, FullRejectsPush)
+{
+    SpscQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));
+    EXPECT_EQ(q.tryPop().value(), 1);
+    EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(SpscQueue, WrapAroundPreservesFifo)
+{
+    SpscQueue<int> q(3);
+    int next_push = 0, next_pop = 0;
+    for (int round = 0; round < 50; ++round) {
+        while (q.tryPush(next_push))
+            ++next_push;
+        std::optional<int> v;
+        while ((v = q.tryPop()))
+            EXPECT_EQ(*v, next_pop++);
+    }
+    EXPECT_EQ(next_push, next_pop);
+}
+
+TEST(SpscQueue, TwoThreadStress)
+{
+    SpscQueue<std::int64_t> q(16);
+    const std::int64_t n = 200000;
+    std::int64_t sum = 0;
+
+    std::thread consumer([&] {
+        std::int64_t expect = 0;
+        while (expect < n) {
+            auto v = q.tryPop();
+            if (!v) {
+                std::this_thread::yield();
+                continue;
+            }
+            ASSERT_EQ(*v, expect); // FIFO order
+            sum += *v;
+            ++expect;
+        }
+    });
+
+    for (std::int64_t i = 0; i < n; ++i)
+        while (!q.tryPush(i))
+            std::this_thread::yield();
+    consumer.join();
+    EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(SpscQueue, MoveOnlyElements)
+{
+    SpscQueue<std::unique_ptr<int>> q(2);
+    EXPECT_TRUE(q.tryPush(std::make_unique<int>(41)));
+    auto v = q.tryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(**v, 41);
+}
+
+} // namespace
+} // namespace bt::sched

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the discrete-event processor-sharing engine: exact
+ * integration under constant and changing rates, timer ordering, and
+ * dynamic task injection from callbacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace bt::sim {
+namespace {
+
+/** Rate function giving every task the same constant rate. */
+RateFn
+constantRate(double r)
+{
+    return [r](std::span<const ActiveTask> active,
+               std::span<double> rates) {
+        for (std::size_t i = 0; i < active.size(); ++i)
+            rates[i] = r;
+    };
+}
+
+TEST(Engine, SingleTaskDuration)
+{
+    Engine e(constantRate(2.0)); // 2 work units per second
+    double done_at = -1.0;
+    e.onComplete([&](TaskId, std::uint64_t) { done_at = e.now(); });
+    e.startTask(0, 3.0); // 3 units at rate 2 => 1.5 s
+    e.run();
+    EXPECT_NEAR(done_at, 1.5, 1e-12);
+}
+
+TEST(Engine, TwoIndependentTasksFinishInOrder)
+{
+    Engine e(constantRate(1.0));
+    std::vector<std::uint64_t> order;
+    e.onComplete([&](TaskId, std::uint64_t tag) {
+        order.push_back(tag);
+    });
+    e.startTask(1, 2.0);
+    e.startTask(2, 1.0);
+    e.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 2u);
+    EXPECT_EQ(order[1], 1u);
+    EXPECT_NEAR(e.now(), 2.0, 1e-12);
+}
+
+TEST(Engine, ProcessorSharingSlowsTasks)
+{
+    // Rate = 1 / number of active tasks: two tasks of one unit each
+    // should take 2 s total (1 s shared, then... both finish at 2 s).
+    Engine e([](std::span<const ActiveTask> active,
+                std::span<double> rates) {
+        for (std::size_t i = 0; i < active.size(); ++i)
+            rates[i] = 1.0 / static_cast<double>(active.size());
+    });
+    std::map<std::uint64_t, double> done;
+    e.onComplete([&](TaskId, std::uint64_t tag) {
+        done[tag] = e.now();
+    });
+    e.startTask(1, 1.0);
+    e.startTask(2, 1.0);
+    e.run();
+    EXPECT_NEAR(done[1], 2.0, 1e-12);
+    EXPECT_NEAR(done[2], 2.0, 1e-12);
+}
+
+TEST(Engine, RateChangeIntegratesPiecewise)
+{
+    // Task A (1 unit) and task B started at t=0; when B finishes, A
+    // speeds up. B: 0.5 units at rate 1 with sharing rate 0.5 each.
+    Engine e([](std::span<const ActiveTask> active,
+                std::span<double> rates) {
+        const double r = active.size() == 2 ? 0.5 : 1.0;
+        for (std::size_t i = 0; i < active.size(); ++i)
+            rates[i] = r;
+    });
+    std::map<std::uint64_t, double> done;
+    e.onComplete([&](TaskId, std::uint64_t tag) {
+        done[tag] = e.now();
+    });
+    e.startTask(1, 1.0);
+    e.startTask(2, 0.5);
+    e.run();
+    // B finishes at t=1 (0.5 units at 0.5). A has 0.5 units left, now
+    // at rate 1 => finishes at t=1.5.
+    EXPECT_NEAR(done[2], 1.0, 1e-12);
+    EXPECT_NEAR(done[1], 1.5, 1e-12);
+}
+
+TEST(Engine, TimersFireInOrderWithFifoTieBreak)
+{
+    Engine e(constantRate(1.0));
+    std::vector<int> order;
+    e.scheduleAt(2.0, [&] { order.push_back(2); });
+    e.scheduleAt(1.0, [&] { order.push_back(1); });
+    e.scheduleAt(2.0, [&] { order.push_back(3); }); // same time as #2
+    e.run();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+    EXPECT_NEAR(e.now(), 2.0, 1e-12);
+}
+
+TEST(Engine, TimerCanStartTask)
+{
+    Engine e(constantRate(1.0));
+    double done_at = -1.0;
+    e.onComplete([&](TaskId, std::uint64_t) { done_at = e.now(); });
+    e.scheduleAt(1.0, [&] { e.startTask(7, 2.0); });
+    e.run();
+    EXPECT_NEAR(done_at, 3.0, 1e-12);
+}
+
+TEST(Engine, CompletionCallbackChainsTasks)
+{
+    Engine e(constantRate(1.0));
+    int completions = 0;
+    e.onComplete([&](TaskId, std::uint64_t tag) {
+        ++completions;
+        if (tag < 4)
+            e.startTask(tag + 1, 1.0);
+    });
+    e.startTask(0, 1.0);
+    e.run();
+    EXPECT_EQ(completions, 5);
+    EXPECT_NEAR(e.now(), 5.0, 1e-12);
+}
+
+TEST(Engine, StartTimeTracked)
+{
+    Engine e(constantRate(1.0));
+    e.scheduleAt(2.5, [&] {
+        const TaskId id = e.startTask(1, 1.0);
+        EXPECT_NEAR(e.startTime(id), 2.5, 1e-12);
+    });
+    e.run();
+}
+
+TEST(Engine, HorizonStopsEarly)
+{
+    Engine e(constantRate(1.0));
+    e.startTask(0, 100.0);
+    const double t = e.run(1.0);
+    EXPECT_LE(t, 1.0 + 1e-9);
+    EXPECT_EQ(e.activeCount(), 1u);
+}
+
+TEST(Engine, ManyTasksDeterministic)
+{
+    auto run_once = [] {
+        Engine e([](std::span<const ActiveTask> active,
+                    std::span<double> rates) {
+            for (std::size_t i = 0; i < active.size(); ++i)
+                rates[i] = 1.0
+                    / (1.0 + 0.1 * static_cast<double>(active.size()));
+        });
+        std::vector<double> times;
+        e.onComplete([&](TaskId, std::uint64_t) {
+            times.push_back(e.now());
+        });
+        for (int i = 0; i < 50; ++i)
+            e.startTask(static_cast<std::uint64_t>(i),
+                        1.0 + 0.01 * i);
+        e.run();
+        return times;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, SimultaneousCompletionsAllFire)
+{
+    Engine e(constantRate(1.0));
+    int completions = 0;
+    e.onComplete([&](TaskId, std::uint64_t) { ++completions; });
+    e.startTask(0, 1.0);
+    e.startTask(1, 1.0);
+    e.startTask(2, 1.0);
+    e.run();
+    EXPECT_EQ(completions, 3);
+    EXPECT_NEAR(e.now(), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace bt::sim

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Unit and property tests for the 0/1 constraint solver: each
+ * constraint kind, minimization, enumeration, unsatisfiable cases, and
+ * a randomized cross-check against brute-force enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "solver/model.hpp"
+#include "solver/solver.hpp"
+
+namespace bt::solver {
+namespace {
+
+TEST(Solver, EmptyModelHasOneSolution)
+{
+    Model m;
+    Solver s(m);
+    EXPECT_EQ(s.countSolutions(), 1u);
+}
+
+TEST(Solver, UnitClauseForcesValue)
+{
+    Model m;
+    const Var a = m.newVar("a");
+    m.addUnit(pos(a));
+    Solver s(m);
+    auto sol = s.solve();
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_TRUE(sol->value(a));
+}
+
+TEST(Solver, ContradictionIsUnsat)
+{
+    Model m;
+    const Var a = m.newVar();
+    m.addUnit(pos(a));
+    m.addUnit(neg(a));
+    Solver s(m);
+    EXPECT_FALSE(s.solve().has_value());
+    EXPECT_EQ(s.countSolutions(), 0u);
+}
+
+TEST(Solver, EmptyClauseIsUnsat)
+{
+    Model m;
+    m.newVar();
+    m.addClause({});
+    Solver s(m);
+    EXPECT_FALSE(s.solve().has_value());
+}
+
+TEST(Solver, ExactlyOneCounts)
+{
+    Model m;
+    std::vector<Var> vars;
+    for (int i = 0; i < 5; ++i)
+        vars.push_back(m.newVar());
+    m.addExactlyOne(vars);
+    Solver s(m);
+    EXPECT_EQ(s.countSolutions(), 5u);
+}
+
+TEST(Solver, AtMostOneCounts)
+{
+    Model m;
+    std::vector<Var> vars;
+    for (int i = 0; i < 4; ++i)
+        vars.push_back(m.newVar());
+    m.addAtMostOne(vars);
+    Solver s(m);
+    EXPECT_EQ(s.countSolutions(), 5u); // none or one of four
+}
+
+TEST(Solver, ImplicationChainsPropagate)
+{
+    Model m;
+    const Var a = m.newVar(), b = m.newVar(), c = m.newVar();
+    m.addImplication({pos(a)}, pos(b));
+    m.addImplication({pos(b)}, pos(c));
+    m.addUnit(pos(a));
+    Solver s(m);
+    auto sol = s.solve();
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_TRUE(sol->value(b));
+    EXPECT_TRUE(sol->value(c));
+}
+
+TEST(Solver, TwoAntecedentImplication)
+{
+    Model m;
+    const Var a = m.newVar(), b = m.newVar(), c = m.newVar();
+    m.addImplication({pos(a), pos(b)}, pos(c));
+    m.addUnit(pos(a));
+    m.addUnit(pos(b));
+    m.addUnit(neg(c));
+    Solver s(m);
+    EXPECT_FALSE(s.solve().has_value());
+}
+
+TEST(Solver, LinearLeBoundsSum)
+{
+    Model m;
+    std::vector<PbTerm> terms;
+    std::vector<Var> vars;
+    for (int i = 0; i < 4; ++i) {
+        vars.push_back(m.newVar());
+        terms.push_back(PbTerm{pos(vars.back()), 3});
+    }
+    m.addLinearLe(terms, 6); // at most two can be true
+    Solver s(m);
+    // C(4,0)+C(4,1)+C(4,2) = 1+4+6 = 11
+    EXPECT_EQ(s.countSolutions(), 11u);
+}
+
+TEST(Solver, LinearGeForcesSelection)
+{
+    Model m;
+    std::vector<PbTerm> terms;
+    std::vector<Var> vars;
+    for (int i = 0; i < 3; ++i) {
+        vars.push_back(m.newVar());
+        terms.push_back(PbTerm{pos(vars.back()), 2});
+    }
+    m.addLinearGe(terms, 4); // at least two true
+    Solver s(m);
+    EXPECT_EQ(s.countSolutions(), 4u); // C(3,2)+C(3,3)
+}
+
+TEST(Solver, LinearOverNegatedLiterals)
+{
+    Model m;
+    const Var a = m.newVar(), b = m.newVar();
+    // (!a) + (!b) <= 1 : at least one of a, b must hold.
+    m.addLinearLe({PbTerm{neg(a), 1}, PbTerm{neg(b), 1}}, 1);
+    Solver s(m);
+    EXPECT_EQ(s.countSolutions(), 3u);
+}
+
+TEST(Solver, MinimizeCallbackFindsOptimum)
+{
+    Model m;
+    std::vector<Var> vars;
+    for (int i = 0; i < 4; ++i)
+        vars.push_back(m.newVar());
+    m.addExactlyOne(vars);
+    const double costs[4] = {5.0, 2.0, 7.0, 3.0};
+    Solver s(m);
+    auto best = s.minimize([&](const Assignment& a) {
+        for (int i = 0; i < 4; ++i)
+            if (a.value(vars[static_cast<std::size_t>(i)]))
+                return costs[i];
+        return 1e9;
+    });
+    ASSERT_TRUE(best.has_value());
+    EXPECT_TRUE(best->value(vars[1]));
+}
+
+TEST(Solver, BlockingClauseEnumeratesDistinct)
+{
+    Model m;
+    std::vector<Var> vars;
+    for (int i = 0; i < 3; ++i)
+        vars.push_back(m.newVar());
+    m.addExactlyOne(vars);
+
+    std::set<int> seen;
+    for (int round = 0; round < 3; ++round) {
+        Solver s(m);
+        auto sol = s.solve();
+        ASSERT_TRUE(sol.has_value());
+        int which = -1;
+        std::vector<Lit> block;
+        for (int i = 0; i < 3; ++i) {
+            if (sol->value(vars[static_cast<std::size_t>(i)])) {
+                which = i;
+                block.push_back(neg(vars[static_cast<std::size_t>(i)]));
+            }
+        }
+        EXPECT_TRUE(seen.insert(which).second);
+        m.addClause(block);
+    }
+    Solver s(m);
+    EXPECT_FALSE(s.solve().has_value());
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Solver, ForEachSolutionStopsWhenAsked)
+{
+    Model m;
+    for (int i = 0; i < 6; ++i)
+        m.newVar();
+    Solver s(m);
+    int visited = 0;
+    s.forEachSolution([&](const Assignment&) {
+        ++visited;
+        return visited < 5;
+    });
+    EXPECT_EQ(visited, 5);
+}
+
+/** Brute-force evaluation of a model over all 2^n assignments. */
+std::uint64_t
+bruteForceCount(const Model& m)
+{
+    const int n = m.numVars();
+    std::uint64_t count = 0;
+    for (std::uint64_t bits = 0; bits < (1ull << n); ++bits) {
+        std::vector<bool> vals(static_cast<std::size_t>(n));
+        for (int v = 0; v < n; ++v)
+            vals[static_cast<std::size_t>(v)] = (bits >> v) & 1;
+        const Assignment a(vals);
+
+        bool ok = true;
+        for (const auto& clause : m.clauses()) {
+            bool sat = clause.empty() ? false : false;
+            for (const auto& lit : clause)
+                sat = sat || a.value(lit);
+            if (!sat) {
+                ok = false;
+                break;
+            }
+        }
+        for (const auto& group : m.exactlyOnes()) {
+            int trues = 0;
+            for (Var v : group)
+                trues += a.value(v);
+            if (trues != 1)
+                ok = false;
+        }
+        for (const auto& group : m.atMostOnes()) {
+            int trues = 0;
+            for (Var v : group)
+                trues += a.value(v);
+            if (trues > 1)
+                ok = false;
+        }
+        for (const auto& le : m.linearLes()) {
+            std::int64_t sum = 0;
+            for (const auto& t : le.terms)
+                if (a.value(t.lit))
+                    sum += t.coeff;
+            if (sum > le.bound)
+                ok = false;
+        }
+        count += ok;
+    }
+    return count;
+}
+
+class SolverRandomInstances : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SolverRandomInstances, CountMatchesBruteForce)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+    Model m;
+    const int n = 3 + static_cast<int>(rng.nextBounded(8)); // 3..10
+    std::vector<Var> vars;
+    for (int i = 0; i < n; ++i)
+        vars.push_back(m.newVar());
+
+    auto randomLit = [&] {
+        const Var v
+            = vars[static_cast<std::size_t>(rng.nextBounded(
+                static_cast<std::uint64_t>(n)))];
+        return rng.nextBounded(2) ? pos(v) : neg(v);
+    };
+
+    const int clauses = static_cast<int>(rng.nextBounded(5));
+    for (int c = 0; c < clauses; ++c) {
+        std::vector<Lit> lits;
+        const int len = 1 + static_cast<int>(rng.nextBounded(3));
+        for (int l = 0; l < len; ++l)
+            lits.push_back(randomLit());
+        m.addClause(lits);
+    }
+    if (rng.nextBounded(2)) {
+        std::vector<Var> group(vars.begin(),
+                               vars.begin() + std::min(n, 4));
+        m.addExactlyOne(group);
+    }
+    if (rng.nextBounded(2)) {
+        std::vector<PbTerm> terms;
+        for (int i = 0; i < std::min(n, 5); ++i)
+            terms.push_back(PbTerm{
+                randomLit(),
+                static_cast<std::int64_t>(1 + rng.nextBounded(4))});
+        m.addLinearLe(terms,
+                      static_cast<std::int64_t>(rng.nextBounded(8)));
+    }
+
+    Solver s(m);
+    EXPECT_EQ(s.countSolutions(), bruteForceCount(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverRandomInstances,
+                         ::testing::Range(0, 25));
+
+} // namespace
+} // namespace bt::solver
