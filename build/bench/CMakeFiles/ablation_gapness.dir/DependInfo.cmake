@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_gapness.cpp" "bench/CMakeFiles/ablation_gapness.dir/ablation_gapness.cpp.o" "gcc" "bench/CMakeFiles/ablation_gapness.dir/ablation_gapness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bt_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/bt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/bt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/bt_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/bt_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gapness.dir/ablation_gapness.cpp.o"
+  "CMakeFiles/ablation_gapness.dir/ablation_gapness.cpp.o.d"
+  "ablation_gapness"
+  "ablation_gapness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gapness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_gapness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_bench_common.dir/common/bench_util.cpp.o"
+  "CMakeFiles/bt_bench_common.dir/common/bench_util.cpp.o.d"
+  "libbt_bench_common.a"
+  "libbt_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

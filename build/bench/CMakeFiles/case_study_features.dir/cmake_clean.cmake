@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_features.dir/case_study_features.cpp.o"
+  "CMakeFiles/case_study_features.dir/case_study_features.cpp.o.d"
+  "case_study_features"
+  "case_study_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

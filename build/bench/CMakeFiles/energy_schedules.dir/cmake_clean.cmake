@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_schedules.dir/energy_schedules.cpp.o"
+  "CMakeFiles/energy_schedules.dir/energy_schedules.cpp.o.d"
+  "energy_schedules"
+  "energy_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_interference.dir/fig7_interference.cpp.o"
+  "CMakeFiles/fig7_interference.dir/fig7_interference.cpp.o.d"
+  "fig7_interference"
+  "fig7_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_buffers.dir/sensitivity_buffers.cpp.o"
+  "CMakeFiles/sensitivity_buffers.dir/sensitivity_buffers.cpp.o.d"
+  "sensitivity_buffers"
+  "sensitivity_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_noise.dir/sensitivity_noise.cpp.o"
+  "CMakeFiles/sensitivity_noise.dir/sensitivity_noise.cpp.o.d"
+  "sensitivity_noise"
+  "sensitivity_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_performance.dir/solver_performance.cpp.o"
+  "CMakeFiles/solver_performance.dir/solver_performance.cpp.o.d"
+  "solver_performance"
+  "solver_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsc_micro.dir/spsc_micro.cpp.o"
+  "CMakeFiles/spsc_micro.dir/spsc_micro.cpp.o.d"
+  "spsc_micro"
+  "spsc_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsc_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_autotuning.dir/table4_autotuning.cpp.o"
+  "CMakeFiles/table4_autotuning.dir/table4_autotuning.cpp.o.d"
+  "table4_autotuning"
+  "table4_autotuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_autotuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

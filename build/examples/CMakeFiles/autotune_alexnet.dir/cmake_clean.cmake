@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_alexnet.dir/autotune_alexnet.cpp.o"
+  "CMakeFiles/autotune_alexnet.dir/autotune_alexnet.cpp.o.d"
+  "autotune_alexnet"
+  "autotune_alexnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_alexnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_explorer.dir/bt_explorer.cpp.o"
+  "CMakeFiles/bt_explorer.dir/bt_explorer.cpp.o.d"
+  "bt_explorer"
+  "bt_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_pipeline.dir/native_pipeline.cpp.o"
+  "CMakeFiles/native_pipeline.dir/native_pipeline.cpp.o.d"
+  "native_pipeline"
+  "native_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

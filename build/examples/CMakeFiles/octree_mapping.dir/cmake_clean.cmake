@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octree_mapping.dir/octree_mapping.cpp.o"
+  "CMakeFiles/octree_mapping.dir/octree_mapping.cpp.o.d"
+  "octree_mapping"
+  "octree_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octree_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

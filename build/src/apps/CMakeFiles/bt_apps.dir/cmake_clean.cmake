@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_apps.dir/alexnet.cpp.o"
+  "CMakeFiles/bt_apps.dir/alexnet.cpp.o.d"
+  "CMakeFiles/bt_apps.dir/features.cpp.o"
+  "CMakeFiles/bt_apps.dir/features.cpp.o.d"
+  "CMakeFiles/bt_apps.dir/octree_app.cpp.o"
+  "CMakeFiles/bt_apps.dir/octree_app.cpp.o.d"
+  "libbt_apps.a"
+  "libbt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_common.dir/csv.cpp.o"
+  "CMakeFiles/bt_common.dir/csv.cpp.o.d"
+  "CMakeFiles/bt_common.dir/logging.cpp.o"
+  "CMakeFiles/bt_common.dir/logging.cpp.o.d"
+  "CMakeFiles/bt_common.dir/rng.cpp.o"
+  "CMakeFiles/bt_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bt_common.dir/stats.cpp.o"
+  "CMakeFiles/bt_common.dir/stats.cpp.o.d"
+  "CMakeFiles/bt_common.dir/table.cpp.o"
+  "CMakeFiles/bt_common.dir/table.cpp.o.d"
+  "libbt_common.a"
+  "libbt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/application.cpp" "src/core/CMakeFiles/bt_core.dir/application.cpp.o" "gcc" "src/core/CMakeFiles/bt_core.dir/application.cpp.o.d"
+  "/root/repo/src/core/autotuner.cpp" "src/core/CMakeFiles/bt_core.dir/autotuner.cpp.o" "gcc" "src/core/CMakeFiles/bt_core.dir/autotuner.cpp.o.d"
+  "/root/repo/src/core/data_parallel.cpp" "src/core/CMakeFiles/bt_core.dir/data_parallel.cpp.o" "gcc" "src/core/CMakeFiles/bt_core.dir/data_parallel.cpp.o.d"
+  "/root/repo/src/core/dynamic_executor.cpp" "src/core/CMakeFiles/bt_core.dir/dynamic_executor.cpp.o" "gcc" "src/core/CMakeFiles/bt_core.dir/dynamic_executor.cpp.o.d"
+  "/root/repo/src/core/native_executor.cpp" "src/core/CMakeFiles/bt_core.dir/native_executor.cpp.o" "gcc" "src/core/CMakeFiles/bt_core.dir/native_executor.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/bt_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/bt_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/bt_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/bt_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/bt_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/bt_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/profiling_table.cpp" "src/core/CMakeFiles/bt_core.dir/profiling_table.cpp.o" "gcc" "src/core/CMakeFiles/bt_core.dir/profiling_table.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/bt_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/bt_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/sim_executor.cpp" "src/core/CMakeFiles/bt_core.dir/sim_executor.cpp.o" "gcc" "src/core/CMakeFiles/bt_core.dir/sim_executor.cpp.o.d"
+  "/root/repo/src/core/task_object.cpp" "src/core/CMakeFiles/bt_core.dir/task_object.cpp.o" "gcc" "src/core/CMakeFiles/bt_core.dir/task_object.cpp.o.d"
+  "/root/repo/src/core/usm_buffer.cpp" "src/core/CMakeFiles/bt_core.dir/usm_buffer.cpp.o" "gcc" "src/core/CMakeFiles/bt_core.dir/usm_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/bt_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/bt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/bt_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

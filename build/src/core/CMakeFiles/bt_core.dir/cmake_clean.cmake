@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_core.dir/application.cpp.o"
+  "CMakeFiles/bt_core.dir/application.cpp.o.d"
+  "CMakeFiles/bt_core.dir/autotuner.cpp.o"
+  "CMakeFiles/bt_core.dir/autotuner.cpp.o.d"
+  "CMakeFiles/bt_core.dir/data_parallel.cpp.o"
+  "CMakeFiles/bt_core.dir/data_parallel.cpp.o.d"
+  "CMakeFiles/bt_core.dir/dynamic_executor.cpp.o"
+  "CMakeFiles/bt_core.dir/dynamic_executor.cpp.o.d"
+  "CMakeFiles/bt_core.dir/native_executor.cpp.o"
+  "CMakeFiles/bt_core.dir/native_executor.cpp.o.d"
+  "CMakeFiles/bt_core.dir/optimizer.cpp.o"
+  "CMakeFiles/bt_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/bt_core.dir/pipeline.cpp.o"
+  "CMakeFiles/bt_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/bt_core.dir/profiler.cpp.o"
+  "CMakeFiles/bt_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/bt_core.dir/profiling_table.cpp.o"
+  "CMakeFiles/bt_core.dir/profiling_table.cpp.o.d"
+  "CMakeFiles/bt_core.dir/schedule.cpp.o"
+  "CMakeFiles/bt_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/bt_core.dir/sim_executor.cpp.o"
+  "CMakeFiles/bt_core.dir/sim_executor.cpp.o.d"
+  "CMakeFiles/bt_core.dir/task_object.cpp.o"
+  "CMakeFiles/bt_core.dir/task_object.cpp.o.d"
+  "CMakeFiles/bt_core.dir/usm_buffer.cpp.o"
+  "CMakeFiles/bt_core.dir/usm_buffer.cpp.o.d"
+  "libbt_core.a"
+  "libbt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

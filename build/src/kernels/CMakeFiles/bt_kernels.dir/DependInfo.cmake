@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/conv2d.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/conv2d.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/conv2d.cpp.o.d"
+  "/root/repo/src/kernels/csr.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/csr.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/csr.cpp.o.d"
+  "/root/repo/src/kernels/gemm_conv.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/gemm_conv.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/gemm_conv.cpp.o.d"
+  "/root/repo/src/kernels/image.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/image.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/image.cpp.o.d"
+  "/root/repo/src/kernels/linear.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/linear.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/linear.cpp.o.d"
+  "/root/repo/src/kernels/morton.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/morton.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/morton.cpp.o.d"
+  "/root/repo/src/kernels/octree.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/octree.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/octree.cpp.o.d"
+  "/root/repo/src/kernels/octree_query.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/octree_query.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/octree_query.cpp.o.d"
+  "/root/repo/src/kernels/pooling.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/pooling.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/pooling.cpp.o.d"
+  "/root/repo/src/kernels/prefix_sum.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/prefix_sum.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/prefix_sum.cpp.o.d"
+  "/root/repo/src/kernels/radix_tree.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/radix_tree.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/radix_tree.cpp.o.d"
+  "/root/repo/src/kernels/sort.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/sort.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/sort.cpp.o.d"
+  "/root/repo/src/kernels/sparse_conv.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/sparse_conv.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/sparse_conv.cpp.o.d"
+  "/root/repo/src/kernels/unique.cpp" "src/kernels/CMakeFiles/bt_kernels.dir/unique.cpp.o" "gcc" "src/kernels/CMakeFiles/bt_kernels.dir/unique.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/bt_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

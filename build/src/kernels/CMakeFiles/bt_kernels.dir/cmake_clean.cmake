@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_kernels.dir/conv2d.cpp.o"
+  "CMakeFiles/bt_kernels.dir/conv2d.cpp.o.d"
+  "CMakeFiles/bt_kernels.dir/csr.cpp.o"
+  "CMakeFiles/bt_kernels.dir/csr.cpp.o.d"
+  "CMakeFiles/bt_kernels.dir/gemm_conv.cpp.o"
+  "CMakeFiles/bt_kernels.dir/gemm_conv.cpp.o.d"
+  "CMakeFiles/bt_kernels.dir/image.cpp.o"
+  "CMakeFiles/bt_kernels.dir/image.cpp.o.d"
+  "CMakeFiles/bt_kernels.dir/linear.cpp.o"
+  "CMakeFiles/bt_kernels.dir/linear.cpp.o.d"
+  "CMakeFiles/bt_kernels.dir/morton.cpp.o"
+  "CMakeFiles/bt_kernels.dir/morton.cpp.o.d"
+  "CMakeFiles/bt_kernels.dir/octree.cpp.o"
+  "CMakeFiles/bt_kernels.dir/octree.cpp.o.d"
+  "CMakeFiles/bt_kernels.dir/octree_query.cpp.o"
+  "CMakeFiles/bt_kernels.dir/octree_query.cpp.o.d"
+  "CMakeFiles/bt_kernels.dir/pooling.cpp.o"
+  "CMakeFiles/bt_kernels.dir/pooling.cpp.o.d"
+  "CMakeFiles/bt_kernels.dir/prefix_sum.cpp.o"
+  "CMakeFiles/bt_kernels.dir/prefix_sum.cpp.o.d"
+  "CMakeFiles/bt_kernels.dir/radix_tree.cpp.o"
+  "CMakeFiles/bt_kernels.dir/radix_tree.cpp.o.d"
+  "CMakeFiles/bt_kernels.dir/sort.cpp.o"
+  "CMakeFiles/bt_kernels.dir/sort.cpp.o.d"
+  "CMakeFiles/bt_kernels.dir/sparse_conv.cpp.o"
+  "CMakeFiles/bt_kernels.dir/sparse_conv.cpp.o.d"
+  "CMakeFiles/bt_kernels.dir/unique.cpp.o"
+  "CMakeFiles/bt_kernels.dir/unique.cpp.o.d"
+  "libbt_kernels.a"
+  "libbt_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

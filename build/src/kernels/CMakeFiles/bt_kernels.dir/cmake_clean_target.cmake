@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbt_kernels.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/devices.cpp" "src/platform/CMakeFiles/bt_platform.dir/devices.cpp.o" "gcc" "src/platform/CMakeFiles/bt_platform.dir/devices.cpp.o.d"
+  "/root/repo/src/platform/perf_model.cpp" "src/platform/CMakeFiles/bt_platform.dir/perf_model.cpp.o" "gcc" "src/platform/CMakeFiles/bt_platform.dir/perf_model.cpp.o.d"
+  "/root/repo/src/platform/soc.cpp" "src/platform/CMakeFiles/bt_platform.dir/soc.cpp.o" "gcc" "src/platform/CMakeFiles/bt_platform.dir/soc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bt_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_platform.dir/devices.cpp.o"
+  "CMakeFiles/bt_platform.dir/devices.cpp.o.d"
+  "CMakeFiles/bt_platform.dir/perf_model.cpp.o"
+  "CMakeFiles/bt_platform.dir/perf_model.cpp.o.d"
+  "CMakeFiles/bt_platform.dir/soc.cpp.o"
+  "CMakeFiles/bt_platform.dir/soc.cpp.o.d"
+  "libbt_platform.a"
+  "libbt_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_sched.dir/affinity.cpp.o"
+  "CMakeFiles/bt_sched.dir/affinity.cpp.o.d"
+  "CMakeFiles/bt_sched.dir/thread_pool.cpp.o"
+  "CMakeFiles/bt_sched.dir/thread_pool.cpp.o.d"
+  "libbt_sched.a"
+  "libbt_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

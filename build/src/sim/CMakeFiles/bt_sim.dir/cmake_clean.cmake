@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_sim.dir/engine.cpp.o"
+  "CMakeFiles/bt_sim.dir/engine.cpp.o.d"
+  "libbt_sim.a"
+  "libbt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

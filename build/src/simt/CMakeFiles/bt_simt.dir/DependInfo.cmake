@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/algorithms.cpp" "src/simt/CMakeFiles/bt_simt.dir/algorithms.cpp.o" "gcc" "src/simt/CMakeFiles/bt_simt.dir/algorithms.cpp.o.d"
+  "/root/repo/src/simt/simt.cpp" "src/simt/CMakeFiles/bt_simt.dir/simt.cpp.o" "gcc" "src/simt/CMakeFiles/bt_simt.dir/simt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bt_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_simt.dir/algorithms.cpp.o"
+  "CMakeFiles/bt_simt.dir/algorithms.cpp.o.d"
+  "CMakeFiles/bt_simt.dir/simt.cpp.o"
+  "CMakeFiles/bt_simt.dir/simt.cpp.o.d"
+  "libbt_simt.a"
+  "libbt_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

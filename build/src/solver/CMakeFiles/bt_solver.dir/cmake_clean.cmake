@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_solver.dir/model.cpp.o"
+  "CMakeFiles/bt_solver.dir/model.cpp.o.d"
+  "CMakeFiles/bt_solver.dir/solver.cpp.o"
+  "CMakeFiles/bt_solver.dir/solver.cpp.o.d"
+  "libbt_solver.a"
+  "libbt_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

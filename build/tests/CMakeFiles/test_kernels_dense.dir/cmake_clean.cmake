@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_dense.dir/test_kernels_dense.cpp.o"
+  "CMakeFiles/test_kernels_dense.dir/test_kernels_dense.cpp.o.d"
+  "test_kernels_dense"
+  "test_kernels_dense.pdb"
+  "test_kernels_dense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

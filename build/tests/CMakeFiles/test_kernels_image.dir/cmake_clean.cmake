@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_image.dir/test_kernels_image.cpp.o"
+  "CMakeFiles/test_kernels_image.dir/test_kernels_image.cpp.o.d"
+  "test_kernels_image"
+  "test_kernels_image.pdb"
+  "test_kernels_image[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_octree.dir/test_kernels_octree.cpp.o"
+  "CMakeFiles/test_kernels_octree.dir/test_kernels_octree.cpp.o.d"
+  "test_kernels_octree"
+  "test_kernels_octree.pdb"
+  "test_kernels_octree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
