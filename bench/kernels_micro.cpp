@@ -13,7 +13,10 @@
 
 #include "common/rng.hpp"
 #include "kernels/conv2d.hpp"
+#include "kernels/gemm_conv.hpp"
+#include "kernels/image.hpp"
 #include "kernels/morton.hpp"
+#include "kernels/pooling.hpp"
 #include "kernels/prefix_sum.hpp"
 #include "kernels/radix_tree.hpp"
 #include "kernels/sort.hpp"
@@ -176,5 +179,247 @@ BM_ExclusiveScan(benchmark::State& state)
                             * static_cast<std::int64_t>(in.size()));
 }
 BENCHMARK(BM_ExclusiveScan)->Arg(1 << 16)->Arg(1 << 18);
+
+// ---------------------------------------------------------------------
+// Dispatch-tier benchmarks: the same device kernel launched through the
+// statically-templated SIMT tier (the default) and through the
+// type-erased simt::Kernel tier (one indirect call per SIMT thread; this
+// is the cost profile every launch paid before the templated tier
+// existed, so Erased vs Templated is the dispatch overhead itself).
+// Geometry covers one element per thread, as a real GPU launch would.
+// ---------------------------------------------------------------------
+
+GpuExec
+dispatchExec(bool erased)
+{
+    GpuExec exec;
+    exec.maxGrid = 1 << 20; // one element per thread, like a GPU launch
+    exec.erased = erased;
+    return exec;
+}
+
+void
+BM_MortonGpuDispatch(benchmark::State& state, bool erased)
+{
+    const std::int64_t n = 1 << 16;
+    const auto pts = randomFloats(static_cast<std::size_t>(3 * n), 21);
+    std::vector<std::uint32_t> codes(static_cast<std::size_t>(n));
+    const GpuExec exec = dispatchExec(erased);
+    for (auto _ : state) {
+        mortonEncodeGpu(exec, pts, codes, n);
+        benchmark::DoNotOptimize(codes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_CAPTURE(BM_MortonGpuDispatch, Templated, false);
+BENCHMARK_CAPTURE(BM_MortonGpuDispatch, Erased, true);
+
+void
+BM_MaxpoolGpuDispatch(benchmark::State& state, bool erased)
+{
+    const Shape3 shape{32, 64, 64};
+    const auto in = randomFloats(static_cast<std::size_t>(shape.elems()),
+                                 22);
+    std::vector<float> out(static_cast<std::size_t>(
+        pooledShape(shape).elems()));
+    const GpuExec exec = dispatchExec(erased);
+    for (auto _ : state) {
+        maxpoolGpu(exec, shape, in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * pooledShape(shape).elems());
+}
+BENCHMARK_CAPTURE(BM_MaxpoolGpuDispatch, Templated, false);
+BENCHMARK_CAPTURE(BM_MaxpoolGpuDispatch, Erased, true);
+
+void
+BM_BlurHGpuDispatch(benchmark::State& state, bool erased)
+{
+    const ImageShape shape{512, 512};
+    const auto in = randomFloats(static_cast<std::size_t>(
+        shape.pixels()), 23);
+    std::vector<float> out(static_cast<std::size_t>(shape.pixels()));
+    const GpuExec exec = dispatchExec(erased);
+    for (auto _ : state) {
+        blurHGpu(exec, shape, in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * shape.pixels());
+}
+BENCHMARK_CAPTURE(BM_BlurHGpuDispatch, Templated, false);
+BENCHMARK_CAPTURE(BM_BlurHGpuDispatch, Erased, true);
+
+void
+BM_NmsGpuDispatch(benchmark::State& state, bool erased)
+{
+    const ImageShape shape{512, 512};
+    const auto in = randomFloats(static_cast<std::size_t>(
+        shape.pixels()), 24);
+    std::vector<std::uint32_t> flags(static_cast<std::size_t>(
+        shape.pixels()));
+    const GpuExec exec = dispatchExec(erased);
+    for (auto _ : state) {
+        nmsGpu(exec, shape, in, 0.5f, flags);
+        benchmark::DoNotOptimize(flags.data());
+    }
+    state.SetItemsProcessed(state.iterations() * shape.pixels());
+}
+BENCHMARK_CAPTURE(BM_NmsGpuDispatch, Templated, false);
+BENCHMARK_CAPTURE(BM_NmsGpuDispatch, Erased, true);
+
+void
+BM_Conv2dGpuDispatch(benchmark::State& state, bool erased)
+{
+    const ConvShape shape{Shape3{8, 32, 32}, 16};
+    const auto in = randomFloats(static_cast<std::size_t>(
+        shape.in.elems()), 25);
+    const auto w = randomFloats(static_cast<std::size_t>(
+        shape.weightElems()), 26);
+    const auto b = randomFloats(static_cast<std::size_t>(shape.outC),
+                                27);
+    std::vector<float> out(static_cast<std::size_t>(
+        shape.out().elems()));
+    const GpuExec exec = dispatchExec(erased);
+    for (auto _ : state) {
+        conv2dGpu(exec, shape, in, w, b, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * shape.out().elems());
+}
+BENCHMARK_CAPTURE(BM_Conv2dGpuDispatch, Templated, false);
+BENCHMARK_CAPTURE(BM_Conv2dGpuDispatch, Erased, true);
+
+void
+BM_ScanGpuDispatch(benchmark::State& state, bool erased)
+{
+    // Compaction-style flag scatter over the scan output: the map side
+    // of prefix-sum pipelines (the scan itself is chunk-cooperative and
+    // pays dispatch once per chunk, not per element).
+    const std::int64_t n = 1 << 17;
+    Rng rng(28);
+    std::vector<std::uint32_t> flags(static_cast<std::size_t>(n));
+    for (auto& f : flags)
+        f = static_cast<std::uint32_t>(rng.nextBounded(2));
+    std::vector<std::uint32_t> offsets(flags.size());
+    std::vector<std::uint32_t> compacted(flags.size());
+    const GpuExec exec = dispatchExec(erased);
+    for (auto _ : state) {
+        exclusiveScanGpu(flags, offsets);
+        exec.forEach(n, [&](std::int64_t i) {
+            if (flags[static_cast<std::size_t>(i)])
+                compacted[offsets[static_cast<std::size_t>(i)]]
+                    = static_cast<std::uint32_t>(i);
+        });
+        benchmark::DoNotOptimize(compacted.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_CAPTURE(BM_ScanGpuDispatch, Templated, false);
+BENCHMARK_CAPTURE(BM_ScanGpuDispatch, Erased, true);
+
+// ---------------------------------------------------------------------
+// Host-body trajectory benchmarks: the tuned host kernels against the
+// single-threaded references. Each reference is the per-element body the
+// seed's host path ran (flat index + divisions per element), unchanged
+// since the seed, so Tuned vs SeedPath is the host-kernel speedup of
+// this tree over the seed tree on the same machine.
+// ---------------------------------------------------------------------
+
+void
+BM_Conv2dHostBody(benchmark::State& state, bool tuned)
+{
+    const ConvShape shape{Shape3{16, 32, 32}, 32};
+    const auto in = randomFloats(static_cast<std::size_t>(
+        shape.in.elems()), 32);
+    const auto w = randomFloats(static_cast<std::size_t>(
+        shape.weightElems()), 33);
+    const auto b = randomFloats(static_cast<std::size_t>(shape.outC),
+                                34);
+    std::vector<float> out(static_cast<std::size_t>(
+        shape.out().elems()));
+    for (auto _ : state) {
+        if (tuned)
+            conv2dCpu(CpuExec{nullptr}, shape, in, w, b, out);
+        else
+            conv2dReference(shape, in, w, b, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * shape.out().elems());
+}
+BENCHMARK_CAPTURE(BM_Conv2dHostBody, Tuned, true);
+BENCHMARK_CAPTURE(BM_Conv2dHostBody, SeedPath, false);
+
+void
+BM_SparseConvHostBody(benchmark::State& state, bool tuned)
+{
+    const ConvShape shape{Shape3{32, 16, 16}, 64};
+    const auto dense = randomFloats(static_cast<std::size_t>(
+        shape.weightElems()), 35);
+    const CsrMatrix csr = pruneToCsr(dense, shape.outC, shape.in.c * 9,
+                                     0.10);
+    const auto in = randomFloats(static_cast<std::size_t>(
+        shape.in.elems()), 36);
+    const auto b = randomFloats(static_cast<std::size_t>(shape.outC),
+                                37);
+    std::vector<float> out(static_cast<std::size_t>(
+        shape.out().elems()));
+    for (auto _ : state) {
+        if (tuned)
+            sparseConvCpu(CpuExec{nullptr}, shape, in, csr, b, out);
+        else
+            sparseConvReference(shape, in, csr, b, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * shape.out().elems());
+}
+BENCHMARK_CAPTURE(BM_SparseConvHostBody, Tuned, true);
+BENCHMARK_CAPTURE(BM_SparseConvHostBody, SeedPath, false);
+
+void
+BM_MaxpoolHostBody(benchmark::State& state, bool tuned)
+{
+    const Shape3 shape{32, 64, 64};
+    const auto in = randomFloats(static_cast<std::size_t>(shape.elems()),
+                                 38);
+    std::vector<float> out(static_cast<std::size_t>(
+        pooledShape(shape).elems()));
+    for (auto _ : state) {
+        if (tuned)
+            maxpoolCpu(CpuExec{nullptr}, shape, in, out);
+        else
+            maxpoolReference(shape, in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * pooledShape(shape).elems());
+}
+BENCHMARK_CAPTURE(BM_MaxpoolHostBody, Tuned, true);
+BENCHMARK_CAPTURE(BM_MaxpoolHostBody, SeedPath, false);
+
+void
+BM_GemmConv(benchmark::State& state)
+{
+    const int c = static_cast<int>(state.range(0));
+    const ConvShape shape{Shape3{c, 16, 16}, c * 2};
+    const auto in = randomFloats(static_cast<std::size_t>(
+        shape.in.elems()), 29);
+    const auto w = randomFloats(static_cast<std::size_t>(
+        shape.weightElems()), 30);
+    const auto b = randomFloats(static_cast<std::size_t>(shape.outC),
+                                31);
+    const std::int64_t pixels
+        = static_cast<std::int64_t>(shape.in.h) * shape.in.w;
+    std::vector<float> cols(static_cast<std::size_t>(shape.in.c) * 9
+                            * static_cast<std::size_t>(pixels));
+    std::vector<float> out(static_cast<std::size_t>(
+        shape.out().elems()));
+    for (auto _ : state) {
+        conv2dGemmCpu(CpuExec{nullptr}, shape, in, w, b, cols, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * shape.out().elems());
+}
+BENCHMARK(BM_GemmConv)->Arg(8)->Arg(32);
 
 } // namespace

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Run the microbenchmark trajectory suite and snapshot the results as
+# JSON at the repository root.
+#
+# Usage: bench/run_benchmarks.sh [build-dir] [min-time]
+#
+#   build-dir  CMake build tree holding the benchmark binaries
+#              (default: build)
+#   min-time   --benchmark_min_time per benchmark, in seconds, as a
+#              plain double (default: 0.25)
+#
+# Outputs (repo root):
+#   BENCH_kernels.json  kernels_micro — kernel bodies, dispatch-tier
+#                       pairs (Templated vs Erased), and host-body
+#                       trajectory pairs (Tuned vs SeedPath)
+#   BENCH_spsc.json     spsc_micro — queue hot-path latency
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+min_time="${2:-0.25}"
+
+case "$build_dir" in
+    /*) ;;
+    *) build_dir="$repo_root/$build_dir" ;;
+esac
+
+run_one() {
+    local binary="$1" out="$2"
+    if [[ ! -x "$binary" ]]; then
+        echo "error: $binary not built (run: cmake --build $build_dir -j)" >&2
+        exit 1
+    fi
+    echo "== $(basename "$binary") -> $out"
+    "$binary" \
+        --benchmark_min_time="$min_time" \
+        --benchmark_format=json \
+        --benchmark_out="$out" \
+        --benchmark_out_format=json \
+        > /dev/null
+}
+
+run_one "$build_dir/bench/kernels_micro" "$repo_root/BENCH_kernels.json"
+run_one "$build_dir/bench/spsc_micro" "$repo_root/BENCH_spsc.json"
+
+echo "done: BENCH_kernels.json, BENCH_spsc.json"

@@ -7,6 +7,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "apps/app_exec.hpp"
 #include "kernels/conv2d.hpp"
 #include "kernels/csr.hpp"
 #include "kernels/linear.hpp"
@@ -247,21 +248,21 @@ buildAlexNet(const AlexNetConfig& cfg)
                     static_cast<std::size_t>(b) * out_sz, out_sz);
                 if (sparse) {
                     if (gpu)
-                        kernels::sparseConvGpu(kernels::GpuExec{}, shape,
+                        kernels::sparseConvGpu(deviceExec(ctx), shape,
                                                ib, weights->conv[l].csr,
                                                weights->conv[l].b, ob);
                     else
                         kernels::sparseConvCpu(
-                            kernels::CpuExec{ctx.pool}, shape, ib,
+                            hostExec(ctx), shape, ib,
                             weights->conv[l].csr, weights->conv[l].b,
                             ob);
                 } else {
                     if (gpu)
-                        kernels::conv2dGpu(kernels::GpuExec{}, shape, ib,
+                        kernels::conv2dGpu(deviceExec(ctx), shape, ib,
                                            weights->conv[l].w,
                                            weights->conv[l].b, ob);
                     else
-                        kernels::conv2dCpu(kernels::CpuExec{ctx.pool},
+                        kernels::conv2dCpu(hostExec(ctx),
                                            shape, ib, weights->conv[l].w,
                                            weights->conv[l].b, ob);
                 }
@@ -289,10 +290,10 @@ buildAlexNet(const AlexNetConfig& cfg)
                 const auto ob = out.subspan(
                     static_cast<std::size_t>(b) * out_sz, out_sz);
                 if (gpu)
-                    kernels::maxpoolGpu(kernels::GpuExec{}, conv_out, ib,
+                    kernels::maxpoolGpu(deviceExec(ctx), conv_out, ib,
                                         ob);
                 else
-                    kernels::maxpoolCpu(kernels::CpuExec{ctx.pool},
+                    kernels::maxpoolCpu(hostExec(ctx),
                                         conv_out, ib, ob);
             }
         };
@@ -311,10 +312,10 @@ buildAlexNet(const AlexNetConfig& cfg)
             const auto ob = out.subspan(
                 static_cast<std::size_t>(b) * kFcOut, kFcOut);
             if (gpu)
-                kernels::linearGpu(kernels::GpuExec{}, kFcIn, kFcOut, ib,
+                kernels::linearGpu(deviceExec(ctx), kFcIn, kFcOut, ib,
                                    weights->fcW, weights->fcB, ob);
             else
-                kernels::linearCpu(kernels::CpuExec{ctx.pool}, kFcIn,
+                kernels::linearCpu(hostExec(ctx), kFcIn,
                                    kFcOut, ib, weights->fcW,
                                    weights->fcB, ob);
         }

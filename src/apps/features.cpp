@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "apps/app_exec.hpp"
 #include "kernels/image.hpp"
 #include "kernels/prefix_sum.hpp"
 
@@ -120,37 +121,37 @@ featuresApp(FeaturesConfig cfg)
     addStage(
         "blur_h",
         [shape](core::KernelCtx& ctx) {
-            kernels::blurHCpu(kernels::CpuExec{ctx.pool}, shape,
+            kernels::blurHCpu(hostExec(ctx), shape,
                               ctx.task.view<const float>("image"),
                               ctx.task.view<float>("blur_tmp"));
         },
         [shape](core::KernelCtx& ctx) {
-            kernels::blurHGpu(kernels::GpuExec{}, shape,
+            kernels::blurHGpu(deviceExec(ctx), shape,
                               ctx.task.view<const float>("image"),
                               ctx.task.view<float>("blur_tmp"));
         });
     addStage(
         "blur_v",
         [shape](core::KernelCtx& ctx) {
-            kernels::blurVCpu(kernels::CpuExec{ctx.pool}, shape,
+            kernels::blurVCpu(hostExec(ctx), shape,
                               ctx.task.view<const float>("blur_tmp"),
                               ctx.task.view<float>("blurred"));
         },
         [shape](core::KernelCtx& ctx) {
-            kernels::blurVGpu(kernels::GpuExec{}, shape,
+            kernels::blurVGpu(deviceExec(ctx), shape,
                               ctx.task.view<const float>("blur_tmp"),
                               ctx.task.view<float>("blurred"));
         });
     addStage(
         "sobel",
         [shape](core::KernelCtx& ctx) {
-            kernels::sobelCpu(kernels::CpuExec{ctx.pool}, shape,
+            kernels::sobelCpu(hostExec(ctx), shape,
                               ctx.task.view<const float>("blurred"),
                               ctx.task.view<float>("gx"),
                               ctx.task.view<float>("gy"));
         },
         [shape](core::KernelCtx& ctx) {
-            kernels::sobelGpu(kernels::GpuExec{}, shape,
+            kernels::sobelGpu(deviceExec(ctx), shape,
                               ctx.task.view<const float>("blurred"),
                               ctx.task.view<float>("gx"),
                               ctx.task.view<float>("gy"));
@@ -158,13 +159,13 @@ featuresApp(FeaturesConfig cfg)
     addStage(
         "harris",
         [shape](core::KernelCtx& ctx) {
-            kernels::harrisCpu(kernels::CpuExec{ctx.pool}, shape,
+            kernels::harrisCpu(hostExec(ctx), shape,
                                ctx.task.view<const float>("gx"),
                                ctx.task.view<const float>("gy"),
                                ctx.task.view<float>("response"));
         },
         [shape](core::KernelCtx& ctx) {
-            kernels::harrisGpu(kernels::GpuExec{}, shape,
+            kernels::harrisGpu(deviceExec(ctx), shape,
                                ctx.task.view<const float>("gx"),
                                ctx.task.view<const float>("gy"),
                                ctx.task.view<float>("response"));
@@ -172,13 +173,13 @@ featuresApp(FeaturesConfig cfg)
     addStage(
         "nms",
         [shape, threshold](core::KernelCtx& ctx) {
-            kernels::nmsCpu(kernels::CpuExec{ctx.pool}, shape,
+            kernels::nmsCpu(hostExec(ctx), shape,
                             ctx.task.view<const float>("response"),
                             threshold,
                             ctx.task.view<std::uint32_t>("flags"));
         },
         [shape, threshold](core::KernelCtx& ctx) {
-            kernels::nmsGpu(kernels::GpuExec{}, shape,
+            kernels::nmsGpu(deviceExec(ctx), shape,
                             ctx.task.view<const float>("response"),
                             threshold,
                             ctx.task.view<std::uint32_t>("flags"));
@@ -209,7 +210,7 @@ featuresApp(FeaturesConfig cfg)
         [shape](core::KernelCtx& ctx) {
             const std::int64_t n = ctx.task.scalar("corner_count");
             kernels::briefCpu(
-                kernels::CpuExec{ctx.pool}, shape,
+                hostExec(ctx), shape,
                 ctx.task.view<const float>("blurred"),
                 ctx.task.view<const std::uint32_t>("corners"), n,
                 ctx.task.view<std::uint32_t>("descriptors"));
@@ -217,7 +218,7 @@ featuresApp(FeaturesConfig cfg)
         [shape](core::KernelCtx& ctx) {
             const std::int64_t n = ctx.task.scalar("corner_count");
             kernels::briefGpu(
-                kernels::GpuExec{}, shape,
+                deviceExec(ctx), shape,
                 ctx.task.view<const float>("blurred"),
                 ctx.task.view<const std::uint32_t>("corners"), n,
                 ctx.task.view<std::uint32_t>("descriptors"));

@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "apps/app_exec.hpp"
 #include "kernels/morton.hpp"
 #include "kernels/octree.hpp"
 #include "kernels/prefix_sum.hpp"
@@ -139,7 +140,7 @@ octreeApp(OctreeConfig cfg)
     const int s_morton = graph.addNode(core::Stage(
         "morton", profileOf("morton", nd),
         [n](core::KernelCtx& ctx) {
-            kernels::mortonEncodeCpu(kernels::CpuExec{ctx.pool},
+            kernels::mortonEncodeCpu(hostExec(ctx),
                                      ctx.task.view<const float>(
                                          "points"),
                                      ctx.task.view<std::uint32_t>(
@@ -147,7 +148,7 @@ octreeApp(OctreeConfig cfg)
                                      n);
         },
         [n](core::KernelCtx& ctx) {
-            kernels::mortonEncodeGpu(kernels::GpuExec{},
+            kernels::mortonEncodeGpu(deviceExec(ctx),
                                      ctx.task.view<const float>(
                                          "points"),
                                      ctx.task.view<std::uint32_t>(
@@ -166,7 +167,7 @@ octreeApp(OctreeConfig cfg)
         "sort", profileOf("sort", nd),
         [sortInto](core::KernelCtx& ctx) {
             auto keys = sortInto(ctx.task);
-            kernels::radixSortCpu(kernels::CpuExec{ctx.pool}, keys,
+            kernels::radixSortCpu(hostExec(ctx), keys,
                                   ctx.task.view<std::uint32_t>(
                                       "sort_scratch"));
         },
@@ -182,7 +183,7 @@ octreeApp(OctreeConfig cfg)
             const auto sorted = ctx.task.view<const std::uint32_t>(
                 "sorted").subspan(0, static_cast<std::size_t>(n));
             const std::int64_t k = kernels::uniqueCpu(
-                kernels::CpuExec{ctx.pool}, sorted,
+                hostExec(ctx), sorted,
                 ctx.task.view<std::uint32_t>("unique"),
                 ctx.task.view<std::uint32_t>("flags"));
             ctx.task.setScalar("unique_count", k);
@@ -204,13 +205,13 @@ octreeApp(OctreeConfig cfg)
         "radix_tree", profileOf("radix_tree", nd),
         [uniqueCodes](core::KernelCtx& ctx) {
             const std::int64_t k = ctx.task.scalar("unique_count");
-            kernels::buildRadixTreeCpu(kernels::CpuExec{ctx.pool},
+            kernels::buildRadixTreeCpu(hostExec(ctx),
                                        uniqueCodes(ctx.task, k), k,
                                        treeView(ctx.task, k));
         },
         [uniqueCodes](core::KernelCtx& ctx) {
             const std::int64_t k = ctx.task.scalar("unique_count");
-            kernels::buildRadixTreeGpu(kernels::GpuExec{},
+            kernels::buildRadixTreeGpu(deviceExec(ctx),
                                        uniqueCodes(ctx.task, k), k,
                                        treeView(ctx.task, k));
         }));
@@ -220,13 +221,13 @@ octreeApp(OctreeConfig cfg)
         [](core::KernelCtx& ctx) {
             const std::int64_t k = ctx.task.scalar("unique_count");
             kernels::countOctreeNodesCpu(
-                kernels::CpuExec{ctx.pool}, treeView(ctx.task, k), k,
+                hostExec(ctx), treeView(ctx.task, k), k,
                 ctx.task.view<std::uint32_t>("counts"));
         },
         [](core::KernelCtx& ctx) {
             const std::int64_t k = ctx.task.scalar("unique_count");
             kernels::countOctreeNodesGpu(
-                kernels::GpuExec{}, treeView(ctx.task, k), k,
+                deviceExec(ctx), treeView(ctx.task, k), k,
                 ctx.task.view<std::uint32_t>("counts"));
         }));
 
@@ -238,7 +239,7 @@ octreeApp(OctreeConfig cfg)
                 "counts").subspan(0, static_cast<std::size_t>(
                     2 * k - 1));
             const std::uint64_t total = kernels::exclusiveScanCpu(
-                kernels::CpuExec{ctx.pool}, counts,
+                hostExec(ctx), counts,
                 ctx.task.view<std::uint32_t>("offsets"));
             ctx.task.setScalar("oct_total",
                                static_cast<std::int64_t>(total));
@@ -265,12 +266,12 @@ octreeApp(OctreeConfig cfg)
         std::int64_t nodes;
         if (gpu)
             nodes = kernels::buildOctreeGpu(
-                kernels::GpuExec{}, uniqueCodes(ctx.task, k), k,
+                deviceExec(ctx), uniqueCodes(ctx.task, k), k,
                 treeView(ctx.task, k), counts, offsets, total,
                 octView(ctx.task));
         else
             nodes = kernels::buildOctreeCpu(
-                kernels::CpuExec{ctx.pool}, uniqueCodes(ctx.task, k), k,
+                hostExec(ctx), uniqueCodes(ctx.task, k), k,
                 treeView(ctx.task, k), counts, offsets, total,
                 octView(ctx.task));
         ctx.task.setScalar("oct_nodes", nodes);

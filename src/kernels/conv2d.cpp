@@ -8,18 +8,12 @@ namespace bt::kernels {
 
 namespace {
 
-/** Shared element body: compute output element @p idx. */
+/** Shared element body: compute output element (oc, y, x). */
 inline float
-convElement(const ConvShape& shape, std::span<const float> in,
-            std::span<const float> weights, std::span<const float> bias,
-            std::int64_t idx)
+convElementXY(const ConvShape& shape, std::span<const float> in,
+              std::span<const float> weights, std::span<const float> bias,
+              int oc, int y, int x)
 {
-    const Shape3 os = shape.out();
-    const int x = static_cast<int>(idx % os.w);
-    const int y = static_cast<int>((idx / os.w) % os.h);
-    const int oc = static_cast<int>(idx / (static_cast<std::int64_t>(
-        os.w) * os.h));
-
     float acc = bias[static_cast<std::size_t>(oc)];
     const std::int64_t wbase
         = static_cast<std::int64_t>(oc) * shape.in.c * 9;
@@ -44,6 +38,20 @@ convElement(const ConvShape& shape, std::span<const float> in,
     return std::max(acc, 0.0f);
 }
 
+/** Flat-index wrapper for grid-stride (device) and reference callers. */
+inline float
+convElement(const ConvShape& shape, std::span<const float> in,
+            std::span<const float> weights, std::span<const float> bias,
+            std::int64_t idx)
+{
+    const Shape3 os = shape.out();
+    const int x = static_cast<int>(idx % os.w);
+    const int y = static_cast<int>((idx / os.w) % os.h);
+    const int oc = static_cast<int>(idx / (static_cast<std::int64_t>(
+        os.w) * os.h));
+    return convElementXY(shape, in, weights, bias, oc, y, x);
+}
+
 void
 checkSizes(const ConvShape& shape, std::span<const float> in,
            std::span<const float> weights, std::span<const float> bias,
@@ -65,9 +73,47 @@ conv2dCpu(const CpuExec& exec, const ConvShape& shape,
           std::span<const float> bias, std::span<float> out)
 {
     checkSizes(shape, in, weights, bias, out);
-    exec.forEach(shape.out().elems(), [&](std::int64_t i) {
-        out[static_cast<std::size_t>(i)]
-            = convElement(shape, in, weights, bias, i);
+    const int h = shape.in.h;
+    const int w = shape.in.w;
+    const std::int64_t plane = static_cast<std::int64_t>(h) * w;
+    // Host path: one output plane per unit of work, each tap applied as
+    // a shifted row saxpy over the plane. Taps are visited in the same
+    // (ic, ky, kx) order as the per-element body, so every output pixel
+    // accumulates in the reference order and results stay bit-identical.
+    exec.forEachBlock(shape.outC, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t oc = lo; oc < hi; ++oc) {
+            float* dst_plane = out.data() + oc * plane;
+            const float b = bias[static_cast<std::size_t>(oc)];
+            for (std::int64_t i = 0; i < plane; ++i)
+                dst_plane[i] = b;
+            const float* wrow = weights.data()
+                + oc * static_cast<std::int64_t>(shape.in.c) * 9;
+            for (int ic = 0; ic < shape.in.c; ++ic, wrow += 9) {
+                const float* src_plane = in.data() + ic * plane;
+                for (int ky = 0; ky < 3; ++ky) {
+                    const int dy = ky - 1;
+                    const int y0 = dy < 0 ? -dy : 0;
+                    const int y1 = dy > 0 ? h - dy : h;
+                    for (int kx = 0; kx < 3; ++kx) {
+                        const int dx = kx - 1;
+                        const int x0 = dx < 0 ? -dx : 0;
+                        const int x1 = dx > 0 ? w - dx : w;
+                        const float wv = wrow[ky * 3 + kx];
+                        for (int y = y0; y < y1; ++y) {
+                            const float* src = src_plane
+                                + static_cast<std::int64_t>(y + dy) * w
+                                + dx;
+                            float* dst = dst_plane
+                                + static_cast<std::int64_t>(y) * w;
+                            for (int x = x0; x < x1; ++x)
+                                dst[x] += wv * src[x];
+                        }
+                    }
+                }
+            }
+            for (std::int64_t i = 0; i < plane; ++i)
+                dst_plane[i] = std::max(dst_plane[i], 0.0f);
+        }
     });
 }
 

@@ -8,6 +8,13 @@
  * (the CUDA/Vulkan stand-in). Map-style kernels share their body via
  * these adapters; cooperative kernels (sort, scan, compaction) have
  * genuinely different host and device algorithms.
+ *
+ * Both adapters run on the statically-dispatched (templated) tier of the
+ * SIMT and thread-pool layers: the kernel body inlines into the block
+ * loop and no std::function is constructed on the hot path. GpuExec can
+ * additionally be pointed at the erased tier or a shuffled block order,
+ * which the dispatch-equivalence tests and microbenchmarks use to prove
+ * and price the two tiers against each other.
  */
 
 #ifndef BT_KERNELS_EXEC_HPP
@@ -42,7 +49,7 @@ struct CpuExec
         }
     }
 
-    /** fn(lo, hi) once per contiguous block (team-sized decomposition). */
+    /** fn(lo, hi) once per contiguous chunk of [0, n). */
     template <typename Fn>
     void
     forEachBlock(std::int64_t n, Fn&& fn) const
@@ -55,11 +62,29 @@ struct CpuExec
     }
 };
 
-/** Device-side data-parallel execution: grid-stride SIMT launch. */
+/**
+ * Device-side data-parallel execution: grid-stride SIMT launch.
+ *
+ * The default configuration is the fast path: templated serial launch in
+ * block order. The remaining knobs select other dispatch strategies with
+ * identical results for race-free kernels:
+ *  - `pool`    distributes blocks over a host team (functional speed-up);
+ *  - `order`   Shuffled visits blocks in a seeded pseudo-random order
+ *              (debug: exposes inter-block ordering bugs);
+ *  - `erased`  routes through the type-erased simt::Kernel tier, paying
+ *              one indirect call per SIMT thread (measurement baseline
+ *              and ABI-stable fallback).
+ */
 struct GpuExec
 {
+    enum class Order { Sequential, Shuffled };
+
     int blockDim = 64;
     int maxGrid = 256;
+    sched::ThreadPool* pool = nullptr;
+    Order order = Order::Sequential;
+    std::uint64_t shuffleSeed = 0;
+    bool erased = false;
 
     template <typename Fn>
     void
@@ -68,9 +93,28 @@ struct GpuExec
         if (n <= 0)
             return;
         const auto cfg = simt::LaunchConfig::cover(n, blockDim, maxGrid);
-        simt::launch(cfg, [&](const simt::WorkItem& item) {
+        auto body = [&](const simt::WorkItem& item) {
             simt::gridStride(item, n, fn);
-        });
+        };
+        if (erased) {
+            const simt::Kernel kernel = body;
+            dispatch(cfg, kernel);
+        } else {
+            dispatch(cfg, body);
+        }
+    }
+
+  private:
+    template <typename K>
+    void
+    dispatch(const simt::LaunchConfig& cfg, const K& kernel) const
+    {
+        if (order == Order::Shuffled)
+            simt::launchShuffled(cfg, kernel, shuffleSeed);
+        else if (pool)
+            simt::launch(*pool, cfg, kernel);
+        else
+            simt::launch(cfg, kernel);
     }
 };
 

@@ -37,6 +37,58 @@ im2col(const CpuExec& exec, const Shape3& in_shape,
     });
 }
 
+namespace {
+
+/// Register-blocking factors: MR rows of A are held in scalar registers
+/// while NR accumulators per row live in vector registers, so each loaded
+/// B strip is reused MR times (the classic GEMM micro-kernel shape).
+constexpr int kGemmMr = 4;
+constexpr int kGemmNr = 16;
+
+/** Full MR x NR tile: fixed trip counts so the inner loops vectorize. */
+inline void
+gemmMicroKernel(int n, int k, const float* a0, int lda, const float* b0,
+                float* c0)
+{
+    float acc[kGemmMr][kGemmNr] = {};
+    for (int kk = 0; kk < k; ++kk) {
+        const float* brow = b0 + static_cast<std::int64_t>(kk) * n;
+        for (int mr = 0; mr < kGemmMr; ++mr) {
+            const float av = a0[static_cast<std::int64_t>(mr) * lda + kk];
+            for (int j = 0; j < kGemmNr; ++j)
+                acc[mr][j] += av * brow[j];
+        }
+    }
+    for (int mr = 0; mr < kGemmMr; ++mr) {
+        float* crow = c0 + static_cast<std::int64_t>(mr) * n;
+        for (int j = 0; j < kGemmNr; ++j)
+            crow[j] = acc[mr][j];
+    }
+}
+
+/** Edge tile with runtime bounds rows x cols (rows <= MR, cols <= NR). */
+inline void
+gemmEdgeKernel(int n, int k, int rows, int cols, const float* a0, int lda,
+               const float* b0, float* c0)
+{
+    float acc[kGemmMr][kGemmNr] = {};
+    for (int kk = 0; kk < k; ++kk) {
+        const float* brow = b0 + static_cast<std::int64_t>(kk) * n;
+        for (int mr = 0; mr < rows; ++mr) {
+            const float av = a0[static_cast<std::int64_t>(mr) * lda + kk];
+            for (int j = 0; j < cols; ++j)
+                acc[mr][j] += av * brow[j];
+        }
+    }
+    for (int mr = 0; mr < rows; ++mr) {
+        float* crow = c0 + static_cast<std::int64_t>(mr) * n;
+        for (int j = 0; j < cols; ++j)
+            crow[j] = acc[mr][j];
+    }
+}
+
+} // namespace
+
 void
 gemmCpu(const CpuExec& exec, int m, int n, int k,
         std::span<const float> a, std::span<const float> b,
@@ -50,21 +102,25 @@ gemmCpu(const CpuExec& exec, int m, int n, int k,
     BT_ASSERT(c.size() >= static_cast<std::size_t>(m)
                   * static_cast<std::size_t>(n));
 
-    exec.forEach(m, [&](std::int64_t row) {
-        float* crow = &c[static_cast<std::size_t>(row)
-                         * static_cast<std::size_t>(n)];
-        std::fill(crow, crow + n, 0.0f);
-        const float* arow = &a[static_cast<std::size_t>(row)
-                               * static_cast<std::size_t>(k)];
-        // ikj order: streams B row-wise so the inner loop vectorizes.
-        for (int kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f)
-                continue;
-            const float* brow = &b[static_cast<std::size_t>(kk)
-                                   * static_cast<std::size_t>(n)];
-            for (int col = 0; col < n; ++col)
-                crow[col] += av * brow[col];
+    // Parallelize over MR-row tiles; each tile streams B once and reuses
+    // every strip MR times, cutting B traffic by the row-blocking factor.
+    const std::int64_t tiles = (m + kGemmMr - 1) / kGemmMr;
+    exec.forEachBlock(tiles, [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+            const int r0 = static_cast<int>(t) * kGemmMr;
+            const int rows = std::min(kGemmMr, m - r0);
+            const float* a0 = &a[static_cast<std::size_t>(r0)
+                                 * static_cast<std::size_t>(k)];
+            float* c0 = &c[static_cast<std::size_t>(r0)
+                           * static_cast<std::size_t>(n)];
+            int nc = 0;
+            if (rows == kGemmMr) {
+                for (; nc + kGemmNr <= n; nc += kGemmNr)
+                    gemmMicroKernel(n, k, a0, k, b.data() + nc, c0 + nc);
+            }
+            for (; nc < n; nc += kGemmNr)
+                gemmEdgeKernel(n, k, rows, std::min(kGemmNr, n - nc), a0,
+                               k, b.data() + nc, c0 + nc);
         }
     });
 }
@@ -88,13 +144,24 @@ conv2dGemmCpu(const CpuExec& exec, const ConvShape& shape,
     gemmCpu(exec, shape.outC, static_cast<int>(pixels), k, weights,
             cols_scratch, out);
 
-    // Bias + ReLU epilogue.
-    exec.forEach(shape.out().elems(), [&](std::int64_t i) {
-        const int oc = static_cast<int>(i / pixels);
-        const float v = out[static_cast<std::size_t>(i)]
-            + bias[static_cast<std::size_t>(oc)];
-        out[static_cast<std::size_t>(i)] = std::max(v, 0.0f);
-    });
+    // Bias + ReLU epilogue: track the channel incrementally instead of
+    // dividing per element.
+    exec.forEachBlock(shape.out().elems(),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                          int oc = static_cast<int>(lo / pixels);
+                          std::int64_t next = (oc + 1) * pixels;
+                          for (std::int64_t i = lo; i < hi; ++i) {
+                              if (i == next) {
+                                  ++oc;
+                                  next += pixels;
+                              }
+                              const float v
+                                  = out[static_cast<std::size_t>(i)]
+                                  + bias[static_cast<std::size_t>(oc)];
+                              out[static_cast<std::size_t>(i)]
+                                  = std::max(v, 0.0f);
+                          }
+                      });
 }
 
 } // namespace bt::kernels

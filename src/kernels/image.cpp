@@ -31,10 +31,8 @@ constexpr float kBinomial[5] = {1.0f / 16, 4.0f / 16, 6.0f / 16,
                                 4.0f / 16, 1.0f / 16};
 
 inline float
-blurHAt(const ImageShape& s, std::span<const float> in, std::int64_t i)
+blurHXY(const ImageShape& s, std::span<const float> in, int x, int y)
 {
-    const int x = static_cast<int>(i % s.w);
-    const int y = static_cast<int>(i / s.w);
     float acc = 0.0f;
     for (int t = -2; t <= 2; ++t)
         acc += kBinomial[t + 2] * at(s, in, x + t, y);
@@ -42,22 +40,32 @@ blurHAt(const ImageShape& s, std::span<const float> in, std::int64_t i)
 }
 
 inline float
-blurVAt(const ImageShape& s, std::span<const float> in, std::int64_t i)
+blurHAt(const ImageShape& s, std::span<const float> in, std::int64_t i)
 {
-    const int x = static_cast<int>(i % s.w);
-    const int y = static_cast<int>(i / s.w);
+    return blurHXY(s, in, static_cast<int>(i % s.w),
+                   static_cast<int>(i / s.w));
+}
+
+inline float
+blurVXY(const ImageShape& s, std::span<const float> in, int x, int y)
+{
     float acc = 0.0f;
     for (int t = -2; t <= 2; ++t)
         acc += kBinomial[t + 2] * at(s, in, x, y + t);
     return acc;
 }
 
+inline float
+blurVAt(const ImageShape& s, std::span<const float> in, std::int64_t i)
+{
+    return blurVXY(s, in, static_cast<int>(i % s.w),
+                   static_cast<int>(i / s.w));
+}
+
 inline void
-sobelAt(const ImageShape& s, std::span<const float> in, std::int64_t i,
+sobelXY(const ImageShape& s, std::span<const float> in, int x, int y,
         float& gx, float& gy)
 {
-    const int x = static_cast<int>(i % s.w);
-    const int y = static_cast<int>(i / s.w);
     const float tl = at(s, in, x - 1, y - 1);
     const float tc = at(s, in, x, y - 1);
     const float tr = at(s, in, x + 1, y - 1);
@@ -70,12 +78,18 @@ sobelAt(const ImageShape& s, std::span<const float> in, std::int64_t i,
     gy = (bl + 2.0f * bc + br) - (tl + 2.0f * tc + tr);
 }
 
-inline float
-harrisAt(const ImageShape& s, std::span<const float> gx,
-         std::span<const float> gy, std::int64_t i)
+inline void
+sobelAt(const ImageShape& s, std::span<const float> in, std::int64_t i,
+        float& gx, float& gy)
 {
-    const int x = static_cast<int>(i % s.w);
-    const int y = static_cast<int>(i / s.w);
+    sobelXY(s, in, static_cast<int>(i % s.w), static_cast<int>(i / s.w),
+            gx, gy);
+}
+
+inline float
+harrisXY(const ImageShape& s, std::span<const float> gx,
+         std::span<const float> gy, int x, int y)
+{
     float sxx = 0.0f, syy = 0.0f, sxy = 0.0f;
     for (int dy = -1; dy <= 1; ++dy) {
         for (int dx = -1; dx <= 1; ++dx) {
@@ -91,12 +105,18 @@ harrisAt(const ImageShape& s, std::span<const float> gx,
     return det - 0.04f * trace * trace;
 }
 
-inline std::uint32_t
-nmsAt(const ImageShape& s, std::span<const float> response,
-      float threshold, std::int64_t i)
+inline float
+harrisAt(const ImageShape& s, std::span<const float> gx,
+         std::span<const float> gy, std::int64_t i)
 {
-    const int x = static_cast<int>(i % s.w);
-    const int y = static_cast<int>(i / s.w);
+    return harrisXY(s, gx, gy, static_cast<int>(i % s.w),
+                    static_cast<int>(i / s.w));
+}
+
+inline std::uint32_t
+nmsXY(const ImageShape& s, std::span<const float> response,
+      float threshold, int x, int y)
+{
     if (x < 1 || y < 1 || x >= s.w - 1 || y >= s.h - 1)
         return 0u;
     const float v = at(s, response, x, y);
@@ -107,6 +127,14 @@ nmsAt(const ImageShape& s, std::span<const float> response,
             if ((dx || dy) && at(s, response, x + dx, y + dy) >= v)
                 return 0u;
     return 1u;
+}
+
+inline std::uint32_t
+nmsAt(const ImageShape& s, std::span<const float> response,
+      float threshold, std::int64_t i)
+{
+    return nmsXY(s, response, threshold, static_cast<int>(i % s.w),
+                 static_cast<int>(i / s.w));
 }
 
 /** Seeded BRIEF sampling pattern, identical on every backend. */
@@ -171,16 +199,26 @@ checkImage(const ImageShape& s, std::span<const float> in,
                    std::span<const float> in, std::span<float> out)    \
     {                                                                  \
         checkImage(shape, in, out);                                    \
-        exec.forEach(shape.pixels(), [&](std::int64_t i) {             \
-            out[static_cast<std::size_t>(i)] = BODY(shape, in, i);     \
-        });                                                            \
+        exec.forEachBlock(                                             \
+            shape.pixels(), [&](std::int64_t lo, std::int64_t hi) {    \
+                int x = static_cast<int>(lo % shape.w);                \
+                int y = static_cast<int>(lo / shape.w);                \
+                for (std::int64_t i = lo; i < hi; ++i) {               \
+                    out[static_cast<std::size_t>(i)]                   \
+                        = BODY##XY(shape, in, x, y);                   \
+                    if (++x == shape.w) {                              \
+                        x = 0;                                         \
+                        ++y;                                           \
+                    }                                                  \
+                }                                                      \
+            });                                                        \
     }                                                                  \
     void NAME##Gpu(const GpuExec& exec, const ImageShape& shape,       \
                    std::span<const float> in, std::span<float> out)    \
     {                                                                  \
         checkImage(shape, in, out);                                    \
         exec.forEach(shape.pixels(), [&](std::int64_t i) {             \
-            out[static_cast<std::size_t>(i)] = BODY(shape, in, i);     \
+            out[static_cast<std::size_t>(i)] = BODY##At(shape, in, i); \
         });                                                            \
     }                                                                  \
     void NAME##Reference(const ImageShape& shape,                      \
@@ -189,11 +227,11 @@ checkImage(const ImageShape& s, std::span<const float> in,
     {                                                                  \
         checkImage(shape, in, out);                                    \
         for (std::int64_t i = 0; i < shape.pixels(); ++i)              \
-            out[static_cast<std::size_t>(i)] = BODY(shape, in, i);     \
+            out[static_cast<std::size_t>(i)] = BODY##At(shape, in, i); \
     }
 
-BT_IMAGE_MAP_KERNEL(blurH, blurHAt)
-BT_IMAGE_MAP_KERNEL(blurV, blurVAt)
+BT_IMAGE_MAP_KERNEL(blurH, blurH)
+BT_IMAGE_MAP_KERNEL(blurV, blurV)
 
 #undef BT_IMAGE_MAP_KERNEL
 
@@ -204,10 +242,20 @@ sobelCpu(const CpuExec& exec, const ImageShape& shape,
 {
     checkImage(shape, in, gx);
     checkImage(shape, in, gy);
-    exec.forEach(shape.pixels(), [&](std::int64_t i) {
-        sobelAt(shape, in, i, gx[static_cast<std::size_t>(i)],
-                gy[static_cast<std::size_t>(i)]);
-    });
+    exec.forEachBlock(
+        shape.pixels(), [&](std::int64_t lo, std::int64_t hi) {
+            int x = static_cast<int>(lo % shape.w);
+            int y = static_cast<int>(lo / shape.w);
+            for (std::int64_t i = lo; i < hi; ++i) {
+                sobelXY(shape, in, x, y,
+                        gx[static_cast<std::size_t>(i)],
+                        gy[static_cast<std::size_t>(i)]);
+                if (++x == shape.w) {
+                    x = 0;
+                    ++y;
+                }
+            }
+        });
 }
 
 void
@@ -239,10 +287,19 @@ harrisCpu(const CpuExec& exec, const ImageShape& shape,
           std::span<float> response)
 {
     checkImage(shape, gx, response);
-    exec.forEach(shape.pixels(), [&](std::int64_t i) {
-        response[static_cast<std::size_t>(i)]
-            = harrisAt(shape, gx, gy, i);
-    });
+    exec.forEachBlock(
+        shape.pixels(), [&](std::int64_t lo, std::int64_t hi) {
+            int x = static_cast<int>(lo % shape.w);
+            int y = static_cast<int>(lo / shape.w);
+            for (std::int64_t i = lo; i < hi; ++i) {
+                response[static_cast<std::size_t>(i)]
+                    = harrisXY(shape, gx, gy, x, y);
+                if (++x == shape.w) {
+                    x = 0;
+                    ++y;
+                }
+            }
+        });
 }
 
 void
@@ -273,10 +330,19 @@ nmsCpu(const CpuExec& exec, const ImageShape& shape,
        std::span<std::uint32_t> flags)
 {
     BT_ASSERT(flags.size() >= static_cast<std::size_t>(shape.pixels()));
-    exec.forEach(shape.pixels(), [&](std::int64_t i) {
-        flags[static_cast<std::size_t>(i)]
-            = nmsAt(shape, response, threshold, i);
-    });
+    exec.forEachBlock(
+        shape.pixels(), [&](std::int64_t lo, std::int64_t hi) {
+            int x = static_cast<int>(lo % shape.w);
+            int y = static_cast<int>(lo / shape.w);
+            for (std::int64_t i = lo; i < hi; ++i) {
+                flags[static_cast<std::size_t>(i)]
+                    = nmsXY(shape, response, threshold, x, y);
+                if (++x == shape.w) {
+                    x = 0;
+                    ++y;
+                }
+            }
+        });
 }
 
 void
@@ -309,11 +375,14 @@ briefCpu(const CpuExec& exec, const ImageShape& shape,
 {
     BT_ASSERT(descriptors.size() >= static_cast<std::size_t>(
         num_corners * kDescriptorWords));
-    exec.forEach(num_corners, [&](std::int64_t c) {
-        briefAt(shape, image, corner_idx[static_cast<std::size_t>(c)],
-                &descriptors[static_cast<std::size_t>(
-                    c * kDescriptorWords)]);
-    });
+    exec.forEachBlock(
+        num_corners, [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t c = lo; c < hi; ++c)
+                briefAt(shape, image,
+                        corner_idx[static_cast<std::size_t>(c)],
+                        &descriptors[static_cast<std::size_t>(
+                            c * kDescriptorWords)]);
+        });
 }
 
 void

@@ -40,10 +40,13 @@ linearCpu(const CpuExec& exec, int in_features, int out_features,
           std::span<const float> bias, std::span<float> out)
 {
     checkSizes(in_features, out_features, in, weights, bias, out);
-    exec.forEach(out_features, [&](std::int64_t row) {
-        out[static_cast<std::size_t>(row)]
-            = dotRow(in_features, in, weights, bias, row);
-    });
+    exec.forEachBlock(out_features,
+                      [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t row = lo; row < hi; ++row)
+                              out[static_cast<std::size_t>(row)]
+                                  = dotRow(in_features, in, weights, bias,
+                                           row);
+                      });
 }
 
 void

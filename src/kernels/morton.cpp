@@ -48,11 +48,11 @@ mortonEncodeCpu(const CpuExec& exec, std::span<const float> points,
                 std::span<std::uint32_t> codes, std::int64_t n)
 {
     checkSizes(points, codes, n);
-    exec.forEach(n, [&](std::int64_t i) {
-        codes[static_cast<std::size_t>(i)]
-            = morton32(points[static_cast<std::size_t>(3 * i)],
-                       points[static_cast<std::size_t>(3 * i + 1)],
-                       points[static_cast<std::size_t>(3 * i + 2)]);
+    exec.forEachBlock(n, [&](std::int64_t lo, std::int64_t hi) {
+        const float* p = points.data() + 3 * lo;
+        for (std::int64_t i = lo; i < hi; ++i, p += 3)
+            codes[static_cast<std::size_t>(i)]
+                = morton32(p[0], p[1], p[2]);
     });
 }
 

@@ -15,14 +15,9 @@ pooledShape(const Shape3& in)
 namespace {
 
 inline float
-poolElement(const Shape3& is, std::span<const float> in,
-            std::int64_t idx)
+poolElementXY(const Shape3& is, std::span<const float> in, int c, int y,
+              int x)
 {
-    const Shape3 os = pooledShape(is);
-    const int x = static_cast<int>(idx % os.w);
-    const int y = static_cast<int>((idx / os.w) % os.h);
-    const int c = static_cast<int>(idx / (static_cast<std::int64_t>(
-        os.w) * os.h));
     const int iy = y * 2;
     const int ix = x * 2;
     const float a = in[static_cast<std::size_t>(is.at(c, iy, ix))];
@@ -31,6 +26,18 @@ poolElement(const Shape3& is, std::span<const float> in,
     const float e = in[static_cast<std::size_t>(is.at(c, iy + 1,
                                                       ix + 1))];
     return std::max(std::max(a, b), std::max(d, e));
+}
+
+/** Flat-index wrapper for grid-stride (device) and reference callers. */
+inline float
+poolElement(const Shape3& is, std::span<const float> in, std::int64_t idx)
+{
+    const Shape3 os = pooledShape(is);
+    const int x = static_cast<int>(idx % os.w);
+    const int y = static_cast<int>((idx / os.w) % os.h);
+    const int c = static_cast<int>(idx / (static_cast<std::int64_t>(
+        os.w) * os.h));
+    return poolElementXY(is, in, c, y, x);
 }
 
 void
@@ -50,8 +57,22 @@ maxpoolCpu(const CpuExec& exec, const Shape3& in_shape,
            std::span<const float> in, std::span<float> out)
 {
     checkSizes(in_shape, in, out);
-    exec.forEach(pooledShape(in_shape).elems(), [&](std::int64_t i) {
-        out[static_cast<std::size_t>(i)] = poolElement(in_shape, in, i);
+    const Shape3 os = pooledShape(in_shape);
+    const std::int64_t rows = static_cast<std::int64_t>(os.c) * os.h;
+    // Host path: one output row per unit of work, walking the two input
+    // rows with pointers instead of re-deriving (c, y, x) per element.
+    exec.forEachBlock(rows, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t r = lo; r < hi; ++r) {
+            const std::int64_t c = r / os.h;
+            const std::int64_t y = r - c * os.h;
+            const float* row0 = in.data()
+                + (c * in_shape.h + 2 * y) * in_shape.w;
+            const float* row1 = row0 + in_shape.w;
+            float* dst = out.data() + r * os.w;
+            for (int x = 0; x < os.w; ++x)
+                dst[x] = std::max(std::max(row0[2 * x], row0[2 * x + 1]),
+                                  std::max(row1[2 * x], row1[2 * x + 1]));
+        }
     });
 }
 

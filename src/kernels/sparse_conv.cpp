@@ -9,16 +9,10 @@ namespace bt::kernels {
 namespace {
 
 inline float
-sparseConvElement(const ConvShape& shape, std::span<const float> in,
-                  const CsrMatrix& weights, std::span<const float> bias,
-                  std::int64_t idx)
+sparseConvElementXY(const ConvShape& shape, std::span<const float> in,
+                    const CsrMatrix& weights,
+                    std::span<const float> bias, int oc, int y, int x)
 {
-    const Shape3 os = shape.out();
-    const int x = static_cast<int>(idx % os.w);
-    const int y = static_cast<int>((idx / os.w) % os.h);
-    const int oc = static_cast<int>(idx / (static_cast<std::int64_t>(
-        os.w) * os.h));
-
     float acc = bias[static_cast<std::size_t>(oc)];
     const std::uint32_t lo
         = weights.rowPtr[static_cast<std::size_t>(oc)];
@@ -37,6 +31,20 @@ sparseConvElement(const ConvShape& shape, std::span<const float> in,
             * in[static_cast<std::size_t>(shape.in.at(ic, iy, ix))];
     }
     return std::max(acc, 0.0f);
+}
+
+/** Flat-index wrapper for grid-stride (device) and reference callers. */
+inline float
+sparseConvElement(const ConvShape& shape, std::span<const float> in,
+                  const CsrMatrix& weights, std::span<const float> bias,
+                  std::int64_t idx)
+{
+    const Shape3 os = shape.out();
+    const int x = static_cast<int>(idx % os.w);
+    const int y = static_cast<int>((idx / os.w) % os.h);
+    const int oc = static_cast<int>(idx / (static_cast<std::int64_t>(
+        os.w) * os.h));
+    return sparseConvElementXY(shape, in, weights, bias, oc, y, x);
 }
 
 void
@@ -60,9 +68,48 @@ sparseConvCpu(const CpuExec& exec, const ConvShape& shape,
               std::span<const float> bias, std::span<float> out)
 {
     checkSizes(shape, in, weights, bias, out);
-    exec.forEach(shape.out().elems(), [&](std::int64_t i) {
-        out[static_cast<std::size_t>(i)]
-            = sparseConvElement(shape, in, weights, bias, i);
+    const int h = shape.in.h;
+    const int w = shape.in.w;
+    const std::int64_t plane = static_cast<std::int64_t>(h) * w;
+    // Host path: one output plane per unit of work. Each CSR entry is
+    // decoded once (the per-element body re-derives (ic, ky, kx) with
+    // divisions for every pixel) and applied as a shifted row saxpy.
+    // Taps run in CSR row order, so every output pixel accumulates its
+    // terms in the reference order and results stay bit-identical.
+    exec.forEachBlock(shape.outC, [&](std::int64_t lo_oc,
+                                      std::int64_t hi_oc) {
+        for (std::int64_t oc = lo_oc; oc < hi_oc; ++oc) {
+            float* dst_plane = out.data() + oc * plane;
+            const float b = bias[static_cast<std::size_t>(oc)];
+            for (std::int64_t i = 0; i < plane; ++i)
+                dst_plane[i] = b;
+            const std::uint32_t lo
+                = weights.rowPtr[static_cast<std::size_t>(oc)];
+            const std::uint32_t hi
+                = weights.rowPtr[static_cast<std::size_t>(oc) + 1];
+            for (std::uint32_t k = lo; k < hi; ++k) {
+                const std::uint32_t col = weights.colIdx[k];
+                const int ic = static_cast<int>(col / 9);
+                const int dy = static_cast<int>((col % 9) / 3) - 1;
+                const int dx = static_cast<int>(col % 3) - 1;
+                const float wv = weights.values[k];
+                const float* src_plane = in.data() + ic * plane;
+                const int y0 = dy < 0 ? -dy : 0;
+                const int y1 = dy > 0 ? h - dy : h;
+                const int x0 = dx < 0 ? -dx : 0;
+                const int x1 = dx > 0 ? w - dx : w;
+                for (int y = y0; y < y1; ++y) {
+                    const float* src = src_plane
+                        + static_cast<std::int64_t>(y + dy) * w + dx;
+                    float* dst = dst_plane
+                        + static_cast<std::int64_t>(y) * w;
+                    for (int x = x0; x < x1; ++x)
+                        dst[x] += wv * src[x];
+                }
+            }
+            for (std::int64_t i = 0; i < plane; ++i)
+                dst_plane[i] = std::max(dst_plane[i], 0.0f);
+        }
     });
 }
 

@@ -28,13 +28,14 @@ uniqueCpu(const CpuExec& exec, std::span<const std::uint32_t> in,
         return 0;
 
     // Boundary flags: 1 where a new value starts.
-    exec.forEach(n, [&](std::int64_t i) {
-        flags[static_cast<std::size_t>(i)]
-            = (i == 0
-               || in[static_cast<std::size_t>(i)]
-                   != in[static_cast<std::size_t>(i - 1)])
-            ? 1u
-            : 0u;
+    exec.forEachBlock(n, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+            flags[static_cast<std::size_t>(i)]
+                = (i == 0
+                   || in[static_cast<std::size_t>(i)]
+                       != in[static_cast<std::size_t>(i - 1)])
+                ? 1u
+                : 0u;
     });
 
     // Scan flags in place -> scatter offsets.
@@ -44,16 +45,18 @@ uniqueCpu(const CpuExec& exec, std::span<const std::uint32_t> in,
 
     // Scatter: an element is unique iff its offset differs from the
     // next one (or it is the boundary-flagged first of a run).
-    exec.forEach(n, [&](std::int64_t i) {
-        const std::uint32_t off = flags[static_cast<std::size_t>(i)];
-        // After the exclusive scan, position i started a run iff the
-        // scanned value increases right after it (total acts as the
-        // value "one past the end" for the last element).
-        const bool is_boundary = (i + 1 < n)
-            ? flags[static_cast<std::size_t>(i + 1)] != off
-            : static_cast<std::uint64_t>(off) + 1 == count;
-        if (is_boundary)
-            out[off] = in[static_cast<std::size_t>(i)];
+    exec.forEachBlock(n, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+            const std::uint32_t off = flags[static_cast<std::size_t>(i)];
+            // After the exclusive scan, position i started a run iff the
+            // scanned value increases right after it (total acts as the
+            // value "one past the end" for the last element).
+            const bool is_boundary = (i + 1 < n)
+                ? flags[static_cast<std::size_t>(i + 1)] != off
+                : static_cast<std::uint64_t>(off) + 1 == count;
+            if (is_boundary)
+                out[off] = in[static_cast<std::size_t>(i)];
+        }
     });
     return static_cast<std::int64_t>(count);
 }

@@ -41,9 +41,9 @@ ThreadPool::workerLoop(int worker_id)
 
     std::uint64_t seen = 0;
     while (true) {
-        const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
-        std::int64_t lo = 0, hi = 0;
-        int my_slot = 0;
+        RangeFn fn = nullptr;
+        void* ctx = nullptr;
+        std::int64_t end = 0, chunk = 1;
         {
             std::unique_lock<std::mutex> lock(mtx);
             workReady.wait(lock, [&] {
@@ -54,21 +54,21 @@ ThreadPool::workerLoop(int worker_id)
                 return;
             seen = generation;
             fn = regionFn;
-            lo = regionBegin;
-            hi = regionEnd;
-            my_slot = --slotCounter; // claim a unique block index
+            ctx = regionCtx;
+            end = regionEnd;
+            chunk = regionChunk;
         }
 
         if (fn) {
-            // Block decomposition: worker w takes block (my_slot + 1); the
-            // caller thread always takes block 0.
-            const std::int64_t n = hi - lo;
-            const std::int64_t team = teamSize;
-            const std::int64_t block = my_slot + 1;
-            const std::int64_t b0 = lo + n * block / team;
-            const std::int64_t b1 = lo + n * (block + 1) / team;
-            if (b0 < b1)
-                (*fn)(b0, b1);
+            // Dynamic schedule: claim contiguous chunks until the range
+            // is dry. One atomic RMW and one indirect call per chunk.
+            for (;;) {
+                const std::int64_t lo = nextChunk.fetch_add(
+                    chunk, std::memory_order_relaxed);
+                if (lo >= end)
+                    break;
+                fn(ctx, lo, std::min(lo + chunk, end));
+            }
         }
 
         {
@@ -80,48 +80,54 @@ ThreadPool::workerLoop(int worker_id)
 }
 
 void
-ThreadPool::runRegion(std::int64_t begin, std::int64_t end,
-                      const std::function<void(std::int64_t,
-                                               std::int64_t)>& fn)
+ThreadPool::runRegion(std::int64_t begin, std::int64_t end, RangeFn fn,
+                      void* ctx)
 {
     BT_ASSERT(begin <= end, "inverted parallelFor range");
     if (begin == end)
         return;
 
-    if (workers.empty()) {
-        fn(begin, end);
+    const std::int64_t chunk = chunkSizeFor(end - begin);
+    if (workers.empty() || end - begin <= chunk) {
+        fn(ctx, begin, end);
         return;
     }
 
     {
         std::lock_guard<std::mutex> lock(mtx);
-        regionBegin = begin;
+        regionFn = fn;
+        regionCtx = ctx;
         regionEnd = end;
-        regionFn = &fn;
-        slotCounter = static_cast<int>(workers.size());
+        regionChunk = chunk;
+        nextChunk.store(begin, std::memory_order_relaxed);
         doneWorkers = 0;
         ++generation;
     }
     workReady.notify_all();
 
-    // The calling thread processes block 0.
-    const std::int64_t n = end - begin;
-    const std::int64_t team = teamSize;
-    const std::int64_t b1 = begin + n / team;
-    if (begin < b1)
-        fn(begin, b1);
+    // The calling thread pulls chunks like any worker.
+    for (;;) {
+        const std::int64_t lo
+            = nextChunk.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= end)
+            break;
+        fn(ctx, lo, std::min(lo + chunk, end));
+    }
 
     std::unique_lock<std::mutex> lock(mtx);
     workDone.wait(lock, [&] {
         return doneWorkers == static_cast<int>(workers.size());
     });
     regionFn = nullptr;
+    regionCtx = nullptr;
 }
 
 void
 ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
                         const std::function<void(std::int64_t)>& fn)
 {
+    // Thin wrapper over the templated tier: the erased call happens once
+    // per index here, matching the historical contract.
     parallelForBlocks(begin, end,
                       [&fn](std::int64_t lo, std::int64_t hi) {
                           for (std::int64_t i = lo; i < hi; ++i)
@@ -134,7 +140,9 @@ ThreadPool::parallelForBlocks(
     std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t, std::int64_t)>& fn)
 {
-    runRegion(begin, end, fn);
+    parallelForBlocks<const std::function<void(std::int64_t,
+                                               std::int64_t)>&>(
+        begin, end, fn);
 }
 
 } // namespace bt::sched

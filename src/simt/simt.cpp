@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <numeric>
-#include <vector>
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
@@ -20,52 +19,17 @@ LaunchConfig::cover(std::int64_t n, int block, int max_grid)
         cfg.gridDim = 1;
         return cfg;
     }
-    const std::int64_t blocks = (n + block - 1) / block;
+    // Round up without the `n + block - 1` addition, which overflows for
+    // n near INT64_MAX and used to clamp to a garbage (negative) grid.
+    const std::int64_t blocks = n / block + (n % block != 0 ? 1 : 0);
     cfg.gridDim = static_cast<int>(std::min<std::int64_t>(blocks, max_grid));
     return cfg;
 }
 
-namespace {
-
-void
-runBlock(const LaunchConfig& cfg, const Kernel& kernel, int block)
+std::vector<int>
+shuffledBlockOrder(int grid_dim, std::uint64_t seed)
 {
-    WorkItem item;
-    item.blockIdx = block;
-    item.blockDim = cfg.blockDim;
-    item.gridDim = cfg.gridDim;
-    for (int t = 0; t < cfg.blockDim; ++t) {
-        item.threadIdx = t;
-        kernel(item);
-    }
-}
-
-} // namespace
-
-void
-launch(const LaunchConfig& cfg, const Kernel& kernel)
-{
-    BT_ASSERT(cfg.gridDim > 0 && cfg.blockDim > 0, "empty launch");
-    for (int b = 0; b < cfg.gridDim; ++b)
-        runBlock(cfg, kernel, b);
-}
-
-void
-launch(sched::ThreadPool& pool, const LaunchConfig& cfg,
-       const Kernel& kernel)
-{
-    BT_ASSERT(cfg.gridDim > 0 && cfg.blockDim > 0, "empty launch");
-    pool.parallelFor(0, cfg.gridDim, [&](std::int64_t b) {
-        runBlock(cfg, kernel, static_cast<int>(b));
-    });
-}
-
-void
-launchShuffled(const LaunchConfig& cfg, const Kernel& kernel,
-               std::uint64_t seed)
-{
-    BT_ASSERT(cfg.gridDim > 0 && cfg.blockDim > 0, "empty launch");
-    std::vector<int> order(static_cast<std::size_t>(cfg.gridDim));
+    std::vector<int> order(static_cast<std::size_t>(grid_dim));
     std::iota(order.begin(), order.end(), 0);
     Rng rng(seed);
     // Fisher-Yates with the framework RNG for reproducibility.
@@ -74,8 +38,32 @@ launchShuffled(const LaunchConfig& cfg, const Kernel& kernel,
             = static_cast<std::size_t>(rng.nextBounded(i));
         std::swap(order[i - 1], order[j]);
     }
-    for (int b : order)
-        runBlock(cfg, kernel, b);
+    return order;
+}
+
+// The erased tier funnels back into the templated tier with the
+// std::function as the functor: one indirect call per thread, exactly the
+// cost profile ABI-stable callers signed up for.
+
+void
+launch(const LaunchConfig& cfg, const Kernel& kernel)
+{
+    launch(cfg, [&kernel](const WorkItem& item) { kernel(item); });
+}
+
+void
+launch(sched::ThreadPool& pool, const LaunchConfig& cfg,
+       const Kernel& kernel)
+{
+    launch(pool, cfg, [&kernel](const WorkItem& item) { kernel(item); });
+}
+
+void
+launchShuffled(const LaunchConfig& cfg, const Kernel& kernel,
+               std::uint64_t seed)
+{
+    launchShuffled(cfg, [&kernel](const WorkItem& item) { kernel(item); },
+                   seed);
 }
 
 } // namespace bt::simt

@@ -12,6 +12,12 @@
  *
  * Execution is functional and deterministic on the host; timing of GPU
  * work is the job of the platform performance model, not this layer.
+ *
+ * Dispatch tiers (see docs/DISPATCH.md): the templated launch overloads
+ * instantiate the kernel functor statically, so the per-thread call
+ * inlines into the block loop; the std::function overloads are thin
+ * wrappers kept for ABI-stable callers and pay one type-erased indirect
+ * call per SIMT thread. Hot paths must use the templated tier.
  */
 
 #ifndef BT_SIMT_SIMT_HPP
@@ -19,8 +25,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
-namespace bt::sched { class ThreadPool; }
+#include "common/logging.hpp"
+#include "sched/thread_pool.hpp"
 
 namespace bt::simt {
 
@@ -37,7 +45,12 @@ struct LaunchConfig
         return static_cast<std::int64_t>(gridDim) * blockDim;
     }
 
-    /** Geometry covering @p n items with @p block threads per block. */
+    /**
+     * Geometry covering @p n items with @p block threads per block. Safe
+     * for the whole std::int64_t range of @p n: the block count is
+     * computed without the rounding addition that could overflow, then
+     * clamped to @p max_grid.
+     */
     static LaunchConfig cover(std::int64_t n, int block = 64,
                               int max_grid = 1024);
 };
@@ -65,8 +78,27 @@ struct WorkItem
     }
 };
 
-/** A device kernel body, invoked once per thread in the grid. */
+/** A type-erased device kernel body (the slow, ABI-stable tier). */
 using Kernel = std::function<void(const WorkItem&)>;
+
+/**
+ * Execute every thread of block @p block of @p cfg against @p kernel.
+ * Statically instantiated per kernel type: with a concrete functor the
+ * per-thread call inlines into this loop and costs nothing.
+ */
+template <typename F>
+inline void
+runBlock(const LaunchConfig& cfg, F& kernel, int block)
+{
+    WorkItem item;
+    item.blockIdx = block;
+    item.blockDim = cfg.blockDim;
+    item.gridDim = cfg.gridDim;
+    for (int t = 0; t < cfg.blockDim; ++t) {
+        item.threadIdx = t;
+        kernel(static_cast<const WorkItem&>(item));
+    }
+}
 
 /**
  * Launch @p kernel over @p cfg, executing every thread exactly once.
@@ -75,21 +107,62 @@ using Kernel = std::function<void(const WorkItem&)>;
  * kernels must not rely on it for correctness - tests shuffle block order
  * to check that).
  */
-void launch(const LaunchConfig& cfg, const Kernel& kernel);
+template <typename F>
+inline void
+launch(const LaunchConfig& cfg, F&& kernel)
+{
+    BT_ASSERT(cfg.gridDim > 0 && cfg.blockDim > 0, "empty launch");
+    for (int b = 0; b < cfg.gridDim; ++b)
+        runBlock(cfg, kernel, b);
+}
 
 /**
  * Launch with blocks distributed over a host thread pool; used to speed up
  * functional execution on many-core hosts. Semantics are identical to the
- * serial launch for data-race-free kernels.
+ * serial launch for data-race-free kernels. Blocks are handed to workers
+ * in contiguous batches through the pool's chunked parallelForBlocks, so
+ * per-block scheduling costs amortize over a whole batch.
  */
-void launch(sched::ThreadPool& pool, const LaunchConfig& cfg,
-            const Kernel& kernel);
+template <typename F>
+inline void
+launch(sched::ThreadPool& pool, const LaunchConfig& cfg, F&& kernel)
+{
+    BT_ASSERT(cfg.gridDim > 0 && cfg.blockDim > 0, "empty launch");
+    pool.parallelForBlocks(
+        0, cfg.gridDim, [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t b = lo; b < hi; ++b)
+                runBlock(cfg, kernel, static_cast<int>(b));
+        });
+}
+
+/**
+ * Pseudo-random block visitation order for @p grid_dim blocks; the
+ * deterministic Fisher-Yates permutation behind launchShuffled.
+ */
+std::vector<int> shuffledBlockOrder(int grid_dim, std::uint64_t seed);
 
 /**
  * Debug launch that visits blocks in a pseudo-random order derived from
  * @p seed. Kernels whose output changes under this launch have an
  * inter-block ordering bug that a real GPU would expose.
  */
+template <typename F>
+inline void
+launchShuffled(const LaunchConfig& cfg, F&& kernel, std::uint64_t seed)
+{
+    BT_ASSERT(cfg.gridDim > 0 && cfg.blockDim > 0, "empty launch");
+    for (int b : shuffledBlockOrder(cfg.gridDim, seed))
+        runBlock(cfg, kernel, b);
+}
+
+/** Erased-tier launch: one indirect call per SIMT thread. */
+void launch(const LaunchConfig& cfg, const Kernel& kernel);
+
+/** Erased-tier pooled launch. */
+void launch(sched::ThreadPool& pool, const LaunchConfig& cfg,
+            const Kernel& kernel);
+
+/** Erased-tier shuffled launch. */
 void launchShuffled(const LaunchConfig& cfg, const Kernel& kernel,
                     std::uint64_t seed);
 

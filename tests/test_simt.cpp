@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -36,6 +37,20 @@ TEST(LaunchConfig, CoverHandlesZero)
 {
     const auto cfg = LaunchConfig::cover(0, 64, 16);
     EXPECT_EQ(cfg.gridDim, 1);
+}
+
+TEST(LaunchConfig, CoverHugeElementCountDoesNotOverflow)
+{
+    // n + block - 1 overflows int64 for n near the maximum; cover must
+    // still clamp to max_grid instead of producing a negative grid.
+    const auto cfg = LaunchConfig::cover(
+        std::numeric_limits<std::int64_t>::max(), 64, 1024);
+    EXPECT_EQ(cfg.blockDim, 64);
+    EXPECT_EQ(cfg.gridDim, 1024);
+
+    const auto near_max = LaunchConfig::cover(
+        std::numeric_limits<std::int64_t>::max() - 1, 256, 1 << 20);
+    EXPECT_EQ(near_max.gridDim, 1 << 20);
 }
 
 TEST(Launch, EveryThreadRunsOnce)
