@@ -1,6 +1,7 @@
 #include "bench/common/bench_util.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "apps/alexnet.hpp"
 #include "apps/octree_app.hpp"
@@ -30,11 +31,20 @@ devices()
     return platform::paperDevices();
 }
 
+std::uint64_t
+benchNoiseSalt()
+{
+    const char* env = std::getenv("BT_NOISE_SALT");
+    return env ? std::strtoull(env, nullptr, 0) : 0;
+}
+
 core::BetterTogetherReport
 runFlow(const platform::SocDescription& soc,
         const core::Application& app)
 {
-    const core::BetterTogether bt(soc);
+    core::BetterTogetherConfig cfg;
+    cfg.executor.noiseSalt = benchNoiseSalt();
+    const core::BetterTogether bt(soc, cfg);
     return bt.run(app);
 }
 

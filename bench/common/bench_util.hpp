@@ -7,6 +7,7 @@
 #ifndef BT_BENCH_BENCH_UTIL_HPP
 #define BT_BENCH_BENCH_UTIL_HPP
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -22,6 +23,14 @@ core::Application paperApp(int app_index);
 
 /** Devices in Table-2 order. */
 std::vector<platform::SocDescription> devices();
+
+/**
+ * Noise salt applied uniformly to every bench execution (static
+ * pipeline and dynamic alike): the BT_NOISE_SALT environment variable,
+ * or 0 (= the device seed alone). Re-running the suite with the same
+ * salt reproduces every virtual-time number bit for bit.
+ */
+std::uint64_t benchNoiseSalt();
 
 /** Run the full BetterTogether flow for (device, app). */
 core::BetterTogetherReport runFlow(const platform::SocDescription& soc,

@@ -14,6 +14,10 @@
 #                       pairs (Templated vs Erased), and host-body
 #                       trajectory pairs (Tuned vs SeedPath)
 #   BENCH_spsc.json     spsc_micro — queue hot-path latency
+#   BENCH_pipeline.json pipeline_micro — unified-runtime pipeline
+#                       executions; the virtual_makespan_ms counters
+#                       are semantic regression anchors (same
+#                       schedules, same seeds)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -42,5 +46,6 @@ run_one() {
 
 run_one "$build_dir/bench/kernels_micro" "$repo_root/BENCH_kernels.json"
 run_one "$build_dir/bench/spsc_micro" "$repo_root/BENCH_spsc.json"
+run_one "$build_dir/bench/pipeline_micro" "$repo_root/BENCH_pipeline.json"
 
-echo "done: BENCH_kernels.json, BENCH_spsc.json"
+echo "done: BENCH_kernels.json, BENCH_spsc.json, BENCH_pipeline.json"

@@ -44,6 +44,7 @@ struct Options
     bool edp_objective = false;
     std::string save_profile;
     std::string load_profile;
+    std::string trace_file;
 };
 
 void
@@ -66,7 +67,11 @@ usage()
         "product\n"
         "  --save-profile FILE     write the interference table as "
         "CSV\n"
-        "  --load-profile FILE     reuse a cached interference table\n");
+        "  --load-profile FILE     reuse a cached interference table\n"
+        "  --trace FILE            write the deployed run's timeline "
+        "as Chrome\n"
+        "                          trace JSON (chrome://tracing / "
+        "Perfetto)\n");
 }
 
 bool
@@ -103,6 +108,8 @@ parse(int argc, char** argv, Options& opt)
             opt.save_profile = value;
         } else if (arg == "--load-profile" && next(value)) {
             opt.load_profile = value;
+        } else if (arg == "--trace" && next(value)) {
+            opt.trace_file = value;
         } else {
             usage();
             return false;
@@ -229,6 +236,32 @@ main(int argc, char** argv)
                     "(device peak %.1f W)\n",
                     run.energyPerTaskJ() * 1e3, run.averagePowerW(),
                     soc.peakPowerW());
+    }
+
+    // Timeline statistics derived from the deployed run's trace.
+    {
+        const auto stats = run.trace.stats();
+        std::printf("\ntimeline: %d stage executions, bubble %.1f%%, "
+                    "interfered %.1f%%, mean queue wait %.3f ms\n",
+                    stats.events, stats.bubbleFraction * 1e2,
+                    stats.interferedFraction * 1e2,
+                    stats.meanQueueWaitSeconds * 1e3);
+        for (int p = 0; p < soc.numPus(); ++p) {
+            const auto& pu = stats.perPu[static_cast<std::size_t>(p)];
+            if (pu.events == 0)
+                continue;
+            std::printf("  %-10s occupancy %5.1f%%  (%d stage "
+                        "executions)\n",
+                        soc.pu(p).label.c_str(), pu.occupancy * 1e2,
+                        pu.events);
+        }
+    }
+    if (!opt.trace_file.empty()) {
+        std::ofstream out(opt.trace_file);
+        run.trace.writeChromeJson(out);
+        std::printf("wrote Chrome trace JSON to %s (load in "
+                    "chrome://tracing or Perfetto)\n",
+                    opt.trace_file.c_str());
     }
 
     if (opt.compare_dynamic) {

@@ -54,6 +54,13 @@ main()
                                          .c_str(),
                     result.affinityApplied ? "pinned"
                                            : "best effort");
+
+        const auto stats = result.trace.stats();
+        std::printf("  timeline: %d stage executions, bubble %.1f%%, "
+                    "interfered %.1f%%, mean queue wait %.3f ms\n",
+                    stats.events, stats.bubbleFraction * 1e2,
+                    stats.interferedFraction * 1e2,
+                    stats.meanQueueWaitSeconds * 1e3);
     }
     return 0;
 }

@@ -1,34 +1,13 @@
 #include "core/dynamic_executor.hpp"
 
-#include <algorithm>
-#include <deque>
-#include <limits>
-
 #include "common/logging.hpp"
-#include "common/rng.hpp"
-#include "common/stats.hpp"
-#include "sim/engine.hpp"
 
 namespace bt::core {
 
-namespace {
-
-/** What a PU class is doing right now. */
-enum class PuState { Idle, Dispatching, Running };
-
-/** A (task, stage) pair waiting for a PU. */
-struct ReadyItem
-{
-    std::int64_t task;
-    int stage;
-};
-
-} // namespace
-
-DynamicExecutor::DynamicExecutor(const platform::PerfModel& model_,
-                                 const ProfilingTable& table_,
+DynamicExecutor::DynamicExecutor(const platform::PerfModel& model,
+                                 const ProfilingTable& table,
                                  DynamicExecConfig cfg)
-    : model(model_), table(table_), config(cfg)
+    : backend(model, table), config(cfg)
 {
     BT_ASSERT(config.numTasks > 0);
     BT_ASSERT(config.dispatchOverheadUs >= 0.0);
@@ -37,181 +16,10 @@ DynamicExecutor::DynamicExecutor(const platform::PerfModel& model_,
 ExecutionResult
 DynamicExecutor::execute(const Application& app) const
 {
-    const auto& soc = model.soc();
-    BT_ASSERT(table.numStages() == app.numStages()
-                  && table.numPus() == soc.numPus(),
-              "cost table does not match application/device");
-
-    const int num_pus = soc.numPus();
-    const int in_flight_cap = config.tasksInFlight > 0
-        ? config.tasksInFlight
-        : num_pus + 1;
-
-    ExecutionResult result;
-    result.tasks = config.numTasks;
-
-    std::vector<PuState> pu_state(static_cast<std::size_t>(num_pus),
-                                  PuState::Idle);
-    std::vector<ReadyItem> pu_item(static_cast<std::size_t>(num_pus));
-    std::vector<double> pu_busy(static_cast<std::size_t>(num_pus),
-                                0.0);
-    std::vector<double> pu_started(static_cast<std::size_t>(num_pus),
-                                   0.0);
-    std::deque<ReadyItem> ready;
-    std::int64_t next_task = 0;
-    int in_flight = 0;
-
-    std::vector<double> inject_time(static_cast<std::size_t>(
-        config.numTasks), 0.0);
-    std::vector<double> complete_time(static_cast<std::size_t>(
-        config.numTasks), 0.0);
-
-    sim::Engine engine([&](std::span<const sim::ActiveTask> active,
-                           std::span<double> rates) {
-        std::vector<platform::Load> loads(active.size());
-        for (std::size_t i = 0; i < active.size(); ++i) {
-            const int pu = static_cast<int>(active[i].tag);
-            BT_ASSERT(pu_state[static_cast<std::size_t>(pu)]
-                      == PuState::Running);
-            loads[i] = platform::Load{
-                &app.stage(pu_item[static_cast<std::size_t>(pu)].stage)
-                     .work(),
-                pu};
-        }
-        for (std::size_t i = 0; i < active.size(); ++i)
-            rates[i] = 1.0 / model.timeOf(i, loads);
-    });
-
-    auto stageNoise = [&](std::int64_t task, int stage) {
-        const std::uint64_t key = hashCombine(
-            hashCombine(soc.seed ^ config.noiseSalt ^ 0xd12a,
-                        static_cast<std::uint64_t>(task)),
-            static_cast<std::uint64_t>(stage));
-        Rng rng(key);
-        return soc.noiseSigma > 0.0
-            ? rng.nextLogNormalFactor(soc.noiseSigma)
-            : 1.0;
-    };
-
-    // HEFT-style earliest-completion dispatch: every ready item is
-    // assigned to the PU minimizing (estimated availability + cost),
-    // which may mean queueing behind a busy fast PU rather than
-    // running immediately on a slow idle one. Each PU drains its own
-    // FIFO of assigned items.
-    std::vector<std::deque<ReadyItem>> pu_queue(
-        static_cast<std::size_t>(num_pus));
-    std::vector<double> pu_available(static_cast<std::size_t>(num_pus),
-                                     0.0);
-
-    std::function<void(int)> tryStartPu = [&](int p) {
-        const auto pi = static_cast<std::size_t>(p);
-        if (pu_state[pi] != PuState::Idle || pu_queue[pi].empty())
-            return;
-        pu_state[pi] = PuState::Dispatching;
-        pu_item[pi] = pu_queue[pi].front();
-        pu_queue[pi].pop_front();
-        pu_started[pi] = engine.now();
-        engine.scheduleAt(
-            engine.now() + config.dispatchOverheadUs * 1e-6, [&, p] {
-                const auto pj = static_cast<std::size_t>(p);
-                pu_state[pj] = PuState::Running;
-                engine.startTask(
-                    static_cast<std::uint64_t>(p),
-                    stageNoise(pu_item[pj].task, pu_item[pj].stage));
-            });
-    };
-
-    std::function<void()> schedule = [&] {
-        // Admit new tasks up to the in-flight cap.
-        while (in_flight < in_flight_cap
-               && next_task < config.numTasks) {
-            inject_time[static_cast<std::size_t>(next_task)]
-                = engine.now();
-            ready.push_back(ReadyItem{next_task, 0});
-            ++next_task;
-            ++in_flight;
-        }
-        while (!ready.empty()) {
-            const ReadyItem item = ready.front();
-            ready.pop_front();
-            int best_pu = 0;
-            double best_finish
-                = std::numeric_limits<double>::infinity();
-            for (int p = 0; p < num_pus; ++p) {
-                const auto pi = static_cast<std::size_t>(p);
-                const double avail
-                    = std::max(pu_available[pi], engine.now());
-                const double finish
-                    = avail + table.at(item.stage, p)
-                    + config.dispatchOverheadUs * 1e-6;
-                if (finish < best_finish) {
-                    best_finish = finish;
-                    best_pu = p;
-                }
-            }
-            const auto pi = static_cast<std::size_t>(best_pu);
-            pu_queue[pi].push_back(item);
-            pu_available[pi] = best_finish;
-            tryStartPu(best_pu);
-        }
-    };
-
-    engine.onComplete([&](sim::TaskId, std::uint64_t tag) {
-        const auto pi = static_cast<std::size_t>(tag);
-        const ReadyItem done = pu_item[pi];
-        pu_busy[pi] += engine.now() - pu_started[pi];
-        pu_state[pi] = PuState::Idle;
-
-        if (done.stage + 1 < app.numStages()) {
-            ready.push_back(ReadyItem{done.task, done.stage + 1});
-        } else {
-            complete_time[static_cast<std::size_t>(done.task)]
-                = engine.now();
-            --in_flight;
-        }
-        // Estimates drift from reality; re-anchor this PU's clock.
-        pu_available[pi] = engine.now();
-        schedule();
-        tryStartPu(static_cast<int>(pi));
-    });
-
-    schedule();
-    engine.run();
-    BT_ASSERT(next_task == config.numTasks && in_flight == 0,
-              "dynamic run stalled");
-
-    result.makespanSeconds = engine.now();
-    const int n = config.numTasks;
-    const int w = std::min(config.warmupTasks, n - 1);
-    // Dynamic dispatch may complete tasks out of order; the steady
-    // state interval is taken over the sorted completion times.
-    std::vector<double> sorted_completions = complete_time;
-    std::sort(sorted_completions.begin(), sorted_completions.end());
-    if (n - w >= 2) {
-        result.taskIntervalSeconds
-            = (sorted_completions[static_cast<std::size_t>(n - 1)]
-               - sorted_completions[static_cast<std::size_t>(w)])
-            / static_cast<double>(n - 1 - w);
-    } else {
-        result.taskIntervalSeconds
-            = result.makespanSeconds / static_cast<double>(n);
-    }
-
-    std::vector<double> latencies(static_cast<std::size_t>(n));
-    for (int t = 0; t < n; ++t)
-        latencies[static_cast<std::size_t>(t)]
-            = complete_time[static_cast<std::size_t>(t)]
-            - inject_time[static_cast<std::size_t>(t)];
-    result.meanLatencySeconds = mean(latencies);
-
-    result.chunkBusyFraction.resize(static_cast<std::size_t>(num_pus));
-    for (int p = 0; p < num_pus; ++p)
-        result.chunkBusyFraction[static_cast<std::size_t>(p)]
-            = result.makespanSeconds > 0.0
-            ? pu_busy[static_cast<std::size_t>(p)]
-                / result.makespanSeconds
-            : 0.0;
-    return result;
+    return backend.run(
+        app, config,
+        runtime::GreedyParams{config.tasksInFlight,
+                              config.dispatchOverheadUs});
 }
 
 } // namespace bt::core

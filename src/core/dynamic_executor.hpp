@@ -8,8 +8,10 @@
  * overhead, and stage-to-PU locality is whatever the greedy choice
  * produces - the two effects static pipelining avoids.
  *
- * Runs on the same discrete-event substrate and interference model as
- * the SimExecutor, so results are directly comparable.
+ * Thin policy over the unified runtime: the greedy earliest-finish
+ * machinery lives in runtime::GreedyRuntime on the same DES substrate,
+ * interference model, noise derivation, and energy meter as the
+ * SimExecutor, so results are directly comparable.
  */
 
 #ifndef BT_CORE_DYNAMIC_EXECUTOR_HPP
@@ -19,21 +21,19 @@
 #include "core/profiling_table.hpp"
 #include "core/sim_executor.hpp"
 #include "platform/perf_model.hpp"
+#include "runtime/greedy_runtime.hpp"
 
 namespace bt::core {
 
-/** Dynamic scheduler knobs. */
-struct DynamicExecConfig
+/** Dynamic scheduler knobs: the unified runtime config plus the greedy
+ *  policy's own parameters. */
+struct DynamicExecConfig : runtime::RunConfig
 {
-    int numTasks = 30;
     int tasksInFlight = 0; ///< 0 = one per PU class plus one
 
     /** Runtime cost charged per dispatch decision (queue locks, cost
      *  model lookup, kernel argument marshalling). */
     double dispatchOverheadUs = 50.0;
-
-    std::uint64_t noiseSalt = 0;
-    int warmupTasks = 3;
 };
 
 /**
@@ -52,8 +52,7 @@ class DynamicExecutor
     ExecutionResult execute(const Application& app) const;
 
   private:
-    const platform::PerfModel& model;
-    const ProfilingTable& table;
+    runtime::GreedyRuntime backend;
     DynamicExecConfig config;
 };
 

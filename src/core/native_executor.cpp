@@ -1,39 +1,12 @@
 #include "core/native_executor.hpp"
 
-#include <atomic>
-#include <chrono>
-#include <memory>
-#include <mutex>
-#include <thread>
-
 #include "common/logging.hpp"
-#include "sched/spsc_queue.hpp"
-#include "sched/thread_pool.hpp"
 
 namespace bt::core {
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double
-secondsSince(Clock::time_point t0)
-{
-    return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-/** Pointer + task index travelling through the queues. */
-struct Token
-{
-    TaskObject* task = nullptr;
-    std::int64_t index = -1;
-};
-
-} // namespace
-
-NativeExecutor::NativeExecutor(const platform::SocDescription& soc_,
+NativeExecutor::NativeExecutor(const platform::SocDescription& soc,
                                NativeExecConfig cfg)
-    : soc(soc_), config(cfg)
+    : backend(soc), config(cfg)
 {
     BT_ASSERT(config.numTasks > 0);
     BT_ASSERT(config.queueCapacity > 0);
@@ -43,136 +16,7 @@ NativeResult
 NativeExecutor::execute(const Application& app,
                         const Schedule& schedule) const
 {
-    BT_ASSERT(schedule.valid(app.numStages(), soc.numPus()),
-              "schedule does not fit application/device");
-
-    const int num_chunks = schedule.numChunks();
-    const int num_buffers = config.numBuffers > 0
-        ? config.numBuffers
-        : num_chunks + 1;
-    const std::size_t qcap = static_cast<std::size_t>(
-        std::max(config.queueCapacity, num_buffers));
-
-    // Multi-buffer pool (pre-allocated, recycled).
-    std::vector<std::unique_ptr<TaskObject>> pool;
-    pool.reserve(static_cast<std::size_t>(num_buffers));
-    for (int b = 0; b < num_buffers; ++b)
-        pool.push_back(app.makeTask(0, soc.seed));
-
-    // queues[c] feeds chunk c; the extra last queue recycles to chunk 0.
-    std::vector<std::unique_ptr<sched::SpscQueue<Token>>> queues;
-    for (int c = 0; c <= num_chunks; ++c)
-        queues.push_back(
-            std::make_unique<sched::SpscQueue<Token>>(qcap));
-    for (auto& obj : pool)
-        BT_ASSERT(queues[0]->tryPush(Token{obj.get(), -1}),
-                  "free pool exceeds queue capacity");
-
-    NativeResult result;
-    result.tasks = config.numTasks;
-    std::atomic<bool> affinity_ok{true};
-    std::vector<double> completions(static_cast<std::size_t>(
-        config.numTasks), 0.0);
-    std::mutex validation_mutex;
-
-    const auto t0 = Clock::now();
-
-    auto dispatcher = [&](int c) {
-        const Chunk& ch = schedule.chunks()[static_cast<std::size_t>(c)];
-        const platform::PuModel& pu = soc.pu(ch.pu);
-
-        // Per-chunk worker team bound to this PU's cores. GPU chunks get
-        // no team: kernels run through the SIMT layer on the dispatcher.
-        std::unique_ptr<sched::ThreadPool> team;
-        if (pu.kind == platform::PuKind::Cpu) {
-            team = std::make_unique<sched::ThreadPool>(pu.cores,
-                                                       pu.coreIds);
-            if (!pu.coreIds.empty() && !team->affinityApplied())
-                affinity_ok.store(false, std::memory_order_relaxed);
-        }
-
-        auto& in = *queues[static_cast<std::size_t>(c)];
-        auto& out = *queues[static_cast<std::size_t>(c + 1)];
-        std::int64_t injected = 0; // chunk 0 only
-
-        for (int processed = 0; processed < config.numTasks;) {
-            auto token = in.tryPop();
-            if (!token) {
-                std::this_thread::yield();
-                continue;
-            }
-            if (c == 0) {
-                // Recycle: refresh the object for the next input index.
-                token->index = injected++;
-                app.refreshTask(*token->task, token->index, soc.seed);
-            }
-
-            KernelCtx ctx{*token->task, team.get()};
-            for (int s = ch.firstStage; s <= ch.lastStage; ++s)
-                app.stage(s).run(ctx, pu.kind);
-
-            if (c == num_chunks - 1) {
-                completions[static_cast<std::size_t>(token->index)]
-                    = secondsSince(t0);
-                if (config.validate
-                    && result.validationErrors.size() < 8) {
-                    const std::string err = app.validate(*token->task);
-                    if (!err.empty()) {
-                        std::lock_guard<std::mutex> lock(
-                            validation_mutex);
-                        result.validationErrors.push_back(
-                            "task " + std::to_string(token->index)
-                            + ": " + err);
-                    }
-                }
-            }
-            while (!out.tryPush(*token))
-                std::this_thread::yield();
-            ++processed;
-        }
-    };
-
-    // Recycler: moves finished tokens from the last queue back to the
-    // front queue (keeps every queue strictly SPSC).
-    std::thread recycler([&] {
-        auto& from = *queues[static_cast<std::size_t>(num_chunks)];
-        auto& to = *queues[0];
-        for (int moved = 0; moved < config.numTasks;) {
-            auto token = from.tryPop();
-            if (!token) {
-                std::this_thread::yield();
-                continue;
-            }
-            while (!to.tryPush(*token))
-                std::this_thread::yield();
-            ++moved;
-        }
-    });
-
-    std::vector<std::thread> dispatchers;
-    dispatchers.reserve(static_cast<std::size_t>(num_chunks));
-    for (int c = 0; c < num_chunks; ++c)
-        dispatchers.emplace_back(dispatcher, c);
-    for (auto& t : dispatchers)
-        t.join();
-    recycler.join();
-
-    result.makespanSeconds = secondsSince(t0);
-    result.affinityApplied
-        = affinity_ok.load(std::memory_order_relaxed);
-
-    const int n = config.numTasks;
-    const int w = std::min(3, n - 1);
-    if (n - w >= 2) {
-        result.taskIntervalSeconds
-            = (completions[static_cast<std::size_t>(n - 1)]
-               - completions[static_cast<std::size_t>(w)])
-            / static_cast<double>(n - 1 - w);
-    } else {
-        result.taskIntervalSeconds
-            = result.makespanSeconds / static_cast<double>(n);
-    }
-    return result;
+    return backend.run(app, schedule, config);
 }
 
 } // namespace bt::core

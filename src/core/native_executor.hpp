@@ -2,48 +2,33 @@
  * @file
  * Native BT-Implementer: executes a pipeline schedule with real host
  * threads, exactly as paper Sec. 3.4 describes - one long-lived
- * dispatcher thread per chunk, lock-free SPSC queues passing TaskObject
- * pointers, a recycled multi-buffer pool, per-chunk thread teams bound
+ * dispatcher thread per chunk, lock-free SPSC queues passing tokens
+ * into the recycled multi-buffer pool, per-chunk thread teams bound
  * with sched_setaffinity, and wall-clock measurement.
  *
- * On the simulated paper devices the SimExecutor provides timing; this
- * executor provides a real concurrent implementation for functional
- * validation and for running pipelines on the local host (the
- * platform::nativeHost() description).
+ * Thin policy over the unified runtime: the dispatcher core lives in
+ * runtime::PipelineSession and the threaded time domain in
+ * runtime::HostTimeBackend; this class keeps the historical core-level
+ * entry point and type names. NativeResult is the unified
+ * runtime::RunResult, so native runs now also report mean latency,
+ * per-chunk utilization, and the structured TraceTimeline.
  */
 
 #ifndef BT_CORE_NATIVE_EXECUTOR_HPP
 #define BT_CORE_NATIVE_EXECUTOR_HPP
 
-#include <vector>
-
 #include "core/application.hpp"
 #include "core/schedule.hpp"
 #include "platform/soc.hpp"
+#include "runtime/host_backend.hpp"
 
 namespace bt::core {
 
-/** Native execution knobs. */
-struct NativeExecConfig
-{
-    int numTasks = 30;
-    int numBuffers = 0;   ///< 0 = one per chunk plus one
-    bool validate = true; ///< run the application validator per task
-    int queueCapacity = 4;
-};
+/** Native execution knobs (the unified runtime config). */
+using NativeExecConfig = runtime::RunConfig;
 
-/** Wall-clock outcome of a native pipeline run. */
-struct NativeResult
-{
-    int tasks = 0;
-    double makespanSeconds = 0.0;
-    double taskIntervalSeconds = 0.0;
-    std::vector<std::string> validationErrors;
-    bool affinityApplied = true; ///< all chunk teams pinned successfully
-
-    double latencyMs() const { return taskIntervalSeconds * 1e3; }
-    bool valid() const { return validationErrors.empty(); }
-};
+/** Wall-clock outcome of a native pipeline run (unified result). */
+using NativeResult = runtime::RunResult;
 
 /** Threaded pipeline executor for the local host. */
 class NativeExecutor
@@ -57,7 +42,7 @@ class NativeExecutor
                          const Schedule& schedule) const;
 
   private:
-    const platform::SocDescription& soc;
+    runtime::HostTimeBackend backend;
     NativeExecConfig config;
 };
 

@@ -77,6 +77,10 @@ BetterTogether::run(const Application& app) const
                   .taskIntervalSeconds;
     }
 
+    // Deployment run of the winner: one more execution that carries
+    // the full unified result, including the structured trace timeline.
+    report.deployedRun = executor.execute(app, report.bestSchedule);
+
     // Baselines: the paper compares against big-cores-only (the best
     // CPU configuration in its experiments) and GPU-only DOALL runs.
     report.cpuBaselinePu = soc.bigCpuIndex();

@@ -35,6 +35,11 @@ struct BetterTogetherReport
     Schedule bestSchedule;
     double bestLatencySeconds = 0.0;   ///< measured, steady state
 
+    /** Deployment run of the winning schedule: the unified RunResult
+     *  with its structured TraceTimeline (occupancy, bubbles,
+     *  co-runner sets), for reporting and trace export. */
+    ExecutionResult deployedRun;
+
     double cpuBaselineSeconds = 0.0;   ///< best CPU class, homogeneous
     double gpuBaselineSeconds = 0.0;   ///< GPU-only
     int cpuBaselinePu = -1;

@@ -1,250 +1,21 @@
 #include "core/sim_executor.hpp"
 
-#include <algorithm>
-#include <deque>
-#include <memory>
-
 #include "common/logging.hpp"
-#include "common/rng.hpp"
-#include "common/stats.hpp"
-#include "sim/engine.hpp"
 
 namespace bt::core {
 
-namespace {
-
-/** Event-driven dispatcher state for one chunk. */
-struct ChunkRuntime
-{
-    int index = 0;
-    int firstStage = 0;
-    int lastStage = 0;
-    int pu = 0;
-    bool busy = false;
-    int curStage = -1;      ///< stage currently "executing"
-    int curToken = -1;      ///< buffer id being processed
-    std::int64_t curTask = -1;
-    double stageStart = 0.0;
-    double busyAccum = 0.0;
-};
-
-} // namespace
-
-SimExecutor::SimExecutor(const platform::PerfModel& model_,
+SimExecutor::SimExecutor(const platform::PerfModel& model,
                          SimExecConfig cfg)
-    : model(model_), config(cfg)
+    : backend(model), config(cfg)
 {
     BT_ASSERT(config.numTasks > 0);
-    BT_ASSERT(config.warmupTasks >= 0);
 }
 
 ExecutionResult
 SimExecutor::execute(const Application& app,
                      const Schedule& schedule) const
 {
-    const auto& soc = model.soc();
-    BT_ASSERT(schedule.valid(app.numStages(), soc.numPus()),
-              "schedule does not fit application/device");
-
-    const int num_chunks = schedule.numChunks();
-    const int num_buffers = config.numBuffers > 0
-        ? config.numBuffers
-        : num_chunks + 1;
-
-    // --- dispatcher state ---------------------------------------------
-    std::vector<ChunkRuntime> chunks(static_cast<std::size_t>(
-        num_chunks));
-    for (int c = 0; c < num_chunks; ++c) {
-        auto& rt = chunks[static_cast<std::size_t>(c)];
-        const Chunk& ch
-            = schedule.chunks()[static_cast<std::size_t>(c)];
-        rt.index = c;
-        rt.firstStage = ch.firstStage;
-        rt.lastStage = ch.lastStage;
-        rt.pu = ch.pu;
-    }
-
-    // queues[c] feeds chunk c; the last queue recycles into queue 0.
-    std::vector<std::deque<int>> queues(static_cast<std::size_t>(
-        num_chunks));
-    std::vector<std::int64_t> token_task(static_cast<std::size_t>(
-        num_buffers), -1);
-    for (int b = 0; b < num_buffers; ++b)
-        queues[0].push_back(b);
-
-    // Optional functional TaskObjects (multi-buffering pool).
-    std::vector<std::unique_ptr<TaskObject>> objects;
-    if (config.runKernels) {
-        objects.reserve(static_cast<std::size_t>(num_buffers));
-        for (int b = 0; b < num_buffers; ++b)
-            objects.push_back(app.makeTask(0, soc.seed));
-    }
-
-    ExecutionResult result;
-    result.tasks = config.numTasks;
-
-    std::int64_t next_task = 0;
-    std::vector<double> inject_time(static_cast<std::size_t>(
-        config.numTasks), 0.0);
-    std::vector<double> complete_time(static_cast<std::size_t>(
-        config.numTasks), 0.0);
-
-    // --- virtual-time engine ------------------------------------------
-    // Tag = chunk index; each chunk executes at most one stage at a time,
-    // so the chunk's runtime state identifies the running stage.
-    sim::Engine engine([&](std::span<const sim::ActiveTask> active,
-                           std::span<double> rates) {
-        std::vector<platform::Load> loads(active.size());
-        for (std::size_t i = 0; i < active.size(); ++i) {
-            const auto& rt = chunks[static_cast<std::size_t>(
-                active[i].tag)];
-            BT_ASSERT(rt.busy && rt.curStage >= 0,
-                      "active task on idle chunk");
-            loads[i] = platform::Load{&app.stage(rt.curStage).work(),
-                                      rt.pu};
-        }
-        for (std::size_t i = 0; i < active.size(); ++i)
-            rates[i] = 1.0 / model.timeOf(i, loads);
-    });
-
-    // Energy integration: between events the set of active PU classes
-    // is constant, so power is piecewise constant.
-    std::vector<bool> pu_active_scratch(
-        static_cast<std::size_t>(soc.numPus()), false);
-    engine.onAdvance([&](double t0, double t1) {
-        std::fill(pu_active_scratch.begin(), pu_active_scratch.end(),
-                  false);
-        for (const auto& rt : chunks)
-            if (rt.busy)
-                pu_active_scratch[static_cast<std::size_t>(rt.pu)]
-                    = true;
-        result.energyJoules
-            += (t1 - t0) * model.systemPowerW(pu_active_scratch);
-    });
-
-    auto stageNoise = [&](std::int64_t task, int stage) {
-        const std::uint64_t key = hashCombine(
-            hashCombine(soc.seed ^ config.noiseSalt,
-                        static_cast<std::uint64_t>(task)),
-            static_cast<std::uint64_t>(stage));
-        Rng rng(key);
-        return soc.noiseSigma > 0.0
-            ? rng.nextLogNormalFactor(soc.noiseSigma)
-            : 1.0;
-    };
-
-    auto startStage = [&](ChunkRuntime& rt, int stage) {
-        rt.curStage = stage;
-        rt.stageStart = engine.now();
-        if (config.runKernels) {
-            auto& task = *objects[static_cast<std::size_t>(rt.curToken)];
-            KernelCtx ctx{task, nullptr};
-            app.stage(stage).run(ctx, soc.pu(rt.pu).kind);
-        }
-        engine.startTask(static_cast<std::uint64_t>(rt.index),
-                         stageNoise(rt.curTask, stage));
-    };
-
-    // Forward declaration via std::function for mutual recursion.
-    std::function<void(int)> tryStart = [&](int c) {
-        auto& rt = chunks[static_cast<std::size_t>(c)];
-        if (rt.busy)
-            return;
-        auto& q = queues[static_cast<std::size_t>(c)];
-        if (q.empty())
-            return;
-        if (c == 0 && next_task >= config.numTasks)
-            return; // input stream exhausted
-        const int token = q.front();
-        q.pop_front();
-        rt.busy = true;
-        rt.curToken = token;
-        if (c == 0) {
-            const std::int64_t t = next_task++;
-            token_task[static_cast<std::size_t>(token)] = t;
-            inject_time[static_cast<std::size_t>(t)] = engine.now();
-            if (config.runKernels)
-                app.refreshTask(
-                    *objects[static_cast<std::size_t>(token)], t,
-                    soc.seed);
-        }
-        rt.curTask = token_task[static_cast<std::size_t>(token)];
-        startStage(rt, rt.firstStage);
-    };
-
-    engine.onComplete([&](sim::TaskId, std::uint64_t tag) {
-        auto& rt = chunks[static_cast<std::size_t>(tag)];
-        rt.busyAccum += engine.now() - rt.stageStart;
-        if (rt.curStage < rt.lastStage) {
-            startStage(rt, rt.curStage + 1);
-            return;
-        }
-        // Chunk finished: hand the token downstream (or recycle).
-        const int token = rt.curToken;
-        const std::int64_t task = rt.curTask;
-        rt.busy = false;
-        rt.curStage = -1;
-        rt.curToken = -1;
-        rt.curTask = -1;
-
-        if (rt.index + 1 < num_chunks) {
-            queues[static_cast<std::size_t>(rt.index + 1)].push_back(
-                token);
-            tryStart(rt.index + 1);
-        } else {
-            complete_time[static_cast<std::size_t>(task)] = engine.now();
-            if (config.runKernels
-                && result.validationErrors.size() < 8) {
-                const std::string err = app.validate(
-                    *objects[static_cast<std::size_t>(token)]);
-                if (!err.empty())
-                    result.validationErrors.push_back(
-                        "task " + std::to_string(task) + ": " + err);
-            }
-            queues[0].push_back(token);
-            tryStart(0);
-        }
-        tryStart(rt.index); // pull the next token into this chunk
-    });
-
-    // Prime the pipeline and run to completion.
-    tryStart(0);
-    engine.run();
-    BT_ASSERT(next_task == config.numTasks,
-              "pipeline stalled: only ", next_task, " of ",
-              config.numTasks, " tasks injected");
-
-    // --- metrics --------------------------------------------------------
-    result.makespanSeconds = engine.now();
-
-    const int n = config.numTasks;
-    const int w = std::min(config.warmupTasks, n - 1);
-    if (n - w >= 2) {
-        result.taskIntervalSeconds
-            = (complete_time[static_cast<std::size_t>(n - 1)]
-               - complete_time[static_cast<std::size_t>(w)])
-            / static_cast<double>(n - 1 - w);
-    } else {
-        result.taskIntervalSeconds
-            = result.makespanSeconds / static_cast<double>(n);
-    }
-
-    std::vector<double> latencies(static_cast<std::size_t>(n));
-    for (int t = 0; t < n; ++t)
-        latencies[static_cast<std::size_t>(t)]
-            = complete_time[static_cast<std::size_t>(t)]
-            - inject_time[static_cast<std::size_t>(t)];
-    result.meanLatencySeconds = mean(latencies);
-
-    result.chunkBusyFraction.resize(static_cast<std::size_t>(
-        num_chunks));
-    for (int c = 0; c < num_chunks; ++c)
-        result.chunkBusyFraction[static_cast<std::size_t>(c)]
-            = result.makespanSeconds > 0.0
-            ? chunks[static_cast<std::size_t>(c)].busyAccum
-                / result.makespanSeconds
-            : 0.0;
-    return result;
+    return backend.run(app, schedule, config);
 }
 
 } // namespace bt::core

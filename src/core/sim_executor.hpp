@@ -3,83 +3,28 @@
  * Simulated BT-Implementer: executes a pipeline schedule on a simulated
  * SoC in virtual time (DESIGN.md substitution table).
  *
- * The structure mirrors the real implementer of paper Sec. 3.4 - one
- * dispatcher per chunk, bounded queues passing TaskObjects, a recycled
- * multi-buffer pool - but dispatchers are event-driven state machines on
- * the discrete-event engine rather than host threads, and stage timing
- * comes from the interference-aware performance model evaluated against
- * the *instantaneous* set of co-running stages. Because that set varies
- * over the pipeline's execution (ramp-up, bubbles, chunk imbalance), the
- * measured latency deviates from any static prediction in exactly the
- * way real hardware does - which is what makes the Fig. 5/6 accuracy
- * experiments and the autotuning level meaningful.
- *
- * Optionally, every stage's kernel is also executed functionally on the
- * host so output correctness under any schedule can be validated.
+ * Thin policy over the unified runtime: the dispatcher core lives in
+ * runtime::PipelineSession and the DES time domain in
+ * runtime::VirtualTimeBackend; this class keeps the historical
+ * core-level entry point and type names. ExecutionResult is the unified
+ * runtime::RunResult, so a run's structured TraceTimeline rides along.
  */
 
 #ifndef BT_CORE_SIM_EXECUTOR_HPP
 #define BT_CORE_SIM_EXECUTOR_HPP
 
-#include <cstdint>
-#include <vector>
-
 #include "core/application.hpp"
 #include "core/schedule.hpp"
 #include "platform/perf_model.hpp"
+#include "runtime/virtual_backend.hpp"
 
 namespace bt::core {
 
-/** Execution knobs. */
-struct SimExecConfig
-{
-    /** Streaming inputs to process (the paper measures runs of 30). */
-    int numTasks = 30;
+/** Execution knobs (the unified runtime config). */
+using SimExecConfig = runtime::RunConfig;
 
-    /** TaskObjects in flight; 0 = one per chunk plus one. */
-    int numBuffers = 0;
-
-    /** Also run kernels functionally and validate outputs. */
-    bool runKernels = false;
-
-    /** Extra seed folded into measurement noise (0 = device seed). */
-    std::uint64_t noiseSalt = 0;
-
-    /** Warmup tasks excluded from the steady-state interval metric. */
-    int warmupTasks = 3;
-};
-
-/** Measured outcome of one pipeline execution. */
-struct ExecutionResult
-{
-    int tasks = 0;
-    double makespanSeconds = 0.0;     ///< first start to last finish
-    double taskIntervalSeconds = 0.0; ///< steady-state per-task interval
-    double meanLatencySeconds = 0.0;  ///< mean end-to-end task latency
-    double energyJoules = 0.0;        ///< integrated SoC energy
-    std::vector<double> chunkBusyFraction; ///< utilization per chunk
-    std::vector<std::string> validationErrors;
-
-    /** Average SoC power over the run (watts). */
-    double
-    averagePowerW() const
-    {
-        return makespanSeconds > 0.0 ? energyJoules / makespanSeconds
-                                     : 0.0;
-    }
-
-    /** Energy per streaming input (joules). */
-    double
-    energyPerTaskJ() const
-    {
-        return tasks > 0 ? energyJoules / tasks : 0.0;
-    }
-
-    /** The paper's headline metric: per-task latency in milliseconds. */
-    double latencyMs() const { return taskIntervalSeconds * 1e3; }
-
-    bool valid() const { return validationErrors.empty(); }
-};
+/** Measured outcome of one pipeline execution (unified result). */
+using ExecutionResult = runtime::RunResult;
 
 /** Virtual-time pipeline executor over one simulated device. */
 class SimExecutor
@@ -93,7 +38,7 @@ class SimExecutor
                             const Schedule& schedule) const;
 
   private:
-    const platform::PerfModel& model;
+    runtime::VirtualTimeBackend backend;
     SimExecConfig config;
 };
 

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Greedy dynamic-dispatch policy on the virtual time backend.
+ *
+ * The contrast case to static pipelining (paper Sec. 6): every
+ * (task, stage) is dispatched at runtime to the PU with the best
+ * predicted completion time, StarPU-style, paying a per-dispatch
+ * overhead. Runs on the same DES substrate, interference model, noise
+ * derivation, and energy meter as the static-pipeline policy, and
+ * reports the same RunResult with the same structured TraceTimeline -
+ * so static-vs-dynamic comparisons are apples to apples.
+ */
+
+#ifndef BT_RUNTIME_GREEDY_RUNTIME_HPP
+#define BT_RUNTIME_GREEDY_RUNTIME_HPP
+
+#include "core/application.hpp"
+#include "core/profiling_table.hpp"
+#include "platform/perf_model.hpp"
+#include "runtime/run_types.hpp"
+
+namespace bt::runtime {
+
+/** Knobs specific to the greedy policy. */
+struct GreedyParams
+{
+    int tasksInFlight = 0; ///< 0 = one per PU class plus one
+
+    /** Runtime cost charged per dispatch decision (queue locks, cost
+     *  model lookup, kernel argument marshalling). */
+    double dispatchOverheadUs = 50.0;
+};
+
+/**
+ * Greedy earliest-finish dynamic scheduling in virtual time. Uses
+ * @p table (normally the interference-aware profiling table) as its
+ * cost model when ranking PUs for a ready stage.
+ */
+class GreedyRuntime
+{
+  public:
+    GreedyRuntime(const platform::PerfModel& model,
+                  const core::ProfilingTable& table);
+
+    /** Execute @p app dynamically and measure it. */
+    RunResult run(const core::Application& app, const RunConfig& cfg,
+                  const GreedyParams& params) const;
+
+  private:
+    const platform::PerfModel& model_;
+    const core::ProfilingTable& table_;
+};
+
+} // namespace bt::runtime
+
+#endif // BT_RUNTIME_GREEDY_RUNTIME_HPP

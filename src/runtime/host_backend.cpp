@@ -1,0 +1,175 @@
+#include "runtime/host_backend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "runtime/pipeline_session.hpp"
+#include "sched/spsc_queue.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace bt::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Buffer id + enqueue timestamp travelling through the queues. */
+struct Token
+{
+    int token = -1;
+    double enqueuedAt = 0.0;
+};
+
+} // namespace
+
+HostTimeBackend::HostTimeBackend(const platform::SocDescription& soc)
+    : soc_(soc)
+{
+}
+
+RunResult
+HostTimeBackend::run(const core::Application& app,
+                     const core::Schedule& schedule,
+                     const RunConfig& cfg) const
+{
+    BT_ASSERT(cfg.queueCapacity > 0);
+
+    PipelineSession session(app, schedule, soc_, cfg, "host",
+                            /*functional=*/true);
+    const int num_chunks = session.numChunks();
+    const int num_buffers = session.numBuffers();
+    const std::size_t qcap = static_cast<std::size_t>(
+        std::max(cfg.queueCapacity, num_buffers));
+
+    // queues[c] feeds chunk c; the extra last queue recycles to chunk 0.
+    std::vector<std::unique_ptr<sched::SpscQueue<Token>>> queues;
+    for (int c = 0; c <= num_chunks; ++c)
+        queues.push_back(
+            std::make_unique<sched::SpscQueue<Token>>(qcap));
+    for (int b = 0; b < num_buffers; ++b)
+        BT_ASSERT(queues[0]->tryPush(Token{b, 0.0}),
+                  "free pool exceeds queue capacity");
+
+    std::atomic<bool> affinity_ok{true};
+    std::vector<double> busy(static_cast<std::size_t>(num_chunks),
+                             0.0);
+    // Which PU each chunk is executing on right now (-1 = idle), for
+    // the timeline's co-runner snapshots. Relaxed is fine: snapshots
+    // are advisory.
+    auto running = std::make_unique<std::atomic<int>[]>(
+        static_cast<std::size_t>(num_chunks));
+    for (int c = 0; c < num_chunks; ++c)
+        running[static_cast<std::size_t>(c)].store(
+            -1, std::memory_order_relaxed);
+
+    const auto t0 = Clock::now();
+
+    auto coRunnersOf = [&](int self) {
+        std::vector<int> pus;
+        for (int c = 0; c < num_chunks; ++c) {
+            if (c == self)
+                continue;
+            const int pu = running[static_cast<std::size_t>(c)].load(
+                std::memory_order_relaxed);
+            if (pu >= 0)
+                pus.push_back(pu);
+        }
+        return pus;
+    };
+
+    auto dispatcher = [&](int c) {
+        const ChunkSpec& ch = session.chunk(c);
+        const platform::PuModel& pu = soc_.pu(ch.pu);
+
+        // Per-chunk worker team bound to this PU's cores. GPU chunks get
+        // no team: kernels run through the SIMT layer on the dispatcher.
+        std::unique_ptr<sched::ThreadPool> team;
+        if (pu.kind == platform::PuKind::Cpu) {
+            team = std::make_unique<sched::ThreadPool>(pu.cores,
+                                                       pu.coreIds);
+            if (!pu.coreIds.empty() && !team->affinityApplied())
+                affinity_ok.store(false, std::memory_order_relaxed);
+        }
+
+        auto& in = *queues[static_cast<std::size_t>(c)];
+        auto& out = *queues[static_cast<std::size_t>(c + 1)];
+
+        for (int processed = 0; processed < cfg.numTasks;) {
+            auto token = in.tryPop();
+            if (!token) {
+                std::this_thread::yield();
+                continue;
+            }
+            const double popped = secondsSince(t0);
+            const double queue_wait = popped - token->enqueuedAt;
+            if (c == 0)
+                session.inject(token->token, popped);
+            const std::int64_t task = session.taskOf(token->token);
+
+            running[static_cast<std::size_t>(c)].store(
+                ch.pu, std::memory_order_relaxed);
+            for (int s = ch.firstStage; s <= ch.lastStage; ++s) {
+                const double start = secondsSince(t0);
+                const std::vector<int> co = coRunnersOf(c);
+                session.runStage(c, s, token->token, team.get());
+                const double end = secondsSince(t0);
+                session.recordEvent(TraceEvent{
+                    task, s, c, ch.pu,
+                    s == ch.firstStage ? queue_wait : 0.0, start, end,
+                    co});
+            }
+            running[static_cast<std::size_t>(c)].store(
+                -1, std::memory_order_relaxed);
+            const double done = secondsSince(t0);
+            busy[static_cast<std::size_t>(c)] += done - popped;
+
+            if (c == num_chunks - 1)
+                session.complete(token->token, done);
+            token->enqueuedAt = done;
+            while (!out.tryPush(*token))
+                std::this_thread::yield();
+            ++processed;
+        }
+    };
+
+    // Recycler: moves finished tokens from the last queue back to the
+    // front queue (keeps every queue strictly SPSC).
+    std::thread recycler([&] {
+        auto& from = *queues[static_cast<std::size_t>(num_chunks)];
+        auto& to = *queues[0];
+        for (int moved = 0; moved < cfg.numTasks;) {
+            auto token = from.tryPop();
+            if (!token) {
+                std::this_thread::yield();
+                continue;
+            }
+            while (!to.tryPush(*token))
+                std::this_thread::yield();
+            ++moved;
+        }
+    });
+
+    std::vector<std::thread> dispatchers;
+    dispatchers.reserve(static_cast<std::size_t>(num_chunks));
+    for (int c = 0; c < num_chunks; ++c)
+        dispatchers.emplace_back(dispatcher, c);
+    for (auto& t : dispatchers)
+        t.join();
+    recycler.join();
+
+    return session.finish(
+        secondsSince(t0), busy,
+        affinity_ok.load(std::memory_order_relaxed));
+}
+
+} // namespace bt::runtime

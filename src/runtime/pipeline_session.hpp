@@ -1,0 +1,143 @@
+/**
+ * @file
+ * PipelineSession: the BT-Implementer's dispatcher core, owned once.
+ *
+ * Paper Sec. 3.4 describes one runtime - a dispatcher per chunk popping
+ * TaskObjects from a bounded queue, running its contiguous stages, and
+ * handing the token downstream, with a recycled multi-buffer pool
+ * closing the loop. This class holds every piece of that machinery that
+ * is independent of *how time passes*: chunk geometry, the TaskObject
+ * pool, token -> task binding, injection/refresh at the head chunk,
+ * completion/validation at the tail chunk, trace recording, and the
+ * shared result accounting. Time backends (virtual DES or real host
+ * threads) drive it from their own time domain and contribute only the
+ * domain-specific parts: how a queue hand-off waits and how long a
+ * stage takes.
+ *
+ * Threading contract: inject() is called only by the head dispatcher,
+ * complete() only by the tail dispatcher, runStage() by the owning
+ * chunk's dispatcher; recordEvent() may be called from any dispatcher
+ * and is internally synchronized.
+ */
+
+#ifndef BT_RUNTIME_PIPELINE_SESSION_HPP
+#define BT_RUNTIME_PIPELINE_SESSION_HPP
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/schedule.hpp"
+#include "platform/soc.hpp"
+#include "runtime/run_types.hpp"
+
+namespace bt::runtime {
+
+/** One chunk of the static schedule, as the dispatchers see it. */
+struct ChunkSpec
+{
+    int index = 0;
+    int firstStage = 0; ///< inclusive
+    int lastStage = 0;  ///< inclusive
+    int pu = 0;         ///< PU class executing this chunk
+};
+
+/** Shared dispatcher state for one static-schedule pipeline run. */
+class PipelineSession
+{
+  public:
+    /**
+     * @param functional whether TaskObjects exist and stage kernels
+     *        actually run (host backend: always; virtual backend: the
+     *        runKernels knob).
+     */
+    PipelineSession(const core::Application& app,
+                    const core::Schedule& schedule,
+                    const platform::SocDescription& soc,
+                    const RunConfig& cfg, std::string backend_name,
+                    bool functional);
+
+    int numChunks() const { return static_cast<int>(chunks_.size()); }
+    int numBuffers() const { return numBuffers_; }
+    const ChunkSpec&
+    chunk(int c) const
+    {
+        return chunks_[static_cast<std::size_t>(c)];
+    }
+    const RunConfig& config() const { return cfg_; }
+    bool functional() const { return functional_; }
+
+    /** Whether every task has already been injected at the head. */
+    bool exhausted() const { return nextTask_ >= cfg_.numTasks; }
+    int tasksInjected() const { return static_cast<int>(nextTask_); }
+
+    /**
+     * Head-chunk acquisition: bind @p token to the next streaming input,
+     * record its injection time, and (functional runs) refresh the
+     * recycled TaskObject for the new index. Pre: !exhausted().
+     * @return the task index now carried by the token.
+     */
+    std::int64_t inject(int token, double now);
+
+    /** Task index currently carried by @p token. */
+    std::int64_t
+    taskOf(int token) const
+    {
+        return tokenTask_[static_cast<std::size_t>(token)];
+    }
+
+    /** Run one stage's kernel on @p token (functional runs only). */
+    void runStage(int chunk_index, int stage, int token,
+                  sched::ThreadPool* team) const;
+
+    /**
+     * Tail-chunk completion: record the completion time of the task
+     * carried by @p token and validate its outputs (functional runs,
+     * bounded error collection).
+     */
+    void complete(int token, double now);
+
+    /** Append a stage execution to the timeline (thread-safe). */
+    void recordEvent(TraceEvent event);
+
+    /**
+     * Assemble the unified RunResult: makespan, steady-state interval,
+     * latencies, per-chunk utilization, validation errors, and the
+     * recorded timeline.
+     */
+    RunResult finish(double makespan_seconds,
+                     std::span<const double> chunk_busy_seconds,
+                     bool affinity_applied);
+
+  private:
+    const core::Application& app_;
+    const platform::SocDescription& soc_;
+    RunConfig cfg_;
+    bool functional_;
+
+    std::vector<ChunkSpec> chunks_;
+    int numBuffers_;
+
+    /** Recycled multi-buffer pool (empty when not functional). */
+    std::vector<std::unique_ptr<core::TaskObject>> pool_;
+
+    std::vector<std::int64_t> tokenTask_;
+    std::int64_t nextTask_ = 0;
+    std::vector<double> injectTime_;
+    std::vector<double> completeTime_;
+    std::vector<std::string> validationErrors_;
+
+    TraceTimeline trace_;
+    std::mutex traceMutex_;
+};
+
+/** PU and stage name lists for timeline construction. */
+std::vector<std::string> puNames(const platform::SocDescription& soc);
+std::vector<std::string> stageNames(const core::Application& app);
+
+} // namespace bt::runtime
+
+#endif // BT_RUNTIME_PIPELINE_SESSION_HPP

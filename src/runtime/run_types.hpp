@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The unified runtime's configuration and result types.
+ *
+ * Every BT-Implementer execution - virtual-time (DES), host threads, or
+ * the greedy dynamic baseline - is configured by one RunConfig and
+ * reports one RunResult, so results from different backends are
+ * directly comparable (the isolated-vs-pipelined comparisons of the
+ * paper's Fig. 5/6 hinge on exactly this). RunResult merges what used
+ * to be two divergent structs (ExecutionResult / NativeResult) and
+ * always carries the structured TraceTimeline of what actually ran.
+ */
+
+#ifndef BT_RUNTIME_RUN_TYPES_HPP
+#define BT_RUNTIME_RUN_TYPES_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/trace.hpp"
+
+namespace bt::runtime {
+
+/** Execution knobs common to every pipeline backend. */
+struct RunConfig
+{
+    /** Streaming inputs to process (the paper measures runs of 30). */
+    int numTasks = 30;
+
+    /** TaskObjects in flight; 0 = one per chunk plus one. */
+    int numBuffers = 0;
+
+    /** Virtual backends: also run kernels functionally. (The host
+     *  backend always executes kernels - it has no other notion of
+     *  running a stage.) */
+    bool runKernels = false;
+
+    /** Validate outputs per task when kernels run. */
+    bool validate = true;
+
+    /** Extra seed folded into measurement noise (0 = device seed). */
+    std::uint64_t noiseSalt = 0;
+
+    /** Warmup tasks excluded from the steady-state interval metric. */
+    int warmupTasks = 3;
+
+    /** Host backend: bounded SPSC queue capacity (raised to the buffer
+     *  count when smaller, so the free pool always fits). */
+    int queueCapacity = 4;
+
+    /** Record the TraceTimeline of the run. */
+    bool recordTrace = true;
+
+    /**
+     * The paper's "one TaskObject per chunk plus one" multi-buffering
+     * default: @p requested buffers, or slots + 1 when requested <= 0.
+     */
+    static int resolveBuffers(int requested, int slots);
+
+    /** resolveBuffers applied to this config's numBuffers. */
+    int resolveBuffers(int num_chunks) const;
+};
+
+/** Measured outcome of one pipeline execution, any backend. */
+struct RunResult
+{
+    int tasks = 0;
+    double makespanSeconds = 0.0;     ///< first start to last finish
+    double taskIntervalSeconds = 0.0; ///< steady-state per-task interval
+    double meanLatencySeconds = 0.0;  ///< mean end-to-end task latency
+    double energyJoules = 0.0;        ///< integrated SoC energy (virtual)
+    std::vector<double> chunkBusyFraction; ///< utilization per dispatcher
+    std::vector<std::string> validationErrors;
+    bool affinityApplied = true; ///< all chunk teams pinned successfully
+
+    /** What actually ran when (empty if recording was disabled). */
+    TraceTimeline trace;
+
+    /** Average SoC power over the run (watts). */
+    double
+    averagePowerW() const
+    {
+        return makespanSeconds > 0.0 ? energyJoules / makespanSeconds
+                                     : 0.0;
+    }
+
+    /** Energy per streaming input (joules). */
+    double
+    energyPerTaskJ() const
+    {
+        return tasks > 0 ? energyJoules / tasks : 0.0;
+    }
+
+    /** The paper's headline metric: per-task latency in milliseconds. */
+    double latencyMs() const { return taskIntervalSeconds * 1e3; }
+
+    bool valid() const { return validationErrors.empty(); }
+};
+
+/**
+ * Shared accounting: steady-state interval over the post-warmup
+ * completion stream (sorted first when the backend completes tasks out
+ * of order), mean end-to-end latency, and per-dispatcher busy
+ * fractions. Used identically by every backend.
+ */
+void finalizeTiming(RunResult& result,
+                    std::span<const double> inject_time,
+                    std::span<const double> complete_time,
+                    int warmup_tasks, bool sort_completions);
+
+/** Fill chunkBusyFraction = busy / makespan per dispatcher. */
+void finalizeBusyFractions(RunResult& result,
+                           std::span<const double> busy_seconds);
+
+} // namespace bt::runtime
+
+#endif // BT_RUNTIME_RUN_TYPES_HPP

@@ -1,0 +1,206 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace bt::runtime {
+
+namespace {
+
+/** Minimal JSON string escaping (names are plain identifiers). */
+std::string
+escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+double
+TraceStats::coResidency(int a, int b) const
+{
+    const int n = static_cast<int>(perPu.size());
+    BT_ASSERT(a >= 0 && a < n && b >= 0 && b < n);
+    return coResidencySeconds[static_cast<std::size_t>(a * n + b)];
+}
+
+TraceTimeline::TraceTimeline(std::string backend, int num_pus,
+                             std::vector<std::string> pu_names,
+                             std::vector<std::string> stage_names)
+    : backend_(std::move(backend)), numPus_(num_pus),
+      puNames_(std::move(pu_names)), stageNames_(std::move(stage_names))
+{
+    BT_ASSERT(numPus_ > 0);
+}
+
+void
+TraceTimeline::record(TraceEvent event)
+{
+    events_.push_back(std::move(event));
+}
+
+void
+TraceTimeline::sortByStart()
+{
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.startSeconds < b.startSeconds;
+                     });
+}
+
+TraceStats
+TraceTimeline::stats() const
+{
+    TraceStats st;
+    st.events = static_cast<int>(events_.size());
+    st.perPu.resize(static_cast<std::size_t>(numPus_));
+    st.coResidencySeconds.assign(
+        static_cast<std::size_t>(numPus_ * numPus_), 0.0);
+    if (events_.empty())
+        return st;
+
+    double interfered = 0.0;
+    double wait = 0.0;
+    for (const auto& e : events_) {
+        BT_ASSERT(e.pu >= 0 && e.pu < numPus_, "event with bad PU");
+        const double d = e.durationSeconds();
+        st.makespanSeconds = std::max(st.makespanSeconds, e.endSeconds);
+        st.busySeconds += d;
+        auto& pu = st.perPu[static_cast<std::size_t>(e.pu)];
+        pu.busySeconds += d;
+        pu.events += 1;
+        if (!e.coRunners.empty())
+            interfered += d;
+        wait += e.queueWaitSeconds;
+    }
+    st.interferedFraction
+        = st.busySeconds > 0.0 ? interfered / st.busySeconds : 0.0;
+    st.meanQueueWaitSeconds = wait / static_cast<double>(events_.size());
+
+    int used_pus = 0;
+    for (auto& pu : st.perPu) {
+        if (pu.events == 0)
+            continue;
+        ++used_pus;
+        pu.occupancy = st.makespanSeconds > 0.0
+            ? pu.busySeconds / st.makespanSeconds
+            : 0.0;
+        st.bubbleSeconds += st.makespanSeconds - pu.busySeconds;
+    }
+    st.bubbleFraction = used_pus > 0 && st.makespanSeconds > 0.0
+        ? st.bubbleSeconds / (used_pus * st.makespanSeconds)
+        : 0.0;
+
+    // Co-residency: sweep the event boundaries; between consecutive
+    // boundaries the busy set is constant.
+    std::vector<double> bounds;
+    bounds.reserve(events_.size() * 2);
+    for (const auto& e : events_) {
+        bounds.push_back(e.startSeconds);
+        bounds.push_back(e.endSeconds);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()),
+                 bounds.end());
+    std::vector<double> pu_busy(static_cast<std::size_t>(numPus_));
+    for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+        const double t0 = bounds[i];
+        const double t1 = bounds[i + 1];
+        std::fill(pu_busy.begin(), pu_busy.end(), 0.0);
+        for (const auto& e : events_)
+            if (e.startSeconds <= t0 && e.endSeconds >= t1)
+                pu_busy[static_cast<std::size_t>(e.pu)] = 1.0;
+        for (int a = 0; a < numPus_; ++a) {
+            if (pu_busy[static_cast<std::size_t>(a)] == 0.0)
+                continue;
+            for (int b = 0; b < numPus_; ++b)
+                if (pu_busy[static_cast<std::size_t>(b)] > 0.0)
+                    st.coResidencySeconds[static_cast<std::size_t>(
+                        a * numPus_ + b)]
+                        += t1 - t0;
+        }
+    }
+    return st;
+}
+
+void
+TraceTimeline::writeChromeJson(std::ostream& os) const
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"backend\":\""
+       << escape(backend_) << "\",\"numPus\":" << numPus_
+       << ",\"events\":" << events_.size() << "},\"traceEvents\":[";
+
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+    };
+
+    // Name one chrome "thread" per PU class.
+    for (int p = 0; p < numPus_; ++p) {
+        sep();
+        const std::string name
+            = p < static_cast<int>(puNames_.size())
+            ? puNames_[static_cast<std::size_t>(p)]
+            : "pu" + std::to_string(p);
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+           << "\"tid\":" << p << ",\"args\":{\"name\":\""
+           << escape(name) << "\"}}";
+    }
+
+    os.precision(17);
+    for (const auto& e : events_) {
+        sep();
+        const std::string name
+            = e.stage >= 0
+                && e.stage < static_cast<int>(stageNames_.size())
+            ? stageNames_[static_cast<std::size_t>(e.stage)]
+            : "stage" + std::to_string(e.stage);
+        os << "{\"name\":\"" << escape(name)
+           << "\",\"cat\":\"stage\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+           << e.pu << ",\"ts\":" << e.startSeconds * 1e6
+           << ",\"dur\":" << e.durationSeconds() * 1e6
+           << ",\"args\":{\"task\":" << e.task
+           << ",\"stage\":" << e.stage << ",\"chunk\":" << e.chunk
+           << ",\"queue_wait_us\":" << e.queueWaitSeconds * 1e6
+           << ",\"co_runners\":[";
+        for (std::size_t i = 0; i < e.coRunners.size(); ++i) {
+            if (i > 0)
+                os << ",";
+            os << e.coRunners[i];
+        }
+        os << "]}}";
+    }
+    os << "]}";
+}
+
+std::string
+TraceTimeline::chromeJson() const
+{
+    std::ostringstream os;
+    writeChromeJson(os);
+    return os.str();
+}
+
+} // namespace bt::runtime

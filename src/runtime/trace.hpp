@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Structured trace timeline for pipeline executions (paper Sec. 3.4's
+ * BT-Implementer, made observable).
+ *
+ * Every backend of the unified runtime records one TraceEvent per stage
+ * execution: which task, stage, chunk and PU ran, how long the token
+ * waited in front of the dispatcher, when the stage started and ended
+ * in the backend's own time domain (virtual seconds for the DES, wall
+ * seconds for the host), and which other PUs were busy at the moment it
+ * started (the instantaneous co-runner set the interference model - and
+ * D-Shim-style contention analyses - care about).
+ *
+ * The timeline exports to the Chrome chrome://tracing JSON format and
+ * derives occupancy / pipeline-bubble / interference statistics plus a
+ * PU x PU co-residency matrix.
+ */
+
+#ifndef BT_RUNTIME_TRACE_HPP
+#define BT_RUNTIME_TRACE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bt::runtime {
+
+/** One stage execution on one PU. */
+struct TraceEvent
+{
+    std::int64_t task = -1; ///< streaming input index
+    int stage = -1;         ///< stage index within the application
+    int chunk = -1;         ///< dispatcher index (= PU for greedy runs)
+    int pu = -1;            ///< PU class that executed the stage
+
+    /** Ready/enqueue to start: time the token waited for this chunk. */
+    double queueWaitSeconds = 0.0;
+    double startSeconds = 0.0;
+    double endSeconds = 0.0;
+
+    /** Other PUs busy when this execution started. */
+    std::vector<int> coRunners;
+
+    double durationSeconds() const { return endSeconds - startSeconds; }
+};
+
+/** Per-PU aggregate over a timeline. */
+struct PuTraceStats
+{
+    double busySeconds = 0.0;
+    double occupancy = 0.0; ///< busySeconds / makespan
+    int events = 0;
+};
+
+/** Derived whole-timeline statistics. */
+struct TraceStats
+{
+    double makespanSeconds = 0.0; ///< latest event end
+    double busySeconds = 0.0;     ///< total stage-execution time
+    int events = 0;
+
+    /** Idle time on PUs that executed at least one stage. */
+    double bubbleSeconds = 0.0;
+    /** bubbleSeconds / (used PUs * makespan); 0 = perfectly packed. */
+    double bubbleFraction = 0.0;
+
+    /** Fraction of busy time that started with >= 1 co-runner. */
+    double interferedFraction = 0.0;
+
+    double meanQueueWaitSeconds = 0.0;
+
+    std::vector<PuTraceStats> perPu;
+
+    /**
+     * Seconds PU a and PU b were simultaneously busy, row-major
+     * (numPus * numPus); the diagonal holds each PU's busy time.
+     */
+    std::vector<double> coResidencySeconds;
+
+    double coResidency(int a, int b) const;
+};
+
+/** Ordered record of every stage execution in one pipeline run. */
+class TraceTimeline
+{
+  public:
+    TraceTimeline() = default;
+    TraceTimeline(std::string backend, int num_pus,
+                  std::vector<std::string> pu_names,
+                  std::vector<std::string> stage_names);
+
+    /** Backend that produced the timeline ("virtual" or "host"). */
+    const std::string& backend() const { return backend_; }
+
+    int numPus() const { return numPus_; }
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+    const std::vector<TraceEvent>& events() const { return events_; }
+
+    /** Append one stage execution (callers serialize access). */
+    void record(TraceEvent event);
+
+    /** Order events by start time (host backends record concurrently). */
+    void sortByStart();
+
+    /** Derive occupancy / bubble / interference statistics. */
+    TraceStats stats() const;
+
+    /**
+     * Write the timeline as a Chrome trace-event JSON object
+     * (chrome://tracing / Perfetto "JSON Array Format" with metadata).
+     * Times are exported in microseconds, one row per PU.
+     */
+    void writeChromeJson(std::ostream& os) const;
+
+    /** writeChromeJson into a string. */
+    std::string chromeJson() const;
+
+  private:
+    std::string backend_ = "none";
+    int numPus_ = 0;
+    std::vector<std::string> puNames_;
+    std::vector<std::string> stageNames_;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace bt::runtime
+
+#endif // BT_RUNTIME_TRACE_HPP

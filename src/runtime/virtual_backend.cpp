@@ -1,0 +1,220 @@
+#include "runtime/virtual_backend.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "runtime/pipeline_session.hpp"
+#include "sim/engine.hpp"
+
+namespace bt::runtime {
+
+namespace {
+
+/** Event-driven dispatcher state for one chunk. */
+struct ChunkRuntime
+{
+    bool busy = false;
+    int curStage = -1;      ///< stage currently "executing"
+    int curToken = -1;      ///< buffer id being processed
+    std::int64_t curTask = -1;
+    double stageStart = 0.0;
+    double busyAccum = 0.0;
+    TraceEvent pending;     ///< stage execution being recorded
+};
+
+} // namespace
+
+EnergyMeter::EnergyMeter(
+    const platform::PerfModel& model,
+    std::function<void(std::vector<bool>&)> fill_active)
+    : model_(model), fillActive_(std::move(fill_active)),
+      scratch_(static_cast<std::size_t>(model.soc().numPus()), false)
+{
+}
+
+void
+EnergyMeter::attach(sim::Engine& engine)
+{
+    engine.onAdvance([this](double t0, double t1) {
+        std::fill(scratch_.begin(), scratch_.end(), false);
+        fillActive_(scratch_);
+        joules_ += (t1 - t0) * model_.systemPowerW(scratch_);
+    });
+}
+
+VirtualTimeBackend::VirtualTimeBackend(const platform::PerfModel& model)
+    : model_(model)
+{
+}
+
+double
+VirtualTimeBackend::noiseFactor(const platform::SocDescription& soc,
+                                std::uint64_t salt,
+                                std::uint64_t domain, std::int64_t task,
+                                int stage)
+{
+    const std::uint64_t key = hashCombine(
+        hashCombine(soc.seed ^ salt ^ domain,
+                    static_cast<std::uint64_t>(task)),
+        static_cast<std::uint64_t>(stage));
+    Rng rng(key);
+    return soc.noiseSigma > 0.0
+        ? rng.nextLogNormalFactor(soc.noiseSigma)
+        : 1.0;
+}
+
+RunResult
+VirtualTimeBackend::run(const core::Application& app,
+                        const core::Schedule& schedule,
+                        const RunConfig& cfg) const
+{
+    const auto& soc = model_.soc();
+    PipelineSession session(app, schedule, soc, cfg, "virtual",
+                            cfg.runKernels);
+
+    const int num_chunks = session.numChunks();
+    const int num_buffers = session.numBuffers();
+
+    // --- dispatcher state ---------------------------------------------
+    std::vector<ChunkRuntime> chunks(
+        static_cast<std::size_t>(num_chunks));
+
+    // queues[c] feeds chunk c; the last queue recycles into queue 0.
+    std::vector<std::deque<int>> queues(
+        static_cast<std::size_t>(num_chunks));
+    // enqueueTime[c][token]: when the token entered queue c (for the
+    // timeline's queue-wait attribution).
+    std::vector<std::vector<double>> enqueue_time(
+        static_cast<std::size_t>(num_chunks),
+        std::vector<double>(static_cast<std::size_t>(num_buffers),
+                            0.0));
+    for (int b = 0; b < num_buffers; ++b)
+        queues[0].push_back(b);
+
+    // --- virtual-time engine ------------------------------------------
+    // Tag = chunk index; each chunk executes at most one stage at a time,
+    // so the chunk's runtime state identifies the running stage.
+    sim::Engine engine([&](std::span<const sim::ActiveTask> active,
+                           std::span<double> rates) {
+        std::vector<platform::Load> loads(active.size());
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            const auto& rt = chunks[static_cast<std::size_t>(
+                active[i].tag)];
+            BT_ASSERT(rt.busy && rt.curStage >= 0,
+                      "active task on idle chunk");
+            loads[i] = platform::Load{
+                &app.stage(rt.curStage).work(),
+                session.chunk(static_cast<int>(active[i].tag)).pu};
+        }
+        for (std::size_t i = 0; i < active.size(); ++i)
+            rates[i] = 1.0 / model_.timeOf(i, loads);
+    });
+
+    EnergyMeter meter(model_, [&](std::vector<bool>& active) {
+        for (int c = 0; c < num_chunks; ++c)
+            if (chunks[static_cast<std::size_t>(c)].busy)
+                active[static_cast<std::size_t>(session.chunk(c).pu)]
+                    = true;
+    });
+    meter.attach(engine);
+
+    auto coRunnersOf = [&](int self) {
+        std::vector<int> pus;
+        for (int c = 0; c < num_chunks; ++c)
+            if (c != self && chunks[static_cast<std::size_t>(c)].busy)
+                pus.push_back(session.chunk(c).pu);
+        return pus;
+    };
+
+    auto startStage = [&](int c, int stage, double queue_wait) {
+        auto& rt = chunks[static_cast<std::size_t>(c)];
+        rt.curStage = stage;
+        rt.stageStart = engine.now();
+        rt.pending = TraceEvent{rt.curTask,
+                                stage,
+                                c,
+                                session.chunk(c).pu,
+                                queue_wait,
+                                engine.now(),
+                                0.0,
+                                coRunnersOf(c)};
+        session.runStage(c, stage, rt.curToken, nullptr);
+        engine.startTask(static_cast<std::uint64_t>(c),
+                         noiseFactor(soc, cfg.noiseSalt, 0, rt.curTask,
+                                     stage));
+    };
+
+    // Forward declaration via std::function for mutual recursion.
+    std::function<void(int)> tryStart = [&](int c) {
+        auto& rt = chunks[static_cast<std::size_t>(c)];
+        if (rt.busy)
+            return;
+        auto& q = queues[static_cast<std::size_t>(c)];
+        if (q.empty())
+            return;
+        if (c == 0 && session.exhausted())
+            return; // input stream exhausted
+        const int token = q.front();
+        q.pop_front();
+        rt.busy = true;
+        rt.curToken = token;
+        if (c == 0)
+            session.inject(token, engine.now());
+        rt.curTask = session.taskOf(token);
+        startStage(c, session.chunk(c).firstStage,
+                   engine.now()
+                       - enqueue_time[static_cast<std::size_t>(c)]
+                                     [static_cast<std::size_t>(token)]);
+    };
+
+    engine.onComplete([&](sim::TaskId, std::uint64_t tag) {
+        const int c = static_cast<int>(tag);
+        auto& rt = chunks[static_cast<std::size_t>(c)];
+        rt.busyAccum += engine.now() - rt.stageStart;
+        rt.pending.endSeconds = engine.now();
+        session.recordEvent(rt.pending);
+        if (rt.curStage < session.chunk(c).lastStage) {
+            startStage(c, rt.curStage + 1, 0.0);
+            return;
+        }
+        // Chunk finished: hand the token downstream (or recycle).
+        const int token = rt.curToken;
+        rt.busy = false;
+        rt.curStage = -1;
+        rt.curToken = -1;
+        rt.curTask = -1;
+
+        if (c + 1 < num_chunks) {
+            enqueue_time[static_cast<std::size_t>(c + 1)]
+                        [static_cast<std::size_t>(token)]
+                = engine.now();
+            queues[static_cast<std::size_t>(c + 1)].push_back(token);
+            tryStart(c + 1);
+        } else {
+            session.complete(token, engine.now());
+            enqueue_time[0][static_cast<std::size_t>(token)]
+                = engine.now();
+            queues[0].push_back(token);
+            tryStart(0);
+        }
+        tryStart(c); // pull the next token into this chunk
+    });
+
+    // Prime the pipeline and run to completion.
+    tryStart(0);
+    engine.run();
+
+    std::vector<double> busy(static_cast<std::size_t>(num_chunks));
+    for (int c = 0; c < num_chunks; ++c)
+        busy[static_cast<std::size_t>(c)]
+            = chunks[static_cast<std::size_t>(c)].busyAccum;
+
+    RunResult result = session.finish(engine.now(), busy,
+                                      /*affinity_applied=*/true);
+    result.energyJoules = meter.joules();
+    return result;
+}
+
+} // namespace bt::runtime

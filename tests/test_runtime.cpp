@@ -1,0 +1,592 @@
+/**
+ * @file
+ * Tests for the unified pipeline runtime: the shared buffer-resolution
+ * rule, the structured TraceTimeline (derived statistics and the Chrome
+ * trace-event JSON export, round-tripped through a real JSON parser),
+ * cross-backend output equivalence (virtual DES vs host threads) over
+ * every enumerable schedule of a small application, deterministic noise
+ * plumbing, and the trace carried by the end-to-end flow report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "apps/octree_app.hpp"
+#include "core/dynamic_executor.hpp"
+#include "core/native_executor.hpp"
+#include "core/pipeline.hpp"
+#include "core/profiler.hpp"
+#include "core/sim_executor.hpp"
+#include "platform/devices.hpp"
+#include "runtime/run_types.hpp"
+#include "runtime/trace.hpp"
+
+namespace bt::core {
+namespace {
+
+// ---------------------------------------------------------------------
+// S1: the "0 = one per chunk plus one" multi-buffering default.
+
+TEST(RunConfig, ResolveBuffersDefaultsToSlotsPlusOne)
+{
+    EXPECT_EQ(runtime::RunConfig::resolveBuffers(0, 1), 2);
+    EXPECT_EQ(runtime::RunConfig::resolveBuffers(0, 4), 5);
+    EXPECT_EQ(runtime::RunConfig::resolveBuffers(-3, 2), 3);
+    EXPECT_EQ(runtime::RunConfig::resolveBuffers(7, 4), 7);
+
+    runtime::RunConfig cfg;
+    EXPECT_EQ(cfg.resolveBuffers(3), 4);
+    cfg.numBuffers = 2;
+    EXPECT_EQ(cfg.resolveBuffers(3), 2);
+}
+
+TEST(RunTypes, LegacyResultTypesAreTheUnifiedResult)
+{
+    static_assert(std::is_same_v<ExecutionResult, runtime::RunResult>);
+    static_assert(std::is_same_v<NativeResult, runtime::RunResult>);
+    static_assert(std::is_same_v<SimExecConfig, runtime::RunConfig>);
+    static_assert(std::is_same_v<NativeExecConfig, runtime::RunConfig>);
+    static_assert(
+        std::is_base_of_v<runtime::RunConfig, DynamicExecConfig>);
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------------
+// TraceTimeline statistics on a hand-built timeline.
+
+TEST(TraceTimeline, StatsOnHandBuiltTimeline)
+{
+    runtime::TraceTimeline tl("test", 2, {"cpu", "gpu"}, {"a", "b"});
+    // PU0 busy [0,1) and [2,3); PU1 busy [0.5,2.5).
+    tl.record({0, 0, 0, 0, 0.0, 0.0, 1.0, {}});
+    tl.record({0, 1, 1, 1, 0.1, 0.5, 2.5, {0}});
+    tl.record({1, 0, 0, 0, 0.3, 2.0, 3.0, {1}});
+    tl.sortByStart();
+
+    const auto st = tl.stats();
+    EXPECT_EQ(st.events, 3);
+    EXPECT_DOUBLE_EQ(st.makespanSeconds, 3.0);
+    EXPECT_DOUBLE_EQ(st.busySeconds, 4.0);
+    EXPECT_DOUBLE_EQ(st.perPu[0].busySeconds, 2.0);
+    EXPECT_DOUBLE_EQ(st.perPu[1].busySeconds, 2.0);
+    EXPECT_DOUBLE_EQ(st.perPu[0].occupancy, 2.0 / 3.0);
+    // Bubble: each used PU idles 1s of the 3s makespan.
+    EXPECT_DOUBLE_EQ(st.bubbleSeconds, 2.0);
+    EXPECT_DOUBLE_EQ(st.bubbleFraction, 2.0 / 6.0);
+    // 3s of the 4s busy time started with a co-runner.
+    EXPECT_DOUBLE_EQ(st.interferedFraction, 3.0 / 4.0);
+    EXPECT_NEAR(st.meanQueueWaitSeconds, 0.4 / 3.0, 1e-12);
+    // Overlap windows: [0.5,1) and [2,2.5) -> 1s of co-residency.
+    EXPECT_DOUBLE_EQ(st.coResidency(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(st.coResidency(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(st.coResidency(0, 0), 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON parser: just enough to genuinely parse
+// the Chrome trace export (objects, arrays, strings, numbers, bools).
+
+class MiniJson
+{
+  public:
+    explicit MiniJson(const std::string& text) : s_(text) {}
+
+    /** Parse one full JSON value; false on any syntax error. */
+    bool
+    parse()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        ws();
+        return pos_ == s_.size();
+    }
+
+    int objects() const { return objects_; }
+    int arrays() const { return arrays_; }
+
+    /** Occurrences of string @p key used as an object key. */
+    int
+    keyCount(const std::string& key) const
+    {
+        const auto it = keys_.find(key);
+        return it == keys_.end() ? 0 : it->second;
+    }
+
+  private:
+    void
+    ws()
+    {
+        while (pos_ < s_.size()
+               && std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    lit(const char* word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string(std::string* out)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return false;
+        ++pos_;
+        std::string val;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+            }
+            val += s_[pos_++];
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        if (out)
+            *out = val;
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < s_.size()
+               && (std::isdigit(static_cast<unsigned char>(s_[pos_]))
+                   || s_[pos_] == '.' || s_[pos_] == 'e'
+                   || s_[pos_] == 'E' || s_[pos_] == '-'
+                   || s_[pos_] == '+')) {
+            if (std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                digits = true;
+            ++pos_;
+        }
+        return digits && pos_ > start;
+    }
+
+    bool
+    value()
+    {
+        ws();
+        if (pos_ >= s_.size())
+            return false;
+        const char c = s_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string(nullptr);
+        if (c == 't')
+            return lit("true");
+        if (c == 'f')
+            return lit("false");
+        if (c == 'n')
+            return lit("null");
+        return number();
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        ++objects_;
+        ws();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            ws();
+            std::string key;
+            if (!string(&key))
+                return false;
+            ++keys_[key];
+            ws();
+            if (pos_ >= s_.size() || s_[pos_++] != ':')
+                return false;
+            if (!value())
+                return false;
+            ws();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        ++arrays_;
+        ws();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            ws();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+    int objects_ = 0;
+    int arrays_ = 0;
+    std::map<std::string, int> keys_;
+};
+
+TEST(TraceTimeline, ChromeJsonRoundTripsThroughParser)
+{
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto app = apps::octreeApp();
+
+    SimExecConfig cfg;
+    cfg.numTasks = 6;
+    const SimExecutor exec(model, cfg);
+    const auto run = exec.execute(
+        app, Schedule::fromAssignment({0, 1, 1, 3, 3, 3, 2}));
+
+    ASSERT_FALSE(run.trace.empty());
+    const std::string json = run.trace.chromeJson();
+    MiniJson parsed(json);
+    ASSERT_TRUE(parsed.parse()) << json.substr(0, 200);
+
+    // One metadata object per PU, one "X" object per stage execution,
+    // plus the root and the per-event args objects.
+    EXPECT_EQ(parsed.keyCount("ph"),
+              soc.numPus() + static_cast<int>(run.trace.size()));
+    EXPECT_EQ(parsed.keyCount("dur"),
+              static_cast<int>(run.trace.size()));
+    EXPECT_EQ(parsed.keyCount("traceEvents"), 1);
+    EXPECT_EQ(parsed.keyCount("displayTimeUnit"), 1);
+    EXPECT_GT(parsed.objects(),
+              soc.numPus() + static_cast<int>(run.trace.size()));
+}
+
+// ---------------------------------------------------------------------
+// Trace agrees with the unified result.
+
+TEST(VirtualBackendTrace, AgreesWithRunResult)
+{
+    auto soc = platform::jetsonOrinNano();
+    soc.noiseSigma = 0.0;
+    const platform::PerfModel model(soc);
+    const auto app = apps::octreeApp();
+
+    SimExecConfig cfg;
+    cfg.numTasks = 8;
+    const SimExecutor exec(model, cfg);
+    const auto schedule = Schedule::fromAssignment({0, 0, 0, 1, 1, 1, 1});
+    const auto run = exec.execute(app, schedule);
+
+    // Every (task, stage) pair appears exactly once.
+    EXPECT_EQ(run.trace.size(),
+              static_cast<std::size_t>(cfg.numTasks * app.numStages()));
+
+    const auto st = run.trace.stats();
+    EXPECT_NEAR(st.makespanSeconds, run.makespanSeconds,
+                1e-9 * run.makespanSeconds);
+    // Chunk busy fractions and trace occupancy describe the same run
+    // (chunk c of this schedule is alone on its PU).
+    for (int c = 0; c < schedule.numChunks(); ++c) {
+        const int pu = schedule.chunks()[static_cast<std::size_t>(c)].pu;
+        EXPECT_NEAR(
+            st.perPu[static_cast<std::size_t>(pu)].occupancy,
+            run.chunkBusyFraction[static_cast<std::size_t>(c)],
+            1e-9);
+    }
+    // Pipelined chunks must overlap at least once.
+    EXPECT_GT(st.interferedFraction, 0.0);
+    EXPECT_GT(st.coResidency(0, 1), 0.0);
+    // Disabling recording yields an identical measurement, no trace.
+    SimExecConfig quiet = cfg;
+    quiet.recordTrace = false;
+    const auto bare = SimExecutor(model, quiet).execute(app, schedule);
+    EXPECT_DOUBLE_EQ(bare.makespanSeconds, run.makespanSeconds);
+    EXPECT_TRUE(bare.trace.empty());
+}
+
+TEST(GreedyRuntimeTrace, AgreesWithRunResult)
+{
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto app = apps::octreeApp();
+    const Profiler profiler(model);
+    const auto profile = profiler.profile(app);
+
+    DynamicExecConfig cfg;
+    cfg.numTasks = 10;
+    const DynamicExecutor dyn(model, profile.interference, cfg);
+    const auto run = dyn.execute(app);
+
+    EXPECT_EQ(run.trace.size(),
+              static_cast<std::size_t>(cfg.numTasks * app.numStages()));
+    const auto st = run.trace.stats();
+    EXPECT_NEAR(st.makespanSeconds, run.makespanSeconds,
+                1e-9 * run.makespanSeconds);
+    EXPECT_GT(run.energyJoules, 0.0);
+    MiniJson parsed(run.trace.chromeJson());
+    EXPECT_TRUE(parsed.parse());
+}
+
+// ---------------------------------------------------------------------
+// S2: cross-backend equivalence. A small integer pipeline whose outputs
+// are bit-exactly checkable, run under EVERY enumerable schedule of the
+// native host, on both time backends.
+
+constexpr int kEquivElems = 256;
+
+std::uint32_t
+mixInput(std::uint64_t seed, std::int64_t task, int i)
+{
+    std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ull
+                              * static_cast<std::uint64_t>(task + 1));
+    x ^= static_cast<std::uint64_t>(i) * 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    return static_cast<std::uint32_t>(x * 0x94d049bb133111ebull >> 32);
+}
+
+void
+stage0(std::uint32_t& x)
+{
+    x = x * 2654435761u + 0x9e37u;
+}
+
+void
+stage1(std::uint32_t& x)
+{
+    x ^= x >> 13;
+    x *= 0x85ebca6bu;
+}
+
+void
+stage2(std::uint32_t& x)
+{
+    x += (x << 7 | x >> 25) ^ 0xc2b2ae35u;
+}
+
+struct Fingerprints
+{
+    std::mutex mutex;
+    std::map<std::int64_t, std::uint64_t> byTask;
+};
+
+/** 3-stage elementwise integer pipeline with exact validation. */
+Application
+equivalenceApp(std::uint64_t device_seed,
+               std::shared_ptr<Fingerprints> fp)
+{
+    Application app("Equivalence", "token", "test");
+    auto add = [&](const char* name, void (*fn)(std::uint32_t&)) {
+        platform::WorkProfile w;
+        w.flops = 1e5;
+        w.bytes = 1e3;
+        w.parallelFraction = 1.0;
+        w.pattern = platform::Pattern::Dense;
+        app.addStage(Stage(name, w,
+                           [fn](KernelCtx& ctx) {
+                               for (auto& x :
+                                    ctx.task.view<std::uint32_t>(
+                                        "data"))
+                                   fn(x);
+                           },
+                           nullptr));
+    };
+    add("s0", stage0);
+    add("s1", stage1);
+    add("s2", stage2);
+
+    app.setTaskFactory([](std::int64_t task, std::uint64_t seed) {
+        auto obj = std::make_unique<TaskObject>();
+        obj->addBuffer("data", kEquivElems * sizeof(std::uint32_t));
+        auto data = obj->view<std::uint32_t>("data");
+        for (int i = 0; i < kEquivElems; ++i)
+            data[static_cast<std::size_t>(i)] = mixInput(seed, task, i);
+        return obj;
+    });
+    app.setTaskRefresher(
+        [](TaskObject& obj, std::int64_t task, std::uint64_t seed) {
+            obj.setTaskIndex(task);
+            auto data = obj.view<std::uint32_t>("data");
+            for (int i = 0; i < kEquivElems; ++i)
+                data[static_cast<std::size_t>(i)]
+                    = mixInput(seed, task, i);
+        });
+    app.setValidator([device_seed, fp](const TaskObject& obj) {
+        const std::int64_t task = obj.taskIndex();
+        const auto data = obj.view<const std::uint32_t>("data");
+        std::uint64_t hash = 1469598103934665603ull;
+        for (int i = 0; i < kEquivElems; ++i) {
+            std::uint32_t expect = mixInput(device_seed, task, i);
+            stage0(expect);
+            stage1(expect);
+            stage2(expect);
+            if (data[static_cast<std::size_t>(i)] != expect)
+                return std::string("element ") + std::to_string(i)
+                    + " mismatch";
+            hash = (hash ^ expect) * 1099511628211ull;
+        }
+        std::lock_guard<std::mutex> lock(fp->mutex);
+        fp->byTask[task] = hash;
+        return std::string();
+    });
+    return app;
+}
+
+TEST(CrossBackendEquivalence, AllSchedulesAllBackendsBitIdentical)
+{
+    const auto soc = platform::nativeHost();
+    const platform::PerfModel model(soc);
+    auto fp = std::make_shared<Fingerprints>();
+    const auto app = equivalenceApp(soc.seed, fp);
+
+    const int num_tasks = 8;
+    const auto schedules
+        = enumerateSchedules(app.numStages(), soc.numPus());
+    ASSERT_GT(schedules.size(), 1u);
+
+    // Reference: every backend and schedule must reproduce these.
+    std::map<std::int64_t, std::uint64_t> reference;
+
+    for (const auto& schedule : schedules) {
+        for (const bool host : {false, true}) {
+            fp->byTask.clear();
+            runtime::RunResult run;
+            if (host) {
+                NativeExecConfig cfg;
+                cfg.numTasks = num_tasks;
+                run = NativeExecutor(soc, cfg).execute(app, schedule);
+            } else {
+                SimExecConfig cfg;
+                cfg.numTasks = num_tasks;
+                cfg.runKernels = true;
+                run = SimExecutor(model, cfg).execute(app, schedule);
+            }
+            const std::string label = (host ? "host " : "virtual ")
+                + schedule.compactString();
+            EXPECT_TRUE(run.validationErrors.empty())
+                << label << ": " << run.validationErrors.front();
+            EXPECT_EQ(run.tasks, num_tasks) << label;
+            EXPECT_EQ(fp->byTask.size(),
+                      static_cast<std::size_t>(num_tasks))
+                << label;
+            EXPECT_EQ(run.trace.size(),
+                      static_cast<std::size_t>(num_tasks
+                                               * app.numStages()))
+                << label;
+            if (reference.empty())
+                reference = fp->byTask;
+            else
+                EXPECT_EQ(fp->byTask, reference) << label;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// S3: deterministic noise plumbing, uniform across executors.
+
+TEST(NoiseSalt, SameSaltReproducesStaticPipelineExactly)
+{
+    const auto soc = platform::pixel7a(); // noisy device
+    const platform::PerfModel model(soc);
+    const auto app = apps::octreeApp();
+    const auto schedule = Schedule::fromAssignment({0, 1, 1, 3, 3, 3, 2});
+
+    SimExecConfig cfg;
+    cfg.noiseSalt = 0xfeedface;
+    const auto a = SimExecutor(model, cfg).execute(app, schedule);
+    const auto b = SimExecutor(model, cfg).execute(app, schedule);
+    EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_DOUBLE_EQ(a.taskIntervalSeconds, b.taskIntervalSeconds);
+    EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules);
+
+    SimExecConfig other = cfg;
+    other.noiseSalt = 0xdeadbeef;
+    const auto c = SimExecutor(model, other).execute(app, schedule);
+    EXPECT_NE(a.makespanSeconds, c.makespanSeconds);
+}
+
+TEST(NoiseSalt, SameSaltReproducesDynamicRunExactly)
+{
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto app = apps::octreeApp();
+    const Profiler profiler(model);
+    const auto profile = profiler.profile(app);
+
+    DynamicExecConfig cfg;
+    cfg.noiseSalt = 0xfeedface;
+    const DynamicExecutor dyn(model, profile.interference, cfg);
+    const auto a = dyn.execute(app);
+    const auto b = dyn.execute(app);
+    EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_DOUBLE_EQ(a.meanLatencySeconds, b.meanLatencySeconds);
+
+    DynamicExecConfig other = cfg;
+    other.noiseSalt = 0xdeadbeef;
+    const DynamicExecutor dyn2(model, profile.interference, other);
+    EXPECT_NE(dyn2.execute(app).makespanSeconds, a.makespanSeconds);
+}
+
+// ---------------------------------------------------------------------
+// The end-to-end flow surfaces the deployed run's timeline.
+
+TEST(PipelineFlow, ReportCarriesDeployedTrace)
+{
+    const auto soc = platform::pixel7a();
+    BetterTogetherConfig cfg;
+    cfg.autotune = false;
+    const BetterTogether flow(soc, cfg);
+    const auto report = flow.run(apps::octreeApp());
+
+    ASSERT_FALSE(report.deployedRun.trace.empty());
+    EXPECT_EQ(report.deployedRun.trace.size(),
+              static_cast<std::size_t>(report.deployedRun.tasks * 7));
+    const auto st = report.deployedRun.trace.stats();
+    EXPECT_NEAR(st.makespanSeconds,
+                report.deployedRun.makespanSeconds,
+                1e-9 * st.makespanSeconds);
+    MiniJson parsed(report.deployedRun.trace.chromeJson());
+    EXPECT_TRUE(parsed.parse());
+}
+
+} // namespace
+} // namespace bt::core
