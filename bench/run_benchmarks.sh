@@ -18,6 +18,10 @@
 #                       executions; the virtual_makespan_ms counters
 #                       are semantic regression anchors (same
 #                       schedules, same seeds)
+#   BENCH_faults.json   faults_micro — fault-injection/recovery layer:
+#                       the empty-plan fast path must match the plain
+#                       pipeline makespan, and the seeded fault runs
+#                       pin their recovery counters
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -47,5 +51,7 @@ run_one() {
 run_one "$build_dir/bench/kernels_micro" "$repo_root/BENCH_kernels.json"
 run_one "$build_dir/bench/spsc_micro" "$repo_root/BENCH_spsc.json"
 run_one "$build_dir/bench/pipeline_micro" "$repo_root/BENCH_pipeline.json"
+run_one "$build_dir/bench/faults_micro" "$repo_root/BENCH_faults.json"
 
-echo "done: BENCH_kernels.json, BENCH_spsc.json, BENCH_pipeline.json"
+echo "done: BENCH_kernels.json, BENCH_spsc.json, BENCH_pipeline.json," \
+     "BENCH_faults.json"

@@ -11,6 +11,8 @@
  *                 --save-profile /tmp/p.csv
  *     bt_explorer --device oneplus --app dense \
  *                 --load-profile /tmp/p.csv --compare-dynamic
+ *     bt_explorer --device pixel --app octree \
+ *                 --faults plan.json --json report.json
  */
 
 #include <cstdio>
@@ -20,12 +22,14 @@
 #include <string>
 
 #include "apps/alexnet.hpp"
-#include "common/logging.hpp"
 #include "apps/octree_app.hpp"
+#include "common/flags.hpp"
+#include "common/logging.hpp"
 #include "core/data_parallel.hpp"
 #include "core/dynamic_executor.hpp"
 #include "core/pipeline.hpp"
 #include "platform/devices.hpp"
+#include "runtime/fault_plan.hpp"
 
 using namespace bt;
 
@@ -36,7 +40,7 @@ struct Options
     std::string device = "pixel";
     std::string app = "octree";
     int candidates = 20;
-    bool autotune = true;
+    bool no_autotune = false;
     bool energy = false;
     bool compare_dynamic = false;
     double latency_slack = 0.45;
@@ -45,77 +49,45 @@ struct Options
     std::string save_profile;
     std::string load_profile;
     std::string trace_file;
+    std::string faults_file;
+    std::string json_file;
 };
-
-void
-usage()
-{
-    std::printf(
-        "usage: bt_explorer [options]\n"
-        "  --device pixel|oneplus|jetson|jetson-lp   (default pixel)\n"
-        "  --app dense|sparse|octree                 (default octree)\n"
-        "  --candidates K          optimizer output size (default 20)\n"
-        "  --no-autotune           deploy the predicted-best schedule\n"
-        "  --energy                report energy per task and power\n"
-        "  --compare-dynamic       also run the dynamic/date-parallel "
-        "baselines\n"
-        "  --latency-slack F       level-1 latency slack (default "
-        "0.45)\n"
-        "  --gapness-slack F       level-1 gapness slack (default "
-        "1.0)\n"
-        "  --objective-edp         rank candidates by energy-delay "
-        "product\n"
-        "  --save-profile FILE     write the interference table as "
-        "CSV\n"
-        "  --load-profile FILE     reuse a cached interference table\n"
-        "  --trace FILE            write the deployed run's timeline "
-        "as Chrome\n"
-        "                          trace JSON (chrome://tracing / "
-        "Perfetto)\n");
-}
 
 bool
 parse(int argc, char** argv, Options& opt)
 {
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&](std::string& out) {
-            if (i + 1 >= argc)
-                return false;
-            out = argv[++i];
-            return true;
-        };
-        std::string value;
-        if (arg == "--device" && next(value)) {
-            opt.device = value;
-        } else if (arg == "--app" && next(value)) {
-            opt.app = value;
-        } else if (arg == "--candidates" && next(value)) {
-            opt.candidates = std::stoi(value);
-        } else if (arg == "--no-autotune") {
-            opt.autotune = false;
-        } else if (arg == "--energy") {
-            opt.energy = true;
-        } else if (arg == "--compare-dynamic") {
-            opt.compare_dynamic = true;
-        } else if (arg == "--objective-edp") {
-            opt.edp_objective = true;
-        } else if (arg == "--latency-slack" && next(value)) {
-            opt.latency_slack = std::stod(value);
-        } else if (arg == "--gapness-slack" && next(value)) {
-            opt.gapness_slack = std::stod(value);
-        } else if (arg == "--save-profile" && next(value)) {
-            opt.save_profile = value;
-        } else if (arg == "--load-profile" && next(value)) {
-            opt.load_profile = value;
-        } else if (arg == "--trace" && next(value)) {
-            opt.trace_file = value;
-        } else {
-            usage();
-            return false;
-        }
-    }
-    return true;
+    FlagSet flags("bt_explorer");
+    flags.value("--device", &opt.device, "NAME",
+                "pixel|oneplus|jetson|jetson-lp (default pixel)");
+    flags.value("--app", &opt.app, "NAME",
+                "dense|sparse|octree (default octree)");
+    flags.value("--candidates", &opt.candidates, "K",
+                "optimizer output size (default 20)");
+    flags.flag("--no-autotune", &opt.no_autotune,
+               "deploy the predicted-best schedule");
+    flags.flag("--energy", &opt.energy,
+               "report energy per task and power");
+    flags.flag("--compare-dynamic", &opt.compare_dynamic,
+               "also run the dynamic/data-parallel baselines");
+    flags.value("--latency-slack", &opt.latency_slack, "F",
+                "level-1 latency slack (default 0.45)");
+    flags.value("--gapness-slack", &opt.gapness_slack, "F",
+                "level-1 gapness slack (default 1.0)");
+    flags.flag("--objective-edp", &opt.edp_objective,
+               "rank candidates by energy-delay product");
+    flags.value("--save-profile", &opt.save_profile, "FILE",
+                "write the interference table as CSV");
+    flags.value("--load-profile", &opt.load_profile, "FILE",
+                "reuse a cached interference table");
+    flags.value("--trace", &opt.trace_file, "FILE",
+                "write the deployed run's timeline as Chrome trace "
+                "JSON (chrome://tracing / Perfetto)");
+    flags.value("--faults", &opt.faults_file, "FILE",
+                "inject the FaultPlan in this JSON file into the "
+                "deployed run (see docs/RUNTIME.md)");
+    flags.value("--json", &opt.json_file, "FILE",
+                "write a machine-readable report of the deployed run");
+    return flags.parse(argc, argv);
 }
 
 platform::SocDescription
@@ -198,9 +170,11 @@ main(int argc, char** argv)
     core::Optimizer optimizer(soc, profile.interference, ocfg);
     const auto candidates = optimizer.optimize();
 
+    // Tuning always measures fault-free; an injected FaultPlan applies
+    // only to the deployment run below.
     const core::SimExecutor executor(model);
     core::Schedule best = candidates.front().schedule;
-    if (opt.autotune) {
+    if (!opt.no_autotune) {
         const core::AutoTuner tuner(executor);
         const auto tuned = tuner.tune(app, candidates);
         best = tuned.best().candidate.schedule;
@@ -210,10 +184,31 @@ main(int argc, char** argv)
                     tuned.campaignCostSeconds);
     }
 
+    core::SimExecConfig deploy_cfg;
+    if (!opt.faults_file.empty()) {
+        std::ifstream in(opt.faults_file);
+        auto plan = runtime::FaultPlan::fromJson(in);
+        if (!plan) {
+            std::fprintf(stderr, "could not parse fault plan %s\n",
+                         opt.faults_file.c_str());
+            return 1;
+        }
+        plan->validate(soc.numPus());
+        deploy_cfg.faults = *plan;
+        std::printf("\ninjecting fault plan from %s (%zu slowdowns, "
+                    "%zu transients, %zu stragglers, %zu dropouts)\n",
+                    opt.faults_file.c_str(),
+                    deploy_cfg.faults.slowdowns.size(),
+                    deploy_cfg.faults.transients.size(),
+                    deploy_cfg.faults.stragglers.size(),
+                    deploy_cfg.faults.dropouts.size());
+    }
+
     std::vector<std::string> names;
     for (const auto& s : app.stages())
         names.push_back(s.name());
-    const auto run = executor.execute(app, best);
+    const core::SimExecutor deployer(model, deploy_cfg);
+    const auto run = deployer.execute(app, best);
     std::printf("\ndeployed schedule: %s\n",
                 best.toString(soc, names).c_str());
     std::printf("latency: %.3f ms/task (makespan %.1f ms for %d "
@@ -238,12 +233,26 @@ main(int argc, char** argv)
                     soc.peakPowerW());
     }
 
+    // Recovery statistics (all zero unless a fault plan was injected).
+    if (!run.recovery.cleanRun()) {
+        const auto& rec = run.recovery;
+        std::printf("\nrecovery: %d transients, %d timeouts, %d "
+                    "stragglers, %d dropouts -> %d retries, %d "
+                    "remaps, %d replans, %d unrecovered (backoff "
+                    "%.3f ms)\n",
+                    rec.transientFaults, rec.timeouts, rec.stragglers,
+                    rec.dropouts, rec.retries, rec.remaps, rec.replans,
+                    rec.unrecovered, rec.backoffSeconds * 1e3);
+    }
+
     // Timeline statistics derived from the deployed run's trace.
+    const auto stats = run.trace.stats();
     {
-        const auto stats = run.trace.stats();
-        std::printf("\ntimeline: %d stage executions, bubble %.1f%%, "
-                    "interfered %.1f%%, mean queue wait %.3f ms\n",
-                    stats.events, stats.bubbleFraction * 1e2,
+        std::printf("\ntimeline: %d stage executions, %d recovery "
+                    "events, bubble %.1f%%, interfered %.1f%%, mean "
+                    "queue wait %.3f ms\n",
+                    stats.events, stats.recoveryEvents,
+                    stats.bubbleFraction * 1e2,
                     stats.interferedFraction * 1e2,
                     stats.meanQueueWaitSeconds * 1e3);
         for (int p = 0; p < soc.numPus(); ++p) {
@@ -274,6 +283,50 @@ main(int argc, char** argv)
                     "(50us dispatch) | data-parallel %.3f ms/task "
                     "(predicted)\n",
                     dyn_run.latencyMs(), dp_ms);
+    }
+
+    // Machine-readable report of the deployed run.
+    if (!opt.json_file.empty()) {
+        std::ofstream out(opt.json_file);
+        const auto& rec = run.recovery;
+        out << "{\n"
+            << "  \"device\": \"" << soc.name << "\",\n"
+            << "  \"app\": \"" << app.name() << "\",\n"
+            << "  \"schedule\": \"" << best.toString(soc, names)
+            << "\",\n"
+            << "  \"tasks\": " << run.tasks << ",\n"
+            << "  \"latency_ms\": " << run.latencyMs() << ",\n"
+            << "  \"makespan_ms\": " << run.makespanSeconds * 1e3
+            << ",\n"
+            << "  \"mean_latency_ms\": "
+            << run.meanLatencySeconds * 1e3 << ",\n"
+            << "  \"energy_per_task_mj\": "
+            << run.energyPerTaskJ() * 1e3 << ",\n"
+            << "  \"average_power_w\": " << run.averagePowerW()
+            << ",\n"
+            << "  \"cpu_baseline_ms\": " << cpu_ms << ",\n"
+            << "  \"gpu_baseline_ms\": " << gpu_ms << ",\n"
+            << "  \"valid\": " << (run.valid() ? "true" : "false")
+            << ",\n"
+            << "  \"trace\": {\"stage_events\": " << stats.events
+            << ", \"recovery_events\": " << stats.recoveryEvents
+            << ", \"bubble_fraction\": " << stats.bubbleFraction
+            << ", \"interfered_fraction\": "
+            << stats.interferedFraction
+            << ", \"mean_queue_wait_ms\": "
+            << stats.meanQueueWaitSeconds * 1e3 << "},\n"
+            << "  \"recovery\": {\"transient_faults\": "
+            << rec.transientFaults << ", \"timeouts\": "
+            << rec.timeouts << ", \"stragglers\": " << rec.stragglers
+            << ", \"retries\": " << rec.retries << ", \"remaps\": "
+            << rec.remaps << ", \"dropouts\": " << rec.dropouts
+            << ", \"replans\": " << rec.replans
+            << ", \"unrecovered\": " << rec.unrecovered
+            << ", \"backoff_ms\": " << rec.backoffSeconds * 1e3
+            << "}\n"
+            << "}\n";
+        std::printf("wrote JSON report to %s\n",
+                    opt.json_file.c_str());
     }
     return 0;
 }

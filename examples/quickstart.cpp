@@ -1,12 +1,11 @@
 /**
  * @file
  * Quickstart: define a small custom streaming application (three image
- * stages, each with a CPU and a GPU kernel), then let BetterTogether
- * profile it, generate a pipeline schedule, and report the speedup over
- * the homogeneous baselines on a simulated Google Pixel 7a.
- *
- * This mirrors the paper's Fig. 2 flow end-to-end in ~100 lines of
- * user code. Build and run:
+ * stages, each with a CPU and a GPU kernel), then let bt::Framework
+ * profile it, generate a pipeline schedule, autotune, and report the
+ * speedup over the homogeneous baselines on a simulated Google Pixel
+ * 7a - the paper's Fig. 2 flow behind one umbrella header and one
+ * config object. Build and run:
  *     cmake -B build -G Ninja && cmake --build build
  *     ./build/examples/quickstart
  */
@@ -16,10 +15,9 @@
 #include <iostream>
 #include <memory>
 
+#include "bt.hpp"
 #include "common/rng.hpp"
-#include "core/pipeline.hpp"
 #include "kernels/exec.hpp"
-#include "platform/devices.hpp"
 
 using namespace bt;
 
@@ -139,8 +137,14 @@ main()
     const auto soc = platform::pixel7a();
     const auto app = makeApp();
 
-    const core::BetterTogether bt_flow(soc);
-    const auto report = bt_flow.run(app);
+    // One config drives the whole flow; per-component knobs (profiler
+    // repetitions, optimizer candidate count, deployment fault plan)
+    // all hang off it.
+    FrameworkConfig cfg;
+    cfg.run.numTasks = 30;
+
+    const Framework framework(soc, cfg);
+    const auto report = framework.run(app);
 
     std::printf("Interference-aware profiling table (ms):\n");
     report.profile.interference.print(std::cout);

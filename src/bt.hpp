@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Umbrella header and one-object entry point for the BetterTogether
+ * framework.
+ *
+ * `#include "bt.hpp"` pulls in everything a user program needs: the
+ * application model, the simulated devices, the profile -> optimize ->
+ * autotune flow, the unified pipeline runtime (including fault
+ * injection and recovery), and the native/dynamic executors.
+ *
+ * bt::Framework runs the whole paper flow from a single FrameworkConfig
+ * that composes the per-component knobs (ProfilerConfig,
+ * OptimizerConfig, runtime::RunConfig). Because RunConfig carries the
+ * FaultPlan and RecoveryPolicy, fault-tolerant deployments need no
+ * extra API surface - describe the faults in the same config.
+ */
+
+#ifndef BT_BT_HPP
+#define BT_BT_HPP
+
+#include "core/application.hpp"
+#include "core/dynamic_executor.hpp"
+#include "core/native_executor.hpp"
+#include "core/pipeline.hpp"
+#include "platform/devices.hpp"
+#include "platform/perf_model.hpp"
+#include "runtime/fault_plan.hpp"
+#include "runtime/run_types.hpp"
+
+namespace bt {
+
+/** Every knob of the full flow, one struct. */
+struct FrameworkConfig
+{
+    core::ProfilerConfig profiler;
+    core::OptimizerConfig optimizer;
+
+    /** Deployment knobs, shared by every backend - including the
+     *  FaultPlan / RecoveryPolicy of the fault-tolerant runtime. */
+    runtime::RunConfig run;
+
+    /** Run the measurement-driven autotuning level (paper level 3). */
+    bool autotune = true;
+};
+
+/**
+ * The one-object API: profile the application, optimize the schedule
+ * space, autotune the candidates, and deploy the winner - all against
+ * one simulated device and one config.
+ */
+class Framework
+{
+  public:
+    explicit Framework(const platform::SocDescription& soc,
+                       FrameworkConfig cfg = {})
+        : flow_(soc, core::BetterTogetherConfig{
+                         cfg.profiler, cfg.optimizer, cfg.run,
+                         cfg.autotune})
+    {
+    }
+
+    /** Profile -> optimize -> autotune -> deploy @p app. */
+    core::BetterTogetherReport
+    run(const core::Application& app) const
+    {
+        return flow_.run(app);
+    }
+
+    /** Homogeneous baseline latency of @p app on PU class @p pu. */
+    double
+    measureHomogeneous(const core::Application& app, int pu) const
+    {
+        return flow_.measureHomogeneous(app, pu);
+    }
+
+    /** The interference-aware performance model of the device. */
+    const platform::PerfModel& model() const { return flow_.model(); }
+
+  private:
+    core::BetterTogether flow_;
+};
+
+} // namespace bt
+
+#endif // BT_BT_HPP

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Minimal declarative command-line flag parsing shared by the
+ * example/tool front ends (bt_explorer and friends).
+ *
+ * Register each flag once with its target variable and help text; the
+ * parser derives the usage screen from the registrations, so flags,
+ * defaults, and documentation cannot drift apart. Only long options are
+ * supported (`--flag` switches and `--flag VALUE` pairs), which is all
+ * the tools in this repo use. `--help` is built in.
+ */
+
+#ifndef BT_COMMON_FLAGS_HPP
+#define BT_COMMON_FLAGS_HPP
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bt {
+
+/** One registry of long options for a command-line tool. */
+class FlagSet
+{
+  public:
+    explicit FlagSet(std::string program) : program_(std::move(program))
+    {
+    }
+
+    /** A boolean switch: present sets @p target to true. */
+    void
+    flag(std::string name, bool* target, std::string help)
+    {
+        flags_.push_back({std::move(name), "", std::move(help),
+                          [target](const std::string&) {
+                              *target = true;
+                              return true;
+                          }});
+    }
+
+    /** A string-valued option (`--name VALUE`). */
+    void
+    value(std::string name, std::string* target, std::string metavar,
+          std::string help)
+    {
+        flags_.push_back({std::move(name), std::move(metavar),
+                          std::move(help),
+                          [target](const std::string& v) {
+                              *target = v;
+                              return true;
+                          }});
+    }
+
+    /** An integer-valued option. */
+    void
+    value(std::string name, int* target, std::string metavar,
+          std::string help)
+    {
+        flags_.push_back({std::move(name), std::move(metavar),
+                          std::move(help),
+                          [target](const std::string& v) {
+                              char* end = nullptr;
+                              const long parsed
+                                  = std::strtol(v.c_str(), &end, 10);
+                              if (end == v.c_str() || *end != '\0')
+                                  return false;
+                              *target = static_cast<int>(parsed);
+                              return true;
+                          }});
+    }
+
+    /** A double-valued option. */
+    void
+    value(std::string name, double* target, std::string metavar,
+          std::string help)
+    {
+        flags_.push_back({std::move(name), std::move(metavar),
+                          std::move(help),
+                          [target](const std::string& v) {
+                              char* end = nullptr;
+                              const double parsed
+                                  = std::strtod(v.c_str(), &end);
+                              if (end == v.c_str() || *end != '\0')
+                                  return false;
+                              *target = parsed;
+                              return true;
+                          }});
+    }
+
+    /**
+     * Parse @p argv against the registered flags.
+     * @return true when every argument was consumed; false (after
+     * printing a diagnostic and the usage screen) on an unknown flag, a
+     * missing value, a malformed number, or `--help`.
+     */
+    bool
+    parse(int argc, char** argv) const
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                usage();
+                return false;
+            }
+            const Flag* flag = find(arg);
+            if (flag == nullptr) {
+                std::fprintf(stderr, "unknown option: %s\n",
+                             arg.c_str());
+                usage();
+                return false;
+            }
+            std::string value;
+            if (!flag->metavar.empty()) {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "%s expects a %s\n",
+                                 arg.c_str(), flag->metavar.c_str());
+                    usage();
+                    return false;
+                }
+                value = argv[++i];
+            }
+            if (!flag->apply(value)) {
+                std::fprintf(stderr, "bad value for %s: %s\n",
+                             arg.c_str(), value.c_str());
+                usage();
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /** Print the usage screen derived from the registrations. */
+    void
+    usage() const
+    {
+        std::printf("usage: %s [options]\n", program_.c_str());
+        std::size_t width = 0;
+        for (const auto& f : flags_)
+            width = std::max(width, headline(f).size());
+        for (const auto& f : flags_)
+            std::printf("  %-*s  %s\n", static_cast<int>(width),
+                        headline(f).c_str(), f.help.c_str());
+    }
+
+  private:
+    struct Flag
+    {
+        std::string name;    ///< including the leading "--"
+        std::string metavar; ///< empty for boolean switches
+        std::string help;
+        std::function<bool(const std::string&)> apply;
+    };
+
+    const Flag*
+    find(const std::string& name) const
+    {
+        for (const auto& f : flags_)
+            if (f.name == name)
+                return &f;
+        return nullptr;
+    }
+
+    static std::string
+    headline(const Flag& f)
+    {
+        return f.metavar.empty() ? f.name : f.name + " " + f.metavar;
+    }
+
+    std::string program_;
+    std::vector<Flag> flags_;
+};
+
+} // namespace bt
+
+#endif // BT_COMMON_FLAGS_HPP

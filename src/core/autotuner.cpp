@@ -30,7 +30,7 @@ AutoTuner::tune(const Application& app,
     TuningReport report;
     report.all.reserve(candidates.size());
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-        const ExecutionResult run
+        const runtime::RunResult run
             = executor_.execute(app, candidates[i].schedule);
         TunedCandidate tc;
         tc.candidate = candidates[i];

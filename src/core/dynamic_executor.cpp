@@ -13,7 +13,7 @@ DynamicExecutor::DynamicExecutor(const platform::PerfModel& model,
     BT_ASSERT(config.dispatchOverheadUs >= 0.0);
 }
 
-ExecutionResult
+runtime::RunResult
 DynamicExecutor::execute(const Application& app) const
 {
     return backend.run(

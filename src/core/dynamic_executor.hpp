@@ -49,7 +49,7 @@ class DynamicExecutor
                     DynamicExecConfig cfg = {});
 
     /** Execute @p app dynamically and measure it. */
-    ExecutionResult execute(const Application& app) const;
+    runtime::RunResult execute(const Application& app) const;
 
   private:
     runtime::GreedyRuntime backend;

@@ -12,7 +12,7 @@ NativeExecutor::NativeExecutor(const platform::SocDescription& soc,
     BT_ASSERT(config.queueCapacity > 0);
 }
 
-NativeResult
+runtime::RunResult
 NativeExecutor::execute(const Application& app,
                         const Schedule& schedule) const
 {

@@ -9,9 +9,10 @@
  * Thin policy over the unified runtime: the dispatcher core lives in
  * runtime::PipelineSession and the threaded time domain in
  * runtime::HostTimeBackend; this class keeps the historical core-level
- * entry point and type names. NativeResult is the unified
- * runtime::RunResult, so native runs now also report mean latency,
- * per-chunk utilization, and the structured TraceTimeline.
+ * entry point. Results are runtime::RunResult, so native runs also
+ * report mean latency, per-chunk utilization, and the structured
+ * TraceTimeline (the NativeResult alias is deprecated and will be
+ * removed).
  */
 
 #ifndef BT_CORE_NATIVE_EXECUTOR_HPP
@@ -27,8 +28,9 @@ namespace bt::core {
 /** Native execution knobs (the unified runtime config). */
 using NativeExecConfig = runtime::RunConfig;
 
-/** Wall-clock outcome of a native pipeline run (unified result). */
-using NativeResult = runtime::RunResult;
+/** @deprecated Pre-unification name; use runtime::RunResult. */
+using NativeResult [[deprecated(
+    "use bt::runtime::RunResult")]] = runtime::RunResult;
 
 /** Threaded pipeline executor for the local host. */
 class NativeExecutor
@@ -38,8 +40,8 @@ class NativeExecutor
                             NativeExecConfig cfg = {});
 
     /** Execute @p app under @p schedule with real dispatcher threads. */
-    NativeResult execute(const Application& app,
-                         const Schedule& schedule) const;
+    runtime::RunResult execute(const Application& app,
+                               const Schedule& schedule) const;
 
   private:
     runtime::HostTimeBackend backend;

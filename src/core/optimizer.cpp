@@ -149,6 +149,19 @@ Optimizer::Optimizer(const platform::SocDescription& soc_,
     BT_ASSERT(config.numCandidates > 0);
     BT_ASSERT(config.gapnessSlack >= 0.0);
     BT_ASSERT(config.latencySlack >= 0.0);
+    for (const int p : config.allowedPus)
+        BT_ASSERT(p >= 0 && p < soc.numPus(),
+                  "allowedPus names unknown PU ", p);
+}
+
+bool
+Optimizer::puAllowed(int pu) const
+{
+    if (config.allowedPus.empty())
+        return true;
+    return std::find(config.allowedPus.begin(),
+                     config.allowedPus.end(), pu)
+        != config.allowedPus.end();
 }
 
 Candidate
@@ -251,6 +264,13 @@ Optimizer::optimizeWithSolver()
 
     solver::Model model;
     const VarGrid grid = buildScheduleModel(model, n, m);
+
+    // Dropped / excluded PU classes: unit clauses banning every stage
+    // from the disallowed columns (the degradation re-plan hook).
+    for (int c = 0; c < m; ++c)
+        if (!puAllowed(c))
+            for (int i = 0; i < n; ++i)
+                model.addClause({solver::neg(grid.at(i, c))});
 
     auto latencyOf = [&](const solver::Assignment& a) {
         return scheduleFromAssignment(grid, a).bottleneckTime(table);
@@ -362,10 +382,16 @@ Optimizer::optimizeExhaustive()
     cands.reserve(all.size());
     double best_latency = std::numeric_limits<double>::infinity();
     for (const auto& s : all) {
+        bool admitted = true;
+        for (const int pu : s.toAssignment())
+            admitted = admitted && puAllowed(pu);
+        if (!admitted)
+            continue; // excluded class (degradation re-plan hook)
         cands.push_back(makeCandidate(s));
         best_latency
             = std::min(best_latency, cands.back().predictedLatency);
     }
+    BT_ASSERT(!cands.empty(), "allowedPus admits no schedule");
     stats_.unrestrictedLatency = best_latency;
 
     if (config.utilizationFilter) {

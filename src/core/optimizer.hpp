@@ -68,6 +68,14 @@ struct OptimizerConfig
     Engine engine = Engine::ConstraintSolver;
 
     /**
+     * Restrict the schedule space to these PU classes (empty = all).
+     * This is the re-plan hook of the fault-tolerant runtime: after a
+     * PU dropout, the remaining schedule is re-optimized with the dead
+     * classes excluded (graceful degradation).
+     */
+    std::vector<int> allowedPus;
+
+    /**
      * Ranking objective within the feasibility class (extension):
      * Latency reproduces the paper; EnergyDelay ranks by predicted
      * energy-delay product, trading a little latency for schedules
@@ -130,6 +138,8 @@ class Optimizer
     std::vector<Candidate> optimizeWithSolver();
     std::vector<Candidate> optimizeExhaustive();
     Candidate makeCandidate(const Schedule& s) const;
+    /** Whether config.allowedPus admits @p pu (empty list = all). */
+    bool puAllowed(int pu) const;
     /** 0 = fully feasible, 1 = over gapness budget, 2 = out of class. */
     int rankClass(const Candidate& c) const;
     /** Objective value used to order candidates within a class. */

@@ -38,7 +38,7 @@ struct BetterTogetherReport
     /** Deployment run of the winning schedule: the unified RunResult
      *  with its structured TraceTimeline (occupancy, bubbles,
      *  co-runner sets), for reporting and trace export. */
-    ExecutionResult deployedRun;
+    runtime::RunResult deployedRun;
 
     double cpuBaselineSeconds = 0.0;   ///< best CPU class, homogeneous
     double gpuBaselineSeconds = 0.0;   ///< GPU-only

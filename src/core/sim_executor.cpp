@@ -11,7 +11,7 @@ SimExecutor::SimExecutor(const platform::PerfModel& model,
     BT_ASSERT(config.numTasks > 0);
 }
 
-ExecutionResult
+runtime::RunResult
 SimExecutor::execute(const Application& app,
                      const Schedule& schedule) const
 {

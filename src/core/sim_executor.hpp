@@ -6,8 +6,9 @@
  * Thin policy over the unified runtime: the dispatcher core lives in
  * runtime::PipelineSession and the DES time domain in
  * runtime::VirtualTimeBackend; this class keeps the historical
- * core-level entry point and type names. ExecutionResult is the unified
- * runtime::RunResult, so a run's structured TraceTimeline rides along.
+ * core-level entry point. Results are runtime::RunResult, so a run's
+ * structured TraceTimeline rides along (the ExecutionResult alias is
+ * deprecated and will be removed).
  */
 
 #ifndef BT_CORE_SIM_EXECUTOR_HPP
@@ -23,8 +24,9 @@ namespace bt::core {
 /** Execution knobs (the unified runtime config). */
 using SimExecConfig = runtime::RunConfig;
 
-/** Measured outcome of one pipeline execution (unified result). */
-using ExecutionResult = runtime::RunResult;
+/** @deprecated Pre-unification name; use runtime::RunResult. */
+using ExecutionResult [[deprecated(
+    "use bt::runtime::RunResult")]] = runtime::RunResult;
 
 /** Virtual-time pipeline executor over one simulated device. */
 class SimExecutor
@@ -34,8 +36,8 @@ class SimExecutor
                          SimExecConfig cfg = {});
 
     /** Execute @p app under @p schedule and measure it. */
-    ExecutionResult execute(const Application& app,
-                            const Schedule& schedule) const;
+    runtime::RunResult execute(const Application& app,
+                               const Schedule& schedule) const;
 
   private:
     runtime::VirtualTimeBackend backend;

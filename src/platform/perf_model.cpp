@@ -81,6 +81,13 @@ PerfModel::systemPowerW(const std::vector<bool>& pu_active) const
 double
 PerfModel::timeOf(std::size_t idx, std::span<const Load> active) const
 {
+    return timeOf(idx, active, {});
+}
+
+double
+PerfModel::timeOf(std::size_t idx, std::span<const Load> active,
+                  std::span<const double> clock_scale) const
+{
     BT_ASSERT(idx < active.size(), "load index out of range");
     const Load& self = active[idx];
     BT_ASSERT(self.work != nullptr);
@@ -100,7 +107,12 @@ PerfModel::timeOf(std::size_t idx, std::span<const Load> active) const
     const int busy_others = static_cast<int>(other_classes.size());
     const bool contended = busy_others > 0;
 
-    const double freq = effectiveFreqGhz(self.pu, busy_others);
+    double freq = effectiveFreqGhz(self.pu, busy_others);
+    if (!clock_scale.empty()) {
+        BT_ASSERT(clock_scale.size()
+                  == static_cast<std::size_t>(desc.numPus()));
+        freq *= clock_scale[static_cast<std::size_t>(self.pu)];
+    }
     double comp = computeTime(*self.work, p, freq);
 
     // Memory side: demand-proportional DRAM sharing.

@@ -51,6 +51,15 @@ class PerfModel
      */
     double timeOf(std::size_t idx, std::span<const Load> active) const;
 
+    /**
+     * Throttle-aware variant: @p clock_scale holds one factor per PU
+     * class (empty = all 1.0) multiplying its effective compute clock -
+     * the fault layer's emulated thermal-throttling windows. Only the
+     * compute side slows; memory bandwidth is unaffected.
+     */
+    double timeOf(std::size_t idx, std::span<const Load> active,
+                  std::span<const double> clock_scale) const;
+
     /** Execution time of @p w on @p pu with nothing else running. */
     double isolatedTime(const WorkProfile& w, int pu) const;
 

@@ -1,0 +1,422 @@
+#include "runtime/fault_plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace bt::runtime {
+
+namespace {
+
+/** Domain tags keeping the fault streams independent of each other and
+ *  of the measurement-noise stream (which uses small domain ids). */
+constexpr std::uint64_t kTransientDomain = 0xfa17'0001ull;
+constexpr std::uint64_t kStragglerDomain = 0xfa17'0002ull;
+
+double
+faultDraw(std::uint64_t seed, std::uint64_t domain, std::int64_t task,
+          int stage, int attempt)
+{
+    const std::uint64_t key = hashCombine(
+        hashCombine(hashCombine(seed ^ domain,
+                                static_cast<std::uint64_t>(task)),
+                    static_cast<std::uint64_t>(stage)),
+        static_cast<std::uint64_t>(attempt));
+    return Rng(key).nextDouble();
+}
+
+/**
+ * Minimal recursive-descent JSON reader for fault plans: one top-level
+ * object whose members are either numbers or arrays of flat objects
+ * with numeric fields. Anything else is a parse error.
+ */
+class PlanReader
+{
+  public:
+    explicit PlanReader(std::istream& is)
+    {
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        text_ = buf.str();
+    }
+
+    /** Parse the whole document into section -> list of field maps.
+     *  Scalar top-level members land in @p scalars. */
+    bool
+    parse(std::map<std::string,
+                   std::vector<std::map<std::string, double>>>& sections,
+          std::map<std::string, double>& scalars)
+    {
+        pos_ = 0;
+        ws();
+        if (!expect('{'))
+            return false;
+        ws();
+        if (peek() == '}')
+            return ++pos_, tail();
+        while (true) {
+            std::string key;
+            if (!string(key))
+                return false;
+            ws();
+            if (!expect(':'))
+                return false;
+            ws();
+            if (peek() == '[') {
+                std::vector<std::map<std::string, double>> rows;
+                if (!rowArray(rows))
+                    return false;
+                sections[key] = std::move(rows);
+            } else {
+                double v = 0.0;
+                if (!number(v))
+                    return false;
+                scalars[key] = v;
+            }
+            ws();
+            if (peek() == ',') {
+                ++pos_;
+                ws();
+                continue;
+            }
+            break;
+        }
+        return expect('}') && tail();
+    }
+
+  private:
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    ws()
+    {
+        while (pos_ < text_.size()
+               && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    tail()
+    {
+        ws();
+        return pos_ == text_.size();
+    }
+
+    bool
+    string(std::string& out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"')
+            out += text_[pos_++];
+        return expect('"');
+    }
+
+    bool
+    number(double& out)
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()
+               && (std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))
+                   || text_[pos_] == '-' || text_[pos_] == '+'
+                   || text_[pos_] == '.' || text_[pos_] == 'e'
+                   || text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            return false;
+        try {
+            out = std::stod(text_.substr(start, pos_ - start));
+        } catch (...) {
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    rowArray(std::vector<std::map<std::string, double>>& rows)
+    {
+        if (!expect('['))
+            return false;
+        ws();
+        if (peek() == ']')
+            return ++pos_, true;
+        while (true) {
+            std::map<std::string, double> row;
+            if (!object(row))
+                return false;
+            rows.push_back(std::move(row));
+            ws();
+            if (peek() == ',') {
+                ++pos_;
+                ws();
+                continue;
+            }
+            break;
+        }
+        return expect(']');
+    }
+
+    bool
+    object(std::map<std::string, double>& fields)
+    {
+        ws();
+        if (!expect('{'))
+            return false;
+        ws();
+        if (peek() == '}')
+            return ++pos_, true;
+        while (true) {
+            std::string key;
+            if (!string(key))
+                return false;
+            ws();
+            if (!expect(':'))
+                return false;
+            ws();
+            double v = 0.0;
+            if (!number(v))
+                return false;
+            fields[key] = v;
+            ws();
+            if (peek() == ',') {
+                ++pos_;
+                ws();
+                continue;
+            }
+            break;
+        }
+        return expect('}');
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+double
+field(const std::map<std::string, double>& row, const char* name,
+      double fallback)
+{
+    const auto it = row.find(name);
+    return it == row.end() ? fallback : it->second;
+}
+
+} // namespace
+
+void
+FaultPlan::validate(int num_pus) const
+{
+    for (const auto& w : slowdowns) {
+        BT_ASSERT(w.pu >= 0 && w.pu < num_pus,
+                  "slowdown window on unknown PU ", w.pu);
+        BT_ASSERT(w.endSeconds > w.startSeconds,
+                  "slowdown window must have positive length");
+        BT_ASSERT(w.clockFactor > 0.0 && w.clockFactor <= 1.0,
+                  "clockFactor must be in (0, 1], got ", w.clockFactor);
+    }
+    for (const auto& t : transients) {
+        BT_ASSERT(t.pu < num_pus, "transient rule on unknown PU ", t.pu);
+        BT_ASSERT(t.probability >= 0.0 && t.probability <= 1.0,
+                  "transient probability out of [0, 1]");
+    }
+    for (const auto& s : stragglers) {
+        BT_ASSERT(s.probability >= 0.0 && s.probability <= 1.0,
+                  "straggler probability out of [0, 1]");
+        BT_ASSERT(s.factor >= 1.0, "straggler factor must be >= 1");
+    }
+    for (const auto& d : dropouts) {
+        BT_ASSERT(d.pu >= 0 && d.pu < num_pus,
+                  "dropout of unknown PU ", d.pu);
+        BT_ASSERT(d.atSeconds >= 0.0, "dropout in the past");
+    }
+}
+
+std::optional<FaultPlan>
+FaultPlan::fromJson(std::istream& is)
+{
+    PlanReader reader(is);
+    std::map<std::string, std::vector<std::map<std::string, double>>>
+        sections;
+    std::map<std::string, double> scalars;
+    if (!reader.parse(sections, scalars))
+        return std::nullopt;
+
+    FaultPlan plan;
+    for (const auto& row : sections["slowdowns"]) {
+        SlowdownWindow w;
+        w.pu = static_cast<int>(field(row, "pu", 0));
+        w.startSeconds = field(row, "start", 0.0);
+        w.endSeconds = field(row, "end", 0.0);
+        w.clockFactor = field(row, "clockFactor", 0.5);
+        plan.slowdowns.push_back(w);
+    }
+    for (const auto& row : sections["transients"]) {
+        TransientFaultRule t;
+        t.stage = static_cast<int>(field(row, "stage", -1));
+        t.pu = static_cast<int>(field(row, "pu", -1));
+        t.probability = field(row, "probability", 0.0);
+        plan.transients.push_back(t);
+    }
+    for (const auto& row : sections["stragglers"]) {
+        StragglerRule s;
+        s.stage = static_cast<int>(field(row, "stage", -1));
+        s.probability = field(row, "probability", 0.0);
+        s.factor = field(row, "factor", 8.0);
+        plan.stragglers.push_back(s);
+    }
+    for (const auto& row : sections["dropouts"]) {
+        PuDropout d;
+        d.pu = static_cast<int>(field(row, "pu", 0));
+        d.atSeconds = field(row, "at", 0.0);
+        plan.dropouts.push_back(d);
+    }
+    const auto seed = scalars.find("faultSeed");
+    if (seed != scalars.end())
+        plan.faultSeed = static_cast<std::uint64_t>(seed->second);
+    return plan;
+}
+
+void
+FaultPlan::toJson(std::ostream& os) const
+{
+    os.precision(17);
+    os << "{";
+    os << "\"slowdowns\":[";
+    for (std::size_t i = 0; i < slowdowns.size(); ++i) {
+        const auto& w = slowdowns[i];
+        os << (i ? "," : "") << "{\"pu\":" << w.pu
+           << ",\"start\":" << w.startSeconds
+           << ",\"end\":" << w.endSeconds
+           << ",\"clockFactor\":" << w.clockFactor << "}";
+    }
+    os << "],\"transients\":[";
+    for (std::size_t i = 0; i < transients.size(); ++i) {
+        const auto& t = transients[i];
+        os << (i ? "," : "") << "{\"stage\":" << t.stage
+           << ",\"pu\":" << t.pu
+           << ",\"probability\":" << t.probability << "}";
+    }
+    os << "],\"stragglers\":[";
+    for (std::size_t i = 0; i < stragglers.size(); ++i) {
+        const auto& s = stragglers[i];
+        os << (i ? "," : "") << "{\"stage\":" << s.stage
+           << ",\"probability\":" << s.probability
+           << ",\"factor\":" << s.factor << "}";
+    }
+    os << "],\"dropouts\":[";
+    for (std::size_t i = 0; i < dropouts.size(); ++i) {
+        const auto& d = dropouts[i];
+        os << (i ? "," : "") << "{\"pu\":" << d.pu
+           << ",\"at\":" << d.atSeconds << "}";
+    }
+    os << "],\"faultSeed\":" << faultSeed << "}";
+}
+
+void
+RecoveryStats::add(const RecoveryStats& other)
+{
+    transientFaults += other.transientFaults;
+    timeouts += other.timeouts;
+    stragglers += other.stragglers;
+    retries += other.retries;
+    remaps += other.remaps;
+    dropouts += other.dropouts;
+    replans += other.replans;
+    unrecovered += other.unrecovered;
+    backoffSeconds += other.backoffSeconds;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan,
+                             std::uint64_t mixed_seed)
+    : plan_(plan), seed_(mixed_seed ^ plan.faultSeed)
+{
+}
+
+bool
+FaultInjector::transientFailure(std::int64_t task, int stage, int pu,
+                                int attempt) const
+{
+    double p = 0.0;
+    for (const auto& rule : plan_.transients) {
+        if (rule.stage >= 0 && rule.stage != stage)
+            continue;
+        if (rule.pu >= 0 && rule.pu != pu)
+            continue;
+        p = std::max(p, rule.probability);
+    }
+    if (p <= 0.0)
+        return false;
+    // Fold the PU into the draw: after a failover remap the same
+    // (task, stage, attempt) coordinates must redraw on the new PU, or
+    // an attempt sequence that exhausted its retries would replay the
+    // identical failures there and failover could never succeed.
+    return faultDraw(seed_ ^ (0x9e3779b97f4a7c15ull
+                              * static_cast<std::uint64_t>(pu + 1)),
+                     kTransientDomain, task, stage, attempt)
+        < p;
+}
+
+double
+FaultInjector::stragglerFactor(std::int64_t task, int stage,
+                               int attempt) const
+{
+    double factor = 1.0;
+    for (const auto& rule : plan_.stragglers) {
+        if (rule.stage >= 0 && rule.stage != stage)
+            continue;
+        if (rule.probability <= 0.0)
+            continue;
+        if (faultDraw(seed_, kStragglerDomain, task, stage, attempt)
+            < rule.probability)
+            factor = std::max(factor, rule.factor);
+    }
+    return factor;
+}
+
+double
+FaultInjector::slowdownFactor(int pu, double now) const
+{
+    double factor = 1.0;
+    for (const auto& w : plan_.slowdowns)
+        if (w.pu == pu && now >= w.startSeconds && now < w.endSeconds)
+            factor *= w.clockFactor;
+    return factor;
+}
+
+double
+FaultInjector::nextSlowdownBoundary(double now) const
+{
+    double next = std::numeric_limits<double>::infinity();
+    for (const auto& w : plan_.slowdowns) {
+        if (w.startSeconds > now)
+            next = std::min(next, w.startSeconds);
+        if (w.endSeconds > now)
+            next = std::min(next, w.endSeconds);
+    }
+    return next;
+}
+
+} // namespace bt::runtime

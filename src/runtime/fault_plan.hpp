@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Declarative fault model for pipeline executions (robustness layer).
+ *
+ * The paper's BT-Implementer assumes PUs behave exactly as profiled, but
+ * the phenomena its model captures — DVFS throttling, contention spikes,
+ * co-runner interference — are precisely what makes real SoC deployments
+ * flaky. A FaultPlan declares, ahead of a run, which misbehaviors to
+ * inject: per-PU slowdown windows emulating thermal throttling, transient
+ * stage failures, straggler stage executions, and hard PU dropout at a
+ * timestamp. Both time backends honor the same plan in their own time
+ * domain (virtual seconds for the DES, wall seconds for host threads).
+ *
+ * All stochastic decisions are derived from seeded hashes of
+ * (task, stage, attempt), so a fixed (plan, device seed, noiseSalt)
+ * triple reproduces every fault — and every recovery decision —
+ * bit-identically. An empty plan disables the entire fault machinery;
+ * that path is regression-tested to be bit-identical to fault-free runs.
+ *
+ * RecoveryPolicy declares how the runtime responds: per-stage timeout
+ * with bounded retry and exponential backoff, failover remapping of a
+ * failed chunk to the profiled next-best PU, and graceful degradation
+ * that re-plans the remaining schedule on surviving PUs. RecoveryStats
+ * summarizes what actually happened and rides along in RunResult.
+ */
+
+#ifndef BT_RUNTIME_FAULT_PLAN_HPP
+#define BT_RUNTIME_FAULT_PLAN_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace bt::runtime {
+
+/**
+ * Clock throttling of one PU class over a time window (thermal
+ * throttling / DVFS capping emulation). clockFactor scales the PU's
+ * effective frequency: 0.5 = half clock, so compute-bound stages take
+ * twice as long while the window is open.
+ */
+struct SlowdownWindow
+{
+    int pu = 0;
+    double startSeconds = 0.0;
+    double endSeconds = 0.0;
+    double clockFactor = 0.5; ///< in (0, 1]: 1 = no throttling
+};
+
+/**
+ * Transient stage failures: each matching stage execution attempt fails
+ * with @p probability, decided by a seeded hash of (task, stage,
+ * attempt). A failed attempt burns its execution time but commits no
+ * kernel side effects, so a retry is always safe.
+ */
+struct TransientFaultRule
+{
+    int stage = -1; ///< -1 = any stage
+    int pu = -1;    ///< -1 = any PU
+    double probability = 0.0;
+};
+
+/**
+ * Straggler executions: a matching stage execution occasionally takes
+ * @p factor times longer (contention spike, page fault storm, co-runner
+ * burst). Stragglers interact with the timeout policy: a large enough
+ * factor trips the per-stage timeout and the attempt is retried.
+ */
+struct StragglerRule
+{
+    int stage = -1; ///< -1 = any stage
+    double probability = 0.0;
+    double factor = 8.0; ///< duration multiplier when triggered
+};
+
+/** Hard dropout of one PU class at an absolute run timestamp. */
+struct PuDropout
+{
+    int pu = 0;
+    double atSeconds = 0.0;
+};
+
+/** Everything to inject into one run. Empty = no fault machinery. */
+struct FaultPlan
+{
+    std::vector<SlowdownWindow> slowdowns;
+    std::vector<TransientFaultRule> transients;
+    std::vector<StragglerRule> stragglers;
+    std::vector<PuDropout> dropouts;
+
+    /** Extra seed folded into every fault decision (on top of the
+     *  device seed and the run's noiseSalt). */
+    std::uint64_t faultSeed = 0;
+
+    bool
+    empty() const
+    {
+        return slowdowns.empty() && transients.empty()
+            && stragglers.empty() && dropouts.empty();
+    }
+
+    /** Panics unless PU indices / windows / probabilities are sane. */
+    void validate(int num_pus) const;
+
+    /**
+     * Parse a plan from JSON, e.g.
+     * {"slowdowns":[{"pu":1,"start":0.1,"end":0.5,"clockFactor":0.4}],
+     *  "transients":[{"stage":2,"probability":0.05}],
+     *  "stragglers":[{"probability":0.01,"factor":10}],
+     *  "dropouts":[{"pu":3,"at":0.2}], "faultSeed":7}
+     * @return the plan, or std::nullopt on malformed input.
+     */
+    static std::optional<FaultPlan> fromJson(std::istream& is);
+
+    /** Serialize in the format fromJson accepts. */
+    void toJson(std::ostream& os) const;
+};
+
+/** How the runtime responds to faults. */
+struct RecoveryPolicy
+{
+    /**
+     * Per-stage timeout budget as a multiple of the stage's profiled
+     * isolated time on its PU. Attempts exceeding the budget are
+     * aborted and retried (virtual backend; the host backend detects
+     * overruns at stage end). <= 0 disables timeouts.
+     */
+    double timeoutFactor = 16.0;
+
+    /** Retries per stage execution before failing over. */
+    int maxRetries = 3;
+
+    /** Backoff before retry r: base * multiplier^r. */
+    double backoffBaseSeconds = 1e-4;
+    double backoffMultiplier = 2.0;
+
+    /** Remap a chunk whose retries are exhausted (or whose PU died) to
+     *  the profiled next-best surviving PU. */
+    bool failover = true;
+
+    /** On PU dropout, re-plan the remaining schedule on surviving PUs
+     *  with the Optimizer instead of per-chunk next-best failover. */
+    bool degrade = true;
+};
+
+/** What the recovery machinery actually did during one run. */
+struct RecoveryStats
+{
+    int transientFaults = 0; ///< injected failures that manifested
+    int timeouts = 0;        ///< attempts aborted over budget
+    int stragglers = 0;      ///< straggler injections applied
+    int retries = 0;         ///< re-attempts after fault or timeout
+    int remaps = 0;          ///< chunk-to-PU failover remappings
+    int dropouts = 0;        ///< PU classes lost mid-run
+    int replans = 0;         ///< Optimizer degradations after dropout
+    int unrecovered = 0;     ///< stage executions abandoned for good
+    double backoffSeconds = 0.0; ///< total backoff delay served
+
+    int
+    faultsInjected() const
+    {
+        return transientFaults + timeouts + stragglers + dropouts;
+    }
+
+    bool
+    cleanRun() const
+    {
+        return faultsInjected() == 0 && retries == 0 && remaps == 0
+            && replans == 0 && unrecovered == 0;
+    }
+
+    void add(const RecoveryStats& other);
+};
+
+/**
+ * Deterministic oracle over one FaultPlan: every query is a pure
+ * function of the plan, the mixed seed, and the coordinates of the
+ * execution attempt, so both time backends (and reruns) see the same
+ * faults.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan& plan, std::uint64_t mixed_seed);
+
+    const FaultPlan& plan() const { return plan_; }
+    bool enabled() const { return !plan_.empty(); }
+
+    /** Does this attempt suffer an injected transient failure? */
+    bool transientFailure(std::int64_t task, int stage, int pu,
+                          int attempt) const;
+
+    /** Duration multiplier for this attempt (1.0 = no straggler). */
+    double stragglerFactor(std::int64_t task, int stage,
+                           int attempt) const;
+
+    /** Combined clock factor of @p pu at time @p now (product of all
+     *  open slowdown windows; 1.0 = nominal). */
+    double slowdownFactor(int pu, double now) const;
+
+    /** Earliest slowdown-window boundary strictly after @p now, or
+     *  +infinity — where the DES must re-evaluate rates. */
+    double nextSlowdownBoundary(double now) const;
+
+    const std::vector<PuDropout>& dropouts() const
+    {
+        return plan_.dropouts;
+    }
+
+  private:
+    FaultPlan plan_;
+    std::uint64_t seed_;
+};
+
+} // namespace bt::runtime
+
+#endif // BT_RUNTIME_FAULT_PLAN_HPP

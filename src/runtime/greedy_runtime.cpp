@@ -138,7 +138,9 @@ GreedyRuntime::run(const core::Application& app, const RunConfig& cfg,
                     engine.now() - pu_item[pj].readyAt,
                     engine.now(),
                     0.0,
-                    coRunnersOf(p)};
+                    coRunnersOf(p),
+                    TraceEventKind::Stage,
+                    {}};
                 engine.startTask(
                     static_cast<std::uint64_t>(p),
                     VirtualTimeBackend::noiseFactor(

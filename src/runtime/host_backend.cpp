@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "common/logging.hpp"
+#include "platform/perf_model.hpp"
 #include "runtime/pipeline_session.hpp"
+#include "runtime/recovery.hpp"
 #include "sched/spsc_queue.hpp"
 #include "sched/thread_pool.hpp"
 
@@ -30,6 +34,35 @@ struct Token
     double enqueuedAt = 0.0;
 };
 
+void
+sleepSeconds(double s)
+{
+    if (s > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+/**
+ * Recovery state the dispatcher threads share. One mutex serializes all
+ * fault decisions: faults are rare events by construction, so the lock
+ * is far off the fault-free hot path (which never takes it).
+ *
+ * Host-backend fault semantics (wall time cannot be rewound):
+ *  - slowdown windows stretch a stage by sleeping elapsed*(1/f - 1);
+ *  - transient failures skip the kernel and retry after a real backoff
+ *    sleep;
+ *  - dropouts apply when the first dispatcher observes the deadline;
+ *  - per-stage timeouts are not emulated (aborting a host kernel
+ *    mid-flight is not safe) - the virtual backend covers that path.
+ */
+struct HostFaultState
+{
+    std::mutex mutex;
+    std::vector<bool> puAlive;
+    std::vector<int> chunkPu;
+    std::vector<bool> dropoutDone;
+    RecoveryStats stats;
+};
+
 } // namespace
 
 HostTimeBackend::HostTimeBackend(const platform::SocDescription& soc)
@@ -43,6 +76,7 @@ HostTimeBackend::run(const core::Application& app,
                      const RunConfig& cfg) const
 {
     BT_ASSERT(cfg.queueCapacity > 0);
+    cfg.faults.validate(soc_.numPus());
 
     PipelineSession session(app, schedule, soc_, cfg, "host",
                             /*functional=*/true);
@@ -72,7 +106,86 @@ HostTimeBackend::run(const core::Application& app,
         running[static_cast<std::size_t>(c)].store(
             -1, std::memory_order_relaxed);
 
+    // --- fault layer (inert on fault-free runs) ------------------------
+    const platform::PerfModel model(soc_);
+    const FaultInjector injector(cfg.faults, soc_.seed ^ cfg.noiseSalt);
+    const bool faulty = injector.enabled();
+    HostFaultState fs;
+    if (faulty) {
+        fs.puAlive.assign(static_cast<std::size_t>(soc_.numPus()),
+                          true);
+        fs.chunkPu.resize(static_cast<std::size_t>(num_chunks));
+        for (int c = 0; c < num_chunks; ++c)
+            fs.chunkPu[static_cast<std::size_t>(c)]
+                = session.chunk(c).pu;
+        fs.dropoutDone.assign(injector.dropouts().size(), false);
+    }
+
     const auto t0 = Clock::now();
+
+    // Apply every dropout whose deadline has passed. Caller holds
+    // fs.mutex.
+    auto applyDueDropouts = [&](double now) {
+        const auto& drops = injector.dropouts();
+        for (std::size_t i = 0; i < drops.size(); ++i) {
+            if (fs.dropoutDone[i] || now < drops[i].atSeconds)
+                continue;
+            fs.dropoutDone[i] = true;
+            const int dead = drops[i].pu;
+            if (!fs.puAlive[static_cast<std::size_t>(dead)])
+                continue;
+            fs.puAlive[static_cast<std::size_t>(dead)] = false;
+            fs.stats.dropouts += 1;
+            session.recordEvent(makeFaultEvent(TraceEventKind::Dropout,
+                                               -1, -1, -1, dead, now,
+                                               now));
+
+            std::vector<int> affected;
+            for (int c = 0; c < num_chunks; ++c)
+                if (fs.chunkPu[static_cast<std::size_t>(c)] == dead)
+                    affected.push_back(c);
+            if (affected.empty())
+                continue;
+
+            if (cfg.recovery.degrade) {
+                const core::Schedule plan
+                    = replanOnSurvivors(model, app, fs.puAlive);
+                fs.stats.replans += 1;
+                session.recordEvent(makeFaultEvent(
+                    TraceEventKind::Replan, -1, -1, -1, dead, now,
+                    now));
+                const auto assign = plan.toAssignment();
+                for (const int c : affected) {
+                    const int target = assign[static_cast<std::size_t>(
+                        session.chunk(c).firstStage)];
+                    fs.chunkPu[static_cast<std::size_t>(c)] = target;
+                    fs.stats.remaps += 1;
+                    session.recordEvent(makeFaultEvent(
+                        TraceEventKind::Remap, -1, -1, c, target, now,
+                        now,
+                        "pu " + std::to_string(dead) + " -> "
+                            + std::to_string(target)));
+                }
+            } else {
+                for (const int c : affected) {
+                    const ChunkSpec& spec = session.chunk(c);
+                    const int target = nextBestPu(
+                        model, app, spec.firstStage, spec.lastStage,
+                        fs.puAlive,
+                        fs.chunkPu[static_cast<std::size_t>(c)]);
+                    if (target < 0)
+                        continue;
+                    fs.chunkPu[static_cast<std::size_t>(c)] = target;
+                    fs.stats.remaps += 1;
+                    session.recordEvent(makeFaultEvent(
+                        TraceEventKind::Remap, -1, -1, c, target, now,
+                        now,
+                        "pu " + std::to_string(dead) + " -> "
+                            + std::to_string(target)));
+                }
+            }
+        }
+    };
 
     auto coRunnersOf = [&](int self) {
         std::vector<int> pus;
@@ -119,14 +232,123 @@ HostTimeBackend::run(const core::Application& app,
             running[static_cast<std::size_t>(c)].store(
                 ch.pu, std::memory_order_relaxed);
             for (int s = ch.firstStage; s <= ch.lastStage; ++s) {
-                const double start = secondsSince(t0);
-                const std::vector<int> co = coRunnersOf(c);
-                session.runStage(c, s, token->token, team.get());
-                const double end = secondsSince(t0);
-                session.recordEvent(TraceEvent{
-                    task, s, c, ch.pu,
-                    s == ch.firstStage ? queue_wait : 0.0, start, end,
-                    co});
+                int attempt = 0;
+                bool remapped = false;
+                for (;;) {
+                    int cur_pu = ch.pu;
+                    if (faulty) {
+                        std::lock_guard<std::mutex> lock(fs.mutex);
+                        applyDueDropouts(secondsSince(t0));
+                        cur_pu = fs.chunkPu[static_cast<std::size_t>(c)];
+                        running[static_cast<std::size_t>(c)].store(
+                            cur_pu, std::memory_order_relaxed);
+                    }
+                    const bool will_fail = faulty
+                        && injector.transientFailure(task, s, cur_pu,
+                                                     attempt);
+                    const double start = secondsSince(t0);
+                    const std::vector<int> co = coRunnersOf(c);
+                    if (!will_fail)
+                        session.runStage(c, s, token->token,
+                                         cur_pu == ch.pu ? team.get()
+                                                     : nullptr,
+                                         cur_pu);
+                    double end = secondsSince(t0);
+
+                    if (!will_fail) {
+                        if (faulty) {
+                            // Straggler inflation and throttle windows
+                            // stretch the stage by sleeping out the
+                            // extra wall time.
+                            double stretch = injector.stragglerFactor(
+                                task, s, attempt);
+                            if (stretch > 1.0) {
+                                std::lock_guard<std::mutex> lock(
+                                    fs.mutex);
+                                fs.stats.stragglers += 1;
+                                session.recordEvent(makeFaultEvent(
+                                    TraceEventKind::Straggler, task, s,
+                                    c, cur_pu, start, end));
+                            }
+                            const double f
+                                = injector.slowdownFactor(cur_pu, start);
+                            stretch /= f;
+                            if (stretch > 1.0) {
+                                sleepSeconds((end - start)
+                                             * (stretch - 1.0));
+                                end = secondsSince(t0);
+                            }
+                        }
+                        session.recordEvent(TraceEvent{
+                            task, s, c, cur_pu,
+                            s == ch.firstStage && attempt == 0
+                                    && !remapped
+                                ? queue_wait
+                                : 0.0,
+                            start, end, co, TraceEventKind::Stage,
+                            {}});
+                        break;
+                    }
+
+                    // Transient failure: the kernel never ran, so a
+                    // retry is always side-effect free.
+                    {
+                        std::lock_guard<std::mutex> lock(fs.mutex);
+                        fs.stats.transientFaults += 1;
+                        session.recordEvent(makeFaultEvent(
+                            TraceEventKind::Transient, task, s, c, cur_pu,
+                            start, end));
+                    }
+                    ++attempt;
+                    if (attempt <= cfg.recovery.maxRetries) {
+                        const double backoff
+                            = cfg.recovery.backoffBaseSeconds
+                            * std::pow(cfg.recovery.backoffMultiplier,
+                                       attempt - 1);
+                        {
+                            std::lock_guard<std::mutex> lock(fs.mutex);
+                            fs.stats.retries += 1;
+                            fs.stats.backoffSeconds += backoff;
+                            session.recordEvent(makeFaultEvent(
+                                TraceEventKind::Retry, task, s, c, cur_pu,
+                                end, end,
+                                "attempt " + std::to_string(attempt)));
+                        }
+                        sleepSeconds(backoff);
+                        continue;
+                    }
+                    bool abandoned = true;
+                    if (cfg.recovery.failover && !remapped) {
+                        std::lock_guard<std::mutex> lock(fs.mutex);
+                        const int target = nextBestPu(
+                            model, app, ch.firstStage, ch.lastStage,
+                            fs.puAlive, cur_pu);
+                        if (target >= 0) {
+                            fs.chunkPu[static_cast<std::size_t>(c)]
+                                = target;
+                            fs.stats.remaps += 1;
+                            session.recordEvent(makeFaultEvent(
+                                TraceEventKind::Remap, task, s, c,
+                                target, end, end,
+                                "cur_pu " + std::to_string(cur_pu) + " -> "
+                                    + std::to_string(target)));
+                            remapped = true;
+                            attempt = 0;
+                            abandoned = false;
+                        }
+                    }
+                    if (abandoned) {
+                        {
+                            std::lock_guard<std::mutex> lock(fs.mutex);
+                            fs.stats.unrecovered += 1;
+                            session.recordEvent(makeFaultEvent(
+                                TraceEventKind::Abandon, task, s, c,
+                                cur_pu, end, end));
+                        }
+                        session.recordFailure(task, s);
+                        break;
+                    }
+                }
             }
             running[static_cast<std::size_t>(c)].store(
                 -1, std::memory_order_relaxed);
@@ -167,9 +389,11 @@ HostTimeBackend::run(const core::Application& app,
         t.join();
     recycler.join();
 
-    return session.finish(
+    RunResult result = session.finish(
         secondsSince(t0), busy,
         affinity_ok.load(std::memory_order_relaxed));
+    result.recovery = fs.stats;
+    return result;
 }
 
 } // namespace bt::runtime

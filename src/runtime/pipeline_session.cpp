@@ -76,13 +76,25 @@ PipelineSession::inject(int token, double now)
 
 void
 PipelineSession::runStage(int chunk_index, int stage, int token,
-                          sched::ThreadPool* team) const
+                          sched::ThreadPool* team,
+                          int pu_override) const
 {
     if (!functional_)
         return;
     core::KernelCtx ctx{*pool_[static_cast<std::size_t>(token)], team};
-    app_.stage(stage).run(
-        ctx, soc_.pu(chunk(chunk_index).pu).kind);
+    const int pu
+        = pu_override >= 0 ? pu_override : chunk(chunk_index).pu;
+    app_.stage(stage).run(ctx, soc_.pu(pu).kind);
+}
+
+void
+PipelineSession::recordFailure(std::int64_t task, int stage)
+{
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    if (validationErrors_.size() < 8)
+        validationErrors_.push_back(
+            "task " + std::to_string(task) + ": stage "
+            + std::to_string(stage) + " abandoned after retries");
 }
 
 void
@@ -92,13 +104,15 @@ PipelineSession::complete(int token, double now)
         = tokenTask_[static_cast<std::size_t>(token)];
     BT_ASSERT(task >= 0, "completing an unbound token");
     completeTime_[static_cast<std::size_t>(task)] = now;
-    if (functional_ && cfg_.validate
-        && validationErrors_.size() < 8) {
+    if (functional_ && cfg_.validate) {
         const std::string err
             = app_.validate(*pool_[static_cast<std::size_t>(token)]);
-        if (!err.empty())
-            validationErrors_.push_back(
-                "task " + std::to_string(task) + ": " + err);
+        if (!err.empty()) {
+            std::lock_guard<std::mutex> lock(errorMutex_);
+            if (validationErrors_.size() < 8)
+                validationErrors_.push_back(
+                    "task " + std::to_string(task) + ": " + err);
+        }
     }
 }
 

@@ -89,9 +89,20 @@ class PipelineSession
         return tokenTask_[static_cast<std::size_t>(token)];
     }
 
-    /** Run one stage's kernel on @p token (functional runs only). */
+    /**
+     * Run one stage's kernel on @p token (functional runs only).
+     * @p pu_override selects the kernel flavor when recovery has
+     * remapped the chunk away from its deployed PU (-1 = deployed).
+     */
     void runStage(int chunk_index, int stage, int token,
-                  sched::ThreadPool* team) const;
+                  sched::ThreadPool* team, int pu_override = -1) const;
+
+    /**
+     * Record an unrecovered stage (retries exhausted, no failover
+     * target): counts as a validation error so RunResult::valid() is
+     * false. Thread-safe; bounded like kernel validation errors.
+     */
+    void recordFailure(std::int64_t task, int stage);
 
     /**
      * Tail-chunk completion: record the completion time of the task
@@ -129,6 +140,7 @@ class PipelineSession
     std::vector<double> injectTime_;
     std::vector<double> completeTime_;
     std::vector<std::string> validationErrors_;
+    std::mutex errorMutex_;
 
     TraceTimeline trace_;
     std::mutex traceMutex_;

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Recovery decision helpers shared by the time backends: where a failed
+ * chunk fails over to, and how the remaining schedule degrades when a
+ * PU drops out.
+ *
+ * Failover ranks surviving PUs by the same quantity the BT-Profiler
+ * measures (the interference-heavy stage time of the performance
+ * model), so "profiled next-best PU" means exactly what it would on a
+ * real device with a cached profiling table. Graceful degradation goes
+ * further: it rebuilds that table restricted to surviving PUs and asks
+ * the existing Optimizer for the best remaining schedule, then rebinds
+ * the dead chunks of the deployed geometry to the PUs the new plan
+ * assigns their stages (chunk boundaries are frozen at deployment —
+ * the multi-buffer pool is already allocated against them).
+ */
+
+#ifndef BT_RUNTIME_RECOVERY_HPP
+#define BT_RUNTIME_RECOVERY_HPP
+
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/profiling_table.hpp"
+#include "core/schedule.hpp"
+#include "platform/perf_model.hpp"
+
+namespace bt::runtime {
+
+/**
+ * Profiled next-best surviving PU for stages [first, last]: the alive
+ * PU (excluding @p exclude) minimizing the summed interference-heavy
+ * stage time. @return -1 when no alive PU remains.
+ */
+int nextBestPu(const platform::PerfModel& model,
+               const core::Application& app, int first_stage,
+               int last_stage, const std::vector<bool>& alive,
+               int exclude);
+
+/**
+ * The noiseless profiled table recovery decisions rank against: one
+ * interference-heavy model query per (stage, PU) — the mean the
+ * BT-Profiler's 30 noisy repetitions converge to.
+ */
+core::ProfilingTable modelTable(const platform::PerfModel& model,
+                                const core::Application& app);
+
+/**
+ * Graceful degradation: run the Optimizer over @p app restricted to
+ * the surviving PUs and return its best schedule. Panics if no PU
+ * survives.
+ */
+core::Schedule replanOnSurvivors(const platform::PerfModel& model,
+                                 const core::Application& app,
+                                 const std::vector<bool>& alive);
+
+} // namespace bt::runtime
+
+#endif // BT_RUNTIME_RECOVERY_HPP

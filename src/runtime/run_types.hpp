@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/fault_plan.hpp"
 #include "runtime/trace.hpp"
 
 namespace bt::runtime {
@@ -53,6 +54,13 @@ struct RunConfig
     /** Record the TraceTimeline of the run. */
     bool recordTrace = true;
 
+    /** Faults to inject (empty = none; the fault-free fast path is
+     *  bit-identical to a build without the fault layer). */
+    FaultPlan faults;
+
+    /** How the dispatchers react to injected faults. */
+    RecoveryPolicy recovery;
+
     /**
      * The paper's "one TaskObject per chunk plus one" multi-buffering
      * default: @p requested buffers, or slots + 1 when requested <= 0.
@@ -77,6 +85,9 @@ struct RunResult
 
     /** What actually ran when (empty if recording was disabled). */
     TraceTimeline trace;
+
+    /** Faults survived and the price paid (all zero on clean runs). */
+    RecoveryStats recovery;
 
     /** Average SoC power over the run (watts). */
     double

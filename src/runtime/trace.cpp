@@ -36,6 +36,49 @@ escape(const std::string& s)
 
 } // namespace
 
+const char*
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::Stage:
+        return "stage";
+      case TraceEventKind::Transient:
+        return "transient";
+      case TraceEventKind::Timeout:
+        return "timeout";
+      case TraceEventKind::Straggler:
+        return "straggler";
+      case TraceEventKind::Retry:
+        return "retry";
+      case TraceEventKind::Remap:
+        return "remap";
+      case TraceEventKind::Dropout:
+        return "dropout";
+      case TraceEventKind::Replan:
+        return "replan";
+      case TraceEventKind::Abandon:
+        return "abandon";
+    }
+    return "unknown";
+}
+
+TraceEvent
+makeFaultEvent(TraceEventKind kind, std::int64_t task, int stage,
+               int chunk, int pu, double t0, double t1,
+               std::string note)
+{
+    TraceEvent e;
+    e.task = task;
+    e.stage = stage;
+    e.chunk = chunk;
+    e.pu = pu;
+    e.startSeconds = t0;
+    e.endSeconds = t1;
+    e.kind = kind;
+    e.note = std::move(note);
+    return e;
+}
+
 double
 TraceStats::coResidency(int a, int b) const
 {
@@ -72,7 +115,6 @@ TraceStats
 TraceTimeline::stats() const
 {
     TraceStats st;
-    st.events = static_cast<int>(events_.size());
     st.perPu.resize(static_cast<std::size_t>(numPus_));
     st.coResidencySeconds.assign(
         static_cast<std::size_t>(numPus_ * numPus_), 0.0);
@@ -82,7 +124,12 @@ TraceTimeline::stats() const
     double interfered = 0.0;
     double wait = 0.0;
     for (const auto& e : events_) {
+        if (!e.isStage()) {
+            st.recoveryEvents += 1;
+            continue;
+        }
         BT_ASSERT(e.pu >= 0 && e.pu < numPus_, "event with bad PU");
+        st.events += 1;
         const double d = e.durationSeconds();
         st.makespanSeconds = std::max(st.makespanSeconds, e.endSeconds);
         st.busySeconds += d;
@@ -95,7 +142,8 @@ TraceTimeline::stats() const
     }
     st.interferedFraction
         = st.busySeconds > 0.0 ? interfered / st.busySeconds : 0.0;
-    st.meanQueueWaitSeconds = wait / static_cast<double>(events_.size());
+    st.meanQueueWaitSeconds
+        = st.events > 0 ? wait / static_cast<double>(st.events) : 0.0;
 
     int used_pus = 0;
     for (auto& pu : st.perPu) {
@@ -116,6 +164,8 @@ TraceTimeline::stats() const
     std::vector<double> bounds;
     bounds.reserve(events_.size() * 2);
     for (const auto& e : events_) {
+        if (!e.isStage())
+            continue;
         bounds.push_back(e.startSeconds);
         bounds.push_back(e.endSeconds);
     }
@@ -128,7 +178,8 @@ TraceTimeline::stats() const
         const double t1 = bounds[i + 1];
         std::fill(pu_busy.begin(), pu_busy.end(), 0.0);
         for (const auto& e : events_)
-            if (e.startSeconds <= t0 && e.endSeconds >= t1)
+            if (e.isStage() && e.startSeconds <= t0
+                && e.endSeconds >= t1)
                 pu_busy[static_cast<std::size_t>(e.pu)] = 1.0;
         for (int a = 0; a < numPus_; ++a) {
             if (pu_busy[static_cast<std::size_t>(a)] == 0.0)
@@ -172,6 +223,19 @@ TraceTimeline::writeChromeJson(std::ostream& os) const
     os.precision(17);
     for (const auto& e : events_) {
         sep();
+        if (!e.isStage()) {
+            // Recovery incidents export as process-scoped instants so
+            // they show up as markers above the PU rows.
+            os << "{\"name\":\"" << traceEventKindName(e.kind)
+               << "\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\","
+               << "\"pid\":0,\"tid\":" << std::max(e.pu, 0)
+               << ",\"ts\":" << e.startSeconds * 1e6
+               << ",\"args\":{\"task\":" << e.task
+               << ",\"stage\":" << e.stage << ",\"chunk\":" << e.chunk
+               << ",\"pu\":" << e.pu << ",\"note\":\""
+               << escape(e.note) << "\"}}";
+            continue;
+        }
         const std::string name
             = e.stage >= 0
                 && e.stage < static_cast<int>(stageNames_.size())

@@ -26,6 +26,34 @@
 
 namespace bt::runtime {
 
+/**
+ * What a TraceEvent records: a stage execution (the default, and the
+ * only kind fault-free runs emit) or one of the fault-injection /
+ * recovery incidents of the fault-tolerant runtime.
+ */
+enum class TraceEventKind
+{
+    Stage,     ///< one stage execution on one PU
+    Transient, ///< injected transient failure of an attempt
+    Timeout,   ///< attempt exceeded its timeout budget and was aborted
+    Straggler, ///< attempt inflated by a straggler factor (completed)
+    Retry,     ///< failed attempt re-dispatched after backoff
+    Remap,     ///< chunk failed over to the profiled next-best PU
+    Dropout,   ///< PU removed from service at a timestamp
+    Replan,    ///< remaining schedule re-optimized on surviving PUs
+    Abandon,   ///< retries exhausted; task marked unrecovered
+};
+
+/** Stable lowercase name of a TraceEventKind ("stage", "retry", ...). */
+const char* traceEventKindName(TraceEventKind kind);
+
+struct TraceEvent;
+
+/** Convenience constructor for a typed recovery incident. */
+TraceEvent makeFaultEvent(TraceEventKind kind, std::int64_t task,
+                          int stage, int chunk, int pu, double t0,
+                          double t1, std::string note = {});
+
 /** One stage execution on one PU. */
 struct TraceEvent
 {
@@ -42,7 +70,16 @@ struct TraceEvent
     /** Other PUs busy when this execution started. */
     std::vector<int> coRunners;
 
+    /** Stage for ordinary executions; a recovery incident otherwise.
+     *  (Appended after the original fields so existing aggregate
+     *  initializers keep meaning what they meant.) */
+    TraceEventKind kind = TraceEventKind::Stage;
+
+    /** Free-form detail for recovery incidents ("pu 2 -> 0", ...). */
+    std::string note;
+
     double durationSeconds() const { return endSeconds - startSeconds; }
+    bool isStage() const { return kind == TraceEventKind::Stage; }
 };
 
 /** Per-PU aggregate over a timeline. */
@@ -58,7 +95,10 @@ struct TraceStats
 {
     double makespanSeconds = 0.0; ///< latest event end
     double busySeconds = 0.0;     ///< total stage-execution time
-    int events = 0;
+    int events = 0;               ///< stage executions only
+
+    /** Non-Stage events (faults, retries, remaps, ...). */
+    int recoveryEvents = 0;
 
     /** Idle time on PUs that executed at least one stage. */
     double bubbleSeconds = 0.0;

@@ -1,11 +1,13 @@
 #include "runtime/virtual_backend.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "runtime/pipeline_session.hpp"
+#include "runtime/recovery.hpp"
 #include "sim/engine.hpp"
 
 namespace bt::runtime {
@@ -22,6 +24,13 @@ struct ChunkRuntime
     double stageStart = 0.0;
     double busyAccum = 0.0;
     TraceEvent pending;     ///< stage execution being recorded
+
+    // --- fault-layer state (untouched on fault-free runs) ---
+    int attempt = 0;          ///< retry count of the current stage
+    bool willFail = false;    ///< this attempt was drawn as a transient
+    bool remapped = false;    ///< already failed over once this stage
+    std::uint64_t seq = 0;    ///< invalidates stale timeout/retry timers
+    sim::TaskId simId = -1;   ///< engine task of the in-flight attempt
 };
 
 } // namespace
@@ -71,6 +80,8 @@ VirtualTimeBackend::run(const core::Application& app,
                         const RunConfig& cfg) const
 {
     const auto& soc = model_.soc();
+    const int num_pus = soc.numPus();
+    cfg.faults.validate(num_pus);
     PipelineSession session(app, schedule, soc, cfg, "virtual",
                             cfg.runKernels);
 
@@ -80,6 +91,24 @@ VirtualTimeBackend::run(const core::Application& app,
     // --- dispatcher state ---------------------------------------------
     std::vector<ChunkRuntime> chunks(
         static_cast<std::size_t>(num_chunks));
+
+    // --- fault layer ---------------------------------------------------
+    // Everything below is inert on fault-free runs: chunkPu mirrors the
+    // deployed bindings, clockScale stays empty (the performance model
+    // short-circuits an empty span), and no timer is ever armed - the
+    // event sequence is bit-identical to a build without this layer.
+    const FaultInjector injector(cfg.faults, soc.seed ^ cfg.noiseSalt);
+    const bool faulty = injector.enabled();
+    RecoveryStats stats;
+    std::vector<int> chunk_pu(static_cast<std::size_t>(num_chunks));
+    for (int c = 0; c < num_chunks; ++c)
+        chunk_pu[static_cast<std::size_t>(c)] = session.chunk(c).pu;
+    std::vector<bool> pu_alive(static_cast<std::size_t>(num_pus), true);
+    std::vector<double> clock_scale; // empty = no throttling anywhere
+    if (faulty)
+        clock_scale.assign(static_cast<std::size_t>(num_pus), 1.0);
+    int completed_tasks = 0;
+    bool done = false;
 
     // queues[c] feeds chunk c; the last queue recycles into queue 0.
     std::vector<std::deque<int>> queues(
@@ -106,16 +135,17 @@ VirtualTimeBackend::run(const core::Application& app,
                       "active task on idle chunk");
             loads[i] = platform::Load{
                 &app.stage(rt.curStage).work(),
-                session.chunk(static_cast<int>(active[i].tag)).pu};
+                chunk_pu[static_cast<std::size_t>(active[i].tag)]};
         }
         for (std::size_t i = 0; i < active.size(); ++i)
-            rates[i] = 1.0 / model_.timeOf(i, loads);
+            rates[i] = 1.0 / model_.timeOf(i, loads, clock_scale);
     });
 
     EnergyMeter meter(model_, [&](std::vector<bool>& active) {
         for (int c = 0; c < num_chunks; ++c)
             if (chunks[static_cast<std::size_t>(c)].busy)
-                active[static_cast<std::size_t>(session.chunk(c).pu)]
+                active[static_cast<std::size_t>(
+                    chunk_pu[static_cast<std::size_t>(c)])]
                     = true;
     });
     meter.attach(engine);
@@ -124,30 +154,165 @@ VirtualTimeBackend::run(const core::Application& app,
         std::vector<int> pus;
         for (int c = 0; c < num_chunks; ++c)
             if (c != self && chunks[static_cast<std::size_t>(c)].busy)
-                pus.push_back(session.chunk(c).pu);
+                pus.push_back(chunk_pu[static_cast<std::size_t>(c)]);
         return pus;
     };
+    auto puOf = [&](int c) {
+        return chunk_pu[static_cast<std::size_t>(c)];
+    };
 
-    auto startStage = [&](int c, int stage, double queue_wait) {
+    // Mutual recursion across the dispatch/recovery state machine.
+    std::function<void(int)> tryStart;
+    std::function<void(int, int, double)> startAttempt;
+    std::function<void(int, TraceEventKind)> handleFailure;
+    std::function<void(int)> advanceChunk;
+
+    /** Begin one attempt of (chunk c, stage). On fault-free runs this
+     *  is exactly the old startStage: one engine task whose work is the
+     *  seeded noise factor. */
+    startAttempt = [&](int c, int stage, double queue_wait) {
         auto& rt = chunks[static_cast<std::size_t>(c)];
         rt.curStage = stage;
         rt.stageStart = engine.now();
         rt.pending = TraceEvent{rt.curTask,
                                 stage,
                                 c,
-                                session.chunk(c).pu,
+                                puOf(c),
                                 queue_wait,
                                 engine.now(),
                                 0.0,
-                                coRunnersOf(c)};
-        session.runStage(c, stage, rt.curToken, nullptr);
-        engine.startTask(static_cast<std::uint64_t>(c),
-                         noiseFactor(soc, cfg.noiseSalt, 0, rt.curTask,
-                                     stage));
+                                coRunnersOf(c),
+                                TraceEventKind::Stage,
+                                {}};
+        double work = noiseFactor(soc, cfg.noiseSalt, 0, rt.curTask,
+                                  stage);
+        if (faulty) {
+            rt.willFail = injector.transientFailure(rt.curTask, stage,
+                                                    puOf(c), rt.attempt);
+            const double straggle
+                = injector.stragglerFactor(rt.curTask, stage,
+                                           rt.attempt);
+            if (straggle > 1.0) {
+                stats.stragglers += 1;
+                session.recordEvent(makeFaultEvent(
+                    TraceEventKind::Straggler, rt.curTask, stage, c,
+                    puOf(c), engine.now(), engine.now(),
+                    "x" + std::to_string(straggle)));
+                work *= straggle;
+            }
+            // Arm the watchdog: abort the attempt when it exceeds its
+            // share-agnostic budget. The seq guard retires the timer if
+            // the attempt finishes (or is re-dispatched) first.
+            const std::uint64_t seq = ++rt.seq;
+            const double budget = cfg.recovery.timeoutFactor
+                * model_.isolatedTime(app.stage(stage).work(), puOf(c));
+            engine.scheduleAt(engine.now() + budget, [&, c, seq] {
+                auto& w = chunks[static_cast<std::size_t>(c)];
+                if (w.seq != seq || !w.busy)
+                    return;
+                if (engine.cancelTask(w.simId))
+                    w.busyAccum += engine.now() - w.stageStart;
+                stats.timeouts += 1;
+                handleFailure(c, TraceEventKind::Timeout);
+            });
+        }
+        rt.simId = engine.startTask(static_cast<std::uint64_t>(c), work);
     };
 
-    // Forward declaration via std::function for mutual recursion.
-    std::function<void(int)> tryStart = [&](int c) {
+    /** Stage done (or abandoned): move to the next stage or hand the
+     *  token downstream / recycle it. */
+    advanceChunk = [&](int c) {
+        auto& rt = chunks[static_cast<std::size_t>(c)];
+        if (rt.curStage < session.chunk(c).lastStage) {
+            rt.attempt = 0;
+            rt.remapped = false;
+            startAttempt(c, rt.curStage + 1, 0.0);
+            return;
+        }
+        // Chunk finished: hand the token downstream (or recycle).
+        const int token = rt.curToken;
+        rt.busy = false;
+        rt.curStage = -1;
+        rt.curToken = -1;
+        rt.curTask = -1;
+        rt.attempt = 0;
+        rt.remapped = false;
+
+        if (c + 1 < num_chunks) {
+            enqueue_time[static_cast<std::size_t>(c + 1)]
+                        [static_cast<std::size_t>(token)]
+                = engine.now();
+            queues[static_cast<std::size_t>(c + 1)].push_back(token);
+            tryStart(c + 1);
+        } else {
+            session.complete(token, engine.now());
+            if (++completed_tasks == cfg.numTasks)
+                done = true;
+            enqueue_time[0][static_cast<std::size_t>(token)]
+                = engine.now();
+            queues[0].push_back(token);
+            tryStart(0);
+        }
+        tryStart(c); // pull the next token into this chunk
+    };
+
+    /** One attempt failed (transient or timeout): retry with backoff,
+     *  then fail over to the profiled next-best PU, then abandon. */
+    handleFailure = [&](int c, TraceEventKind kind) {
+        auto& rt = chunks[static_cast<std::size_t>(c)];
+        session.recordEvent(makeFaultEvent(kind, rt.curTask, rt.curStage, c,
+                                       puOf(c), rt.stageStart,
+                                       engine.now()));
+        rt.attempt += 1;
+        if (rt.attempt <= cfg.recovery.maxRetries) {
+            const double backoff = cfg.recovery.backoffBaseSeconds
+                * std::pow(cfg.recovery.backoffMultiplier,
+                           rt.attempt - 1);
+            stats.retries += 1;
+            stats.backoffSeconds += backoff;
+            const std::uint64_t seq = ++rt.seq;
+            engine.scheduleAt(engine.now() + backoff, [&, c, seq] {
+                auto& w = chunks[static_cast<std::size_t>(c)];
+                if (w.seq != seq)
+                    return; // superseded (e.g. dropout re-dispatch)
+                session.recordEvent(makeFaultEvent(
+                    TraceEventKind::Retry, w.curTask, w.curStage, c,
+                    puOf(c), engine.now(), engine.now(),
+                    "attempt " + std::to_string(w.attempt)));
+                startAttempt(c, w.curStage, 0.0);
+            });
+            return;
+        }
+        const ChunkSpec& spec = session.chunk(c);
+        if (cfg.recovery.failover && !rt.remapped) {
+            const int target
+                = nextBestPu(model_, app, spec.firstStage,
+                             spec.lastStage, pu_alive, puOf(c));
+            if (target >= 0) {
+                session.recordEvent(makeFaultEvent(
+                    TraceEventKind::Remap, rt.curTask, rt.curStage, c,
+                    target, engine.now(), engine.now(),
+                    "pu " + std::to_string(puOf(c)) + " -> "
+                        + std::to_string(target)));
+                stats.remaps += 1;
+                chunk_pu[static_cast<std::size_t>(c)] = target;
+                rt.remapped = true;
+                rt.attempt = 0;
+                startAttempt(c, rt.curStage, 0.0);
+                return;
+            }
+        }
+        // Out of options: surface the loss and keep the stream moving.
+        stats.unrecovered += 1;
+        session.recordEvent(makeFaultEvent(TraceEventKind::Abandon,
+                                       rt.curTask, rt.curStage, c,
+                                       puOf(c), engine.now(),
+                                       engine.now()));
+        session.recordFailure(rt.curTask, rt.curStage);
+        advanceChunk(c);
+    };
+
+    tryStart = [&](int c) {
         auto& rt = chunks[static_cast<std::size_t>(c)];
         if (rt.busy)
             return;
@@ -163,48 +328,140 @@ VirtualTimeBackend::run(const core::Application& app,
         if (c == 0)
             session.inject(token, engine.now());
         rt.curTask = session.taskOf(token);
-        startStage(c, session.chunk(c).firstStage,
-                   engine.now()
-                       - enqueue_time[static_cast<std::size_t>(c)]
-                                     [static_cast<std::size_t>(token)]);
+        rt.attempt = 0;
+        rt.remapped = false;
+        startAttempt(c, session.chunk(c).firstStage,
+                     engine.now()
+                         - enqueue_time[static_cast<std::size_t>(c)]
+                                       [static_cast<std::size_t>(
+                                           token)]);
     };
 
     engine.onComplete([&](sim::TaskId, std::uint64_t tag) {
         const int c = static_cast<int>(tag);
         auto& rt = chunks[static_cast<std::size_t>(c)];
+        ++rt.seq; // retire the attempt's watchdog
         rt.busyAccum += engine.now() - rt.stageStart;
-        rt.pending.endSeconds = engine.now();
-        session.recordEvent(rt.pending);
-        if (rt.curStage < session.chunk(c).lastStage) {
-            startStage(c, rt.curStage + 1, 0.0);
+        if (faulty && rt.willFail) {
+            rt.willFail = false;
+            stats.transientFaults += 1;
+            handleFailure(c, TraceEventKind::Transient);
             return;
         }
-        // Chunk finished: hand the token downstream (or recycle).
-        const int token = rt.curToken;
-        rt.busy = false;
-        rt.curStage = -1;
-        rt.curToken = -1;
-        rt.curTask = -1;
-
-        if (c + 1 < num_chunks) {
-            enqueue_time[static_cast<std::size_t>(c + 1)]
-                        [static_cast<std::size_t>(token)]
-                = engine.now();
-            queues[static_cast<std::size_t>(c + 1)].push_back(token);
-            tryStart(c + 1);
-        } else {
-            session.complete(token, engine.now());
-            enqueue_time[0][static_cast<std::size_t>(token)]
-                = engine.now();
-            queues[0].push_back(token);
-            tryStart(0);
-        }
-        tryStart(c); // pull the next token into this chunk
+        rt.pending.endSeconds = engine.now();
+        session.recordEvent(rt.pending);
+        // Kernels run at stage completion, not dispatch: a failed or
+        // aborted attempt must commit no side effects, or a retry would
+        // re-apply an in-place stage mutation.
+        session.runStage(c, rt.curStage, rt.curToken, nullptr, puOf(c));
+        advanceChunk(c);
     });
 
-    // Prime the pipeline and run to completion.
+    // --- scheduled fault sources (throttle windows, dropouts) ----------
+    std::function<void()> armSlowdown = [&] {
+        const double next = injector.nextSlowdownBoundary(engine.now());
+        if (!std::isfinite(next))
+            return;
+        engine.scheduleAt(next, [&] {
+            for (int p = 0; p < num_pus; ++p)
+                clock_scale[static_cast<std::size_t>(p)]
+                    = injector.slowdownFactor(p, engine.now());
+            armSlowdown();
+        });
+    };
+    if (faulty) {
+        for (int p = 0; p < num_pus; ++p)
+            clock_scale[static_cast<std::size_t>(p)]
+                = injector.slowdownFactor(p, 0.0);
+        armSlowdown();
+
+        for (const auto& d : injector.dropouts()) {
+            engine.scheduleAt(d.atSeconds, [&, d] {
+                if (!pu_alive[static_cast<std::size_t>(d.pu)])
+                    return;
+                pu_alive[static_cast<std::size_t>(d.pu)] = false;
+                stats.dropouts += 1;
+                session.recordEvent(makeFaultEvent(
+                    TraceEventKind::Dropout, -1, -1, -1, d.pu,
+                    engine.now(), engine.now()));
+
+                std::vector<int> affected;
+                for (int c = 0; c < num_chunks; ++c)
+                    if (puOf(c) == d.pu)
+                        affected.push_back(c);
+                if (affected.empty())
+                    return;
+
+                // Rebind the dead chunks: degrade re-plans the whole
+                // remaining schedule on the survivors; otherwise each
+                // chunk just fails over individually.
+                if (cfg.recovery.degrade) {
+                    const core::Schedule plan
+                        = replanOnSurvivors(model_, app, pu_alive);
+                    stats.replans += 1;
+                    session.recordEvent(makeFaultEvent(
+                        TraceEventKind::Replan, -1, -1, -1, d.pu,
+                        engine.now(), engine.now()));
+                    const auto assign = plan.toAssignment();
+                    for (const int c : affected) {
+                        const int target = assign[static_cast<
+                            std::size_t>(session.chunk(c).firstStage)];
+                        session.recordEvent(makeFaultEvent(
+                            TraceEventKind::Remap, -1, -1, c, target,
+                            engine.now(), engine.now(),
+                            "pu " + std::to_string(d.pu) + " -> "
+                                + std::to_string(target)));
+                        stats.remaps += 1;
+                        chunk_pu[static_cast<std::size_t>(c)] = target;
+                    }
+                } else {
+                    for (const int c : affected) {
+                        const ChunkSpec& spec = session.chunk(c);
+                        const int target
+                            = nextBestPu(model_, app, spec.firstStage,
+                                         spec.lastStage, pu_alive,
+                                         puOf(c));
+                        if (target < 0)
+                            continue; // nothing left; attempts abandon
+                        session.recordEvent(makeFaultEvent(
+                            TraceEventKind::Remap, -1, -1, c, target,
+                            engine.now(), engine.now(),
+                            "pu " + std::to_string(d.pu) + " -> "
+                                + std::to_string(target)));
+                        stats.remaps += 1;
+                        chunk_pu[static_cast<std::size_t>(c)] = target;
+                    }
+                }
+
+                // Re-dispatch attempts that were in flight on the dead
+                // PU (also cancels pending retries via the seq bump).
+                for (const int c : affected) {
+                    auto& rt = chunks[static_cast<std::size_t>(c)];
+                    if (!rt.busy)
+                        continue;
+                    if (engine.cancelTask(rt.simId))
+                        rt.busyAccum += engine.now() - rt.stageStart;
+                    ++rt.seq;
+                    rt.willFail = false;
+                    rt.attempt = 0;
+                    rt.remapped = false;
+                    startAttempt(c, rt.curStage, 0.0);
+                }
+            });
+        }
+    }
+
+    // Prime the pipeline and run to completion. Fault plans may leave
+    // timers scheduled past the last completion (a dropout that never
+    // came, the tail of a throttle window), so the faulty path steps
+    // until the stream drains instead of draining the timer queue.
     tryStart(0);
-    engine.run();
+    if (faulty) {
+        while (!done && engine.step()) {
+        }
+    } else {
+        engine.run();
+    }
 
     std::vector<double> busy(static_cast<std::size_t>(num_chunks));
     for (int c = 0; c < num_chunks; ++c)
@@ -214,6 +471,7 @@ VirtualTimeBackend::run(const core::Application& app,
     RunResult result = session.finish(engine.now(), busy,
                                       /*affinity_applied=*/true);
     result.energyJoules = meter.joules();
+    result.recovery = stats;
     return result;
 }
 

@@ -32,6 +32,20 @@ Engine::startTask(std::uint64_t tag, double work)
     return t.id;
 }
 
+bool
+Engine::cancelTask(TaskId id)
+{
+    const auto it
+        = std::find_if(active.begin(), active.end(),
+                       [id](const ActiveTask& t) { return t.id == id; });
+    if (it == active.end())
+        return false;
+    active.erase(it);
+    startTimes.erase(id);
+    ratesStale = true;
+    return true;
+}
+
 double
 Engine::startTime(TaskId id) const
 {

@@ -83,6 +83,13 @@ class Engine
     /** Number of currently active tasks. */
     std::size_t activeCount() const { return active.size(); }
 
+    /**
+     * Abort @p id: remove it from the active set without firing the
+     * completion callback (the fault layer's timeout path).
+     * @return whether the task was still active.
+     */
+    bool cancelTask(TaskId id);
+
     /** Virtual time at which @p id started. */
     double startTime(TaskId id) const;
 

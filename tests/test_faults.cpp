@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Tests for the fault-injection and recovery layer: the empty-plan
+ * bit-identity invariant across every enumerable schedule, seeded
+ * determinism of injected faults and every recovery decision,
+ * exactly-once kernel semantics under retries in both time backends,
+ * timeout/straggler interplay, slowdown windows, mid-stream PU dropout
+ * with graceful degradation, and the FaultPlan JSON round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+
+#include "apps/octree_app.hpp"
+#include "core/native_executor.hpp"
+#include "core/sim_executor.hpp"
+#include "platform/devices.hpp"
+#include "runtime/fault_plan.hpp"
+#include "runtime/run_types.hpp"
+
+namespace bt::core {
+namespace {
+
+// ---------------------------------------------------------------------
+// A tiny 3-stage pipeline whose kernels are invertible integer maps, so
+// a validator can prove each stage ran exactly once per task - the
+// property retries must preserve.
+
+constexpr int kElems = 64;
+
+std::uint32_t
+seedInput(std::uint64_t seed, std::int64_t task, int i)
+{
+    std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ull
+                              * static_cast<std::uint64_t>(task + 1));
+    x ^= static_cast<std::uint64_t>(i) * 0xbf58476d1ce4e5b9ull;
+    return static_cast<std::uint32_t>(x >> 16);
+}
+
+void
+mapA(std::uint32_t& x)
+{
+    x = x * 2654435761u + 17u;
+}
+
+void
+mapB(std::uint32_t& x)
+{
+    x ^= x >> 11;
+}
+
+void
+mapC(std::uint32_t& x)
+{
+    x += 0x9e3779b9u;
+}
+
+Application
+exactlyOnceApp(std::uint64_t device_seed)
+{
+    Application app("ExactlyOnce", "token", "test");
+    auto add = [&](const char* name, void (*fn)(std::uint32_t&)) {
+        platform::WorkProfile w;
+        w.flops = 1e5;
+        w.bytes = 1e3;
+        w.parallelFraction = 1.0;
+        w.pattern = platform::Pattern::Dense;
+        app.addStage(Stage(name, w,
+                           [fn](KernelCtx& ctx) {
+                               for (auto& x :
+                                    ctx.task.view<std::uint32_t>(
+                                        "data"))
+                                   fn(x);
+                           },
+                           nullptr));
+    };
+    add("a", mapA);
+    add("b", mapB);
+    add("c", mapC);
+
+    app.setTaskFactory([](std::int64_t task, std::uint64_t seed) {
+        auto obj = std::make_unique<TaskObject>();
+        obj->addBuffer("data", kElems * sizeof(std::uint32_t));
+        auto data = obj->view<std::uint32_t>("data");
+        for (int i = 0; i < kElems; ++i)
+            data[static_cast<std::size_t>(i)] = seedInput(seed, task, i);
+        return obj;
+    });
+    app.setTaskRefresher(
+        [](TaskObject& obj, std::int64_t task, std::uint64_t seed) {
+            obj.setTaskIndex(task);
+            auto data = obj.view<std::uint32_t>("data");
+            for (int i = 0; i < kElems; ++i)
+                data[static_cast<std::size_t>(i)]
+                    = seedInput(seed, task, i);
+        });
+    app.setValidator([device_seed](const TaskObject& obj) {
+        const std::int64_t task = obj.taskIndex();
+        const auto data = obj.view<const std::uint32_t>("data");
+        for (int i = 0; i < kElems; ++i) {
+            std::uint32_t expect = seedInput(device_seed, task, i);
+            mapA(expect);
+            mapB(expect);
+            mapC(expect);
+            if (data[static_cast<std::size_t>(i)] != expect)
+                return std::string("element ") + std::to_string(i)
+                    + " ran a stage zero or twice";
+        }
+        return std::string();
+    });
+    return app;
+}
+
+int
+countKind(const runtime::TraceTimeline& trace,
+          runtime::TraceEventKind kind)
+{
+    int n = 0;
+    for (const auto& e : trace.events())
+        n += e.kind == kind ? 1 : 0;
+    return n;
+}
+
+void
+expectSameStats(const runtime::RecoveryStats& a,
+                const runtime::RecoveryStats& b)
+{
+    EXPECT_EQ(a.transientFaults, b.transientFaults);
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.stragglers, b.stragglers);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.remaps, b.remaps);
+    EXPECT_EQ(a.dropouts, b.dropouts);
+    EXPECT_EQ(a.replans, b.replans);
+    EXPECT_EQ(a.unrecovered, b.unrecovered);
+    EXPECT_DOUBLE_EQ(a.backoffSeconds, b.backoffSeconds);
+}
+
+// ---------------------------------------------------------------------
+// S1: an empty FaultPlan is bit-identical to a run without the fault
+// machinery, across every enumerable schedule of the small app.
+
+TEST(EmptyFaultPlan, BitIdenticalAcrossAllSchedules)
+{
+    const auto soc = platform::pixel7a(); // noisy device
+    const platform::PerfModel model(soc);
+    const auto app = exactlyOnceApp(soc.seed);
+
+    SimExecConfig plain;
+    plain.numTasks = 6;
+
+    // Same run with the whole recovery config populated: an empty plan
+    // must keep every fault path cold regardless of the policy.
+    SimExecConfig armed = plain;
+    armed.faults.faultSeed = 0xabcdef;
+    armed.recovery.timeoutFactor = 2.0;
+    armed.recovery.maxRetries = 9;
+    ASSERT_TRUE(armed.faults.empty());
+
+    for (const auto& schedule :
+         enumerateSchedules(app.numStages(), soc.numPus())) {
+        const auto a = SimExecutor(model, plain).execute(app, schedule);
+        const auto b = SimExecutor(model, armed).execute(app, schedule);
+        const auto label = schedule.compactString();
+        EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds) << label;
+        EXPECT_DOUBLE_EQ(a.taskIntervalSeconds, b.taskIntervalSeconds)
+            << label;
+        EXPECT_DOUBLE_EQ(a.meanLatencySeconds, b.meanLatencySeconds)
+            << label;
+        EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules) << label;
+        EXPECT_EQ(a.trace.size(), b.trace.size()) << label;
+        EXPECT_TRUE(b.recovery.cleanRun()) << label;
+        EXPECT_EQ(b.trace.stats().recoveryEvents, 0) << label;
+    }
+}
+
+// ---------------------------------------------------------------------
+// S2: fixed seeds reproduce every fault and every recovery decision.
+
+TEST(FaultDeterminism, SameSaltReproducesFaultsAndRecoveryExactly)
+{
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto app = apps::octreeApp();
+    const auto schedule
+        = Schedule::fromAssignment({0, 1, 1, 3, 3, 3, 2});
+
+    SimExecConfig cfg;
+    cfg.noiseSalt = 0xfeedface;
+    cfg.faults.transients.push_back({-1, -1, 0.2});
+    cfg.faults.stragglers.push_back({-1, 0.1, 4.0});
+
+    const auto a = SimExecutor(model, cfg).execute(app, schedule);
+    const auto b = SimExecutor(model, cfg).execute(app, schedule);
+    EXPECT_GT(a.recovery.transientFaults, 0);
+    EXPECT_GT(a.recovery.retries, 0);
+    EXPECT_EQ(a.recovery.unrecovered, 0);
+    EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules);
+    expectSameStats(a.recovery, b.recovery);
+    EXPECT_EQ(a.trace.size(), b.trace.size());
+
+    // A different fault seed draws a different fault pattern.
+    SimExecConfig other = cfg;
+    other.faults.faultSeed = 0x5eed;
+    const auto c = SimExecutor(model, other).execute(app, schedule);
+    EXPECT_TRUE(c.makespanSeconds != a.makespanSeconds
+                || c.recovery.transientFaults
+                       != a.recovery.transientFaults);
+}
+
+TEST(FaultDeterminism, InjectorIsAPureFunctionOfItsInputs)
+{
+    runtime::FaultPlan plan;
+    plan.transients.push_back({2, -1, 0.5});
+    plan.stragglers.push_back({-1, 0.5, 8.0});
+    const runtime::FaultInjector x(plan, 42);
+    const runtime::FaultInjector y(plan, 42);
+    const runtime::FaultInjector z(plan, 43);
+
+    int diverged = 0;
+    for (std::int64_t task = 0; task < 64; ++task) {
+        EXPECT_EQ(x.transientFailure(task, 2, 0, 0),
+                  y.transientFailure(task, 2, 0, 0));
+        EXPECT_DOUBLE_EQ(x.stragglerFactor(task, 1, 0),
+                         y.stragglerFactor(task, 1, 0));
+        diverged += x.transientFailure(task, 2, 0, 0)
+                 != z.transientFailure(task, 2, 0, 0);
+        // The rule filters on stage 2: other stages never fail.
+        EXPECT_FALSE(x.transientFailure(task, 1, 0, 0));
+    }
+    EXPECT_GT(diverged, 0);
+}
+
+// ---------------------------------------------------------------------
+// Retries preserve exactly-once kernel semantics in both backends.
+
+TEST(FaultRecovery, VirtualRetriesKeepKernelsExactlyOnce)
+{
+    const auto soc = platform::nativeHost();
+    const platform::PerfModel model(soc);
+    const auto app = exactlyOnceApp(soc.seed);
+
+    SimExecConfig cfg;
+    cfg.numTasks = 16;
+    cfg.runKernels = true;
+    cfg.faults.transients.push_back({-1, -1, 0.25});
+
+    const auto run = SimExecutor(model, cfg)
+                         .execute(app, Schedule::fromAssignment(
+                                           {0, 1, 1}));
+    EXPECT_TRUE(run.validationErrors.empty())
+        << run.validationErrors.front();
+    EXPECT_EQ(run.tasks, 16);
+    EXPECT_GT(run.recovery.transientFaults, 0);
+    EXPECT_GT(run.recovery.retries, 0);
+    EXPECT_EQ(countKind(run.trace, runtime::TraceEventKind::Transient),
+              run.recovery.transientFaults);
+    EXPECT_EQ(countKind(run.trace, runtime::TraceEventKind::Stage),
+              16 * app.numStages());
+}
+
+TEST(FaultRecovery, HostRetriesKeepKernelsExactlyOnce)
+{
+    const auto soc = platform::nativeHost();
+    const auto app = exactlyOnceApp(soc.seed);
+
+    NativeExecConfig cfg;
+    cfg.numTasks = 16;
+    cfg.faults.transients.push_back({-1, -1, 0.25});
+
+    const auto run = NativeExecutor(soc, cfg)
+                         .execute(app, Schedule::fromAssignment(
+                                           {0, 1, 1}));
+    EXPECT_TRUE(run.validationErrors.empty())
+        << run.validationErrors.front();
+    EXPECT_EQ(run.tasks, 16);
+    EXPECT_GT(run.recovery.transientFaults, 0);
+    EXPECT_GT(run.recovery.retries, 0);
+    EXPECT_EQ(run.recovery.unrecovered, 0);
+    // Host transient draws are coordinate-seeded too, so the injected
+    // fault count is reproducible even though wall timing is not.
+    const auto again = NativeExecutor(soc, cfg)
+                           .execute(app, Schedule::fromAssignment(
+                                           {0, 1, 1}));
+    EXPECT_EQ(again.recovery.transientFaults,
+              run.recovery.transientFaults);
+}
+
+// ---------------------------------------------------------------------
+// Timeout watchdog: stragglers big enough to blow the budget are
+// aborted and retried; the run still completes every task.
+
+TEST(FaultRecovery, StragglersTripTimeoutsAndRecover)
+{
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto app = apps::octreeApp();
+
+    SimExecConfig cfg;
+    cfg.faults.stragglers.push_back({-1, 0.05, 100.0});
+    cfg.recovery.timeoutFactor = 8.0;
+
+    const auto run
+        = SimExecutor(model, cfg)
+              .execute(app,
+                       Schedule::fromAssignment({0, 1, 1, 3, 3, 3, 2}));
+    EXPECT_EQ(run.tasks, 30);
+    EXPECT_GT(run.recovery.stragglers, 0);
+    EXPECT_GT(run.recovery.timeouts, 0);
+    EXPECT_GT(run.recovery.retries, 0);
+    EXPECT_EQ(run.recovery.unrecovered, 0);
+    EXPECT_EQ(countKind(run.trace, runtime::TraceEventKind::Timeout),
+              run.recovery.timeouts);
+}
+
+// ---------------------------------------------------------------------
+// Slowdown windows stretch the makespan, deterministically.
+
+TEST(FaultInjection, SlowdownWindowStretchesTheRun)
+{
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto app = apps::octreeApp();
+    const auto schedule
+        = Schedule::fromAssignment({0, 1, 1, 3, 3, 3, 2});
+
+    SimExecConfig clean;
+    const auto base = SimExecutor(model, clean).execute(app, schedule);
+
+    // Throttle the bottleneck chunk's PU: the whole stream slows.
+    SimExecConfig cfg;
+    cfg.faults.slowdowns.push_back({0, 0.0, 10.0, 0.4});
+    const auto slow = SimExecutor(model, cfg).execute(app, schedule);
+    EXPECT_GT(slow.makespanSeconds, 1.2 * base.makespanSeconds);
+    EXPECT_EQ(slow.tasks, base.tasks);
+    EXPECT_EQ(slow.recovery.unrecovered, 0);
+
+    const auto slow2 = SimExecutor(model, cfg).execute(app, schedule);
+    EXPECT_DOUBLE_EQ(slow.makespanSeconds, slow2.makespanSeconds);
+}
+
+// ---------------------------------------------------------------------
+// Mid-stream PU dropout: graceful degradation re-plans on survivors and
+// the stream still completes every task.
+
+TEST(FaultRecovery, DropoutMidStreamCompletesAllTasks)
+{
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto app = apps::octreeApp();
+    const auto schedule
+        = Schedule::fromAssignment({0, 1, 1, 3, 3, 3, 2});
+
+    SimExecConfig cfg;
+    cfg.faults.dropouts.push_back({3, 0.02}); // lose the GPU mid-run
+
+    const auto run = SimExecutor(model, cfg).execute(app, schedule);
+    EXPECT_EQ(run.tasks, 30);
+    EXPECT_EQ(run.recovery.dropouts, 1);
+    EXPECT_EQ(run.recovery.replans, 1);
+    EXPECT_GT(run.recovery.remaps, 0);
+    EXPECT_EQ(run.recovery.unrecovered, 0);
+    EXPECT_EQ(countKind(run.trace, runtime::TraceEventKind::Dropout),
+              1);
+    EXPECT_EQ(countKind(run.trace, runtime::TraceEventKind::Replan),
+              1);
+    EXPECT_EQ(countKind(run.trace, runtime::TraceEventKind::Stage),
+              30 * app.numStages());
+    // Nothing executes on the dead PU after the dropout instant.
+    for (const auto& e : run.trace.events()) {
+        if (e.isStage() && e.pu == 3) {
+            EXPECT_LE(e.startSeconds, 0.02 + 1e-9);
+        }
+    }
+
+    // With degradation off, per-chunk failover still finishes the run.
+    SimExecConfig failover = cfg;
+    failover.recovery.degrade = false;
+    const auto alt = SimExecutor(model, failover).execute(app, schedule);
+    EXPECT_EQ(alt.tasks, 30);
+    EXPECT_EQ(alt.recovery.replans, 0);
+    EXPECT_GT(alt.recovery.remaps, 0);
+    EXPECT_EQ(alt.recovery.unrecovered, 0);
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan JSON round trip (the bt_explorer --faults format).
+
+TEST(FaultPlanJson, RoundTripsThroughItsOwnSerialization)
+{
+    runtime::FaultPlan plan;
+    plan.slowdowns.push_back({1, 0.1, 0.5, 0.4});
+    plan.transients.push_back({2, 3, 0.05});
+    plan.stragglers.push_back({-1, 0.01, 10.0});
+    plan.dropouts.push_back({3, 0.2});
+    plan.faultSeed = 7;
+
+    std::stringstream ss;
+    plan.toJson(ss);
+    const auto parsed = runtime::FaultPlan::fromJson(ss);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->slowdowns.size(), 1u);
+    EXPECT_EQ(parsed->slowdowns[0].pu, 1);
+    EXPECT_DOUBLE_EQ(parsed->slowdowns[0].startSeconds, 0.1);
+    EXPECT_DOUBLE_EQ(parsed->slowdowns[0].endSeconds, 0.5);
+    EXPECT_DOUBLE_EQ(parsed->slowdowns[0].clockFactor, 0.4);
+    ASSERT_EQ(parsed->transients.size(), 1u);
+    EXPECT_EQ(parsed->transients[0].stage, 2);
+    EXPECT_EQ(parsed->transients[0].pu, 3);
+    EXPECT_DOUBLE_EQ(parsed->transients[0].probability, 0.05);
+    ASSERT_EQ(parsed->stragglers.size(), 1u);
+    EXPECT_EQ(parsed->stragglers[0].stage, -1);
+    EXPECT_DOUBLE_EQ(parsed->stragglers[0].factor, 10.0);
+    ASSERT_EQ(parsed->dropouts.size(), 1u);
+    EXPECT_EQ(parsed->dropouts[0].pu, 3);
+    EXPECT_DOUBLE_EQ(parsed->dropouts[0].atSeconds, 0.2);
+    EXPECT_EQ(parsed->faultSeed, 7u);
+
+    std::stringstream bad("{\"transients\": [{\"probability\": ");
+    EXPECT_FALSE(runtime::FaultPlan::fromJson(bad).has_value());
+}
+
+} // namespace
+} // namespace bt::core

@@ -47,8 +47,13 @@ TEST(RunConfig, ResolveBuffersDefaultsToSlotsPlusOne)
 
 TEST(RunTypes, LegacyResultTypesAreTheUnifiedResult)
 {
+    // The aliases are deprecated but must stay the unified result until
+    // removal; this is the one place still allowed to name them.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     static_assert(std::is_same_v<ExecutionResult, runtime::RunResult>);
     static_assert(std::is_same_v<NativeResult, runtime::RunResult>);
+#pragma GCC diagnostic pop
     static_assert(std::is_same_v<SimExecConfig, runtime::RunConfig>);
     static_assert(std::is_same_v<NativeExecConfig, runtime::RunConfig>);
     static_assert(
@@ -63,9 +68,10 @@ TEST(TraceTimeline, StatsOnHandBuiltTimeline)
 {
     runtime::TraceTimeline tl("test", 2, {"cpu", "gpu"}, {"a", "b"});
     // PU0 busy [0,1) and [2,3); PU1 busy [0.5,2.5).
-    tl.record({0, 0, 0, 0, 0.0, 0.0, 1.0, {}});
-    tl.record({0, 1, 1, 1, 0.1, 0.5, 2.5, {0}});
-    tl.record({1, 0, 0, 0, 0.3, 2.0, 3.0, {1}});
+    using runtime::TraceEventKind;
+    tl.record({0, 0, 0, 0, 0.0, 0.0, 1.0, {}, TraceEventKind::Stage, {}});
+    tl.record({0, 1, 1, 1, 0.1, 0.5, 2.5, {0}, TraceEventKind::Stage, {}});
+    tl.record({1, 0, 0, 0, 0.3, 2.0, 3.0, {1}, TraceEventKind::Stage, {}});
     tl.sortByStart();
 
     const auto st = tl.stats();
@@ -265,7 +271,7 @@ class MiniJson
         }
     }
 
-    const std::string& s_;
+    std::string s_; ///< by value: callers may pass a temporary
     std::size_t pos_ = 0;
     int objects_ = 0;
     int arrays_ = 0;
