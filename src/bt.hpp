@@ -41,6 +41,10 @@ struct FrameworkConfig
 
     /** Run the measurement-driven autotuning level (paper level 3). */
     bool autotune = true;
+
+    /** Worker threads for the autotuning campaign (1 = serial); the
+     *  report is bit-identical at any value. */
+    int tunerThreads = 1;
 };
 
 /**
@@ -55,7 +59,7 @@ class Framework
                        FrameworkConfig cfg = {})
         : flow_(soc, core::BetterTogetherConfig{
                          cfg.profiler, cfg.optimizer, cfg.run,
-                         cfg.autotune})
+                         cfg.autotune, cfg.tunerThreads})
     {
     }
 

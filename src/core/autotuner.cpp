@@ -1,8 +1,10 @@
 #include "core/autotuner.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/logging.hpp"
+#include "sched/thread_pool.hpp"
 
 namespace bt::core {
 
@@ -18,7 +20,12 @@ TuningReport::autotuningGain() const
             return t.measuredLatency / best().measuredLatency;
         }
     }
-    return 1.0;
+    // Every well-formed report carries the optimizer's first-ranked
+    // candidate; its absence means the report was truncated or stitched
+    // together by hand. Returning a silent 1.0 here used to mask that.
+    panic("malformed TuningReport: no candidate with rankPredicted == 0 "
+          "among ",
+          all.size(), " tuned candidates");
 }
 
 TuningReport
@@ -26,12 +33,35 @@ AutoTuner::tune(const Application& app,
                 const std::vector<Candidate>& candidates) const
 {
     BT_ASSERT(!candidates.empty(), "autotuner needs candidates");
+    BT_ASSERT(threads_ >= 1, "autotuner thread count must be positive");
 
+    // Execute every candidate. Each execution is self-contained (a
+    // VirtualTimeBackend run builds its own session, engine, and energy
+    // meter over const inputs), so the campaign fans out over a worker
+    // team; each run lands in its candidate's indexed slot.
+    const std::size_t n = candidates.size();
+    std::vector<runtime::RunResult> runs(n);
+    const int team = std::min(threads_, static_cast<int>(n));
+    if (team > 1) {
+        sched::ThreadPool pool(team);
+        pool.parallelFor(
+            0, static_cast<std::int64_t>(n), [&](std::int64_t i) {
+                const auto idx = static_cast<std::size_t>(i);
+                runs[idx]
+                    = executor_.execute(app, candidates[idx].schedule);
+            });
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            runs[i] = executor_.execute(app, candidates[i].schedule);
+    }
+
+    // Merge in candidate order: the campaign-cost sum folds in the same
+    // order as a serial campaign, so the report is bit-identical at any
+    // thread count.
     TuningReport report;
-    report.all.reserve(candidates.size());
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-        const runtime::RunResult run
-            = executor_.execute(app, candidates[i].schedule);
+    report.all.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const runtime::RunResult& run = runs[i];
         TunedCandidate tc;
         tc.candidate = candidates[i];
         tc.measuredLatency = run.taskIntervalSeconds;

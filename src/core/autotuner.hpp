@@ -50,10 +50,16 @@ class AutoTuner
      * @param window_seconds fixed virtual measurement interval charged
      *        per candidate (the paper runs each for 10 s, giving the
      *        ~200 s campaign for K = 20).
+     * @param threads fan candidate executions out over this many
+     *        threads (1 = serial). Every candidate run is
+     *        self-contained, and results are merged in candidate
+     *        order, so the report is bit-identical to the serial
+     *        campaign at any thread count.
      */
     explicit AutoTuner(const SimExecutor& executor,
-                       double window_seconds = 10.0)
-        : executor_(executor), windowSeconds(window_seconds)
+                       double window_seconds = 10.0, int threads = 1)
+        : executor_(executor), windowSeconds(window_seconds),
+          threads_(threads)
     {
     }
 
@@ -64,6 +70,7 @@ class AutoTuner
   private:
     const SimExecutor& executor_;
     double windowSeconds;
+    int threads_;
 };
 
 } // namespace bt::core

@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <span>
 #include <tuple>
 
 #include "common/logging.hpp"
@@ -141,7 +142,8 @@ blockChunk(solver::Model& model, const VarGrid& grid,
 } // namespace
 
 Optimizer::Optimizer(const platform::SocDescription& soc_,
-                     const ProfilingTable& table_, OptimizerConfig cfg)
+                     const ProfilingTable& table_, OptimizerConfig cfg,
+                     ScheduleEvaluator* shared_eval)
     : soc(soc_), table(table_), config(cfg), powerModel(soc_)
 {
     BT_ASSERT(table.numPus() == soc.numPus(),
@@ -152,6 +154,15 @@ Optimizer::Optimizer(const platform::SocDescription& soc_,
     for (const int p : config.allowedPus)
         BT_ASSERT(p >= 0 && p < soc.numPus(),
                   "allowedPus names unknown PU ", p);
+    if (shared_eval != nullptr) {
+        BT_ASSERT(&shared_eval->table() == &table,
+                  "shared evaluator built over a different table");
+        eval_ = shared_eval;
+    } else if (config.memoize) {
+        ownedEval_ = std::make_unique<ScheduleEvaluator>(soc, table,
+                                                         powerModel);
+        eval_ = ownedEval_.get();
+    }
 }
 
 bool
@@ -167,6 +178,16 @@ Optimizer::puAllowed(int pu) const
 Candidate
 Optimizer::makeCandidate(const Schedule& s) const
 {
+    if (eval_ != nullptr) {
+        const Prediction& p = eval_->predict(s);
+        Candidate c;
+        c.schedule = s;
+        c.predictedLatency = p.latency;
+        c.predictedGapness = p.gapness;
+        c.predictedEnergyJ = p.energyJ;
+        return c;
+    }
+
     Candidate c;
     c.schedule = s;
     c.predictedLatency = s.bottleneckTime(table);
@@ -196,24 +217,38 @@ Optimizer::makeCandidate(const Schedule& s) const
 }
 
 double
-Optimizer::rankScore(const Candidate& c) const
+Optimizer::rankScoreOf(double latency, double energy_j) const
 {
     return config.objective == OptimizerConfig::Objective::EnergyDelay
-        ? c.predictedEdp()
-        : c.predictedLatency;
+        ? energy_j * latency
+        : latency;
+}
+
+double
+Optimizer::rankScore(const Candidate& c) const
+{
+    return rankScoreOf(c.predictedLatency, c.predictedEnergyJ);
+}
+
+int
+Optimizer::rankClassOf(double latency, double gapness,
+                       int num_chunks) const
+{
+    if (!config.utilizationFilter)
+        return 0;
+    if (latency > stats_.latencyBound + 1e-12
+        || num_chunks < stats_.requiredPus)
+        return 2; // outside the feasibility class
+    if (gapness > stats_.gapnessBound + 1e-12)
+        return 1; // feasible but over the gapness budget
+    return 0;
 }
 
 int
 Optimizer::rankClass(const Candidate& c) const
 {
-    if (!config.utilizationFilter)
-        return 0;
-    if (c.predictedLatency > stats_.latencyBound + 1e-12
-        || c.schedule.numChunks() < stats_.requiredPus)
-        return 2; // outside the feasibility class
-    if (c.predictedGapness > stats_.gapnessBound + 1e-12)
-        return 1; // feasible but over the gapness budget
-    return 0;
+    return rankClassOf(c.predictedLatency, c.predictedGapness,
+                       c.schedule.numChunks());
 }
 
 void
@@ -253,6 +288,10 @@ Optimizer::optimize()
     for (const auto& c : cands)
         if (rankClass(c) == 0)
             ++stats_.candidatesWithinBound;
+    if (eval_ != nullptr) {
+        stats_.evalHits = eval_->stats().hits;
+        stats_.evalMisses = eval_->stats().misses;
+    }
     return cands;
 }
 
@@ -271,6 +310,169 @@ Optimizer::optimizeWithSolver()
         if (!puAllowed(c))
             for (int i = 0; i < n; ++i)
                 model.addClause({solver::neg(grid.at(i, c))});
+
+    if (eval_ != nullptr) {
+        // Throughput path. Every solver level minimizes a fixed
+        // objective (the bounds each level derives only feed *later*
+        // levels), and the model changes between solves only through
+        // blocking clauses, which remove known assignments. So instead
+        // of re-running the DPLL enumeration once per level and once
+        // per candidate (~numPus + numCandidates + 2 full sweeps),
+        // enumerate the feasible space exactly once, memoize every
+        // prediction, and replay the level logic over the harvested
+        // arrays. Each selection below mirrors Solver::minimize -
+        // strict less-than, first solution in DPLL enumeration order
+        // wins ties - so the candidate list is bit-identical to the
+        // multi-pass from-scratch path.
+        std::vector<int> flat; // num_sols * n stage-to-PU assignments
+        std::vector<Prediction> preds;
+        {
+            std::vector<int> assign_scratch(static_cast<std::size_t>(n));
+            solver::Solver s(model);
+            s.forEachSolution([&](const solver::Assignment& a) {
+                for (int i = 0; i < n; ++i) {
+                    int chosen = -1;
+                    for (int c = 0; c < m; ++c) {
+                        if (a.value(grid.at(i, c))) {
+                            chosen = c;
+                            break; // C1 guarantees exactly one
+                        }
+                    }
+                    BT_ASSERT(chosen >= 0, "stage ", i, " unassigned");
+                    assign_scratch[static_cast<std::size_t>(i)] = chosen;
+                }
+                flat.insert(flat.end(), assign_scratch.begin(),
+                            assign_scratch.end());
+                preds.push_back(eval_->predict(
+                    std::span<const int>(assign_scratch)));
+                return true;
+            });
+            stats_.solverNodes += s.nodesExplored();
+        }
+        const std::size_t num_sols = preds.size();
+        BT_ASSERT(num_sols > 0, "schedule space is empty");
+        auto assignOf = [&](std::size_t i) {
+            return std::span<const int>(
+                flat.data() + i * static_cast<std::size_t>(n),
+                static_cast<std::size_t>(n));
+        };
+
+        // Level 1a: unrestricted latency optimum (defines the Tmax
+        // bound).
+        double unrestricted
+            = std::numeric_limits<double>::infinity();
+        for (const Prediction& p : preds)
+            unrestricted = std::min(unrestricted, p.latency);
+        stats_.unrestrictedLatency = unrestricted;
+
+        if (config.utilizationFilter) {
+            stats_.latencyBound = stats_.unrestrictedLatency
+                    * (1.0 + config.latencySlack)
+                + 1e-12;
+
+            // Level 1b: the highest PU-class count attainable within
+            // the latency bound (maximize utilization subject to C3).
+            stats_.requiredPus = 1;
+            for (int r = std::min(m, n); r >= 1; --r) {
+                double best_score
+                    = std::numeric_limits<double>::infinity();
+                std::size_t best_i = 0;
+                for (std::size_t i = 0; i < num_sols; ++i) {
+                    const Prediction& p = preds[i];
+                    const double sc = p.numChunks < r
+                        ? kFeasibilityPenalty + p.latency
+                        : p.latency;
+                    if (sc < best_score) {
+                        best_score = sc;
+                        best_i = i;
+                    }
+                }
+                const Prediction& best = preds[best_i];
+                if (best.numChunks >= r
+                    && best.latency <= stats_.latencyBound) {
+                    stats_.requiredPus = r;
+                    break;
+                }
+            }
+
+            // Level 1c: minimal gapness within the feasibility class
+            // (objective O1 under C3).
+            double best_score
+                = std::numeric_limits<double>::infinity();
+            std::size_t best_i = 0;
+            for (std::size_t i = 0; i < num_sols; ++i) {
+                const Prediction& p = preds[i];
+                const double sc = (p.numChunks < stats_.requiredPus
+                                   || p.latency > stats_.latencyBound)
+                    ? kFeasibilityPenalty + p.gapness
+                    : p.gapness;
+                if (sc < best_score) {
+                    best_score = sc;
+                    best_i = i;
+                }
+            }
+            stats_.minimalGapness = preds[best_i].gapness;
+            stats_.gapnessBound = stats_.minimalGapness
+                    * (1.0 + config.gapnessSlack)
+                + 1e-9;
+        }
+
+        // Level 2: K diverse candidates. Picking a winner "blocks" its
+        // exact assignment (C5); saturating a performance tier blocks
+        // every assignment that maps the tier's stage range onto its
+        // PU - precisely the solutions blockChunk's clause would
+        // remove from the model.
+        std::vector<Candidate> cands;
+        std::vector<char> taken(num_sols, 0);
+        std::vector<ChunkKey> blocked_chunks;
+        std::map<ChunkKey, int> tier_count;
+        auto inBlockedChunk = [&](std::size_t i) {
+            const auto a = assignOf(i);
+            for (const auto& [first, last, pu] : blocked_chunks) {
+                bool covered = true;
+                for (int s = first; s <= last && covered; ++s)
+                    covered = (a[static_cast<std::size_t>(s)] == pu);
+                if (covered)
+                    return true;
+            }
+            return false;
+        };
+        for (int k = 0; k < config.numCandidates; ++k) {
+            double best_score
+                = std::numeric_limits<double>::infinity();
+            std::size_t best_i = num_sols;
+            for (std::size_t i = 0; i < num_sols; ++i) {
+                if (taken[i] != 0 || inBlockedChunk(i))
+                    continue;
+                const Prediction& p = preds[i];
+                const int cls
+                    = rankClassOf(p.latency, p.gapness, p.numChunks);
+                const double score
+                    = rankScoreOf(p.latency, p.energyJ);
+                const double sc = cls == 2
+                    ? kFeasibilityPenalty + score
+                    : cls == 1 ? kGapnessPenalty + score : score;
+                if (sc < best_score) {
+                    best_score = sc;
+                    best_i = i;
+                }
+            }
+            if (best_i == num_sols)
+                break; // space exhausted
+            taken[best_i] = 1;
+            const auto a = assignOf(best_i);
+            const Schedule sched = Schedule::fromAssignment(
+                std::vector<int>(a.begin(), a.end()));
+            cands.push_back(makeCandidate(sched));
+
+            if (config.maxPerTier > 0) {
+                const ChunkKey tier = bottleneckKey(sched, table);
+                if (++tier_count[tier] >= config.maxPerTier)
+                    blocked_chunks.push_back(tier);
+            }
+        }
+        return cands;
+    }
 
     auto latencyOf = [&](const solver::Assignment& a) {
         return scheduleFromAssignment(grid, a).bottleneckTime(table);
@@ -346,13 +548,15 @@ Optimizer::optimizeWithSolver()
         auto next = s.minimize([&](const solver::Assignment& a) {
             const Candidate c
                 = makeCandidate(scheduleFromAssignment(grid, a));
-            switch (rankClass(c)) {
+            const int cls = rankClass(c);
+            const double score = rankScore(c);
+            switch (cls) {
               case 2:
-                return kFeasibilityPenalty + rankScore(c);
+                return kFeasibilityPenalty + score;
               case 1:
-                return kGapnessPenalty + rankScore(c);
+                return kGapnessPenalty + score;
               default:
-                return rankScore(c);
+                return score;
             }
         });
         stats_.solverNodes += s.nodesExplored();
@@ -383,8 +587,8 @@ Optimizer::optimizeExhaustive()
     double best_latency = std::numeric_limits<double>::infinity();
     for (const auto& s : all) {
         bool admitted = true;
-        for (const int pu : s.toAssignment())
-            admitted = admitted && puAllowed(pu);
+        for (const auto& chunk : s.chunks())
+            admitted = admitted && puAllowed(chunk.pu);
         if (!admitted)
             continue; // excluded class (degradation re-plan hook)
         cands.push_back(makeCandidate(s));

@@ -25,10 +25,12 @@
 #define BT_CORE_OPTIMIZER_HPP
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/profiling_table.hpp"
 #include "core/schedule.hpp"
+#include "core/schedule_eval.hpp"
 #include "platform/perf_model.hpp"
 #include "platform/soc.hpp"
 
@@ -66,6 +68,17 @@ struct OptimizerConfig
     /** Use the exact constraint solver or plain enumeration. */
     enum class Engine { ConstraintSolver, Exhaustive };
     Engine engine = Engine::ConstraintSolver;
+
+    /**
+     * Memoized schedule evaluation (the throughput-oriented planning
+     * path): predicted costs are decomposed into per-chunk
+     * contributions cached across the enumeration order, and whole
+     * predictions are served from a keyed cache shared by every solver
+     * objective callback. Bit-identical to the from-scratch path (the
+     * tests cross-validate over entire schedule spaces); disable only
+     * to measure the baseline.
+     */
+    bool memoize = true;
 
     /**
      * Restrict the schedule space to these PU classes (empty = all).
@@ -112,6 +125,12 @@ struct OptimizeStats
     double gapnessBound = 0.0;        ///< bound applied in level 2
     std::uint64_t solverNodes = 0;    ///< search nodes across all calls
     int candidatesWithinBound = 0;
+
+    /** Prediction-cache counters (since evaluator construction; a
+     *  shared evaluator accumulates across replans). Zero when
+     *  memoization is off. */
+    std::uint64_t evalHits = 0;
+    std::uint64_t evalMisses = 0;
 };
 
 /**
@@ -121,8 +140,15 @@ struct OptimizeStats
 class Optimizer
 {
   public:
+    /**
+     * @param shared_eval optional externally-owned evaluator built over
+     *        the *same* table; lets short-lived optimizers (fault-time
+     *        replans) reuse a warm prediction cache. When null and
+     *        cfg.memoize is set, the optimizer owns a private one.
+     */
     Optimizer(const platform::SocDescription& soc,
-              const ProfilingTable& table, OptimizerConfig cfg = {});
+              const ProfilingTable& table, OptimizerConfig cfg = {},
+              ScheduleEvaluator* shared_eval = nullptr);
 
     /**
      * Run levels 1 and 2.
@@ -142,8 +168,11 @@ class Optimizer
     bool puAllowed(int pu) const;
     /** 0 = fully feasible, 1 = over gapness budget, 2 = out of class. */
     int rankClass(const Candidate& c) const;
+    int rankClassOf(double latency, double gapness,
+                    int num_chunks) const;
     /** Objective value used to order candidates within a class. */
     double rankScore(const Candidate& c) const;
+    double rankScoreOf(double latency, double energy_j) const;
     void sortCandidates(std::vector<Candidate>& cands) const;
 
     const platform::SocDescription& soc;
@@ -151,6 +180,8 @@ class Optimizer
     OptimizerConfig config;
     platform::PerfModel powerModel;
     OptimizeStats stats_;
+    std::unique_ptr<ScheduleEvaluator> ownedEval_;
+    ScheduleEvaluator* eval_ = nullptr; ///< null = from-scratch path
 };
 
 } // namespace bt::core

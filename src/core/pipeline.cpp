@@ -66,7 +66,7 @@ BetterTogether::run(const Application& app) const
     // 3) Autotuning: run the candidates, take the measured best.
     const SimExecutor executor(model_, config.executor);
     if (config.autotune) {
-        const AutoTuner tuner(executor);
+        const AutoTuner tuner(executor, 10.0, config.tunerThreads);
         report.tuning = tuner.tune(app, report.candidates);
         report.bestSchedule = report.tuning.best().candidate.schedule;
         report.bestLatencySeconds = report.tuning.best().measuredLatency;

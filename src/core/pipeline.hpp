@@ -24,6 +24,10 @@ struct BetterTogetherConfig
     OptimizerConfig optimizer;
     SimExecConfig executor;
     bool autotune = true; ///< run level 3; else take the predicted best
+
+    /** Worker threads for the autotuning campaign (1 = serial). The
+     *  TuningReport is bit-identical at any value; see AutoTuner. */
+    int tunerThreads = 1;
 };
 
 /** Everything the flow produced, for reporting and tests. */

@@ -1,0 +1,143 @@
+#include "core/schedule_eval.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bt::core {
+
+ScheduleEvaluator::ScheduleEvaluator(
+    const platform::SocDescription& soc, const ProfilingTable& table,
+    const platform::PerfModel& power_model)
+    : soc_(soc), table_(table), powerModel_(power_model),
+      numStages_(table.numStages()), numPus_(table.numPus()),
+      keyed_(numStages_ <= 16 && numPus_ <= 16)
+{
+    BT_ASSERT(table_.numPus() == soc_.numPus(),
+              "profiling table PU count does not match device");
+
+    // Fill the chunk-time table by extending each range one stage at a
+    // time: time(f, l) = time(f, l - 1) + at(l, p). This is the exact
+    // left-fold rangeTime performs, so every entry is bit-identical to
+    // the from-scratch sum.
+    chunkTimes_.assign(static_cast<std::size_t>(numStages_)
+                           * static_cast<std::size_t>(numStages_)
+                           * static_cast<std::size_t>(numPus_),
+                       0.0);
+    for (int p = 0; p < numPus_; ++p) {
+        for (int first = 0; first < numStages_; ++first) {
+            double acc = 0.0;
+            for (int last = first; last < numStages_; ++last) {
+                acc += table_.at(last, p);
+                chunkTimes_[chunkIndex(first, last, p)] = acc;
+            }
+        }
+    }
+
+    if (keyed_)
+        memo_.reserve(1024);
+    assignScratch_.resize(static_cast<std::size_t>(numStages_));
+    usedScratch_.resize(static_cast<std::size_t>(numPus_));
+}
+
+Prediction
+ScheduleEvaluator::evaluate(std::span<const int> stage_to_pu)
+{
+    BT_ASSERT(static_cast<int>(stage_to_pu.size()) == numStages_,
+              "assignment covers ", stage_to_pu.size(), " of ",
+              numStages_, " stages");
+
+    // Chunk boundaries and times, in stage order - the same chunk walk
+    // Schedule::fromAssignment would produce. Latency and gapness are
+    // max/min folds identical to Schedule::bottleneckTime / gapness.
+    Prediction pred;
+    double worst = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    std::fill(usedScratch_.begin(), usedScratch_.end(), 0);
+
+    int first = 0;
+    for (int s = 1; s <= numStages_; ++s) {
+        if (s != numStages_
+            && stage_to_pu[static_cast<std::size_t>(s)]
+                == stage_to_pu[static_cast<std::size_t>(first)])
+            continue;
+        const int pu = stage_to_pu[static_cast<std::size_t>(first)];
+        BT_ASSERT(pu >= 0 && pu < numPus_, "stage ", first,
+                  " assigned to unknown PU ", pu);
+        BT_ASSERT(!usedScratch_[static_cast<std::size_t>(pu)],
+                  "PU ", pu, " used by two chunks (violates C2)");
+        usedScratch_[static_cast<std::size_t>(pu)] = 1;
+        const double t = chunkTime(first, s - 1, pu);
+        worst = std::max(worst, t);
+        if (pred.numChunks == 0) {
+            lo = t;
+            hi = t;
+        } else {
+            lo = std::min(lo, t);
+            hi = std::max(hi, t);
+        }
+        ++pred.numChunks;
+        first = s;
+    }
+    pred.latency = worst;
+    pred.gapness = hi - lo;
+
+    // Predicted per-task energy: each used PU is active for its chunk
+    // time (duty-cycled against the bottleneck interval), idle for the
+    // rest; unused PUs idle throughout; plus the uncore floor.
+    const double interval = pred.latency;
+    const int busy_others = pred.numChunks - 1;
+    double energy = soc_.basePowerW * interval;
+    first = 0;
+    for (int s = 1; s <= numStages_; ++s) {
+        if (s != numStages_
+            && stage_to_pu[static_cast<std::size_t>(s)]
+                == stage_to_pu[static_cast<std::size_t>(first)])
+            continue;
+        const int pu = stage_to_pu[static_cast<std::size_t>(first)];
+        const double active = chunkTime(first, s - 1, pu);
+        energy += active * powerModel_.activePowerW(pu, busy_others)
+            + std::max(0.0, interval - active)
+                * soc_.pu(pu).idlePowerW;
+        first = s;
+    }
+    for (int p = 0; p < numPus_; ++p)
+        if (!usedScratch_[static_cast<std::size_t>(p)])
+            energy += interval * soc_.pu(p).idlePowerW;
+    pred.energyJ = energy;
+    return pred;
+}
+
+const Prediction&
+ScheduleEvaluator::predict(std::span<const int> stage_to_pu)
+{
+    if (!keyed_) {
+        ++stats_.unkeyed;
+        scratch_ = evaluate(stage_to_pu);
+        return scratch_;
+    }
+    std::uint64_t key = 0;
+    for (const int pu : stage_to_pu)
+        key = (key << 4) | static_cast<std::uint64_t>(pu);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) {
+        ++stats_.hits;
+        return it->second;
+    }
+    ++stats_.misses;
+    return memo_.emplace(key, evaluate(stage_to_pu)).first->second;
+}
+
+const Prediction&
+ScheduleEvaluator::predict(const Schedule& schedule)
+{
+    // toAssignment without the allocation: flatten into the reused
+    // scratch vector.
+    for (const auto& c : schedule.chunks())
+        for (int s = c.firstStage; s <= c.lastStage; ++s)
+            assignScratch_[static_cast<std::size_t>(s)] = c.pu;
+    return predict(std::span<const int>(assignScratch_));
+}
+
+} // namespace bt::core

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Memoized schedule evaluation for the throughput-oriented planning
+ * path (BT-Optimizer hot loop).
+ *
+ * Producing a deployed schedule means scoring tens of thousands of
+ * (stage -> PU) assignments: every solver minimize() call walks the
+ * whole propagation-pruned space, the exhaustive engine re-scores each
+ * enumerated schedule, and fault-time replans repeat both. All of those
+ * scores decompose into per-chunk contributions - the predicted time of
+ * running stages [first, last] back-to-back on one PU - and the chunk
+ * space is tiny (O(stages^2 x PUs)) while the schedule space is
+ * exponential. ScheduleEvaluator exploits that:
+ *
+ *  1. a dense *chunk-time table* filled once by extending each range one
+ *     stage at a time - the same left-fold ProfilingTable::rangeTime
+ *     computes, so every entry is bit-identical to the from-scratch sum;
+ *  2. a *keyed prediction cache*: full Prediction records (latency,
+ *     gapness, energy, chunk count) memoized by a packed assignment key,
+ *     shared across solver objective callbacks, exhaustive enumeration,
+ *     and graceful-degradation replans against the same table.
+ *
+ * Bit-exactness contract: every number an evaluator returns is the
+ * exact double the unmemoized path (Schedule::bottleneckTime /
+ * Schedule::gapness / Optimizer's from-scratch energy model) would
+ * produce. Latency and gapness are max/min folds over cached chunk
+ * times; the energy model replicates the from-scratch loop
+ * operation-for-operation over the same cached values. Tests
+ * cross-validate this over entire schedule spaces.
+ *
+ * Thread compatibility: the evaluator memoizes internally and is NOT
+ * safe for concurrent use. The planning path is single-threaded (only
+ * candidate *executions* fan out, see autotuner.hpp); fault-time
+ * replans serialize through their backend's recovery lock.
+ */
+
+#ifndef BT_CORE_SCHEDULE_EVAL_HPP
+#define BT_CORE_SCHEDULE_EVAL_HPP
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/profiling_table.hpp"
+#include "core/schedule.hpp"
+#include "platform/perf_model.hpp"
+#include "platform/soc.hpp"
+
+namespace bt::core {
+
+/** Model-predicted cost of one schedule, independent of its Schedule
+ *  object identity (everything Optimizer ranks on). */
+struct Prediction
+{
+    double latency = 0.0;  ///< bottleneck chunk time, seconds
+    double gapness = 0.0;  ///< longest minus shortest chunk, seconds
+    double energyJ = 0.0;  ///< predicted per-task SoC energy, joules
+    int numChunks = 0;     ///< distinct PU classes used
+};
+
+/** Cache effectiveness counters (for stats and the bench harness). */
+struct EvalStats
+{
+    std::uint64_t hits = 0;        ///< predictions served from the memo
+    std::uint64_t misses = 0;      ///< predictions computed and stored
+    std::uint64_t unkeyed = 0;     ///< computed without memoization
+};
+
+/**
+ * Incremental, memoizing evaluator over one (device, profiling table)
+ * pair. Construction costs O(stages^2 x PUs); every evaluation after
+ * that is O(stages) worst case and O(1) on a cache hit.
+ */
+class ScheduleEvaluator
+{
+  public:
+    ScheduleEvaluator(const platform::SocDescription& soc,
+                      const ProfilingTable& table,
+                      const platform::PerfModel& power_model);
+
+    const ProfilingTable& table() const { return table_; }
+
+    /** Chunk time of stages [first, last] on @p pu; bit-identical to
+     *  table().rangeTime(first, last, pu), O(1). */
+    double
+    chunkTime(int first, int last, int pu) const
+    {
+        return chunkTimes_[chunkIndex(first, last, pu)];
+    }
+
+    /**
+     * Predict @p stage_to_pu (one PU index per stage, contiguity
+     * C2-respecting). Memoized by packed key when the instance fits
+     * 16 stages x 16 PU classes; computed directly otherwise.
+     */
+    const Prediction& predict(std::span<const int> stage_to_pu);
+
+    /** Convenience overload scoring a built Schedule. */
+    const Prediction& predict(const Schedule& schedule);
+
+    /** Memo effectiveness since construction. */
+    const EvalStats& stats() const { return stats_; }
+
+  private:
+    std::size_t
+    chunkIndex(int first, int last, int pu) const
+    {
+        return (static_cast<std::size_t>(first)
+                * static_cast<std::size_t>(numStages_)
+                + static_cast<std::size_t>(last))
+            * static_cast<std::size_t>(numPus_)
+            + static_cast<std::size_t>(pu);
+    }
+
+    /** From-scratch-shaped evaluation over the cached chunk times. */
+    Prediction evaluate(std::span<const int> stage_to_pu);
+
+    const platform::SocDescription& soc_;
+    const ProfilingTable& table_;
+    const platform::PerfModel& powerModel_;
+    int numStages_;
+    int numPus_;
+    bool keyed_; ///< assignments pack into 64 bits
+
+    std::vector<double> chunkTimes_; ///< [first][last][pu], left-fold
+    std::unordered_map<std::uint64_t, Prediction> memo_;
+    Prediction scratch_; ///< returned for unkeyed instances
+    EvalStats stats_;
+    std::vector<int> assignScratch_; ///< Schedule -> assignment, reused
+    std::vector<char> usedScratch_;  ///< energy model's used-PU flags
+};
+
+} // namespace bt::core
+
+#endif // BT_CORE_SCHEDULE_EVAL_HPP

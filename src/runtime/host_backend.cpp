@@ -110,6 +110,9 @@ HostTimeBackend::run(const core::Application& app,
     const platform::PerfModel model(soc_);
     const FaultInjector injector(cfg.faults, soc_.seed ^ cfg.noiseSalt);
     const bool faulty = injector.enabled();
+    // Degradation replans share one table + prediction cache per run;
+    // only ever touched under fs.mutex (applyDueDropouts).
+    ReplanPlanner replanner(model, app);
     HostFaultState fs;
     if (faulty) {
         fs.puAlive.assign(static_cast<std::size_t>(soc_.numPus()),
@@ -149,7 +152,7 @@ HostTimeBackend::run(const core::Application& app,
 
             if (cfg.recovery.degrade) {
                 const core::Schedule plan
-                    = replanOnSurvivors(model, app, fs.puAlive);
+                    = replanner.replan(fs.puAlive);
                 fs.stats.replans += 1;
                 session.recordEvent(makeFaultEvent(
                     TraceEventKind::Replan, -1, -1, -1, dead, now,

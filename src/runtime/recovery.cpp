@@ -52,14 +52,14 @@ modelTable(const platform::PerfModel& model,
     return table;
 }
 
-core::Schedule
-replanOnSurvivors(const platform::PerfModel& model,
-                  const core::Application& app,
-                  const std::vector<bool>& alive)
-{
-    const auto& soc = model.soc();
-    BT_ASSERT(alive.size() == static_cast<std::size_t>(soc.numPus()));
+namespace {
 
+/** The optimizer configuration every degradation replan uses. */
+core::OptimizerConfig
+replanConfig(const platform::SocDescription& soc,
+             const std::vector<bool>& alive)
+{
+    BT_ASSERT(alive.size() == static_cast<std::size_t>(soc.numPus()));
     core::OptimizerConfig cfg;
     cfg.numCandidates = 1;
     cfg.engine = core::OptimizerConfig::Engine::Exhaustive;
@@ -68,13 +68,46 @@ replanOnSurvivors(const platform::PerfModel& model,
             cfg.allowedPus.push_back(p);
     BT_ASSERT(!cfg.allowedPus.empty(),
               "cannot re-plan: every PU has dropped out");
+    return cfg;
+}
 
-    const auto table = modelTable(model, app);
-    core::Optimizer optimizer(soc, table, cfg);
+core::Schedule
+bestOnSurvivors(core::Optimizer& optimizer)
+{
     const auto candidates = optimizer.optimize();
     BT_ASSERT(!candidates.empty(),
               "optimizer found no schedule on surviving PUs");
     return candidates.front().schedule;
+}
+
+} // namespace
+
+core::Schedule
+replanOnSurvivors(const platform::PerfModel& model,
+                  const core::Application& app,
+                  const std::vector<bool>& alive)
+{
+    const auto& soc = model.soc();
+    const auto table = modelTable(model, app);
+    core::Optimizer optimizer(soc, table, replanConfig(soc, alive));
+    return bestOnSurvivors(optimizer);
+}
+
+core::Schedule
+ReplanPlanner::replan(const std::vector<bool>& alive)
+{
+    const auto& soc = model_.soc();
+    if (!table_.has_value()) {
+        table_.emplace(modelTable(model_, app_));
+        // The power model only reads the SoC description, so the run's
+        // own PerfModel serves; predictions are identical to the ones
+        // a throwaway Optimizer would compute.
+        eval_ = std::make_unique<core::ScheduleEvaluator>(soc, *table_,
+                                                          model_);
+    }
+    core::Optimizer optimizer(soc, *table_, replanConfig(soc, alive),
+                              eval_.get());
+    return bestOnSurvivors(optimizer);
 }
 
 } // namespace bt::runtime

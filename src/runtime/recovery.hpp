@@ -18,11 +18,14 @@
 #ifndef BT_RUNTIME_RECOVERY_HPP
 #define BT_RUNTIME_RECOVERY_HPP
 
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/application.hpp"
 #include "core/profiling_table.hpp"
 #include "core/schedule.hpp"
+#include "core/schedule_eval.hpp"
 #include "platform/perf_model.hpp"
 
 namespace bt::runtime {
@@ -53,6 +56,37 @@ core::ProfilingTable modelTable(const platform::PerfModel& model,
 core::Schedule replanOnSurvivors(const platform::PerfModel& model,
                                  const core::Application& app,
                                  const std::vector<bool>& alive);
+
+/**
+ * Replan cache for graceful degradation (the re-plan hot path): one
+ * lazily-built model table and one warm ScheduleEvaluator shared across
+ * every replan of a run, so a second dropout pays neither the table
+ * rebuild nor re-prediction of schedules the first replan already
+ * scored. replan() returns exactly the schedule replanOnSurvivors would
+ * (same table contents, same optimizer configuration).
+ *
+ * Not thread-safe: callers serialize replans (the host backend replans
+ * under its fault-state mutex; the virtual backend is single-threaded).
+ * Constructing the planner is free until the first replan.
+ */
+class ReplanPlanner
+{
+  public:
+    ReplanPlanner(const platform::PerfModel& model,
+                  const core::Application& app)
+        : model_(model), app_(app)
+    {
+    }
+
+    /** Best schedule over the surviving PUs. Panics if none survive. */
+    core::Schedule replan(const std::vector<bool>& alive);
+
+  private:
+    const platform::PerfModel& model_;
+    const core::Application& app_;
+    std::optional<core::ProfilingTable> table_;
+    std::unique_ptr<core::ScheduleEvaluator> eval_;
+};
 
 } // namespace bt::runtime
 

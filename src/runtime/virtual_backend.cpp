@@ -99,6 +99,9 @@ VirtualTimeBackend::run(const core::Application& app,
     // event sequence is bit-identical to a build without this layer.
     const FaultInjector injector(cfg.faults, soc.seed ^ cfg.noiseSalt);
     const bool faulty = injector.enabled();
+    // Degradation replans share one table + prediction cache per run;
+    // free until the first dropout actually replans.
+    ReplanPlanner replanner(model_, app);
     RecoveryStats stats;
     std::vector<int> chunk_pu(static_cast<std::size_t>(num_chunks));
     for (int c = 0; c < num_chunks; ++c)
@@ -125,9 +128,10 @@ VirtualTimeBackend::run(const core::Application& app,
     // --- virtual-time engine ------------------------------------------
     // Tag = chunk index; each chunk executes at most one stage at a time,
     // so the chunk's runtime state identifies the running stage.
+    std::vector<platform::Load> loads; // reused across rate refreshes
     sim::Engine engine([&](std::span<const sim::ActiveTask> active,
                            std::span<double> rates) {
-        std::vector<platform::Load> loads(active.size());
+        loads.resize(active.size());
         for (std::size_t i = 0; i < active.size(); ++i) {
             const auto& rt = chunks[static_cast<std::size_t>(
                 active[i].tag)];
@@ -366,6 +370,9 @@ VirtualTimeBackend::run(const core::Application& app,
             for (int p = 0; p < num_pus; ++p)
                 clock_scale[static_cast<std::size_t>(p)]
                     = injector.slowdownFactor(p, engine.now());
+            // The active set is untouched but the rate inputs changed:
+            // force a re-read before the next event.
+            engine.invalidateRates();
             armSlowdown();
         });
     };
@@ -397,7 +404,7 @@ VirtualTimeBackend::run(const core::Application& app,
                 // chunk just fails over individually.
                 if (cfg.recovery.degrade) {
                     const core::Schedule plan
-                        = replanOnSurvivors(model_, app, pu_alive);
+                        = replanner.replan(pu_alive);
                     stats.replans += 1;
                     session.recordEvent(makeFaultEvent(
                         TraceEventKind::Replan, -1, -1, -1, d.pu,

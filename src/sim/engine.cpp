@@ -10,11 +10,21 @@ namespace bt::sim {
 namespace {
 /// Work below this threshold counts as complete (guards float drift).
 constexpr double kWorkEpsilon = 1e-12;
+
+/// Typical pipeline sizes: a handful of chunks, each with at most a few
+/// in-flight tasks and pending timers.
+constexpr std::size_t kReserveActive = 16;
+constexpr std::size_t kReserveTimers = 32;
 } // namespace
 
 Engine::Engine(RateFn rate_fn) : rateFn(std::move(rate_fn))
 {
     BT_ASSERT(rateFn, "engine needs a rate function");
+    active.reserve(kReserveActive);
+    rateScratch.reserve(kReserveActive);
+    finishedScratch.reserve(kReserveActive);
+    timerSlots.reserve(kReserveTimers);
+    timerHeap.reserve(kReserveTimers);
 }
 
 TaskId
@@ -26,8 +36,8 @@ Engine::startTask(std::uint64_t tag, double work)
     t.tag = tag;
     t.remaining = work;
     t.rate = 0.0;
-    active.push_back(t);
-    startTimes[t.id] = clock;
+    t.started = clock;
+    active.push_back(t); // ids are monotonic: vector stays sorted
     ratesStale = true;
     return t.id;
 }
@@ -35,13 +45,14 @@ Engine::startTask(std::uint64_t tag, double work)
 bool
 Engine::cancelTask(TaskId id)
 {
-    const auto it
-        = std::find_if(active.begin(), active.end(),
-                       [id](const ActiveTask& t) { return t.id == id; });
-    if (it == active.end())
+    // The active vector is sorted by id (monotonic starts, order-
+    // preserving erases), so the lookup is a binary search.
+    const auto it = std::lower_bound(
+        active.begin(), active.end(), id,
+        [](const ActiveTask& t, TaskId v) { return t.id < v; });
+    if (it == active.end() || it->id != id)
         return false;
     active.erase(it);
-    startTimes.erase(id);
     ratesStale = true;
     return true;
 }
@@ -49,16 +60,86 @@ Engine::cancelTask(TaskId id)
 double
 Engine::startTime(TaskId id) const
 {
-    auto it = startTimes.find(id);
-    BT_ASSERT(it != startTimes.end(), "unknown task id ", id);
-    return it->second;
+    const auto it = std::lower_bound(
+        active.begin(), active.end(), id,
+        [](const ActiveTask& t, TaskId v) { return t.id < v; });
+    if (it != active.end() && it->id == id)
+        return it->started;
+    // Completion callbacks may ask about the task that just finished;
+    // those are staged here until their callbacks return.
+    for (const auto& t : finishedScratch)
+        if (t.id == id)
+            return t.started;
+    panic("unknown task id ", id);
+}
+
+bool
+Engine::timerBefore(std::uint32_t a, std::uint32_t b) const
+{
+    const TimerSlot& sa = timerSlots[a];
+    const TimerSlot& sb = timerSlots[b];
+    return sa.at < sb.at || (sa.at == sb.at && sa.seq < sb.seq);
 }
 
 void
-Engine::scheduleAt(double t, std::function<void()> fn)
+Engine::heapPush(std::uint32_t slot)
+{
+    timerHeap.push_back(slot);
+    std::size_t i = timerHeap.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!timerBefore(timerHeap[i], timerHeap[parent]))
+            break;
+        std::swap(timerHeap[i], timerHeap[parent]);
+        i = parent;
+    }
+}
+
+std::uint32_t
+Engine::heapPop()
+{
+    const std::uint32_t top = timerHeap.front();
+    timerHeap.front() = timerHeap.back();
+    timerHeap.pop_back();
+    std::size_t i = 0;
+    const std::size_t n = timerHeap.size();
+    while (true) {
+        const std::size_t l = 2 * i + 1;
+        const std::size_t r = l + 1;
+        std::size_t best = i;
+        if (l < n && timerBefore(timerHeap[l], timerHeap[best]))
+            best = l;
+        if (r < n && timerBefore(timerHeap[r], timerHeap[best]))
+            best = r;
+        if (best == i)
+            break;
+        std::swap(timerHeap[i], timerHeap[best]);
+        i = best;
+    }
+    return top;
+}
+
+void
+Engine::scheduleAt(double t, TimerFn fn)
 {
     BT_ASSERT(t >= clock - 1e-15, "timer in the past: ", t, " < ", clock);
-    timers.push(Timer{std::max(t, clock), timerSeq++, std::move(fn)});
+
+    // Acquire a slab slot (recycled from the free list when possible)
+    // and move the callback straight into it - no per-timer heap block.
+    std::uint32_t slot;
+    if (freeSlot >= 0) {
+        slot = static_cast<std::uint32_t>(freeSlot);
+        freeSlot = timerSlots[slot].nextFree;
+    } else {
+        slot = static_cast<std::uint32_t>(timerSlots.size());
+        timerSlots.emplace_back();
+    }
+    TimerSlot& s = timerSlots[slot];
+    s.at = std::max(t, clock);
+    s.seq = timerSeq++;
+    s.fn = std::move(fn);
+    s.nextFree = -1;
+    heapPush(slot);
 }
 
 void
@@ -68,12 +149,12 @@ Engine::refreshRates()
         ratesStale = false;
         return;
     }
-    std::vector<double> rates(active.size(), 0.0);
-    rateFn(active, rates);
+    rateScratch.assign(active.size(), 0.0);
+    rateFn(active, rateScratch);
     for (std::size_t i = 0; i < active.size(); ++i) {
-        BT_ASSERT(rates[i] > 0.0, "rate must be positive for task ",
-                  active[i].id);
-        active[i].rate = rates[i];
+        BT_ASSERT(rateScratch[i] > 0.0,
+                  "rate must be positive for task ", active[i].id);
+        active[i].rate = rateScratch[i];
     }
     ratesStale = false;
 }
@@ -96,7 +177,7 @@ Engine::advanceTo(double t)
 bool
 Engine::step()
 {
-    if (active.empty() && timers.empty())
+    if (active.empty() && timerHeap.empty())
         return false;
 
     refreshRates();
@@ -113,17 +194,22 @@ Engine::step()
         }
     }
 
-    const double timerAt = timers.empty()
+    const double timerAt = timerHeap.empty()
         ? std::numeric_limits<double>::infinity()
-        : timers.top().at;
+        : timerSlots[timerHeap.front()].at;
 
     if (timerAt <= completionAt) {
         advanceTo(timerAt);
-        // Pop exactly one timer; callbacks may add tasks/timers.
-        auto fn = std::move(const_cast<Timer&>(timers.top()).fn);
-        timers.pop();
+        // Pop exactly one timer; its callback may add tasks/timers (the
+        // slot is released first so the callback can reuse it). Rates
+        // stay valid unless the callback changes the active set or
+        // calls invalidateRates() - a timer alone alters nothing the
+        // rate function reads.
+        const std::uint32_t slot = heapPop();
+        TimerFn fn = std::move(timerSlots[slot].fn);
+        timerSlots[slot].nextFree = freeSlot;
+        freeSlot = static_cast<std::int32_t>(slot);
         fn();
-        ratesStale = true;
         return true;
     }
 
@@ -132,23 +218,28 @@ Engine::step()
     advanceTo(completionAt);
 
     // Collect every task that finished at this instant, remove them from
-    // the active set first, then fire callbacks (which may start tasks).
-    std::vector<ActiveTask> finished;
-    for (auto it = active.begin(); it != active.end();) {
-        if (it->remaining <= kWorkEpsilon) {
-            finished.push_back(*it);
-            it = active.erase(it);
+    // the active set first (order-preserving: the vector stays sorted by
+    // id), then fire callbacks (which may start tasks).
+    finishedScratch.clear();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        if (active[i].remaining <= kWorkEpsilon) {
+            finishedScratch.push_back(active[i]);
         } else {
-            ++it;
+            if (keep != i)
+                active[keep] = active[i];
+            ++keep;
         }
     }
-    BT_ASSERT(!finished.empty(), "completion event with no finished task");
+    active.resize(keep);
+    BT_ASSERT(!finishedScratch.empty(),
+              "completion event with no finished task");
     ratesStale = true;
-    for (const auto& task : finished) {
+    for (const auto& task : finishedScratch) {
         if (completion)
             completion(task.id, task.tag);
-        startTimes.erase(task.id);
     }
+    finishedScratch.clear();
     return true;
 }
 
@@ -159,7 +250,7 @@ Engine::run(double horizon)
     // overshoot the horizon.
     if (horizon >= 0.0 && horizon > clock)
         scheduleAt(horizon, [] {});
-    while (!active.empty() || !timers.empty()) {
+    while (!active.empty() || !timerHeap.empty()) {
         if (horizon >= 0.0 && clock >= horizon)
             break;
         if (!step())

@@ -7,138 +7,314 @@
 
 namespace bt::solver {
 
-Solver::Tri
-Solver::litValue(const SearchState& st, const Lit& l) const
+void
+Solver::compile()
 {
-    const Tri v = st.value[static_cast<std::size_t>(l.var)];
-    if (v == Tri::Unset)
-        return Tri::Unset;
-    const bool b = (v == Tri::True);
-    return (l.positive ? b : !b) ? Tri::True : Tri::False;
+    const std::size_t nv = static_cast<std::size_t>(model.numVars());
+
+    clauseLits.clear();
+    clauseOff.clear();
+    clauseOff.push_back(0);
+    for (const auto& clause : model.clauses()) {
+        clauseLits.insert(clauseLits.end(), clause.begin(), clause.end());
+        clauseOff.push_back(static_cast<std::int32_t>(clauseLits.size()));
+    }
+
+    groupVars.clear();
+    groupOff.clear();
+    groupExactly.clear();
+    groupOff.push_back(0);
+    for (const auto& group : model.exactlyOnes()) {
+        groupVars.insert(groupVars.end(), group.begin(), group.end());
+        groupOff.push_back(static_cast<std::int32_t>(groupVars.size()));
+        groupExactly.push_back(1);
+    }
+    for (const auto& group : model.atMostOnes()) {
+        groupVars.insert(groupVars.end(), group.begin(), group.end());
+        groupOff.push_back(static_cast<std::int32_t>(groupVars.size()));
+        groupExactly.push_back(0);
+    }
+
+    linTerms.clear();
+    linOff.clear();
+    linBound.clear();
+    linOff.push_back(0);
+    for (const auto& le : model.linearLes()) {
+        linTerms.insert(linTerms.end(), le.terms.begin(), le.terms.end());
+        linOff.push_back(static_cast<std::int32_t>(linTerms.size()));
+        linBound.push_back(le.bound);
+    }
+
+    // Occurrence lists: count per variable, prefix-sum, then fill.
+    occOff.assign(nv + 1, 0);
+    for (const auto& l : clauseLits)
+        ++occOff[static_cast<std::size_t>(l.var) + 1];
+    for (Var v : groupVars)
+        ++occOff[static_cast<std::size_t>(v) + 1];
+    for (const auto& t : linTerms)
+        ++occOff[static_cast<std::size_t>(t.lit.var) + 1];
+    for (std::size_t v = 0; v < nv; ++v)
+        occOff[v + 1] += occOff[v];
+
+    occs.resize(static_cast<std::size_t>(occOff[nv]));
+    std::vector<std::int32_t> cursor(occOff.begin(), occOff.end() - 1);
+    for (std::size_t c = 0; c + 1 < clauseOff.size(); ++c) {
+        for (std::int32_t i = clauseOff[c]; i < clauseOff[c + 1]; ++i) {
+            const Lit& l = clauseLits[static_cast<std::size_t>(i)];
+            occs[static_cast<std::size_t>(
+                cursor[static_cast<std::size_t>(l.var)]++)]
+                = Occ{0, static_cast<std::int32_t>(c), Kind::Clause,
+                      l.positive};
+        }
+    }
+    for (std::size_t g = 0; g + 1 < groupOff.size(); ++g) {
+        for (std::int32_t i = groupOff[g]; i < groupOff[g + 1]; ++i) {
+            const Var v = groupVars[static_cast<std::size_t>(i)];
+            occs[static_cast<std::size_t>(
+                cursor[static_cast<std::size_t>(v)]++)]
+                = Occ{0, static_cast<std::int32_t>(g), Kind::Group, true};
+        }
+    }
+    for (std::size_t l = 0; l + 1 < linOff.size(); ++l) {
+        for (std::int32_t i = linOff[l]; i < linOff[l + 1]; ++i) {
+            const PbTerm& t = linTerms[static_cast<std::size_t>(i)];
+            occs[static_cast<std::size_t>(
+                cursor[static_cast<std::size_t>(t.lit.var)]++)]
+                = Occ{t.coeff, static_cast<std::int32_t>(l), Kind::Linear,
+                      t.lit.positive};
+        }
+    }
 }
 
-Solver::Prop
-Solver::propagate(SearchState& st) const
+void
+Solver::resetState()
 {
-    // Naive fixpoint iteration over all constraints. Instance sizes in
-    // this codebase are tiny, so simplicity beats watched literals.
-    bool changed = true;
-    auto assign = [&](const Lit& l) -> bool {
-        const Tri cur = litValue(st, l);
-        if (cur == Tri::False)
-            return false;
-        if (cur == Tri::Unset) {
-            st.value[static_cast<std::size_t>(l.var)]
-                = l.positive ? Tri::True : Tri::False;
-            changed = true;
+    value.assign(static_cast<std::size_t>(model.numVars()), Tri::Unset);
+    trail.clear();
+    qhead = 0;
+    conflict = false;
+
+    const std::size_t num_clauses = clauseOff.size() - 1;
+    clauseTrue.assign(num_clauses, 0);
+    clauseUnset.resize(num_clauses);
+    for (std::size_t c = 0; c < num_clauses; ++c)
+        clauseUnset[c] = clauseOff[c + 1] - clauseOff[c];
+
+    const std::size_t num_groups = groupOff.size() - 1;
+    groupTrue.assign(num_groups, 0);
+    groupUnset.resize(num_groups);
+    for (std::size_t g = 0; g < num_groups; ++g)
+        groupUnset[g] = groupOff[g + 1] - groupOff[g];
+
+    linLower.assign(linBound.size(), 0);
+}
+
+void
+Solver::levelZeroScan()
+{
+    for (std::size_t c = 0; c + 1 < clauseOff.size(); ++c) {
+        const std::int32_t len = clauseOff[c + 1] - clauseOff[c];
+        if (len == 0)
+            conflict = true;
+        else if (len == 1) {
+            const Lit& l
+                = clauseLits[static_cast<std::size_t>(clauseOff[c])];
+            enqueue(l.var, l.positive);
         }
-        return true;
-    };
-
-    while (changed) {
-        changed = false;
-
-        for (const auto& clause : model.clauses()) {
-            int unset = 0;
-            const Lit* last_unset = nullptr;
-            bool satisfied = false;
-            for (const auto& l : clause) {
-                const Tri v = litValue(st, l);
-                if (v == Tri::True) {
-                    satisfied = true;
-                    break;
-                }
-                if (v == Tri::Unset) {
-                    ++unset;
-                    last_unset = &l;
-                }
-            }
-            if (satisfied)
-                continue;
-            if (unset == 0)
-                return Prop::Conflict;
-            if (unset == 1 && !assign(*last_unset))
-                return Prop::Conflict;
+    }
+    for (std::size_t g = 0; g + 1 < groupOff.size(); ++g) {
+        if (!groupExactly[g])
+            continue;
+        const std::int32_t len = groupOff[g + 1] - groupOff[g];
+        if (len == 0)
+            conflict = true;
+        else if (len == 1)
+            enqueue(groupVars[static_cast<std::size_t>(groupOff[g])],
+                    true);
+    }
+    for (std::size_t l = 0; l + 1 < linOff.size(); ++l) {
+        const std::int64_t bound = linBound[l];
+        if (bound < 0)
+            conflict = true;
+        for (std::int32_t i = linOff[l]; i < linOff[l + 1]; ++i) {
+            const PbTerm& t = linTerms[static_cast<std::size_t>(i)];
+            if (t.coeff > bound)
+                enqueue(t.lit.var, !t.lit.positive);
         }
+    }
+}
 
-        auto amoPass = [&](const std::vector<Var>& vars,
-                           bool exactly) -> bool {
-            int trues = 0;
-            int unset = 0;
-            for (Var v : vars) {
-                const Tri t = st.value[static_cast<std::size_t>(v)];
-                if (t == Tri::True)
-                    ++trues;
-                else if (t == Tri::Unset)
-                    ++unset;
-            }
-            if (trues > 1)
-                return false;
-            if (trues == 1) {
-                // Force all remaining to false.
-                for (Var v : vars) {
-                    auto& t = st.value[static_cast<std::size_t>(v)];
-                    if (t == Tri::Unset) {
-                        t = Tri::False;
-                        changed = true;
-                    }
-                }
-            } else if (exactly) {
-                if (unset == 0)
-                    return false; // no true possible
-                if (unset == 1) {
-                    for (Var v : vars) {
-                        auto& t = st.value[static_cast<std::size_t>(v)];
-                        if (t == Tri::Unset) {
-                            t = Tri::True;
-                            changed = true;
+void
+Solver::enqueue(Var v, bool val)
+{
+    Tri& t = value[static_cast<std::size_t>(v)];
+    if (t != Tri::Unset) {
+        if ((t == Tri::True) != val)
+            conflict = true;
+        return;
+    }
+    t = val ? Tri::True : Tri::False;
+    trail.push_back(v);
+}
+
+void
+Solver::applyAssignment(Var v)
+{
+    const bool val = (value[static_cast<std::size_t>(v)] == Tri::True);
+    const std::int32_t begin = occOff[static_cast<std::size_t>(v)];
+    const std::int32_t end = occOff[static_cast<std::size_t>(v) + 1];
+    // Even after a conflict is flagged, counter updates run to
+    // completion so undoTo can reverse them symmetrically.
+    for (std::int32_t o = begin; o < end; ++o) {
+        const Occ& occ = occs[static_cast<std::size_t>(o)];
+        const std::size_t idx = static_cast<std::size_t>(occ.idx);
+        switch (occ.kind) {
+        case Kind::Clause:
+            if (occ.positive == val) {
+                ++clauseTrue[idx];
+            } else {
+                --clauseUnset[idx];
+                if (clauseTrue[idx] == 0) {
+                    if (clauseUnset[idx] == 0) {
+                        conflict = true;
+                    } else if (clauseUnset[idx] == 1) {
+                        // Unit: force the remaining literal (a pending
+                        // assignment may already cover it; skip then).
+                        for (std::int32_t i = clauseOff[idx];
+                             i < clauseOff[idx + 1]; ++i) {
+                            const Lit& l
+                                = clauseLits[static_cast<std::size_t>(i)];
+                            if (value[static_cast<std::size_t>(l.var)]
+                                == Tri::Unset) {
+                                enqueue(l.var, l.positive);
+                                break;
+                            }
                         }
                     }
                 }
             }
-            return true;
-        };
-
-        for (const auto& group : model.exactlyOnes())
-            if (!amoPass(group, true))
-                return Prop::Conflict;
-        for (const auto& group : model.atMostOnes())
-            if (!amoPass(group, false))
-                return Prop::Conflict;
-
-        for (const auto& le : model.linearLes()) {
-            // Minimum achievable sum = sum over terms already true.
-            std::int64_t lower = 0;
-            for (const auto& t : le.terms)
-                if (litValue(st, t.lit) == Tri::True)
-                    lower += t.coeff;
-            if (lower > le.bound)
-                return Prop::Conflict;
-            // Any unset term whose coefficient would overflow the bound
-            // must be false.
-            for (const auto& t : le.terms) {
-                if (litValue(st, t.lit) == Tri::Unset
-                    && lower + t.coeff > le.bound) {
-                    if (!assign(Lit{t.lit.var, !t.lit.positive}))
-                        return Prop::Conflict;
+            break;
+        case Kind::Group:
+            --groupUnset[idx];
+            if (val) {
+                if (++groupTrue[idx] > 1) {
+                    conflict = true;
+                } else {
+                    // First true: the rest of the group must be false.
+                    for (std::int32_t i = groupOff[idx];
+                         i < groupOff[idx + 1]; ++i) {
+                        const Var u
+                            = groupVars[static_cast<std::size_t>(i)];
+                        if (value[static_cast<std::size_t>(u)]
+                            == Tri::Unset)
+                            enqueue(u, false);
+                    }
+                }
+            } else if (groupExactly[idx] && groupTrue[idx] == 0) {
+                if (groupUnset[idx] == 0) {
+                    conflict = true;
+                } else if (groupUnset[idx] == 1) {
+                    for (std::int32_t i = groupOff[idx];
+                         i < groupOff[idx + 1]; ++i) {
+                        const Var u
+                            = groupVars[static_cast<std::size_t>(i)];
+                        if (value[static_cast<std::size_t>(u)]
+                            == Tri::Unset) {
+                            enqueue(u, true);
+                            break;
+                        }
+                    }
                 }
             }
+            break;
+        case Kind::Linear:
+            if (occ.positive == val) {
+                const std::int64_t lower = (linLower[idx] += occ.coeff);
+                const std::int64_t bound = linBound[idx];
+                if (lower > bound) {
+                    conflict = true;
+                } else {
+                    // Any unset term that would overflow the bound must
+                    // be false.
+                    for (std::int32_t i = linOff[idx];
+                         i < linOff[idx + 1]; ++i) {
+                        const PbTerm& t
+                            = linTerms[static_cast<std::size_t>(i)];
+                        if (value[static_cast<std::size_t>(t.lit.var)]
+                                == Tri::Unset
+                            && lower + t.coeff > bound)
+                            enqueue(t.lit.var, !t.lit.positive);
+                    }
+                }
+            }
+            break;
         }
     }
-    return Prop::Fixpoint;
+}
+
+void
+Solver::reverseAssignment(Var v)
+{
+    const bool val = (value[static_cast<std::size_t>(v)] == Tri::True);
+    const std::int32_t begin = occOff[static_cast<std::size_t>(v)];
+    const std::int32_t end = occOff[static_cast<std::size_t>(v) + 1];
+    for (std::int32_t o = begin; o < end; ++o) {
+        const Occ& occ = occs[static_cast<std::size_t>(o)];
+        const std::size_t idx = static_cast<std::size_t>(occ.idx);
+        switch (occ.kind) {
+        case Kind::Clause:
+            if (occ.positive == val)
+                --clauseTrue[idx];
+            else
+                ++clauseUnset[idx];
+            break;
+        case Kind::Group:
+            ++groupUnset[idx];
+            if (val)
+                --groupTrue[idx];
+            break;
+        case Kind::Linear:
+            if (occ.positive == val)
+                linLower[idx] -= occ.coeff;
+            break;
+        }
+    }
 }
 
 bool
-Solver::search(SearchState& st, const Visitor& visit)
+Solver::propagate()
+{
+    while (!conflict && qhead < trail.size())
+        applyAssignment(trail[qhead++]);
+    return !conflict;
+}
+
+void
+Solver::undoTo(std::size_t mark)
+{
+    for (std::size_t i = trail.size(); i-- > mark;) {
+        const Var v = trail[i];
+        if (i < qhead)
+            reverseAssignment(v);
+        value[static_cast<std::size_t>(v)] = Tri::Unset;
+    }
+    trail.resize(mark);
+    qhead = mark;
+    conflict = false;
+}
+
+bool
+Solver::search(const Visitor& visit)
 {
     ++nodes;
-    if (propagate(st) == Prop::Conflict)
-        return true; // keep searching elsewhere
+    if (!propagate())
+        return true; // conflict: keep searching elsewhere
 
     // Find the first unassigned variable.
     Var branch = -1;
-    for (Var v = 0; v < model.numVars(); ++v) {
-        if (st.value[static_cast<std::size_t>(v)] == Tri::Unset) {
+    const Var nv = model.numVars();
+    for (Var v = 0; v < nv; ++v) {
+        if (value[static_cast<std::size_t>(v)] == Tri::Unset) {
             branch = v;
             break;
         }
@@ -146,30 +322,38 @@ Solver::search(SearchState& st, const Visitor& visit)
 
     if (branch < 0) {
         // Complete assignment: report it.
-        std::vector<bool> vals(st.value.size());
-        for (std::size_t i = 0; i < st.value.size(); ++i)
-            vals[i] = (st.value[i] == Tri::True);
+        std::vector<bool> vals(value.size());
+        for (std::size_t i = 0; i < value.size(); ++i)
+            vals[i] = (value[i] == Tri::True);
         return visit(Assignment(std::move(vals)));
     }
 
-    for (const Tri choice : {Tri::True, Tri::False}) {
-        SearchState child = st;
-        child.value[static_cast<std::size_t>(branch)] = choice;
-        if (!search(child, visit))
+    for (const bool choice : {true, false}) {
+        const std::size_t mark = trail.size();
+        enqueue(branch, choice);
+        const bool keep_going = search(visit);
+        undoTo(mark);
+        if (!keep_going)
             return false;
     }
     return true;
 }
 
+void
+Solver::beginSearch()
+{
+    nodes = 0;
+    compile();
+    resetState();
+    levelZeroScan();
+}
+
 std::optional<Assignment>
 Solver::solve()
 {
-    nodes = 0;
+    beginSearch();
     std::optional<Assignment> found;
-    SearchState st;
-    st.value.assign(static_cast<std::size_t>(model.numVars()),
-                    Tri::Unset);
-    search(st, [&](const Assignment& a) {
+    search([&](const Assignment& a) {
         found = a;
         return false; // stop at first solution
     });
@@ -180,13 +364,10 @@ std::optional<Assignment>
 Solver::minimize(const Objective& objective)
 {
     BT_ASSERT(objective, "minimize needs an objective");
-    nodes = 0;
+    beginSearch();
     std::optional<Assignment> best;
     double best_score = std::numeric_limits<double>::infinity();
-    SearchState st;
-    st.value.assign(static_cast<std::size_t>(model.numVars()),
-                    Tri::Unset);
-    search(st, [&](const Assignment& a) {
+    search([&](const Assignment& a) {
         const double score = objective(a);
         if (score < best_score) {
             best_score = score;
@@ -201,11 +382,8 @@ void
 Solver::forEachSolution(const Visitor& visit)
 {
     BT_ASSERT(visit, "forEachSolution needs a visitor");
-    nodes = 0;
-    SearchState st;
-    st.value.assign(static_cast<std::size_t>(model.numVars()),
-                    Tri::Unset);
-    search(st, visit);
+    beginSearch();
+    search(visit);
 }
 
 std::uint64_t

@@ -4,6 +4,19 @@
  * dedicated propagators for exactly-one / at-most-one groups and
  * pseudo-boolean sums, and complete enumeration with callback objectives.
  *
+ * The search keeps a single assignment with an undo trail instead of
+ * copying state per branch, and propagation is incremental: each
+ * variable carries an occurrence list, and counters per constraint
+ * (satisfied / unset literals, accumulated pseudo-boolean lower bound)
+ * are updated as assignments are processed off the trail. All the
+ * propagation rules are monotone - they only ever add forced
+ * assignments - so their fixpoint closure is unique and this reaches
+ * exactly the same conclusions (conflict, forced values, branch
+ * variable) as a naive whole-model re-scan, node for node. The planner
+ * leans on that: it re-enumerates the schedule space once per
+ * candidate, so per-node propagation cost is the term that dominates
+ * end-to-end planning latency.
+ *
  * The schedule-optimization instances (<= ~40 variables, heavily
  * constrained by contiguity) solve in well under a millisecond; the paper
  * reports < 50 ms per Z3 invocation on comparable instances, so this is a
@@ -47,7 +60,9 @@ class Assignment
 /**
  * Exact solver over a Model snapshot. The model is held by reference;
  * callers may add constraints (e.g. blocking clauses) between calls, and
- * the next solve sees them.
+ * the next solve sees them. (Constraints added *during* a running solve -
+ * from inside a visitor - are picked up at the next top-level call, not
+ * mid-search.)
  */
 class Solver
 {
@@ -81,20 +96,73 @@ class Solver
   private:
     enum class Tri : std::int8_t { False = 0, True = 1, Unset = -1 };
 
-    struct SearchState
+    /// Constraint kinds a variable occurrence can point into.
+    enum class Kind : std::uint8_t { Clause, Group, Linear };
+
+    /// One occurrence of a variable inside a constraint row.
+    struct Occ
     {
-        std::vector<Tri> value;
+        std::int64_t coeff;  ///< pseudo-boolean coefficient (Linear only)
+        std::int32_t idx;    ///< row in the per-kind flattened arrays
+        Kind kind;
+        bool positive;       ///< literal polarity (Clause / Linear)
     };
 
-    /// Result of one propagation pass.
-    enum class Prop { Conflict, Fixpoint };
-
-    Prop propagate(SearchState& st) const;
-    bool search(SearchState& st, const Visitor& visit);
-    Tri litValue(const SearchState& st, const Lit& l) const;
+    /// Flatten the model into offset-indexed arrays plus per-variable
+    /// occurrence lists. Runs once per top-level call, so blocking
+    /// clauses appended between calls are included.
+    void compile();
+    /// Reset assignment, trail, and constraint counters to all-unset.
+    void resetState();
+    /// Apply the rules that fire on an empty assignment (unit clauses,
+    /// singleton exactly-one groups, oversized pseudo-boolean terms).
+    void levelZeroScan();
+    /// Record var = val on the trail (or flag a conflict if it is
+    /// already assigned the other way). Consequences are deferred until
+    /// the entry is processed off the trail.
+    void enqueue(Var v, bool val);
+    /// Update the counters of every constraint containing @p v and fire
+    /// any newly forced assignments or conflicts.
+    void applyAssignment(Var v);
+    /// Mirror of applyAssignment, counters only (used when undoing).
+    void reverseAssignment(Var v);
+    /// Drain the trail to fixpoint; false on conflict.
+    bool propagate();
+    /// Unwind the trail (and counters) back to @p mark.
+    void undoTo(std::size_t mark);
+    bool search(const Visitor& visit);
+    /// compile + reset + level-zero rules, shared by all entry points.
+    void beginSearch();
 
     const Model& model;
     std::uint64_t nodes = 0;
+
+    // Compiled model: per-kind rows flattened into (offsets, payload)
+    // pairs for locality, plus per-variable occurrence lists.
+    std::vector<Lit> clauseLits;
+    std::vector<std::int32_t> clauseOff;
+    std::vector<Var> groupVars;
+    std::vector<std::int32_t> groupOff;
+    std::vector<std::uint8_t> groupExactly;
+    std::vector<PbTerm> linTerms;
+    std::vector<std::int32_t> linOff;
+    std::vector<std::int64_t> linBound;
+    std::vector<Occ> occs;
+    std::vector<std::int32_t> occOff;
+
+    // Search state. Counters lag pending (enqueued but unprocessed)
+    // assignments, so "unset" counts mean "not yet processed"; rules
+    // that scan for the remaining unset literal check live values and
+    // skip pending vars, whose own processing re-fires the rule.
+    std::vector<Tri> value;
+    std::vector<Var> trail;
+    std::size_t qhead = 0;
+    bool conflict = false;
+    std::vector<std::int32_t> clauseTrue;
+    std::vector<std::int32_t> clauseUnset;
+    std::vector<std::int32_t> groupTrue;
+    std::vector<std::int32_t> groupUnset;
+    std::vector<std::int64_t> linLower;
 };
 
 } // namespace bt::solver

@@ -15,6 +15,7 @@
 #include "core/autotuner.hpp"
 #include "core/native_executor.hpp"
 #include "core/pipeline.hpp"
+#include "core/profiler.hpp"
 #include "core/sim_executor.hpp"
 #include "platform/devices.hpp"
 
@@ -392,6 +393,66 @@ TEST(BetterTogether, NoAutotuneUsesPredictedBest)
     const auto report = bt.run(apps::alexnetDense());
     EXPECT_EQ(report.bestSchedule.compactString(),
               report.candidates.front().schedule.compactString());
+}
+
+TEST(AutoTuner, ParallelCampaignBitIdenticalAcrossThreadCounts)
+{
+    // The acceptance bar for parallel autotuning: the TuningReport must
+    // be byte-identical at 1, 2, and 8 threads - same measured
+    // latencies (bit-exact), same order, same campaign cost fold.
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto app = apps::alexnetSparse();
+
+    Profiler profiler(model);
+    const auto profile = profiler.profile(app);
+    Optimizer optimizer(soc, profile.interference);
+    const auto candidates = optimizer.optimize();
+    ASSERT_GE(candidates.size(), 2u);
+
+    const SimExecutor exec(model);
+    const AutoTuner serial(exec, 10.0, 1);
+    const auto baseline = serial.tune(app, candidates);
+
+    for (const int threads : {2, 8}) {
+        const AutoTuner tuner(exec, 10.0, threads);
+        const auto report = tuner.tune(app, candidates);
+        ASSERT_EQ(report.all.size(), baseline.all.size())
+            << threads << " threads";
+        EXPECT_EQ(report.bestIndex, baseline.bestIndex);
+        EXPECT_EQ(report.campaignCostSeconds,
+                  baseline.campaignCostSeconds);
+        for (std::size_t i = 0; i < report.all.size(); ++i) {
+            EXPECT_EQ(report.all[i].measuredLatency,
+                      baseline.all[i].measuredLatency);
+            EXPECT_EQ(report.all[i].rankPredicted,
+                      baseline.all[i].rankPredicted);
+            EXPECT_EQ(
+                report.all[i].candidate.schedule.toAssignment(),
+                baseline.all[i].candidate.schedule.toAssignment());
+            EXPECT_EQ(report.all[i].candidate.predictedLatency,
+                      baseline.all[i].candidate.predictedLatency);
+        }
+        EXPECT_EQ(report.autotuningGain(),
+                  baseline.autotuningGain());
+    }
+}
+
+TEST(AutoTuner, GainRejectsReportWithoutPredictedBest)
+{
+    const platform::SocDescription soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto app = syntheticApp(4);
+
+    Candidate c;
+    c.schedule = Schedule::homogeneous(4, 0);
+    const SimExecutor exec(model);
+    const AutoTuner tuner(exec);
+    auto report = tuner.tune(app, {c});
+    EXPECT_GT(report.autotuningGain(), 0.0); // well-formed: fine
+    report.all[0].rankPredicted = 3;         // drop the predicted best
+    EXPECT_DEATH_IF_SUPPORTED(report.autotuningGain(),
+                              "malformed TuningReport");
 }
 
 } // namespace

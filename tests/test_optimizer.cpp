@@ -15,6 +15,7 @@
 #include "apps/alexnet.hpp"
 #include "apps/octree_app.hpp"
 #include "core/optimizer.hpp"
+#include "core/schedule_eval.hpp"
 #include "core/profiler.hpp"
 #include "platform/devices.hpp"
 #include "solver/solver.hpp"
@@ -338,6 +339,143 @@ TEST(Optimizer, ExhaustsSpaceWhenKExceedsIt)
     Optimizer opt(soc, table, cfg);
     // 2 stages, 2 PUs: 2 single-chunk + 2 two-chunk = 4 schedules.
     EXPECT_EQ(opt.optimize().size(), 4u);
+}
+
+TEST_F(ProfiledPixel, EvaluatorChunkTimesBitIdenticalToRangeTime)
+{
+    const auto& table = result.interference;
+    ScheduleEvaluator eval(soc, table, *model);
+    for (int first = 0; first < table.numStages(); ++first)
+        for (int last = first; last < table.numStages(); ++last)
+            for (int p = 0; p < table.numPus(); ++p)
+                EXPECT_EQ(eval.chunkTime(first, last, p),
+                          table.rangeTime(first, last, p))
+                    << "chunk [" << first << ", " << last << "] on "
+                    << p;
+}
+
+TEST_F(ProfiledPixel, EvaluatorBitIdenticalOverAllSchedules)
+{
+    const auto& table = result.interference;
+    ScheduleEvaluator eval(soc, table, *model);
+    const auto all
+        = enumerateSchedules(app->numStages(), soc.numPus());
+    for (const auto& s : all) {
+        const Prediction& p = eval.predict(s);
+        EXPECT_EQ(p.latency, s.bottleneckTime(table));
+        EXPECT_EQ(p.gapness, s.gapness(table));
+        EXPECT_EQ(p.numChunks, s.numChunks());
+    }
+    // Every schedule again: all hits this time.
+    const auto misses = eval.stats().misses;
+    for (const auto& s : all)
+        eval.predict(s);
+    EXPECT_EQ(eval.stats().misses, misses);
+    EXPECT_GE(eval.stats().hits, all.size());
+}
+
+/** Memoized and from-scratch planning must agree bit-for-bit: same
+ *  candidates, same predicted numbers, same stats. */
+void
+expectSamePlan(const platform::SocDescription& soc,
+               const ProfilingTable& table, OptimizerConfig cfg)
+{
+    cfg.memoize = true;
+    Optimizer memo(soc, table, cfg);
+    cfg.memoize = false;
+    Optimizer scratch(soc, table, cfg);
+
+    const auto a = memo.optimize();
+    const auto b = scratch.optimize();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].schedule.toAssignment(),
+                  b[i].schedule.toAssignment());
+        EXPECT_EQ(a[i].predictedLatency, b[i].predictedLatency);
+        EXPECT_EQ(a[i].predictedGapness, b[i].predictedGapness);
+        EXPECT_EQ(a[i].predictedEnergyJ, b[i].predictedEnergyJ);
+    }
+    EXPECT_EQ(memo.stats().unrestrictedLatency,
+              scratch.stats().unrestrictedLatency);
+    EXPECT_EQ(memo.stats().latencyBound, scratch.stats().latencyBound);
+    EXPECT_EQ(memo.stats().requiredPus, scratch.stats().requiredPus);
+    EXPECT_EQ(memo.stats().minimalGapness,
+              scratch.stats().minimalGapness);
+    EXPECT_EQ(memo.stats().gapnessBound, scratch.stats().gapnessBound);
+    // The memoized solver path harvests the space in a single DPLL
+    // sweep and replays the level logic over the harvested array, so
+    // it can only explore fewer nodes than the multi-pass path.
+    EXPECT_LE(memo.stats().solverNodes, scratch.stats().solverNodes);
+    EXPECT_EQ(memo.stats().candidatesWithinBound,
+              scratch.stats().candidatesWithinBound);
+    // The memoized run went through the evaluator (each enumerated
+    // schedule predicted once - a miss; candidate construction then
+    // re-reads the winners - hits).
+    EXPECT_GT(memo.stats().evalHits + memo.stats().evalMisses, 0u);
+    EXPECT_EQ(scratch.stats().evalHits + scratch.stats().evalMisses,
+              0u);
+}
+
+TEST_F(ProfiledPixel, MemoizedExhaustivePlanBitIdentical)
+{
+    OptimizerConfig cfg;
+    cfg.engine = OptimizerConfig::Engine::Exhaustive;
+    expectSamePlan(soc, result.interference, cfg);
+}
+
+TEST_F(ProfiledPixel, MemoizedSolverPlanBitIdentical)
+{
+    OptimizerConfig cfg;
+    cfg.engine = OptimizerConfig::Engine::ConstraintSolver;
+    expectSamePlan(soc, result.interference, cfg);
+
+    // The solver's minimize calls revisit assignments, so the keyed
+    // cache must be doing real work on this path.
+    Optimizer memo(soc, result.interference, cfg);
+    memo.optimize();
+    EXPECT_GT(memo.stats().evalHits, 0u);
+}
+
+TEST_F(ProfiledPixel, MemoizedEnergyDelayPlanBitIdentical)
+{
+    OptimizerConfig cfg;
+    cfg.engine = OptimizerConfig::Engine::Exhaustive;
+    cfg.objective = OptimizerConfig::Objective::EnergyDelay;
+    expectSamePlan(soc, result.interference, cfg);
+}
+
+TEST_F(ProfiledPixel, MemoizedReplanShapeBitIdentical)
+{
+    // The graceful-degradation configuration: one candidate on a
+    // restricted PU set.
+    OptimizerConfig cfg;
+    cfg.engine = OptimizerConfig::Engine::Exhaustive;
+    cfg.numCandidates = 1;
+    cfg.allowedPus = {0, 1, 2};
+    expectSamePlan(soc, result.interference, cfg);
+}
+
+TEST_F(ProfiledPixel, SharedEvaluatorServesSecondOptimizerFromCache)
+{
+    const auto& table = result.interference;
+    ScheduleEvaluator eval(soc, table, *model);
+    OptimizerConfig cfg;
+    cfg.engine = OptimizerConfig::Engine::Exhaustive;
+    cfg.numCandidates = 1;
+
+    Optimizer first(soc, table, cfg, &eval);
+    const auto plan_a = first.optimize();
+    const auto misses_after_first = eval.stats().misses;
+
+    cfg.allowedPus = {0, 1, 2}; // a replan against the same table
+    Optimizer second(soc, table, cfg, &eval);
+    const auto plan_b = second.optimize();
+    // Nothing new to predict: the first pass scored the full space.
+    EXPECT_EQ(eval.stats().misses, misses_after_first);
+    ASSERT_FALSE(plan_b.empty());
+    for (const auto& chunk : plan_b.front().schedule.chunks())
+        EXPECT_LE(chunk.pu, 2);
+    (void)plan_a;
 }
 
 } // namespace

@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -188,6 +192,131 @@ TEST(Engine, SimultaneousCompletionsAllFire)
     e.run();
     EXPECT_EQ(completions, 3);
     EXPECT_NEAR(e.now(), 1.0, 1e-12);
+}
+
+TEST(Engine, CancellationStressDrainsCleanly)
+{
+    // Many scheduleAt/cancelTask interleavings over a shared-rate
+    // engine: timers cancel pseudo-randomly chosen live tasks while
+    // completions and fresh starts churn the active set. Every started
+    // task must end exactly once (completion or cancellation), no
+    // cancelled task may complete, and the engine must drain.
+    Engine e([](std::span<const ActiveTask> active,
+                std::span<double> rates) {
+        for (std::size_t i = 0; i < active.size(); ++i)
+            rates[i] = 1.0
+                / (1.0 + 0.25 * static_cast<double>(active.size()));
+    });
+
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+    auto next_rand = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+
+    std::vector<TaskId> live;
+    std::set<TaskId> cancelled;
+    std::set<TaskId> completed;
+    int started = 0;
+
+    auto start_one = [&] {
+        const double work
+            = 0.5 + static_cast<double>(next_rand() % 100) / 50.0;
+        live.push_back(
+            e.startTask(static_cast<std::uint64_t>(started), work));
+        ++started;
+    };
+
+    e.onComplete([&](TaskId id, std::uint64_t) {
+        EXPECT_EQ(cancelled.count(id), 0u);
+        EXPECT_TRUE(completed.insert(id).second);
+        EXPECT_LE(e.startTime(id), e.now()); // valid during callback
+        live.erase(std::remove(live.begin(), live.end(), id),
+                   live.end());
+    });
+
+    std::function<void()> chaos = [&] {
+        // Cancel one live task...
+        for (int k = 0; k < 1 && !live.empty(); ++k) {
+            const std::size_t pick
+                = static_cast<std::size_t>(next_rand())
+                % live.size();
+            const TaskId victim = live[pick];
+            EXPECT_TRUE(e.cancelTask(victim));
+            EXPECT_FALSE(e.cancelTask(victim)); // gone already
+            cancelled.insert(victim);
+            live.erase(live.begin()
+                       + static_cast<std::ptrdiff_t>(pick));
+        }
+        // ...start two replacements and keep the storm going a while.
+        if (started < 300) {
+            start_one();
+            start_one();
+            e.scheduleAt(e.now()
+                             + 0.05
+                                 * (1.0
+                                    + static_cast<double>(
+                                        next_rand() % 10)),
+                         chaos);
+        }
+    };
+
+    for (int i = 0; i < 8; ++i)
+        start_one();
+    e.scheduleAt(0.1, chaos);
+    e.run();
+
+    EXPECT_EQ(static_cast<int>(completed.size() + cancelled.size()),
+              started);
+    EXPECT_EQ(e.activeCount(), 0u);
+    for (const TaskId id : cancelled)
+        EXPECT_EQ(completed.count(id), 0u);
+    EXPECT_GT(cancelled.size(), 10u);
+    EXPECT_GT(completed.size(), 10u);
+}
+
+TEST(Engine, TimerSlotsRecycleWithFifoOrder)
+{
+    // Chained same-timestamp timers exercise slab-slot reuse; FIFO
+    // (schedule order) must survive recycling.
+    Engine e(constantRate(1.0));
+    std::vector<int> order;
+    for (int round = 0; round < 3; ++round) {
+        const double at = 1.0 + round;
+        for (int i = 0; i < 5; ++i)
+            e.scheduleAt(at, [&order, round, i] {
+                order.push_back(round * 5 + i);
+            });
+    }
+    e.run();
+    ASSERT_EQ(order.size(), 15u);
+    for (int i = 0; i < 15; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, InvalidateRatesAppliesExternalSpeedChange)
+{
+    // A timer callback that alters external rate state (the thermal
+    // slowdown pattern) must be able to force a rate re-read without
+    // touching the active set.
+    double scale = 1.0;
+    Engine e([&scale](std::span<const ActiveTask> active,
+                      std::span<double> rates) {
+        for (std::size_t i = 0; i < active.size(); ++i)
+            rates[i] = scale;
+    });
+    double done_at = -1.0;
+    e.onComplete([&](TaskId, std::uint64_t) { done_at = e.now(); });
+    e.startTask(0, 2.0); // 2 units at rate 1
+    e.scheduleAt(1.0, [&] {
+        scale = 0.5; // half speed for the remaining unit
+        e.invalidateRates();
+    });
+    e.run();
+    // 1 unit done by t=1, remaining 1 unit at rate 0.5 => t=3.
+    EXPECT_NEAR(done_at, 3.0, 1e-12);
 }
 
 } // namespace
