@@ -13,6 +13,8 @@
  *                 --load-profile /tmp/p.csv --compare-dynamic
  *     bt_explorer --device pixel --app octree \
  *                 --faults plan.json --json report.json
+ *     bt_explorer --check --app all --json check.json
+ *     bt_explorer --check-fixtures
  */
 
 #include <cstdio>
@@ -22,7 +24,9 @@
 #include <string>
 
 #include "apps/alexnet.hpp"
+#include "apps/app_check.hpp"
 #include "apps/octree_app.hpp"
+#include "check/fixtures.hpp"
 #include "common/flags.hpp"
 #include "common/logging.hpp"
 #include "core/data_parallel.hpp"
@@ -51,6 +55,8 @@ struct Options
     std::string trace_file;
     std::string faults_file;
     std::string json_file;
+    bool check = false;
+    bool check_fixtures = false;
 };
 
 bool
@@ -87,7 +93,61 @@ parse(int argc, char** argv, Options& opt)
                 "deployed run (see docs/RUNTIME.md)");
     flags.value("--json", &opt.json_file, "FILE",
                 "write a machine-readable report of the deployed run");
+    flags.flag("--check", &opt.check,
+               "run the app's device kernels under bt::check (races, "
+               "OOB, launch geometry, block-order shuffles) instead of "
+               "exploring; --app all sweeps every workload; exit 2 on "
+               "findings");
+    flags.flag("--check-fixtures", &opt.check_fixtures,
+               "run the seeded-defect fixtures; exit 1 unless bt::check "
+               "flags every one");
     return flags.parse(argc, argv);
+}
+
+/** `--check-fixtures`: negative control - every seeded bug must fire. */
+int
+runCheckFixtures()
+{
+    bool all_flagged = true;
+    for (const auto& r : check::runSeededDefects()) {
+        std::printf("%-12s expect %-21s -> %s (%zu findings)\n",
+                    r.name.c_str(),
+                    std::string(check::findingKindName(r.expected))
+                        .c_str(),
+                    r.flagged ? "flagged" : "MISSED", r.totalFindings);
+        all_flagged = all_flagged && r.flagged;
+    }
+    std::printf("%s\n", all_flagged
+                            ? "all seeded defects flagged"
+                            : "seeded defects MISSED - checker broken");
+    return all_flagged ? 0 : 1;
+}
+
+/** `--check`: sweep the selected workload(s) under bt::check. */
+int
+runCheck(const Options& opt)
+{
+    std::vector<std::string> names;
+    if (opt.app == "all")
+        names = {"dense", "sparse", "octree"};
+    else
+        names = {opt.app};
+
+    check::Report merged;
+    for (const auto& name : names) {
+        auto report = apps::checkScaledApp(name);
+        std::printf("[%s] %s\n", name.c_str(),
+                    report.summary().c_str());
+        merged.merge(std::move(report));
+    }
+    merged.print(std::cout);
+    if (!opt.json_file.empty()) {
+        std::ofstream out(opt.json_file);
+        merged.writeJson(out);
+        std::printf("wrote check report to %s\n",
+                    opt.json_file.c_str());
+    }
+    return merged.clean() ? 0 : 2;
 }
 
 platform::SocDescription
@@ -124,6 +184,11 @@ main(int argc, char** argv)
     Options opt;
     if (!parse(argc, argv, opt))
         return 1;
+
+    if (opt.check_fixtures)
+        return runCheckFixtures();
+    if (opt.check)
+        return runCheck(opt);
 
     const auto soc = pickDevice(opt.device);
     const auto app = pickApp(opt.app);

@@ -31,6 +31,7 @@ deviceExec(const core::KernelCtx& ctx)
 {
     kernels::GpuExec exec;
     exec.pool = ctx.pool;
+    exec.observer = ctx.observer;
     return exec;
 }
 

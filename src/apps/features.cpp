@@ -201,7 +201,8 @@ featuresApp(FeaturesConfig cfg)
                 ctx.task, shape,
                 [&](std::span<const std::uint32_t> in,
                     std::span<std::uint32_t> out) {
-                    return kernels::exclusiveScanGpu(in, out);
+                    return kernels::exclusiveScanGpu(in, out,
+                                                     ctx.observer);
                 },
                 nullptr);
         });

@@ -173,8 +173,10 @@ octreeApp(OctreeConfig cfg)
         },
         [sortInto](core::KernelCtx& ctx) {
             auto keys = sortInto(ctx.task);
-            kernels::radixSortGpu(keys, ctx.task.view<std::uint32_t>(
-                                            "sort_scratch"));
+            kernels::radixSortGpu(keys,
+                                  ctx.task.view<std::uint32_t>(
+                                      "sort_scratch"),
+                                  ctx.observer);
         }));
 
     const int s_unique = graph.addNode(core::Stage(
@@ -193,7 +195,7 @@ octreeApp(OctreeConfig cfg)
                 "sorted").subspan(0, static_cast<std::size_t>(n));
             const std::int64_t k = kernels::uniqueGpu(
                 sorted, ctx.task.view<std::uint32_t>("unique"),
-                ctx.task.view<std::uint32_t>("flags"));
+                ctx.task.view<std::uint32_t>("flags"), ctx.observer);
             ctx.task.setScalar("unique_count", k);
         }));
 
@@ -250,7 +252,8 @@ octreeApp(OctreeConfig cfg)
                 "counts").subspan(0, static_cast<std::size_t>(
                     2 * k - 1));
             const std::uint64_t total = kernels::exclusiveScanGpu(
-                counts, ctx.task.view<std::uint32_t>("offsets"));
+                counts, ctx.task.view<std::uint32_t>("offsets"),
+                ctx.observer);
             ctx.task.setScalar("oct_total",
                                static_cast<std::int64_t>(total));
         }));

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hpp"
+
 namespace bt {
 
 /** One registry of long options for a command-line tool. */
@@ -34,11 +36,11 @@ class FlagSet
     void
     flag(std::string name, bool* target, std::string help)
     {
-        flags_.push_back({std::move(name), "", std::move(help),
-                          [target](const std::string&) {
-                              *target = true;
-                              return true;
-                          }});
+        add({std::move(name), "", std::move(help),
+             [target](const std::string&) {
+                 *target = true;
+                 return true;
+             }});
     }
 
     /** A string-valued option (`--name VALUE`). */
@@ -46,12 +48,11 @@ class FlagSet
     value(std::string name, std::string* target, std::string metavar,
           std::string help)
     {
-        flags_.push_back({std::move(name), std::move(metavar),
-                          std::move(help),
-                          [target](const std::string& v) {
-                              *target = v;
-                              return true;
-                          }});
+        add({std::move(name), std::move(metavar), std::move(help),
+             [target](const std::string& v) {
+                 *target = v;
+                 return true;
+             }});
     }
 
     /** An integer-valued option. */
@@ -59,17 +60,15 @@ class FlagSet
     value(std::string name, int* target, std::string metavar,
           std::string help)
     {
-        flags_.push_back({std::move(name), std::move(metavar),
-                          std::move(help),
-                          [target](const std::string& v) {
-                              char* end = nullptr;
-                              const long parsed
-                                  = std::strtol(v.c_str(), &end, 10);
-                              if (end == v.c_str() || *end != '\0')
-                                  return false;
-                              *target = static_cast<int>(parsed);
-                              return true;
-                          }});
+        add({std::move(name), std::move(metavar), std::move(help),
+             [target](const std::string& v) {
+                 char* end = nullptr;
+                 const long parsed = std::strtol(v.c_str(), &end, 10);
+                 if (end == v.c_str() || *end != '\0')
+                     return false;
+                 *target = static_cast<int>(parsed);
+                 return true;
+             }});
     }
 
     /** A double-valued option. */
@@ -77,17 +76,15 @@ class FlagSet
     value(std::string name, double* target, std::string metavar,
           std::string help)
     {
-        flags_.push_back({std::move(name), std::move(metavar),
-                          std::move(help),
-                          [target](const std::string& v) {
-                              char* end = nullptr;
-                              const double parsed
-                                  = std::strtod(v.c_str(), &end);
-                              if (end == v.c_str() || *end != '\0')
-                                  return false;
-                              *target = parsed;
-                              return true;
-                          }});
+        add({std::move(name), std::move(metavar), std::move(help),
+             [target](const std::string& v) {
+                 char* end = nullptr;
+                 const double parsed = std::strtod(v.c_str(), &end);
+                 if (end == v.c_str() || *end != '\0')
+                     return false;
+                 *target = parsed;
+                 return true;
+             }});
     }
 
     /**
@@ -161,6 +158,16 @@ class FlagSet
             if (f.name == name)
                 return &f;
         return nullptr;
+    }
+
+    /** Every registration funnels through here; duplicate names are a
+     *  programming error (the usage screen would lie about one). */
+    void
+    add(Flag f)
+    {
+        if (find(f.name) != nullptr)
+            panic("duplicate flag registration: ", f.name);
+        flags_.push_back(std::move(f));
     }
 
     static std::string

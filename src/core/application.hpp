@@ -19,6 +19,10 @@
 #include "platform/pu.hpp"
 #include "sched/thread_pool.hpp"
 
+namespace bt::simt {
+class LaunchObserver; // bt::check instrumentation (simt/instrument.hpp)
+} // namespace bt::simt
+
 namespace bt::core {
 
 /** Execution context handed to a kernel implementation. */
@@ -26,6 +30,8 @@ struct KernelCtx
 {
     TaskObject& task;
     sched::ThreadPool* pool = nullptr; ///< CPU team; nullptr = serial
+    /** Non-null runs device kernels under bt::check instrumentation. */
+    simt::LaunchObserver* observer = nullptr;
 };
 
 /** One backend implementation of a stage. */

@@ -8,11 +8,13 @@ namespace bt::kernels {
 
 namespace {
 
-/** Shared element body: compute output element (oc, y, x). */
+/** Shared element body: compute output element (oc, y, x). Templated
+ *  over the view types so the checked path (TrackedSpans) instantiates
+ *  the same code the raw-span hot path does. */
+template <typename InV, typename WV, typename BV>
 inline float
-convElementXY(const ConvShape& shape, std::span<const float> in,
-              std::span<const float> weights, std::span<const float> bias,
-              int oc, int y, int x)
+convElementXY(const ConvShape& shape, const InV& in, const WV& weights,
+              const BV& bias, int oc, int y, int x)
 {
     float acc = bias[static_cast<std::size_t>(oc)];
     const std::int64_t wbase
@@ -39,10 +41,10 @@ convElementXY(const ConvShape& shape, std::span<const float> in,
 }
 
 /** Flat-index wrapper for grid-stride (device) and reference callers. */
+template <typename InV, typename WV, typename BV>
 inline float
-convElement(const ConvShape& shape, std::span<const float> in,
-            std::span<const float> weights, std::span<const float> bias,
-            std::int64_t idx)
+convElement(const ConvShape& shape, const InV& in, const WV& weights,
+            const BV& bias, std::int64_t idx)
 {
     const Shape3 os = shape.out();
     const int x = static_cast<int>(idx % os.w);
@@ -117,16 +119,41 @@ conv2dCpu(const CpuExec& exec, const ConvShape& shape,
     });
 }
 
+namespace {
+
+template <typename InV, typename WV, typename BV, typename OutV>
+void
+conv2dGpuImpl(const GpuExec& exec, const ConvShape& shape, const InV& in,
+              const WV& weights, const BV& bias, const OutV& out)
+{
+    exec.forEach(shape.out().elems(), [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)]
+            = convElement(shape, in, weights, bias, i);
+    });
+}
+
+} // namespace
+
 void
 conv2dGpu(const GpuExec& exec, const ConvShape& shape,
           std::span<const float> in, std::span<const float> weights,
           std::span<const float> bias, std::span<float> out)
 {
     checkSizes(shape, in, weights, bias, out);
-    exec.forEach(shape.out().elems(), [&](std::int64_t i) {
-        out[static_cast<std::size_t>(i)]
-            = convElement(shape, in, weights, bias, i);
-    });
+    if (exec.observer) {
+        auto& obs = *exec.observer;
+        const simt::KernelScope scope(obs, "conv2d");
+        conv2dGpuImpl(
+            exec, shape, checkedTensor(in, shape.in, obs, "in"),
+            simt::tracked(weights.first(static_cast<std::size_t>(
+                              shape.weightElems())),
+                          obs, "weights"),
+            simt::tracked(bias.first(static_cast<std::size_t>(shape.outC)),
+                          obs, "bias"),
+            checkedTensor(out, shape.out(), obs, "out"));
+        return;
+    }
+    conv2dGpuImpl(exec, shape, in, weights, bias, out);
 }
 
 void

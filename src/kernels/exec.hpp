@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "sched/thread_pool.hpp"
+#include "simt/instrument.hpp"
 #include "simt/simt.hpp"
 
 namespace bt::kernels {
@@ -74,6 +75,11 @@ struct CpuExec
  *  - `erased`  routes through the type-erased simt::Kernel tier, paying
  *              one indirect call per SIMT thread (measurement baseline
  *              and ABI-stable fallback).
+ *  - `observer` non-null opts this executor into checked execution
+ *              (bt::check): launches run serially under instrumentation
+ *              and are re-executed under shuffled block orders, ignoring
+ *              the pool/order/erased knobs. Kernels that see a non-null
+ *              observer must hand it tracked views of their buffers.
  */
 struct GpuExec
 {
@@ -85,6 +91,7 @@ struct GpuExec
     Order order = Order::Sequential;
     std::uint64_t shuffleSeed = 0;
     bool erased = false;
+    simt::LaunchObserver* observer = nullptr;
 
     template <typename Fn>
     void
@@ -96,6 +103,11 @@ struct GpuExec
         auto body = [&](const simt::WorkItem& item) {
             simt::gridStride(item, n, fn);
         };
+        if (observer) {
+            simt::launchChecked(cfg, body, *observer, n,
+                                simt::GeometryStyle::GridStride);
+            return;
+        }
         if (erased) {
             const simt::Kernel kernel = body;
             dispatch(cfg, kernel);

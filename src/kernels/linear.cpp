@@ -6,9 +6,9 @@ namespace bt::kernels {
 
 namespace {
 
+template <typename InV, typename WV, typename BV>
 inline float
-dotRow(int in_features, std::span<const float> in,
-       std::span<const float> weights, std::span<const float> bias,
+dotRow(int in_features, const InV& in, const WV& weights, const BV& bias,
        std::int64_t row)
 {
     float acc = bias[static_cast<std::size_t>(row)];
@@ -49,16 +49,42 @@ linearCpu(const CpuExec& exec, int in_features, int out_features,
                       });
 }
 
+namespace {
+
+template <typename InV, typename WV, typename BV, typename OutV>
+void
+linearGpuImpl(const GpuExec& exec, int in_features, int out_features,
+              const InV& in, const WV& weights, const BV& bias,
+              const OutV& out)
+{
+    exec.forEach(out_features, [&](std::int64_t row) {
+        out[static_cast<std::size_t>(row)]
+            = dotRow(in_features, in, weights, bias, row);
+    });
+}
+
+} // namespace
+
 void
 linearGpu(const GpuExec& exec, int in_features, int out_features,
           std::span<const float> in, std::span<const float> weights,
           std::span<const float> bias, std::span<float> out)
 {
     checkSizes(in_features, out_features, in, weights, bias, out);
-    exec.forEach(out_features, [&](std::int64_t row) {
-        out[static_cast<std::size_t>(row)]
-            = dotRow(in_features, in, weights, bias, row);
-    });
+    if (exec.observer) {
+        auto& obs = *exec.observer;
+        const simt::KernelScope scope(obs, "linear");
+        const auto inf = static_cast<std::size_t>(in_features);
+        const auto outf = static_cast<std::size_t>(out_features);
+        linearGpuImpl(exec, in_features, out_features,
+                      simt::tracked(in.first(inf), obs, "in"),
+                      simt::tracked(weights.first(inf * outf), obs,
+                                    "weights"),
+                      simt::tracked(bias.first(outf), obs, "bias"),
+                      simt::tracked(out.first(outf), obs, "out"));
+        return;
+    }
+    linearGpuImpl(exec, in_features, out_features, in, weights, bias, out);
 }
 
 void

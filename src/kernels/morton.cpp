@@ -56,17 +56,41 @@ mortonEncodeCpu(const CpuExec& exec, std::span<const float> points,
     });
 }
 
+namespace {
+
+template <typename PtsV, typename CodeV>
 void
-mortonEncodeGpu(const GpuExec& exec, std::span<const float> points,
-                std::span<std::uint32_t> codes, std::int64_t n)
+mortonEncodeGpuImpl(const GpuExec& exec, const PtsV& points,
+                    const CodeV& codes, std::int64_t n)
 {
-    checkSizes(points, codes, n);
     exec.forEach(n, [&](std::int64_t i) {
         codes[static_cast<std::size_t>(i)]
             = morton32(points[static_cast<std::size_t>(3 * i)],
                        points[static_cast<std::size_t>(3 * i + 1)],
                        points[static_cast<std::size_t>(3 * i + 2)]);
     });
+}
+
+} // namespace
+
+void
+mortonEncodeGpu(const GpuExec& exec, std::span<const float> points,
+                std::span<std::uint32_t> codes, std::int64_t n)
+{
+    checkSizes(points, codes, n);
+    if (exec.observer) {
+        auto& obs = *exec.observer;
+        const simt::KernelScope scope(obs, "morton_encode");
+        mortonEncodeGpuImpl(
+            exec,
+            simt::tracked(points.first(static_cast<std::size_t>(3 * n)),
+                          obs, "points"),
+            simt::tracked(codes.first(static_cast<std::size_t>(n)), obs,
+                          "codes"),
+            n);
+        return;
+    }
+    mortonEncodeGpuImpl(exec, points, codes, n);
 }
 
 } // namespace bt::kernels

@@ -1,7 +1,5 @@
 #include "kernels/octree.hpp"
 
-#include <atomic>
-
 #include "common/logging.hpp"
 
 namespace bt::kernels {
@@ -16,8 +14,9 @@ levelOf(int prefix_bits)
 }
 
 /** Octree level of the radix parent of entity @p node (internal). */
+template <typename TreeV>
 inline int
-parentLevel(const RadixTreeView& tree, std::int32_t parent)
+parentLevel(const TreeV& tree, std::int32_t parent)
 {
     if (parent < 0)
         return 0; // conceptual root prefix is empty
@@ -25,8 +24,9 @@ parentLevel(const RadixTreeView& tree, std::int32_t parent)
 }
 
 /** Count for internal node i. */
+template <typename TreeV>
 inline std::uint32_t
-internalCount(const RadixTreeView& tree, std::int64_t i)
+internalCount(const TreeV& tree, std::int64_t i)
 {
     const auto idx = static_cast<std::size_t>(i);
     const int own = levelOf(tree.prefixLen[idx]);
@@ -35,26 +35,28 @@ internalCount(const RadixTreeView& tree, std::int64_t i)
 }
 
 /** Count for leaf j: extend to the maximum octree depth. */
+template <typename TreeV>
 inline std::uint32_t
-leafCount(const RadixTreeView& tree, std::int64_t j)
+leafCount(const TreeV& tree, std::int64_t j)
 {
     const int up = parentLevel(
         tree, tree.leafParent[static_cast<std::size_t>(j)]);
     return static_cast<std::uint32_t>(kMaxOctreeLevel - up);
 }
 
+template <typename CountsV>
 void
-checkCountSizes(std::int64_t k, std::span<std::uint32_t> counts)
+checkCountSizes(std::int64_t k, const CountsV& counts)
 {
     BT_ASSERT(k >= 1);
     BT_ASSERT(counts.size() >= static_cast<std::size_t>(2 * k - 1),
               "counts needs 2k-1 entries");
 }
 
-template <typename Exec>
+template <typename Exec, typename TreeV, typename CountsV>
 void
-countOctreeNodes(const Exec& exec, const RadixTreeView& tree,
-                 std::int64_t k, std::span<std::uint32_t> counts)
+countOctreeNodes(const Exec& exec, const TreeV& tree,
+                 std::int64_t k, const CountsV& counts)
 {
     checkCountSizes(k, counts);
     // Entities: internal nodes [0, k-1), leaves [k-1, 2k-1).
@@ -69,10 +71,10 @@ countOctreeNodes(const Exec& exec, const RadixTreeView& tree,
  * Octree node index of the deepest cell owned by radix entity @p e, or
  * the root (0) after walking past every zero-count ancestor.
  */
+template <typename TreeV, typename CountsV, typename OffsetsV>
 inline std::int32_t
-octreeNodeOf(const RadixTreeView& tree,
-             std::span<const std::uint32_t> counts,
-             std::span<const std::uint32_t> offsets, std::int64_t k,
+octreeNodeOf(const TreeV& tree, const CountsV& counts,
+             const OffsetsV& offsets, std::int64_t k,
              std::int32_t radix_parent)
 {
     std::int32_t p = radix_parent;
@@ -86,13 +88,13 @@ octreeNodeOf(const RadixTreeView& tree,
         + counts[static_cast<std::size_t>(p)] - 1);
 }
 
-template <typename Exec>
+template <typename Exec, typename CodesV, typename TreeV,
+          typename CountsV, typename OffsetsV, typename OutV>
 std::int64_t
-buildOctree(const Exec& exec, std::span<const std::uint32_t> codes,
-            std::int64_t k, const RadixTreeView& tree,
-            std::span<const std::uint32_t> counts,
-            std::span<const std::uint32_t> offsets, std::uint64_t total,
-            const OctreeView& out)
+buildOctree(const Exec& exec, const CodesV& codes,
+            std::int64_t k, const TreeV& tree, const CountsV& counts,
+            const OffsetsV& offsets, std::uint64_t total,
+            const OutV& out)
 {
     const std::int64_t num_nodes = static_cast<std::int64_t>(total) + 1;
     BT_ASSERT(out.prefix.size() >= static_cast<std::size_t>(num_nodes),
@@ -158,8 +160,7 @@ buildOctree(const Exec& exec, std::span<const std::uint32_t> codes,
         const auto i = static_cast<std::size_t>(n + 1);
         const std::uint32_t digit = out.prefix[i] & 7u;
         const auto p = static_cast<std::size_t>(out.parent[i]);
-        std::atomic_ref<std::uint32_t> mask(out.childMask[p]);
-        mask.fetch_or(1u << digit, std::memory_order_relaxed);
+        simt::atomicFetchOr(out.childMask, p, 1u << digit);
     });
     return num_nodes;
 }
@@ -181,10 +182,45 @@ countOctreeNodesCpu(const CpuExec& exec, const RadixTreeView& tree,
     countOctreeNodes(exec, tree, k, counts);
 }
 
+namespace {
+
+/** Read-only tracked view of the radix tree for the octree stages. */
+RadixTreeViewT<simt::TrackedSpan<const std::int32_t>>
+trackRadixTree(const RadixTreeView& tree, std::int64_t k,
+               simt::LaunchObserver& obs)
+{
+    const auto internal = static_cast<std::size_t>(k > 1 ? k - 1 : 0);
+    auto ro = [&](std::span<const std::int32_t> s, std::size_t n,
+                  std::string_view name) {
+        return simt::tracked(s.first(n), obs, name);
+    };
+    return {ro(tree.left, internal, "tree.left"),
+            ro(tree.right, internal, "tree.right"),
+            ro(tree.parent, internal, "tree.parent"),
+            ro(tree.leafParent, static_cast<std::size_t>(k),
+               "tree.leaf_parent"),
+            ro(tree.prefixLen, internal, "tree.prefix_len"),
+            ro(tree.first, internal, "tree.first"),
+            ro(tree.last, internal, "tree.last")};
+}
+
+} // namespace
+
 void
 countOctreeNodesGpu(const GpuExec& exec, const RadixTreeView& tree,
                     std::int64_t k, std::span<std::uint32_t> counts)
 {
+    if (exec.observer) {
+        auto& obs = *exec.observer;
+        const simt::KernelScope scope(obs, "count_octree");
+        checkCountSizes(k, counts);
+        countOctreeNodes(
+            exec, trackRadixTree(tree, k, obs), k,
+            simt::tracked(
+                counts.first(static_cast<std::size_t>(2 * k - 1)), obs,
+                "counts"));
+        return;
+    }
     countOctreeNodes(exec, tree, k, counts);
 }
 
@@ -206,6 +242,39 @@ buildOctreeGpu(const GpuExec& exec, std::span<const std::uint32_t> codes,
                std::span<const std::uint32_t> offsets,
                std::uint64_t total, const OctreeView& out)
 {
+    if (exec.observer) {
+        auto& obs = *exec.observer;
+        const simt::KernelScope scope(obs, "build_octree");
+        const auto entities = static_cast<std::size_t>(2 * k - 1);
+        const auto nn
+            = static_cast<std::size_t>(total) + 1; // incl. root
+        auto u32 = [&](std::span<std::uint32_t> s,
+                       std::string_view name) {
+            BT_ASSERT(s.size() >= nn, "octree buffers too small");
+            return simt::tracked(s.first(nn), obs, name);
+        };
+        auto i32 = [&](std::span<std::int32_t> s,
+                       std::string_view name) {
+            BT_ASSERT(s.size() >= nn, "octree buffers too small");
+            return simt::tracked(s.first(nn), obs, name);
+        };
+        const OctreeViewT<simt::TrackedSpan<std::uint32_t>,
+                          simt::TrackedSpan<std::int32_t>>
+            tracked_out{u32(out.prefix, "octree.prefix"),
+                        i32(out.level, "octree.level"),
+                        i32(out.parent, "octree.parent"),
+                        u32(out.childMask, "octree.child_mask"),
+                        i32(out.firstCode, "octree.first_code"),
+                        i32(out.codeCount, "octree.code_count")};
+        return buildOctree(
+            exec,
+            simt::tracked(codes.first(static_cast<std::size_t>(k)), obs,
+                          "codes"),
+            k, trackRadixTree(tree, k, obs),
+            simt::tracked(counts.first(entities), obs, "counts"),
+            simt::tracked(offsets.first(entities), obs, "offsets"),
+            total, tracked_out);
+    }
     return buildOctree(exec, codes, k, tree, counts, offsets, total,
                        out);
 }

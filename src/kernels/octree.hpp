@@ -31,16 +31,24 @@ namespace bt::kernels {
 /** Maximum octree depth with 30-bit Morton codes. */
 constexpr int kMaxOctreeLevel = kMortonBits / 3;
 
-/** Structure-of-arrays octree; index 0 is the root. */
-struct OctreeView
+/**
+ * Structure-of-arrays octree; index 0 is the root. Templated over the
+ * span types so the build kernels run over plain std::span (pooled
+ * execution) or simt::TrackedSpan (bt::check instrumented runs).
+ */
+template <typename U32Span, typename I32Span>
+struct OctreeViewT
 {
-    std::span<std::uint32_t> prefix;  ///< morton prefix, 3*level bits
-    std::span<std::int32_t> level;    ///< 0 = root
-    std::span<std::int32_t> parent;   ///< -1 for the root
-    std::span<std::uint32_t> childMask; ///< bit d = has child digit d
-    std::span<std::int32_t> firstCode;  ///< covered unique-code range
-    std::span<std::int32_t> codeCount;
+    U32Span prefix;    ///< morton prefix, 3*level bits
+    I32Span level;     ///< 0 = root
+    I32Span parent;    ///< -1 for the root
+    U32Span childMask; ///< bit d = has child digit d
+    I32Span firstCode; ///< covered unique-code range
+    I32Span codeCount;
 };
+
+using OctreeView
+    = OctreeViewT<std::span<std::uint32_t>, std::span<std::int32_t>>;
 
 /**
  * Upper bound on octree nodes for @p k unique codes; size the

@@ -61,7 +61,7 @@ class OctreeIndex
         return (static_cast<std::uint64_t>(level) << 32) | prefix;
     }
 
-    const OctreeView& tree;
+    OctreeView tree; // by value: callers often pass a temporary view
     std::int64_t nodes;
     std::unordered_map<std::uint64_t, std::int32_t> cells;
     std::array<std::int64_t, kMaxOctreeLevel + 1> levelCounts{};

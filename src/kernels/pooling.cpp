@@ -14,9 +14,9 @@ pooledShape(const Shape3& in)
 
 namespace {
 
+template <typename InV>
 inline float
-poolElementXY(const Shape3& is, std::span<const float> in, int c, int y,
-              int x)
+poolElementXY(const Shape3& is, const InV& in, int c, int y, int x)
 {
     const int iy = y * 2;
     const int ix = x * 2;
@@ -29,8 +29,9 @@ poolElementXY(const Shape3& is, std::span<const float> in, int c, int y,
 }
 
 /** Flat-index wrapper for grid-stride (device) and reference callers. */
+template <typename InV>
 inline float
-poolElement(const Shape3& is, std::span<const float> in, std::int64_t idx)
+poolElement(const Shape3& is, const InV& in, std::int64_t idx)
 {
     const Shape3 os = pooledShape(is);
     const int x = static_cast<int>(idx % os.w);
@@ -76,14 +77,35 @@ maxpoolCpu(const CpuExec& exec, const Shape3& in_shape,
     });
 }
 
+namespace {
+
+template <typename InV, typename OutV>
+void
+maxpoolGpuImpl(const GpuExec& exec, const Shape3& in_shape, const InV& in,
+               const OutV& out)
+{
+    exec.forEach(pooledShape(in_shape).elems(), [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)] = poolElement(in_shape, in, i);
+    });
+}
+
+} // namespace
+
 void
 maxpoolGpu(const GpuExec& exec, const Shape3& in_shape,
            std::span<const float> in, std::span<float> out)
 {
     checkSizes(in_shape, in, out);
-    exec.forEach(pooledShape(in_shape).elems(), [&](std::int64_t i) {
-        out[static_cast<std::size_t>(i)] = poolElement(in_shape, in, i);
-    });
+    if (exec.observer) {
+        auto& obs = *exec.observer;
+        const simt::KernelScope scope(obs, "maxpool");
+        maxpoolGpuImpl(exec, in_shape,
+                       checkedTensor(in, in_shape, obs, "in"),
+                       checkedTensor(out, pooledShape(in_shape), obs,
+                                     "out"));
+        return;
+    }
+    maxpoolGpuImpl(exec, in_shape, in, out);
 }
 
 void

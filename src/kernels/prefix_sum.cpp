@@ -59,8 +59,16 @@ exclusiveScanCpu(const CpuExec& exec, std::span<const std::uint32_t> in,
 
 std::uint64_t
 exclusiveScanGpu(std::span<const std::uint32_t> in,
-                 std::span<std::uint32_t> out)
+                 std::span<std::uint32_t> out,
+                 simt::LaunchObserver* observer)
 {
+    if (observer) {
+        const simt::KernelScope scope(*observer, "exclusive_scan");
+        return simt::deviceExclusiveScan(
+            simt::tracked(in, *observer, "in"),
+            simt::tracked(out.first(in.size()), *observer, "out"),
+            *observer);
+    }
     return simt::deviceExclusiveScan(in, out);
 }
 

@@ -24,8 +24,10 @@ std::uint64_t exclusiveScanCpu(const CpuExec& exec,
                                std::span<const std::uint32_t> in,
                                std::span<std::uint32_t> out);
 
+/** @param observer non-null runs the scan under bt::check. */
 std::uint64_t exclusiveScanGpu(std::span<const std::uint32_t> in,
-                               std::span<std::uint32_t> out);
+                               std::span<std::uint32_t> out,
+                               simt::LaunchObserver* observer = nullptr);
 
 } // namespace bt::kernels
 

@@ -22,8 +22,9 @@ namespace {
  * when j is out of range. Codes are unique, so no index tie-break is
  * needed.
  */
+template <typename CodesV>
 inline int
-delta(std::span<const std::uint32_t> codes, std::int64_t k,
+delta(const CodesV& codes, std::int64_t k,
       std::int64_t i, std::int64_t j)
 {
     if (j < 0 || j >= k)
@@ -33,9 +34,10 @@ delta(std::span<const std::uint32_t> codes, std::int64_t k,
 }
 
 /** Construct internal node @p i (Karras Fig. 4 algorithm). */
+template <typename CodesV, typename TreeV>
 inline void
-buildNode(std::span<const std::uint32_t> codes, std::int64_t k,
-          const RadixTreeView& tree, std::int64_t i)
+buildNode(const CodesV& codes, std::int64_t k,
+          const TreeV& tree, std::int64_t i)
 {
     const int d
         = delta(codes, k, i, i + 1) > delta(codes, k, i, i - 1) ? 1 : -1;
@@ -92,9 +94,9 @@ buildNode(std::span<const std::uint32_t> codes, std::int64_t k,
     }
 }
 
+template <typename CodesV, typename TreeV>
 void
-checkSizes(std::span<const std::uint32_t> codes, std::int64_t k,
-           const RadixTreeView& tree)
+checkSizes(const CodesV& codes, std::int64_t k, const TreeV& tree)
 {
     BT_ASSERT(k >= 1, "radix tree needs at least one code");
     BT_ASSERT(codes.size() >= static_cast<std::size_t>(k));
@@ -108,10 +110,10 @@ checkSizes(std::span<const std::uint32_t> codes, std::int64_t k,
     BT_ASSERT(tree.leafParent.size() >= static_cast<std::size_t>(k));
 }
 
-template <typename Exec>
+template <typename Exec, typename CodesV, typename TreeV>
 void
-buildRadixTree(const Exec& exec, std::span<const std::uint32_t> codes,
-               std::int64_t k, const RadixTreeView& tree)
+buildRadixTree(const Exec& exec, const CodesV& codes,
+               std::int64_t k, const TreeV& tree)
 {
     checkSizes(codes, k, tree);
     if (k == 1) {
@@ -140,6 +142,28 @@ buildRadixTreeGpu(const GpuExec& exec,
                   std::span<const std::uint32_t> codes, std::int64_t k,
                   const RadixTreeView& tree)
 {
+    if (exec.observer) {
+        auto& obs = *exec.observer;
+        const simt::KernelScope scope(obs, "radix_tree");
+        checkSizes(codes, k, tree);
+        const auto internal = static_cast<std::size_t>(k > 1 ? k - 1 : 0);
+        const auto leaves = static_cast<std::size_t>(k);
+        const RadixTreeViewT<simt::TrackedSpan<std::int32_t>> tracked{
+            simt::tracked(tree.left.first(internal), obs, "tree.left"),
+            simt::tracked(tree.right.first(internal), obs, "tree.right"),
+            simt::tracked(tree.parent.first(internal), obs,
+                          "tree.parent"),
+            simt::tracked(tree.leafParent.first(leaves), obs,
+                          "tree.leaf_parent"),
+            simt::tracked(tree.prefixLen.first(internal), obs,
+                          "tree.prefix_len"),
+            simt::tracked(tree.first.first(internal), obs, "tree.first"),
+            simt::tracked(tree.last.first(internal), obs, "tree.last")};
+        buildRadixTree(exec,
+                       simt::tracked(codes.first(leaves), obs, "codes"),
+                       k, tracked);
+        return;
+    }
     buildRadixTree(exec, codes, k, tree);
 }
 

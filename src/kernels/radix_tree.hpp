@@ -22,22 +22,29 @@ namespace bt::kernels {
  * Structure-of-arrays view of a radix tree over K unique codes:
  * K-1 internal nodes (node 0 is the root) and K leaves (the codes).
  * Children encode leaves as ~leafIndex (negative values).
+ *
+ * Templated over the span type so the same construction kernels run
+ * over plain std::span (pooled execution) or simt::TrackedSpan
+ * (bt::check instrumented runs).
  */
-struct RadixTreeView
+template <typename I32Span>
+struct RadixTreeViewT
 {
-    std::span<std::int32_t> left;       ///< K-1: left child
-    std::span<std::int32_t> right;      ///< K-1: right child
-    std::span<std::int32_t> parent;     ///< K-1: internal parent, -1 root
-    std::span<std::int32_t> leafParent; ///< K: internal parent of leaf
-    std::span<std::int32_t> prefixLen;  ///< K-1: common prefix bits 0..30
-    std::span<std::int32_t> first;      ///< K-1: range begin (leaf index)
-    std::span<std::int32_t> last;       ///< K-1: range end, inclusive
+    I32Span left;       ///< K-1: left child
+    I32Span right;      ///< K-1: right child
+    I32Span parent;     ///< K-1: internal parent, -1 root
+    I32Span leafParent; ///< K: internal parent of leaf
+    I32Span prefixLen;  ///< K-1: common prefix bits 0..30
+    I32Span first;      ///< K-1: range begin (leaf index)
+    I32Span last;       ///< K-1: range end, inclusive
 
     /** Encode / decode leaf children. */
     static std::int32_t encodeLeaf(std::int32_t leaf) { return ~leaf; }
     static bool isLeaf(std::int32_t child) { return child < 0; }
     static std::int32_t leafIndex(std::int32_t child) { return ~child; }
 };
+
+using RadixTreeView = RadixTreeViewT<std::span<std::int32_t>>;
 
 /** Bits in a Morton code (10 octree levels). */
 constexpr int kMortonBits = 30;

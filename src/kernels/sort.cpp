@@ -90,11 +90,21 @@ radixSortCpu(const CpuExec& exec, std::span<std::uint32_t> keys,
 
 void
 radixSortGpu(std::span<std::uint32_t> keys,
-             std::span<std::uint32_t> scratch)
+             std::span<std::uint32_t> scratch,
+             simt::LaunchObserver* observer)
 {
     BT_ASSERT(scratch.size() >= keys.size(), "sort scratch too small");
     if (keys.size() <= 1)
         return;
+    if (observer) {
+        const simt::KernelScope scope(*observer, "radix_sort");
+        simt::deviceRadixSort(
+            simt::tracked(keys, *observer, "keys"),
+            simt::tracked(scratch.first(keys.size()), *observer,
+                          "scratch"),
+            *observer, kRadixBits);
+        return;
+    }
     simt::deviceRadixSort(keys, scratch, kRadixBits);
 }
 

@@ -23,8 +23,10 @@ namespace bt::kernels {
 void radixSortCpu(const CpuExec& exec, std::span<std::uint32_t> keys,
                   std::span<std::uint32_t> scratch);
 
+/** @param observer non-null runs the sort under bt::check. */
 void radixSortGpu(std::span<std::uint32_t> keys,
-                  std::span<std::uint32_t> scratch);
+                  std::span<std::uint32_t> scratch,
+                  simt::LaunchObserver* observer = nullptr);
 
 } // namespace bt::kernels
 

@@ -8,10 +8,24 @@ namespace bt::kernels {
 
 namespace {
 
+/**
+ * Span-level view of a CsrMatrix so the device body can template over
+ * the access type: raw spans on the hot path, tracked spans under the
+ * checker.
+ */
+template <typename U32V, typename F32V>
+struct CsrView
+{
+    U32V rowPtr;
+    U32V colIdx;
+    F32V values;
+};
+
+template <typename InV, typename CsrV, typename BV>
 inline float
-sparseConvElementXY(const ConvShape& shape, std::span<const float> in,
-                    const CsrMatrix& weights,
-                    std::span<const float> bias, int oc, int y, int x)
+sparseConvElementXY(const ConvShape& shape, const InV& in,
+                    const CsrV& weights, const BV& bias, int oc, int y,
+                    int x)
 {
     float acc = bias[static_cast<std::size_t>(oc)];
     const std::uint32_t lo
@@ -34,10 +48,10 @@ sparseConvElementXY(const ConvShape& shape, std::span<const float> in,
 }
 
 /** Flat-index wrapper for grid-stride (device) and reference callers. */
+template <typename InV, typename CsrV, typename BV>
 inline float
-sparseConvElement(const ConvShape& shape, std::span<const float> in,
-                  const CsrMatrix& weights, std::span<const float> bias,
-                  std::int64_t idx)
+sparseConvElement(const ConvShape& shape, const InV& in,
+                  const CsrV& weights, const BV& bias, std::int64_t idx)
 {
     const Shape3 os = shape.out();
     const int x = static_cast<int>(idx % os.w);
@@ -113,16 +127,48 @@ sparseConvCpu(const CpuExec& exec, const ConvShape& shape,
     });
 }
 
+namespace {
+
+template <typename InV, typename CsrV, typename BV, typename OutV>
+void
+sparseConvGpuImpl(const GpuExec& exec, const ConvShape& shape,
+                  const InV& in, const CsrV& weights, const BV& bias,
+                  const OutV& out)
+{
+    exec.forEach(shape.out().elems(), [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)]
+            = sparseConvElement(shape, in, weights, bias, i);
+    });
+}
+
+} // namespace
+
 void
 sparseConvGpu(const GpuExec& exec, const ConvShape& shape,
               std::span<const float> in, const CsrMatrix& weights,
               std::span<const float> bias, std::span<float> out)
 {
     checkSizes(shape, in, weights, bias, out);
-    exec.forEach(shape.out().elems(), [&](std::int64_t i) {
-        out[static_cast<std::size_t>(i)]
-            = sparseConvElement(shape, in, weights, bias, i);
-    });
+    if (exec.observer) {
+        auto& obs = *exec.observer;
+        const simt::KernelScope scope(obs, "sparse_conv");
+        using U32V = simt::TrackedSpan<const std::uint32_t>;
+        using F32V = simt::TrackedSpan<const float>;
+        const CsrView<U32V, F32V> csr{
+            simt::tracked(std::span<const std::uint32_t>(weights.rowPtr),
+                          obs, "csr.row_ptr"),
+            simt::tracked(std::span<const std::uint32_t>(weights.colIdx),
+                          obs, "csr.col_idx"),
+            simt::tracked(std::span<const float>(weights.values), obs,
+                          "csr.values")};
+        sparseConvGpuImpl(
+            exec, shape, checkedTensor(in, shape.in, obs, "in"), csr,
+            simt::tracked(bias.first(static_cast<std::size_t>(shape.outC)),
+                          obs, "bias"),
+            checkedTensor(out, shape.out(), obs, "out"));
+        return;
+    }
+    sparseConvGpuImpl(exec, shape, in, weights, bias, out);
 }
 
 void

@@ -8,6 +8,11 @@
 #define BT_KERNELS_TENSOR_HPP
 
 #include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/logging.hpp"
+#include "simt/instrument.hpp"
 
 namespace bt::kernels {
 
@@ -53,6 +58,23 @@ struct ConvShape
         return static_cast<std::int64_t>(outC) * in.c * 9;
     }
 };
+
+/**
+ * Checked accessor for a tensor buffer: a TrackedSpan clipped to the
+ * tensor's true extent, so any access past @p shape.elems() - even
+ * inside an oversized backing buffer - is reported as out-of-bounds
+ * with the element index. Shape3::at() keeps doing the index math;
+ * the tracked view does the policing.
+ */
+template <typename T>
+inline simt::TrackedSpan<T>
+checkedTensor(std::span<T> data, const Shape3& shape,
+              simt::LaunchObserver& obs, std::string_view name)
+{
+    const auto elems = static_cast<std::size_t>(shape.elems());
+    BT_ASSERT(data.size() >= elems, "tensor buffer smaller than shape");
+    return simt::TrackedSpan<T>(data.subspan(0, elems), obs, name);
+}
 
 } // namespace bt::kernels
 

@@ -61,16 +61,14 @@ uniqueCpu(const CpuExec& exec, std::span<const std::uint32_t> in,
     return static_cast<std::int64_t>(count);
 }
 
-std::int64_t
-uniqueGpu(std::span<const std::uint32_t> in, std::span<std::uint32_t> out,
-          std::span<std::uint32_t> flags)
-{
-    checkSizes(in, out, flags);
-    const std::int64_t n = static_cast<std::int64_t>(in.size());
-    if (n == 0)
-        return 0;
+namespace {
 
-    GpuExec exec;
+/** Shared device body; @p scan runs the exclusive scan of the flags. */
+template <typename InV, typename OutV, typename FlagV, typename Scan>
+std::int64_t
+uniqueGpuImpl(const GpuExec& exec, const InV& in, const OutV& out,
+              const FlagV& flags, std::int64_t n, const Scan& scan)
+{
     exec.forEach(n, [&](std::int64_t i) {
         flags[static_cast<std::size_t>(i)]
             = (i == 0
@@ -80,8 +78,7 @@ uniqueGpu(std::span<const std::uint32_t> in, std::span<std::uint32_t> out,
             : 0u;
     });
 
-    const std::uint64_t count = simt::deviceExclusiveScan(
-        flags.subspan(0, in.size()), flags.subspan(0, in.size()));
+    const std::uint64_t count = scan();
 
     exec.forEach(n, [&](std::int64_t i) {
         const std::uint32_t off = flags[static_cast<std::size_t>(i)];
@@ -92,6 +89,39 @@ uniqueGpu(std::span<const std::uint32_t> in, std::span<std::uint32_t> out,
             out[off] = in[static_cast<std::size_t>(i)];
     });
     return static_cast<std::int64_t>(count);
+}
+
+} // namespace
+
+std::int64_t
+uniqueGpu(std::span<const std::uint32_t> in, std::span<std::uint32_t> out,
+          std::span<std::uint32_t> flags, simt::LaunchObserver* observer)
+{
+    checkSizes(in, out, flags);
+    const std::int64_t n = static_cast<std::int64_t>(in.size());
+    if (n == 0)
+        return 0;
+
+    GpuExec exec;
+    exec.observer = observer;
+    if (observer) {
+        auto& obs = *observer;
+        const simt::KernelScope scope(obs, "unique");
+        auto tin = simt::tracked(in, obs, "in");
+        auto tout = simt::tracked(out.first(in.size()), obs, "out");
+        // The scan reads and writes the same flags region in place; the
+        // tracked span registers it once so the aliasing is explicit.
+        auto tflags = simt::tracked(flags.first(in.size()), obs, "flags");
+        return uniqueGpuImpl(exec, tin, tout, tflags, n, [&] {
+            return simt::deviceExclusiveScan(
+                simt::TrackedSpan<const std::uint32_t>(tflags), tflags,
+                obs);
+        });
+    }
+    return uniqueGpuImpl(exec, in, out, flags, n, [&] {
+        return simt::deviceExclusiveScan(flags.subspan(0, in.size()),
+                                         flags.subspan(0, in.size()));
+    });
 }
 
 } // namespace bt::kernels

@@ -25,9 +25,11 @@ std::int64_t uniqueCpu(const CpuExec& exec,
                        std::span<std::uint32_t> out,
                        std::span<std::uint32_t> flags);
 
+/** @param observer non-null runs the compaction under bt::check. */
 std::int64_t uniqueGpu(std::span<const std::uint32_t> in,
                        std::span<std::uint32_t> out,
-                       std::span<std::uint32_t> flags);
+                       std::span<std::uint32_t> flags,
+                       simt::LaunchObserver* observer = nullptr);
 
 } // namespace bt::kernels
 

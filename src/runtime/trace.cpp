@@ -10,10 +10,16 @@ namespace bt::runtime {
 
 namespace {
 
-/** Minimal JSON string escaping (names are plain identifiers). */
+/**
+ * JSON string escaping per RFC 8259: quote, backslash, the common
+ * control-character shorthands, and \u00XX for the rest of the C0
+ * range. Stage names are normally plain identifiers, but nothing
+ * enforces that - a hostile name must not corrupt the trace file.
+ */
 std::string
 escape(const std::string& s)
 {
+    static const char* hex = "0123456789abcdef";
     std::string out;
     out.reserve(s.size());
     for (const char c : s) {
@@ -24,11 +30,29 @@ escape(const std::string& s)
           case '\\':
             out += "\\\\";
             break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
           case '\n':
             out += "\\n";
             break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
           default:
-            out += c;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += "\\u00";
+                out += hex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+                out += hex[static_cast<unsigned char>(c) & 0xf];
+            } else {
+                out += c;
+            }
         }
     }
     return out;

@@ -26,19 +26,80 @@ chunkOf(std::int64_t tid, std::int64_t threads, std::int64_t n)
     return Chunk{n * tid / threads, n * (tid + 1) / threads};
 }
 
-} // namespace
+/**
+ * Launch policies: the device-wide primitives below are written once as
+ * templates over a launcher and their span types. RawLauncher is the
+ * production path - plain launches over plain spans, codegen identical
+ * to the hand-written originals. CheckedLauncher routes every launch
+ * through launchChecked and wraps internal scratch (partials, private
+ * histograms) as tracked regions, so the checker sees the full phase
+ * structure of each primitive.
+ */
+struct RawLauncher
+{
+    template <typename F>
+    void
+    run(const LaunchConfig& cfg, std::int64_t /*items*/,
+        GeometryStyle /*style*/, F&& kernel) const
+    {
+        launch(cfg, std::forward<F>(kernel));
+    }
 
+    template <typename T>
+    std::span<T>
+    wrap(std::span<T> s, std::string_view /*name*/) const
+    {
+        return s;
+    }
+
+    template <typename V>
+    void
+    retire(const V& /*view*/) const
+    {
+    }
+};
+
+struct CheckedLauncher
+{
+    LaunchObserver* obs;
+
+    template <typename F>
+    void
+    run(const LaunchConfig& cfg, std::int64_t items, GeometryStyle style,
+        F&& kernel) const
+    {
+        launchChecked(cfg, std::forward<F>(kernel), *obs, items, style);
+    }
+
+    template <typename T>
+    TrackedSpan<T>
+    wrap(std::span<T> s, std::string_view name) const
+    {
+        return TrackedSpan<T>(s, *obs, name);
+    }
+
+    template <typename T>
+    void
+    retire(const TrackedSpan<T>& view) const
+    {
+        obs->retireRegion(view.region());
+    }
+};
+
+template <typename L, typename InV>
 std::uint64_t
-deviceReduce(std::span<const std::uint32_t> in)
+reduceImpl(const L& l, const InV& in)
 {
     const std::int64_t n = static_cast<std::int64_t>(in.size());
     const LaunchConfig cfg{kGrid, kBlock};
     const std::int64_t threads = cfg.totalThreads();
-    std::vector<std::uint64_t> partials(
+    std::vector<std::uint64_t> storage(
         static_cast<std::size_t>(threads), 0);
+    auto partials = l.wrap(std::span<std::uint64_t>(storage),
+                           "reduce.partials");
 
     // Kernel 1: each thread reduces its contiguous chunk.
-    launch(cfg, [&](const WorkItem& item) {
+    l.run(cfg, n, GeometryStyle::Chunked, [&](const WorkItem& item) {
         const auto [lo, hi] = chunkOf(item.globalId(), threads, n);
         std::uint64_t acc = 0;
         for (std::int64_t i = lo; i < hi; ++i)
@@ -48,28 +109,32 @@ deviceReduce(std::span<const std::uint32_t> in)
 
     // Kernel 2: single thread folds the partials (tiny array).
     std::uint64_t total = 0;
-    launch(LaunchConfig{1, 1}, [&](const WorkItem&) {
-        std::uint64_t acc = 0;
-        for (std::uint64_t p : partials)
-            acc += p;
-        total = acc;
-    });
+    l.run(LaunchConfig{1, 1}, threads, GeometryStyle::Chunked,
+          [&](const WorkItem&) {
+              std::uint64_t acc = 0;
+              for (std::int64_t t = 0; t < threads; ++t)
+                  acc += partials[static_cast<std::size_t>(t)];
+              total = acc;
+          });
+    l.retire(partials);
     return total;
 }
 
+template <typename L, typename InV, typename OutV>
 std::uint64_t
-deviceExclusiveScan(std::span<const std::uint32_t> in,
-                    std::span<std::uint32_t> out)
+scanImpl(const L& l, const InV& in, const OutV& out)
 {
     BT_ASSERT(out.size() >= in.size(), "scan output too small");
     const std::int64_t n = static_cast<std::int64_t>(in.size());
     const LaunchConfig cfg{kGrid, kBlock};
     const std::int64_t threads = cfg.totalThreads();
-    std::vector<std::uint64_t> partials(
+    std::vector<std::uint64_t> storage(
         static_cast<std::size_t>(threads), 0);
+    auto partials = l.wrap(std::span<std::uint64_t>(storage),
+                           "scan.partials");
 
     // Phase 1: per-chunk sums.
-    launch(cfg, [&](const WorkItem& item) {
+    l.run(cfg, n, GeometryStyle::Chunked, [&](const WorkItem& item) {
         const auto [lo, hi] = chunkOf(item.globalId(), threads, n);
         std::uint64_t acc = 0;
         for (std::int64_t i = lo; i < hi; ++i)
@@ -80,20 +145,21 @@ deviceExclusiveScan(std::span<const std::uint32_t> in,
     // Phase 2: exclusive scan of the partials array (single thread; the
     // array has `threads` entries, negligible work).
     std::uint64_t total = 0;
-    launch(LaunchConfig{1, 1}, [&](const WorkItem&) {
-        std::uint64_t run = 0;
-        for (auto& p : partials) {
-            const std::uint64_t v = p;
-            p = run;
-            run += v;
-        }
-        total = run;
-    });
+    l.run(LaunchConfig{1, 1}, threads, GeometryStyle::Chunked,
+          [&](const WorkItem&) {
+              std::uint64_t run = 0;
+              for (std::int64_t t = 0; t < threads; ++t) {
+                  const std::size_t s = static_cast<std::size_t>(t);
+                  const std::uint64_t v = partials[s];
+                  partials[s] = run;
+                  run += v;
+              }
+              total = run;
+          });
 
     // Phase 3: per-chunk exclusive rescan seeded with the chunk offset.
-    // Chunks are written back-to-front inside the loop so in/out may
-    // alias element-wise (each index is read before written).
-    launch(cfg, [&](const WorkItem& item) {
+    // Each index is read before written so in/out may alias.
+    l.run(cfg, n, GeometryStyle::Chunked, [&](const WorkItem& item) {
         const auto [lo, hi] = chunkOf(item.globalId(), threads, n);
         std::uint64_t run
             = partials[static_cast<std::size_t>(item.globalId())];
@@ -104,12 +170,14 @@ deviceExclusiveScan(std::span<const std::uint32_t> in,
             run += v;
         }
     });
+    l.retire(partials);
     return total;
 }
 
+template <typename L, typename KeyV, typename CountV>
 void
-deviceHistogram(std::span<const std::uint32_t> keys, int shift,
-                std::uint32_t buckets, std::span<std::uint32_t> counts)
+histogramImpl(const L& l, const KeyV& keys, int shift,
+              std::uint32_t buckets, const CountV& counts)
 {
     BT_ASSERT(counts.size() >= buckets, "histogram output too small");
     BT_ASSERT((buckets & (buckets - 1)) == 0, "buckets must be power of 2");
@@ -119,37 +187,40 @@ deviceHistogram(std::span<const std::uint32_t> keys, int shift,
     const std::int64_t threads = cfg.totalThreads();
 
     // Per-thread private histograms (the "shared memory" copy).
-    std::vector<std::uint32_t> priv(
+    std::vector<std::uint32_t> storage(
         static_cast<std::size_t>(threads) * buckets, 0);
+    auto priv = l.wrap(std::span<std::uint32_t>(storage),
+                       "histogram.priv");
 
-    launch(cfg, [&](const WorkItem& item) {
+    l.run(cfg, n, GeometryStyle::Chunked, [&](const WorkItem& item) {
         const std::int64_t tid = item.globalId();
         const auto [lo, hi] = chunkOf(tid, threads, n);
-        std::uint32_t* mine
-            = &priv[static_cast<std::size_t>(tid) * buckets];
+        const std::size_t base = static_cast<std::size_t>(tid) * buckets;
         for (std::int64_t i = lo; i < hi; ++i) {
             const std::uint32_t d
                 = (keys[static_cast<std::size_t>(i)] >> shift) & mask;
-            ++mine[d];
+            priv[base + d] += 1u;
         }
     });
 
     // Reduction kernel: one thread per bucket folds the private copies.
-    launch(LaunchConfig::cover(buckets, kBlock),
-           [&](const WorkItem& item) {
-               gridStride(item, buckets, [&](std::int64_t b) {
-                   std::uint32_t acc = 0;
-                   for (std::int64_t t = 0; t < threads; ++t)
-                       acc += priv[static_cast<std::size_t>(t) * buckets
-                                   + static_cast<std::size_t>(b)];
-                   counts[static_cast<std::size_t>(b)] = acc;
-               });
-           });
+    l.run(LaunchConfig::cover(buckets, kBlock), buckets,
+          GeometryStyle::GridStride, [&](const WorkItem& item) {
+              gridStride(item, buckets, [&](std::int64_t b) {
+                  std::uint32_t acc = 0;
+                  for (std::int64_t t = 0; t < threads; ++t)
+                      acc += priv[static_cast<std::size_t>(t) * buckets
+                                  + static_cast<std::size_t>(b)];
+                  counts[static_cast<std::size_t>(b)] = acc;
+              });
+          });
+    l.retire(priv);
 }
 
+template <typename L, typename InV, typename OutV>
 void
-deviceRadixPass(std::span<const std::uint32_t> in,
-                std::span<std::uint32_t> out, int shift, int radix_bits)
+radixPassImpl(const L& l, const InV& in, const OutV& out, int shift,
+              int radix_bits)
 {
     BT_ASSERT(out.size() >= in.size(), "radix pass output too small");
     BT_ASSERT(radix_bits >= 1 && radix_bits <= 16);
@@ -160,62 +231,145 @@ deviceRadixPass(std::span<const std::uint32_t> in,
     const std::int64_t threads = cfg.totalThreads();
 
     // Phase 1: per-chunk digit histograms.
-    std::vector<std::uint32_t> hist(
+    std::vector<std::uint32_t> storage(
         static_cast<std::size_t>(threads) * buckets, 0);
-    launch(cfg, [&](const WorkItem& item) {
+    auto hist = l.wrap(std::span<std::uint32_t>(storage), "radix.hist");
+    l.run(cfg, n, GeometryStyle::Chunked, [&](const WorkItem& item) {
         const std::int64_t tid = item.globalId();
         const auto [lo, hi] = chunkOf(tid, threads, n);
-        std::uint32_t* mine
-            = &hist[static_cast<std::size_t>(tid) * buckets];
+        const std::size_t base = static_cast<std::size_t>(tid) * buckets;
         for (std::int64_t i = lo; i < hi; ++i)
-            ++mine[(in[static_cast<std::size_t>(i)] >> shift) & mask];
+            hist[base
+                 + ((in[static_cast<std::size_t>(i)] >> shift) & mask)]
+                += 1u;
     });
 
     // Phase 2: column-major exclusive scan of hist -> scatter offsets.
     // Order (bucket-major, then thread) preserves stability: lower chunks
     // of the same digit scatter first.
-    launch(LaunchConfig{1, 1}, [&](const WorkItem&) {
-        std::uint64_t run = 0;
-        for (std::uint32_t b = 0; b < buckets; ++b) {
-            for (std::int64_t t = 0; t < threads; ++t) {
-                auto& cell = hist[static_cast<std::size_t>(t) * buckets
-                                  + b];
-                const std::uint32_t v = cell;
-                cell = static_cast<std::uint32_t>(run);
-                run += v;
-            }
-        }
-    });
+    l.run(LaunchConfig{1, 1},
+          static_cast<std::int64_t>(buckets) * threads,
+          GeometryStyle::Chunked, [&](const WorkItem&) {
+              std::uint64_t run = 0;
+              for (std::uint32_t b = 0; b < buckets; ++b) {
+                  for (std::int64_t t = 0; t < threads; ++t) {
+                      const std::size_t cell
+                          = static_cast<std::size_t>(t) * buckets + b;
+                      const std::uint32_t v = hist[cell];
+                      hist[cell] = static_cast<std::uint32_t>(run);
+                      run += v;
+                  }
+              }
+          });
 
     // Phase 3: stable scatter; each thread walks its chunk in order.
-    launch(cfg, [&](const WorkItem& item) {
+    l.run(cfg, n, GeometryStyle::Chunked, [&](const WorkItem& item) {
         const std::int64_t tid = item.globalId();
         const auto [lo, hi] = chunkOf(tid, threads, n);
-        std::uint32_t* mine
-            = &hist[static_cast<std::size_t>(tid) * buckets];
+        const std::size_t base = static_cast<std::size_t>(tid) * buckets;
         for (std::int64_t i = lo; i < hi; ++i) {
             const std::uint32_t key = in[static_cast<std::size_t>(i)];
             const std::uint32_t d = (key >> shift) & mask;
-            out[mine[d]++] = key;
+            const std::uint32_t pos = hist[base + d];
+            hist[base + d] = pos + 1;
+            out[pos] = key;
         }
     });
+    l.retire(hist);
+}
+
+template <typename L, typename KeyV, typename ScratchV>
+void
+radixSortImpl(const L& l, const KeyV& keys, const ScratchV& scratch,
+              int radix_bits)
+{
+    BT_ASSERT(scratch.size() >= keys.size(), "radix scratch too small");
+    BT_ASSERT(32 % radix_bits == 0, "radix bits must divide 32");
+    auto src = keys;
+    auto dst = scratch.subspan(0, keys.size());
+    for (int shift = 0; shift < 32; shift += radix_bits) {
+        radixPassImpl(l, src, dst, shift, radix_bits);
+        std::swap(src, dst);
+    }
+    // 32/radix_bits passes: if odd, the result sits in scratch. The
+    // copy-back is a host-side access between launches (barrier-legal).
+    if (src.data() != keys.data()) {
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            keys[i] = src[i];
+    }
+}
+
+} // namespace
+
+std::uint64_t
+deviceReduce(std::span<const std::uint32_t> in)
+{
+    return reduceImpl(RawLauncher{}, in);
+}
+
+std::uint64_t
+deviceReduce(TrackedSpan<const std::uint32_t> in, LaunchObserver& obs)
+{
+    return reduceImpl(CheckedLauncher{&obs}, in);
+}
+
+std::uint64_t
+deviceExclusiveScan(std::span<const std::uint32_t> in,
+                    std::span<std::uint32_t> out)
+{
+    return scanImpl(RawLauncher{}, in, out);
+}
+
+std::uint64_t
+deviceExclusiveScan(TrackedSpan<const std::uint32_t> in,
+                    TrackedSpan<std::uint32_t> out, LaunchObserver& obs)
+{
+    return scanImpl(CheckedLauncher{&obs}, in, out);
+}
+
+void
+deviceHistogram(std::span<const std::uint32_t> keys, int shift,
+                std::uint32_t buckets, std::span<std::uint32_t> counts)
+{
+    histogramImpl(RawLauncher{}, keys, shift, buckets, counts);
+}
+
+void
+deviceHistogram(TrackedSpan<const std::uint32_t> keys, int shift,
+                std::uint32_t buckets, TrackedSpan<std::uint32_t> counts,
+                LaunchObserver& obs)
+{
+    histogramImpl(CheckedLauncher{&obs}, keys, shift, buckets, counts);
+}
+
+void
+deviceRadixPass(std::span<const std::uint32_t> in,
+                std::span<std::uint32_t> out, int shift, int radix_bits)
+{
+    radixPassImpl(RawLauncher{}, in, out, shift, radix_bits);
+}
+
+void
+deviceRadixPass(TrackedSpan<const std::uint32_t> in,
+                TrackedSpan<std::uint32_t> out, int shift, int radix_bits,
+                LaunchObserver& obs)
+{
+    radixPassImpl(CheckedLauncher{&obs}, in, out, shift, radix_bits);
 }
 
 void
 deviceRadixSort(std::span<std::uint32_t> keys,
                 std::span<std::uint32_t> scratch, int radix_bits)
 {
-    BT_ASSERT(scratch.size() >= keys.size(), "radix scratch too small");
-    BT_ASSERT(32 % radix_bits == 0, "radix bits must divide 32");
-    std::span<std::uint32_t> src = keys;
-    std::span<std::uint32_t> dst = scratch.subspan(0, keys.size());
-    for (int shift = 0; shift < 32; shift += radix_bits) {
-        deviceRadixPass(src, dst, shift, radix_bits);
-        std::swap(src, dst);
-    }
-    // 32/radix_bits passes: if odd, the result sits in scratch.
-    if (src.data() != keys.data())
-        std::copy(src.begin(), src.end(), keys.begin());
+    radixSortImpl(RawLauncher{}, keys, scratch, radix_bits);
+}
+
+void
+deviceRadixSort(TrackedSpan<std::uint32_t> keys,
+                TrackedSpan<std::uint32_t> scratch, LaunchObserver& obs,
+                int radix_bits)
+{
+    radixSortImpl(CheckedLauncher{&obs}, keys, scratch, radix_bits);
 }
 
 } // namespace bt::simt

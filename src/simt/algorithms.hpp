@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "simt/instrument.hpp"
 #include "simt/simt.hpp"
 
 namespace bt::simt {
@@ -55,6 +56,33 @@ void deviceRadixPass(std::span<const std::uint32_t> in,
 void deviceRadixSort(std::span<std::uint32_t> keys,
                      std::span<std::uint32_t> scratch,
                      int radix_bits = 8);
+
+/**
+ * Checked overloads (bt::check): identical phase structure instantiated
+ * over tracked views, with internal scratch (partials, private
+ * histograms) registered as tracked regions under @p obs so races, OOB
+ * accesses and order-dependence inside the primitives are caught too.
+ * Results are bit-identical to the raw overloads.
+ */
+std::uint64_t deviceReduce(TrackedSpan<const std::uint32_t> in,
+                           LaunchObserver& obs);
+
+std::uint64_t deviceExclusiveScan(TrackedSpan<const std::uint32_t> in,
+                                  TrackedSpan<std::uint32_t> out,
+                                  LaunchObserver& obs);
+
+void deviceHistogram(TrackedSpan<const std::uint32_t> keys, int shift,
+                     std::uint32_t buckets,
+                     TrackedSpan<std::uint32_t> counts,
+                     LaunchObserver& obs);
+
+void deviceRadixPass(TrackedSpan<const std::uint32_t> in,
+                     TrackedSpan<std::uint32_t> out, int shift,
+                     int radix_bits, LaunchObserver& obs);
+
+void deviceRadixSort(TrackedSpan<std::uint32_t> keys,
+                     TrackedSpan<std::uint32_t> scratch,
+                     LaunchObserver& obs, int radix_bits = 8);
 
 } // namespace bt::simt
 

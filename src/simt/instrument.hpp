@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Instrumentation protocol for checked SIMT execution (bt::check).
+ *
+ * This header defines the *contract* between the kernel layer and a
+ * checker: an abstract LaunchObserver that receives every buffer
+ * registration, launch, thread switch and element access, plus the
+ * TrackedSpan/TrackedRef accessor types kernels substitute for raw
+ * std::span when an observer is attached. The concrete checker (shadow
+ * memory, race rules, reporting) lives in src/check; this file has no
+ * dependency on it, so the simt and kernels layers stay below bt_check
+ * in the link order.
+ *
+ * The checked path reuses the templated zero-overhead launch tier:
+ * launchChecked() wraps the kernel functor and calls the same
+ * simt::launch / simt::launchShuffled templates the fast path uses.
+ * Kernels instantiate their device body twice - once over raw spans
+ * (the uninstrumented hot path, codegen untouched) and once over
+ * TrackedSpans - and branch between the two exactly once per kernel
+ * call, so uninstrumented dispatch never pays a single extra branch
+ * per element.
+ */
+
+#ifndef BT_SIMT_INSTRUMENT_HPP
+#define BT_SIMT_INSTRUMENT_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <type_traits>
+
+#include "simt/simt.hpp"
+
+namespace bt::simt {
+
+/** What an instrumented element access does to memory. */
+enum class AccessKind
+{
+    Read,
+    Write,
+    AtomicRmw, ///< read-modify-write through an atomic operation
+};
+
+/**
+ * How a kernel maps threads to its @p items (drives the geometry lint):
+ *  - GridStride: "for (i = gid; i < n; i += stride)" - any geometry
+ *    covers all items, but blocks beyond ceil(n/blockDim) are dead;
+ *  - Direct: "i = gid" with no stride loop - the launch must supply at
+ *    least n threads or the tail is silently skipped;
+ *  - Chunked: contiguous per-thread chunks "[n*t/T, n*(t+1)/T)" - covers
+ *    all items by construction for any thread count.
+ */
+enum class GeometryStyle
+{
+    GridStride,
+    Direct,
+    Chunked,
+};
+
+/**
+ * Receiver for instrumented execution events. Implemented by
+ * check::Checker; kernels only see this interface.
+ *
+ * Element indices reported through onAccess/onOutOfBounds are relative
+ * to the *registered region*, not to any subspan a kernel sliced from
+ * it (TrackedSpan::subspan keeps the region-relative offset).
+ */
+class LaunchObserver
+{
+  public:
+    virtual ~LaunchObserver() = default;
+
+    /** Enter/leave a named kernel scope (may nest, e.g. unique > scan). */
+    virtual void beginKernel(std::string_view name) = 0;
+    virtual void endKernel() = 0;
+
+    /**
+     * Register @p elems elements of @p elem_bytes at @p base under
+     * @p name; returns a region id for onAccess. Registering the exact
+     * same (base, elems, elem_bytes) again returns the existing id, so
+     * in-place kernels (scan with in == out) alias onto one region.
+     */
+    virtual int registerRegion(const void* base, std::int64_t elems,
+                               std::size_t elem_bytes,
+                               std::string_view name, bool readonly)
+        = 0;
+
+    /**
+     * Drop @p region from order-dependence snapshots; its memory is
+     * about to go out of scope (kernel-internal scratch). Recorded
+     * findings survive.
+     */
+    virtual void retireRegion(int region) = 0;
+
+    /** A launch of @p cfg intending to process @p items begins. */
+    virtual void onLaunchBegin(const LaunchConfig& cfg, std::int64_t items,
+                               GeometryStyle style)
+        = 0;
+
+    /** The launch switches to SIMT thread @p item. */
+    virtual void onThreadBegin(const WorkItem& item) = 0;
+
+    /** The launch completed (device-wide barrier). */
+    virtual void onLaunchEnd() = 0;
+
+    /** Shuffled re-executions to run for the launch just ended. */
+    virtual int rerunCount() const = 0;
+    virtual std::uint64_t rerunSeed(int rerun) const = 0;
+    virtual void onRerunBegin(int rerun) = 0;
+    virtual void onRerunEnd(int rerun) = 0;
+
+    /** In-bounds element access on @p region. */
+    virtual void onAccess(int region, std::int64_t index, AccessKind kind)
+        = 0;
+
+    /** Out-of-bounds access: @p index is outside [0, elems). */
+    virtual void onOutOfBounds(int region, std::int64_t index,
+                               AccessKind kind)
+        = 0;
+};
+
+/**
+ * Proxy for one element of a TrackedSpan: converting to the value type
+ * records a Read, assigning records a Write, compound assignment and
+ * increment record both. Out-of-bounds elements report on *access* (so
+ * the read/write kind is known) and are quarantined: reads yield a
+ * zero-initialized value, writes are dropped.
+ */
+template <typename T>
+class TrackedRef
+{
+  public:
+    using value_type = std::remove_const_t<T>;
+
+    TrackedRef(T* slot, LaunchObserver* obs, int region,
+               std::int64_t index, bool in_bounds)
+        : slot_(slot), obs_(obs), region_(region), index_(index),
+          inBounds_(in_bounds)
+    {
+    }
+
+    operator value_type() const // NOLINT(google-explicit-constructor)
+    {
+        record(AccessKind::Read);
+        return inBounds_ ? *slot_ : value_type{};
+    }
+
+    TrackedRef&
+    operator=(value_type v)
+    {
+        record(AccessKind::Write);
+        if (inBounds_)
+            *slot_ = v;
+        return *this;
+    }
+
+    TrackedRef&
+    operator+=(value_type v)
+    {
+        record(AccessKind::Read);
+        record(AccessKind::Write);
+        if (inBounds_)
+            *slot_ += v;
+        return *this;
+    }
+
+    TrackedRef&
+    operator++()
+    {
+        return *this += value_type{1};
+    }
+
+    value_type
+    operator++(int)
+    {
+        record(AccessKind::Read);
+        record(AccessKind::Write);
+        if (!inBounds_)
+            return value_type{};
+        const value_type old = *slot_;
+        *slot_ += value_type{1};
+        return old;
+    }
+
+    /** Atomic fetch_or; serial under the checker, recorded as RMW. */
+    value_type
+    fetchOr(value_type bits)
+    {
+        record(AccessKind::AtomicRmw);
+        if (!inBounds_)
+            return value_type{};
+        const value_type old = *slot_;
+        *slot_ = static_cast<value_type>(old | bits);
+        return old;
+    }
+
+  private:
+    void
+    record(AccessKind kind) const
+    {
+        if (inBounds_)
+            obs_->onAccess(region_, index_, kind);
+        else
+            obs_->onOutOfBounds(region_, index_, kind);
+    }
+
+    T* slot_;
+    LaunchObserver* obs_;
+    int region_;
+    std::int64_t index_;
+    bool inBounds_;
+};
+
+/**
+ * Bounds-checked, access-recording stand-in for std::span<T>. Mirrors
+ * the slice of the std::span interface the kernels use (operator[],
+ * size, data, subspan, first) so device bodies template over the span
+ * type. Indexing a const element type returns the value directly (after
+ * recording the read); a mutable element type returns a TrackedRef.
+ */
+template <typename T>
+class TrackedSpan
+{
+  public:
+    using value_type = std::remove_const_t<T>;
+
+    TrackedSpan() = default;
+
+    TrackedSpan(std::span<T> data, LaunchObserver& obs,
+                std::string_view name)
+        : data_(data.data()), size_(data.size()), obs_(&obs),
+          region_(obs.registerRegion(data.data(),
+                                     static_cast<std::int64_t>(data.size()),
+                                     sizeof(value_type), name,
+                                     std::is_const_v<T>))
+    {
+    }
+
+    /** Const view of a mutable tracked span (same region). */
+    template <typename U = T,
+              typename = std::enable_if_t<std::is_const_v<U>>>
+    TrackedSpan(const TrackedSpan<value_type>& other) // NOLINT
+        : data_(other.data()), size_(other.size()),
+          obs_(other.observer()), region_(other.region()),
+          offset_(other.offset())
+    {
+    }
+
+    auto
+    operator[](std::size_t i) const
+    {
+        const bool ok = i < size_;
+        if constexpr (std::is_const_v<T>) {
+            if (!ok) {
+                obs_->onOutOfBounds(region_, index(i), AccessKind::Read);
+                return value_type{};
+            }
+            obs_->onAccess(region_, index(i), AccessKind::Read);
+            return static_cast<value_type>(data_[i]);
+        } else {
+            return TrackedRef<T>(ok ? data_ + i : nullptr, obs_,
+                                 region_, index(i), ok);
+        }
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    T* data() const { return data_; }
+
+    TrackedSpan
+    subspan(std::size_t off, std::size_t count = std::dynamic_extent) const
+    {
+        BT_ASSERT(off <= size_, "tracked subspan offset out of range");
+        TrackedSpan s(*this);
+        s.data_ += off;
+        s.offset_ += off;
+        s.size_ = (count == std::dynamic_extent) ? size_ - off
+                                                 : count;
+        BT_ASSERT(s.size_ <= size_ - off, "tracked subspan too long");
+        return s;
+    }
+
+    TrackedSpan first(std::size_t count) const { return subspan(0, count); }
+
+    LaunchObserver* observer() const { return obs_; }
+    int region() const { return region_; }
+    std::size_t offset() const { return offset_; }
+
+  private:
+    std::int64_t
+    index(std::size_t i) const
+    {
+        return static_cast<std::int64_t>(offset_ + i);
+    }
+
+    T* data_ = nullptr;
+    std::size_t size_ = 0;
+    LaunchObserver* obs_ = nullptr;
+    int region_ = -1;
+    std::size_t offset_ = 0; ///< of data_ within the registered region
+};
+
+/** Wrap @p s as a tracked region named @p name under @p obs. */
+template <typename T>
+inline TrackedSpan<T>
+tracked(std::span<T> s, LaunchObserver& obs, std::string_view name)
+{
+    return TrackedSpan<T>(s, obs, name);
+}
+
+/**
+ * Atomic fetch-OR on element @p i, usable from device bodies templated
+ * over the span type: the raw overload is a real std::atomic_ref RMW
+ * (pooled launches), the tracked overload records an AtomicRmw and
+ * performs the operation plainly (checked execution is serial).
+ */
+template <typename T>
+inline T
+atomicFetchOr(std::span<T> s, std::size_t i, T bits)
+{
+    std::atomic_ref<T> ref(s[i]);
+    return ref.fetch_or(bits, std::memory_order_relaxed);
+}
+
+template <typename T>
+inline T
+atomicFetchOr(const TrackedSpan<T>& s, std::size_t i, T bits)
+{
+    return s[i].fetchOr(bits);
+}
+
+/** RAII kernel scope: names every finding recorded inside it. */
+class KernelScope
+{
+  public:
+    KernelScope(LaunchObserver& obs, std::string_view name) : obs_(obs)
+    {
+        obs_.beginKernel(name);
+    }
+    ~KernelScope() { obs_.endKernel(); }
+    KernelScope(const KernelScope&) = delete;
+    KernelScope& operator=(const KernelScope&) = delete;
+
+  private:
+    LaunchObserver& obs_;
+};
+
+/**
+ * Checked launch: the tracked overload of simt::launch. Runs the
+ * sequential templated launch under the observer, then re-executes the
+ * same kernel under observer-chosen shuffled block orders (the
+ * block-order harness; the observer diffs the outputs bit-exactly
+ * around each rerun). Reuses the zero-overhead templated tier - the
+ * only additions are one onThreadBegin per SIMT thread and whatever
+ * the kernel's TrackedSpans record.
+ */
+template <typename F>
+inline void
+launchChecked(const LaunchConfig& cfg, F&& kernel, LaunchObserver& obs,
+              std::int64_t items, GeometryStyle style)
+{
+    obs.onLaunchBegin(cfg, items, style);
+    auto wrapped = [&](const WorkItem& item) {
+        obs.onThreadBegin(item);
+        kernel(item);
+    };
+    launch(cfg, wrapped);
+    obs.onLaunchEnd();
+    const int reruns = obs.rerunCount();
+    for (int r = 0; r < reruns; ++r) {
+        obs.onRerunBegin(r);
+        launchShuffled(cfg, wrapped, obs.rerunSeed(r));
+        obs.onRerunEnd(r);
+    }
+}
+
+} // namespace bt::simt
+
+#endif // BT_SIMT_INSTRUMENT_HPP

@@ -2,7 +2,7 @@
  * @file
  * Unit tests for the common utilities: RNG determinism and
  * distributions, statistics (summary, geomean, Pearson, Spearman),
- * table rendering, and CSV quoting.
+ * table rendering, CSV quoting, and FlagSet parsing edge cases.
  */
 
 #include <gtest/gtest.h>
@@ -11,8 +11,11 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/csv.hpp"
+#include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -209,6 +212,117 @@ TEST(Csv, WritesQuotedCells)
     EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
     EXPECT_NE(text.find("\"has\"\"quote\""), std::string::npos);
     std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// FlagSet edge cases.
+
+/** argv adapter: FlagSet::parse wants mutable char** like main's. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : strings_(std::move(args))
+    {
+        for (auto& s : strings_)
+            ptrs_.push_back(s.data());
+    }
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char** argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> strings_;
+    std::vector<char*> ptrs_;
+};
+
+TEST(Flags, ParsesSwitchesAndValues)
+{
+    bool sw = false;
+    std::string name = "default";
+    int k = 0;
+    double f = 0.0;
+    FlagSet flags("prog");
+    flags.flag("--switch", &sw, "a switch");
+    flags.value("--name", &name, "NAME", "a string");
+    flags.value("--k", &k, "K", "an int");
+    flags.value("--f", &f, "F", "a double");
+
+    Argv argv({"prog", "--switch", "--name", "x", "--k", "7", "--f",
+               "0.5"});
+    EXPECT_TRUE(flags.parse(argv.argc(), argv.argv()));
+    EXPECT_TRUE(sw);
+    EXPECT_EQ(name, "x");
+    EXPECT_EQ(k, 7);
+    EXPECT_DOUBLE_EQ(f, 0.5);
+}
+
+TEST(Flags, UnknownFlagFails)
+{
+    bool sw = false;
+    FlagSet flags("prog");
+    flags.flag("--known", &sw, "known");
+    Argv argv({"prog", "--unknown"});
+    EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, MissingValueAtEndOfLineFails)
+{
+    std::string name;
+    FlagSet flags("prog");
+    flags.value("--name", &name, "NAME", "a string");
+    Argv argv({"prog", "--name"});
+    EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, MalformedNumberFails)
+{
+    int k = 0;
+    FlagSet flags("prog");
+    flags.value("--k", &k, "K", "an int");
+    Argv bad({"prog", "--k", "12x"});
+    EXPECT_FALSE(flags.parse(bad.argc(), bad.argv()));
+    Argv empty({"prog", "--k", ""});
+    EXPECT_FALSE(flags.parse(empty.argc(), empty.argv()));
+}
+
+TEST(Flags, HelpReturnsFalse)
+{
+    FlagSet flags("prog");
+    Argv argv({"prog", "--help"});
+    EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, DuplicateRegistrationPanics)
+{
+    FlagSet flags("prog");
+    bool a = false;
+    bool b = false;
+    flags.flag("--twice", &a, "first registration");
+    EXPECT_DEATH_IF_SUPPORTED(
+        flags.flag("--twice", &b, "second registration"),
+        "duplicate flag registration");
+}
+
+TEST(Flags, SwitchAndValueCombineLikeCheckPlusJson)
+{
+    // bt_explorer composes `--check` (a switch) with `--json FILE` (a
+    // value); both must land regardless of order.
+    for (const bool check_first : {true, false}) {
+        bool check = false;
+        std::string json_file;
+        FlagSet flags("bt_explorer");
+        flags.flag("--check", &check, "run the checker");
+        flags.value("--json", &json_file, "FILE", "report file");
+        Argv argv(check_first
+                      ? std::vector<std::string>{"bt_explorer",
+                                                 "--check", "--json",
+                                                 "out.json"}
+                      : std::vector<std::string>{"bt_explorer",
+                                                 "--json", "out.json",
+                                                 "--check"});
+        EXPECT_TRUE(flags.parse(argv.argc(), argv.argv()));
+        EXPECT_TRUE(check);
+        EXPECT_EQ(json_file, "out.json");
+    }
 }
 
 } // namespace

@@ -594,5 +594,108 @@ TEST(PipelineFlow, ReportCarriesDeployedTrace)
     EXPECT_TRUE(parsed.parse());
 }
 
+// ---------------------------------------------------------------------
+// Chrome-trace JSON escaping of hostile names.
+
+/** Decode one JSON string body (no surrounding quotes), RFC 8259. */
+std::string
+jsonUnescape(const std::string& s)
+{
+    std::string out;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\') {
+            out += s[i];
+            continue;
+        }
+        ++i;
+        EXPECT_LT(i, s.size()) << "dangling backslash";
+        switch (s[i]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            EXPECT_LE(i + 4, s.size() - 1) << "truncated \\u escape";
+            const unsigned code = static_cast<unsigned>(
+                std::stoul(s.substr(i + 1, 4), nullptr, 16));
+            EXPECT_LT(code, 0x80u) << "test only decodes ASCII";
+            out += static_cast<char>(code);
+            i += 4;
+            break;
+          }
+          default:
+            ADD_FAILURE() << "unknown escape \\" << s[i];
+        }
+    }
+    return out;
+}
+
+TEST(TraceTimeline, ChromeJsonEscapesHostileNames)
+{
+    // Quotes, backslashes, every shorthand control escape, and a raw
+    // C0 byte that only \u00XX can represent.
+    const std::string stage = "st\"age\\one\n\twith\rctl\x01end";
+    const std::string pu = "pu\"zero\\\x02";
+    const std::string backend = "back\bend\f";
+    const std::string note = "no\"te\\\x1f";
+
+    runtime::TraceTimeline tl(backend, 1, {pu}, {stage});
+    using runtime::TraceEventKind;
+    tl.record({0, 0, 0, 0, 0.0, 0.0, 1.0, {}, TraceEventKind::Stage,
+               {}});
+    tl.record(runtime::makeFaultEvent(TraceEventKind::Retry, 0, 0, 0,
+                                      0, 1.0, 1.1, note));
+    const std::string json = tl.chromeJson();
+
+    // Structurally valid JSON with no raw control characters.
+    MiniJson parsed(json);
+    ASSERT_TRUE(parsed.parse()) << json.substr(0, 400);
+    for (const char c : json)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20)
+            << "raw control character leaked into the trace JSON";
+
+    // Every hostile string round-trips bit-exactly through a real
+    // unescape of its emitted form.
+    auto roundTrips = [&](const std::string& original) {
+        const std::string expected = [&] {
+            std::string e;
+            for (const char c : original) {
+                switch (c) {
+                  case '"': e += "\\\""; break;
+                  case '\\': e += "\\\\"; break;
+                  case '\b': e += "\\b"; break;
+                  case '\f': e += "\\f"; break;
+                  case '\n': e += "\\n"; break;
+                  case '\r': e += "\\r"; break;
+                  case '\t': e += "\\t"; break;
+                  default:
+                    if (static_cast<unsigned char>(c) < 0x20) {
+                        char buf[8];
+                        std::snprintf(buf, sizeof buf, "\\u%04x",
+                                      static_cast<unsigned>(
+                                          static_cast<unsigned char>(
+                                              c)));
+                        e += buf;
+                    } else {
+                        e += c;
+                    }
+                }
+            }
+            return e;
+        }();
+        EXPECT_NE(json.find(expected), std::string::npos)
+            << "escaped form of \"" << expected << "\" not in JSON";
+        EXPECT_EQ(jsonUnescape(expected), original);
+    };
+    roundTrips(stage);
+    roundTrips(pu);
+    roundTrips(backend);
+    roundTrips(note);
+}
+
 } // namespace
 } // namespace bt::core
