@@ -30,6 +30,11 @@
 #                        *_SeedPath vs *_Throughput pairs give the
 #                        memoized/parallel planning speedup inside one
 #                        snapshot
+#   BENCH_service.json   service_load — serving load generator:
+#                        BM_Serve_ColdPlan vs BM_Serve_Cached give the
+#                        schedule-cache serving speedup (achieved_rps)
+#                        at equal offered load; BM_Serve_OpenLoop
+#                        sweeps offered QPS
 #
 # Every snapshot context records bt_build_type so trajectory
 # comparisons can reject mixed-mode deltas (the benchmark library's own
@@ -60,7 +65,7 @@ if [[ "$build_type" != "Release" ]]; then
 fi
 cmake --build "$build_dir" -j "$(nproc)" --target \
     kernels_micro spsc_micro pipeline_micro faults_micro \
-    optimizer_throughput > /dev/null
+    optimizer_throughput service_load > /dev/null
 
 run_one() {
     local binary="$1" out="$2"
@@ -84,6 +89,7 @@ run_one "$build_dir/bench/pipeline_micro" "$repo_root/BENCH_pipeline.json"
 run_one "$build_dir/bench/faults_micro" "$repo_root/BENCH_faults.json"
 run_one "$build_dir/bench/optimizer_throughput" \
         "$repo_root/BENCH_optimizer.json"
+run_one "$build_dir/bench/service_load" "$repo_root/BENCH_service.json"
 
 echo "done: BENCH_kernels.json, BENCH_spsc.json, BENCH_pipeline.json," \
-     "BENCH_faults.json, BENCH_optimizer.json"
+     "BENCH_faults.json, BENCH_optimizer.json, BENCH_service.json"

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Serving load-generator suite (BENCH_service.json): what the schedule
+ * cache buys a multi-tenant server, measured like a serving system -
+ * achieved throughput and latency percentiles against offered load.
+ *
+ * Flavours per workload mix:
+ *   *_ColdPlan  — closed loop, cache disabled: every request pays the
+ *                 full profile -> optimize planner on the hot path
+ *                 (the bt::Framework-per-request baseline);
+ *   *_Cached    — the same offered load with the keyed schedule cache:
+ *                 plan once per (app, load-bucket, lease) key, serve
+ *                 every other request from a reader-locked shard.
+ * The headline comparison is achieved_rps between the two flavours at
+ * equal offered load (the cached path must hold a >= 10x advantage;
+ * CI enforces it), with p50_ms/p99_ms and hit_rate alongside.
+ *
+ * BM_Serve_OpenLoop offers requests at a fixed rate (the Arg, QPS)
+ * instead of back-to-back, showing achieved vs offered throughput and
+ * the admission drops once the offered rate exceeds capacity.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/features.hpp"
+#include "apps/octree_app.hpp"
+#include "bt.hpp"
+#include "platform/devices.hpp"
+
+namespace {
+
+using namespace bt;
+
+constexpr int kRequestsPerRound = 64;
+constexpr int kSessions = 4;
+
+service::ServiceConfig
+servingConfig(bool cached)
+{
+    service::ServiceConfig cfg;
+    cfg.workers = 4;
+    cfg.queueCapacity = 4096; // closed loop: never drop
+    cfg.cacheEnabled = cached;
+    cfg.run.numTasks = 12;
+    return cfg;
+}
+
+/** One closed-loop round: submit the mix back-to-back, then drain. */
+void
+offerRound(Service& svc)
+{
+    for (int i = 0; i < kRequestsPerRound; ++i) {
+        service::Request req;
+        req.session = i % kSessions;
+        req.app = (i % 3 == 0) ? "FeatureExtract" : "Octree";
+        svc.submit(std::move(req));
+    }
+    svc.drain();
+}
+
+void
+reportCounters(benchmark::State& state, const ServiceReport& report,
+               double last_round_rps)
+{
+    state.counters["achieved_rps"] = last_round_rps;
+    state.counters["p50_ms"] = report.p50Ms;
+    state.counters["p99_ms"] = report.p99Ms;
+    state.counters["hit_rate"] = report.cache.hitRate();
+    state.counters["plans"] = static_cast<double>(report.plans);
+    state.counters["completed"] = static_cast<double>(report.completed);
+    state.counters["dropped"] = static_cast<double>(report.dropped);
+    state.counters["failed"] = static_cast<double>(report.failed);
+}
+
+void
+BM_Serve(benchmark::State& state, bool cached)
+{
+    Service svc(platform::pixel7a(), servingConfig(cached));
+    svc.registerApp(apps::octreeApp());
+    svc.registerApp(apps::featuresApp());
+
+    double last_round_rps = 0.0;
+    ServiceReport prev = svc.report();
+    for (auto _ : state) {
+        svc.start();
+        offerRound(svc);
+        svc.stop();
+        const ServiceReport now = svc.report();
+        const double roundSeconds = now.wallSeconds - prev.wallSeconds;
+        last_round_rps = roundSeconds > 0.0
+            ? static_cast<double>(now.completed - prev.completed)
+                / roundSeconds
+            : 0.0;
+        prev = now;
+    }
+    reportCounters(state, prev, last_round_rps);
+    state.SetItemsProcessed(state.iterations() * kRequestsPerRound);
+}
+void
+BM_Serve_ColdPlan(benchmark::State& state)
+{
+    BM_Serve(state, false);
+}
+void
+BM_Serve_Cached(benchmark::State& state)
+{
+    BM_Serve(state, true);
+}
+BENCHMARK(BM_Serve_ColdPlan)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Serve_Cached)->Unit(benchmark::kMillisecond);
+
+/**
+ * Open loop at a fixed offered rate (Arg = QPS): requests are released
+ * on a schedule regardless of completions, so queueing delay and drops
+ * appear once the offered rate exceeds the service capacity.
+ */
+void
+BM_Serve_OpenLoop(benchmark::State& state)
+{
+    const int qps = static_cast<int>(state.range(0));
+    auto cfg = servingConfig(true);
+    cfg.queueCapacity = 256; // bounded: overload shows up as drops
+    Service svc(platform::pixel7a(), cfg);
+    svc.registerApp(apps::octreeApp());
+    svc.registerApp(apps::featuresApp());
+
+    constexpr int kOpenRequests = 200;
+    const auto interval
+        = std::chrono::nanoseconds(1'000'000'000ll / qps);
+
+    double last_round_rps = 0.0;
+    ServiceReport prev = svc.report();
+    for (auto _ : state) {
+        svc.start();
+        auto release = std::chrono::steady_clock::now();
+        for (int i = 0; i < kOpenRequests; ++i) {
+            std::this_thread::sleep_until(release);
+            release += interval;
+            service::Request req;
+            req.session = i % kSessions;
+            req.app = (i % 3 == 0) ? "FeatureExtract" : "Octree";
+            svc.submit(std::move(req));
+        }
+        svc.stop();
+        const ServiceReport now = svc.report();
+        const double roundSeconds = now.wallSeconds - prev.wallSeconds;
+        last_round_rps = roundSeconds > 0.0
+            ? static_cast<double>(now.completed - prev.completed)
+                / roundSeconds
+            : 0.0;
+        prev = now;
+    }
+    reportCounters(state, prev, last_round_rps);
+    state.counters["offered_qps"] = static_cast<double>(qps);
+    state.SetItemsProcessed(state.iterations() * kOpenRequests);
+}
+BENCHMARK(BM_Serve_OpenLoop)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000);
+
+} // namespace

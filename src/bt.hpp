@@ -6,7 +6,8 @@
  * `#include "bt.hpp"` pulls in everything a user program needs: the
  * application model, the simulated devices, the profile -> optimize ->
  * autotune flow, the unified pipeline runtime (including fault
- * injection and recovery), and the native/dynamic executors.
+ * injection and recovery), the native/dynamic executors, and the
+ * multi-tenant serving front end (bt::Service).
  *
  * bt::Framework runs the whole paper flow from a single FrameworkConfig
  * that composes the per-component knobs (ProfilerConfig,
@@ -26,8 +27,15 @@
 #include "platform/perf_model.hpp"
 #include "runtime/fault_plan.hpp"
 #include "runtime/run_types.hpp"
+#include "service/service.hpp"
 
 namespace bt {
+
+/** The serving front end, re-exported at the top level: a worker pool,
+ *  PU leasing, and a keyed schedule cache over the Framework flow. */
+using service::Service;
+using service::ServiceConfig;
+using service::ServiceReport;
 
 /** Every knob of the full flow, one struct. */
 struct FrameworkConfig

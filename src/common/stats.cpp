@@ -115,4 +115,21 @@ spearman(std::span<const double> xs, std::span<const double> ys)
     return pearson(rx, ry);
 }
 
+double
+percentile(std::span<const double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    BT_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos
+        = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
 } // namespace bt

@@ -11,8 +11,7 @@
  * runtime::HostTimeBackend; this class keeps the historical core-level
  * entry point. Results are runtime::RunResult, so native runs also
  * report mean latency, per-chunk utilization, and the structured
- * TraceTimeline (the NativeResult alias is deprecated and will be
- * removed).
+ * TraceTimeline.
  */
 
 #ifndef BT_CORE_NATIVE_EXECUTOR_HPP
@@ -27,10 +26,6 @@ namespace bt::core {
 
 /** Native execution knobs (the unified runtime config). */
 using NativeExecConfig = runtime::RunConfig;
-
-/** @deprecated Pre-unification name; use runtime::RunResult. */
-using NativeResult [[deprecated(
-    "use bt::runtime::RunResult")]] = runtime::RunResult;
 
 /** Threaded pipeline executor for the local host. */
 class NativeExecutor

@@ -1,6 +1,7 @@
 #include "core/optimizer.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <set>
@@ -11,6 +12,34 @@
 #include "solver/solver.hpp"
 
 namespace bt::core {
+
+std::uint64_t
+OptimizerConfig::fingerprint() const
+{
+    // FNV-1a over the semantic knobs, field by field.
+    std::uint64_t h = 14695981039346656037ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (8 * byte)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    const auto mixDouble = [&mix](double d) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &d, sizeof bits);
+        mix(bits);
+    };
+    mix(static_cast<std::uint64_t>(numCandidates));
+    mix(utilizationFilter ? 1 : 0);
+    mixDouble(gapnessSlack);
+    mixDouble(latencySlack);
+    mix(static_cast<std::uint64_t>(maxPerTier));
+    mix(objective == Objective::EnergyDelay ? 1 : 0);
+    mix(allowedPus.size());
+    for (const int pu : allowedPus)
+        mix(static_cast<std::uint64_t>(pu));
+    return h;
+}
 
 namespace {
 

@@ -97,6 +97,17 @@ struct OptimizerConfig
      */
     enum class Objective { Latency, EnergyDelay };
     Objective objective = Objective::Latency;
+
+    /**
+     * Stable 64-bit fingerprint of every knob that can change which
+     * schedule the optimizer returns - the planner component of a
+     * schedule-cache key (bt::service keys its cache by application,
+     * platform, ambient-load bucket, PU lease, and this fingerprint).
+     * Engine and memoize are deliberately excluded: both paths are
+     * bit-identical by contract (the tests cross-validate them), so
+     * flipping them must keep hitting the same cache entries.
+     */
+    std::uint64_t fingerprint() const;
 };
 
 /** One optimizer output with its model-predicted costs. */

@@ -7,8 +7,7 @@
  * runtime::PipelineSession and the DES time domain in
  * runtime::VirtualTimeBackend; this class keeps the historical
  * core-level entry point. Results are runtime::RunResult, so a run's
- * structured TraceTimeline rides along (the ExecutionResult alias is
- * deprecated and will be removed).
+ * structured TraceTimeline rides along.
  */
 
 #ifndef BT_CORE_SIM_EXECUTOR_HPP
@@ -23,10 +22,6 @@ namespace bt::core {
 
 /** Execution knobs (the unified runtime config). */
 using SimExecConfig = runtime::RunConfig;
-
-/** @deprecated Pre-unification name; use runtime::RunResult. */
-using ExecutionResult [[deprecated(
-    "use bt::runtime::RunResult")]] = runtime::RunResult;
 
 /** Virtual-time pipeline executor over one simulated device. */
 class SimExecutor

@@ -52,9 +52,11 @@ GreedyRuntime::run(const core::Application& app, const RunConfig& cfg,
     result.tasks = cfg.numTasks;
 
     TraceTimeline trace;
-    if (cfg.recordTrace)
+    if (cfg.recordTrace) {
         trace = TraceTimeline("greedy", num_pus, puNames(soc),
                               stageNames(app));
+        trace.setSessionId(cfg.sessionId);
+    }
 
     std::vector<PuState> pu_state(static_cast<std::size_t>(num_pus),
                                   PuState::Idle);

@@ -56,9 +56,11 @@ PipelineSession::PipelineSession(const core::Application& app,
     injectTime_.assign(static_cast<std::size_t>(cfg_.numTasks), 0.0);
     completeTime_.assign(static_cast<std::size_t>(cfg_.numTasks), 0.0);
 
-    if (cfg_.recordTrace)
+    if (cfg_.recordTrace) {
         trace_ = TraceTimeline(std::move(backend_name), soc.numPus(),
                                puNames(soc), stageNames(app));
+        trace_.setSessionId(cfg_.sessionId);
+    }
 }
 
 std::int64_t

@@ -54,6 +54,15 @@ struct RunConfig
     /** Record the TraceTimeline of the run. */
     bool recordTrace = true;
 
+    /**
+     * Serving-session id stamped on the recorded TraceTimeline and
+     * every one of its events, so a multi-tenant front end (bt::Service)
+     * can merge concurrent sessions' traces while keeping them
+     * distinguishable. -1 = untagged single-pipeline run (the export
+     * format is unchanged).
+     */
+    int sessionId = -1;
+
     /** Faults to inject (empty = none; the fault-free fast path is
      *  bit-identical to a build without the fault layer). */
     FaultPlan faults;

@@ -123,7 +123,49 @@ TraceTimeline::TraceTimeline(std::string backend, int num_pus,
 void
 TraceTimeline::record(TraceEvent event)
 {
+    if (event.session < 0)
+        event.session = sessionId_;
     events_.push_back(std::move(event));
+}
+
+void
+TraceTimeline::merge(const TraceTimeline& other, double time_offset)
+{
+    if (numPus_ == 0) {
+        // Default-constructed target: adopt the PU geometry.
+        numPus_ = other.numPus_;
+        puNames_ = other.puNames_;
+        if (backend_ == "none")
+            backend_ = "merged";
+    }
+    BT_ASSERT(other.numPus_ == numPus_,
+              "merging timelines of different SoCs (", other.numPus_,
+              " vs ", numPus_, " PU classes)");
+
+    // other's name tables travel with its events: its merged tables
+    // are appended wholesale, and its own stage names become one more
+    // table that other's un-retargeted events are pointed at. A
+    // session may therefore span several applications - each merged
+    // run keeps resolving against the names it ran with.
+    const int tableBase = static_cast<int>(mergedStageNames_.size());
+    mergedStageNames_.insert(mergedStageNames_.end(),
+                             other.mergedStageNames_.begin(),
+                             other.mergedStageNames_.end());
+    mergedStageNames_.push_back(other.stageNames_);
+    const int ownTable
+        = tableBase + static_cast<int>(other.mergedStageNames_.size());
+
+    const int session = other.sessionId_;
+    events_.reserve(events_.size() + other.events_.size());
+    for (TraceEvent e : other.events_) {
+        if (e.session < 0)
+            e.session = session;
+        e.nameTable = e.nameTable >= 0 ? e.nameTable + tableBase
+                                       : ownTable;
+        e.startSeconds += time_offset;
+        e.endSeconds += time_offset;
+        events_.push_back(std::move(e));
+    }
 }
 
 void
@@ -218,6 +260,22 @@ TraceTimeline::stats() const
     return st;
 }
 
+std::string
+TraceTimeline::stageNameOf(const TraceEvent& e) const
+{
+    const std::vector<std::string>* names = &stageNames_;
+    if (e.nameTable >= 0
+        && e.nameTable < static_cast<int>(mergedStageNames_.size()))
+        names = &mergedStageNames_[static_cast<std::size_t>(e.nameTable)];
+    std::string name
+        = e.stage >= 0 && e.stage < static_cast<int>(names->size())
+        ? (*names)[static_cast<std::size_t>(e.stage)]
+        : "stage" + std::to_string(e.stage);
+    if (e.session >= 0)
+        name = "s" + std::to_string(e.session) + ":" + name;
+    return name;
+}
+
 void
 TraceTimeline::writeChromeJson(std::ostream& os) const
 {
@@ -256,22 +314,21 @@ TraceTimeline::writeChromeJson(std::ostream& os) const
                << ",\"ts\":" << e.startSeconds * 1e6
                << ",\"args\":{\"task\":" << e.task
                << ",\"stage\":" << e.stage << ",\"chunk\":" << e.chunk
-               << ",\"pu\":" << e.pu << ",\"note\":\""
-               << escape(e.note) << "\"}}";
+               << ",\"pu\":" << e.pu;
+            if (e.session >= 0)
+                os << ",\"session\":" << e.session;
+            os << ",\"note\":\"" << escape(e.note) << "\"}}";
             continue;
         }
-        const std::string name
-            = e.stage >= 0
-                && e.stage < static_cast<int>(stageNames_.size())
-            ? stageNames_[static_cast<std::size_t>(e.stage)]
-            : "stage" + std::to_string(e.stage);
-        os << "{\"name\":\"" << escape(name)
+        os << "{\"name\":\"" << escape(stageNameOf(e))
            << "\",\"cat\":\"stage\",\"ph\":\"X\",\"pid\":0,\"tid\":"
            << e.pu << ",\"ts\":" << e.startSeconds * 1e6
            << ",\"dur\":" << e.durationSeconds() * 1e6
            << ",\"args\":{\"task\":" << e.task
-           << ",\"stage\":" << e.stage << ",\"chunk\":" << e.chunk
-           << ",\"queue_wait_us\":" << e.queueWaitSeconds * 1e6
+           << ",\"stage\":" << e.stage << ",\"chunk\":" << e.chunk;
+        if (e.session >= 0)
+            os << ",\"session\":" << e.session;
+        os << ",\"queue_wait_us\":" << e.queueWaitSeconds * 1e6
            << ",\"co_runners\":[";
         for (std::size_t i = 0; i < e.coRunners.size(); ++i) {
             if (i > 0)

@@ -78,6 +78,22 @@ struct TraceEvent
     /** Free-form detail for recovery incidents ("pu 2 -> 0", ...). */
     std::string note;
 
+    /**
+     * Concurrent-serving session that produced this event, or -1 for
+     * single-pipeline runs. Stamped at record time from the timeline's
+     * session id, preserved across TraceTimeline::merge so events from
+     * co-scheduled sessions stay distinguishable.
+     */
+    int session = -1;
+
+    /**
+     * Index into the merged timeline's per-merge stage-name tables, or
+     * -1 for events whose names resolve through the timeline's own
+     * stage names. Maintained by TraceTimeline::merge; callers never
+     * set it.
+     */
+    int nameTable = -1;
+
     double durationSeconds() const { return endSeconds - startSeconds; }
     bool isStage() const { return kind == TraceEventKind::Stage; }
 };
@@ -133,6 +149,30 @@ class TraceTimeline
     /** Backend that produced the timeline ("virtual" or "host"). */
     const std::string& backend() const { return backend_; }
 
+    /**
+     * Tag this timeline as belonging to serving session @p id (>= 0).
+     * Subsequently recorded events are stamped with the id, and the
+     * Chrome export prefixes event names with "s<id>:" so merged
+     * multi-session traces stay readable. -1 (the default) leaves the
+     * single-pipeline export format unchanged.
+     */
+    void setSessionId(int id) { sessionId_ = id; }
+    int sessionId() const { return sessionId_; }
+
+    /**
+     * Fold another session's timeline into this one: every event of
+     * @p other is appended, shifted by @p time_offset seconds (so
+     * callers can place independently-clocked sessions on one shared
+     * service clock) and stamped with other.sessionId() if not already
+     * session-tagged. other's stage-name tables travel with its events
+     * (one table per merged run), so merged events keep resolving to
+     * the right names even when one session's requests span several
+     * applications. Both timelines must describe the same SoC (same PU
+     * count); an empty default-constructed target adopts other's PU
+     * geometry. Call sortByStart() after the last merge.
+     */
+    void merge(const TraceTimeline& other, double time_offset = 0.0);
+
     int numPus() const { return numPus_; }
     bool empty() const { return events_.empty(); }
     std::size_t size() const { return events_.size(); }
@@ -158,10 +198,18 @@ class TraceTimeline
     std::string chromeJson() const;
 
   private:
+    /** Display name of @p e's stage, session-aware after merges. */
+    std::string stageNameOf(const TraceEvent& e) const;
+
     std::string backend_ = "none";
     int numPus_ = 0;
+    int sessionId_ = -1;
     std::vector<std::string> puNames_;
     std::vector<std::string> stageNames_;
+
+    /** Stage-name tables of merged runs, indexed by event.nameTable. */
+    std::vector<std::vector<std::string>> mergedStageNames_;
+
     std::vector<TraceEvent> events_;
 };
 

@@ -1,0 +1,46 @@
+#include "service/lease.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bt::service {
+
+int
+quantizeLoad(int inflight, int workers, int buckets)
+{
+    BT_ASSERT(workers > 0 && buckets > 0);
+    if (inflight <= 0)
+        return 0;
+    const int bucket = ((inflight - 1) * buckets) / (2 * workers);
+    return std::min(bucket, buckets - 1);
+}
+
+PuLeaseManager::PuLeaseManager(const platform::SocDescription& soc,
+                               int max_groups)
+    : numPus_(soc.numPus()),
+      maxGroups_(std::clamp(max_groups, 1, soc.numPus()))
+{
+    BT_ASSERT(numPus_ > 0, "device has no PU classes");
+}
+
+int
+PuLeaseManager::groupsAt(int load_bucket) const
+{
+    return std::clamp(load_bucket + 1, 1, maxGroups_);
+}
+
+std::vector<int>
+PuLeaseManager::lease(int group, int groups) const
+{
+    BT_ASSERT(groups >= 1 && groups <= numPus_, "bad lease partition");
+    BT_ASSERT(group >= 0 && group < groups, "lease group out of range");
+    if (groups == 1)
+        return {}; // whole SoC: empty allowedPus = no restriction
+    std::vector<int> pus;
+    for (int pu = group; pu < numPus_; pu += groups)
+        pus.push_back(pu);
+    return pus;
+}
+
+} // namespace bt::service

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-tenant PU leasing for co-scheduled pipelines.
+ *
+ * When several tenants' pipelines run concurrently on one SoC, letting
+ * each plan over the full device makes every co-runner fight for the
+ * same bottleneck PUs (the shared-memory-contention problem of Dagli &
+ * Belviranli). Instead, the serving front end *leases* disjoint PU-class
+ * subsets to co-runners, derived from the ambient load:
+ *
+ *  - at light load a single tenant leases the whole SoC (maximum
+ *    speedup, nothing to collide with);
+ *  - as load rises, the PU classes are partitioned round-robin into
+ *    more lease groups, so co-scheduled pipelines land on disjoint
+ *    hardware instead of interfering.
+ *
+ * Leases feed the optimizer through its OptimizerConfig::allowedPus
+ * hook - the same graceful-degradation mechanism fault recovery uses -
+ * so each tenant's schedule is planned, not clamped, within its lease.
+ * The (bucket, group, groups) triple is part of the schedule-cache key,
+ * which keeps the derivation deterministic and the cached plans
+ * byte-identical to fresh ones.
+ */
+
+#ifndef BT_SERVICE_LEASE_HPP
+#define BT_SERVICE_LEASE_HPP
+
+#include <vector>
+
+#include "platform/soc.hpp"
+
+namespace bt::service {
+
+/**
+ * Quantize an instantaneous in-flight request count into one of
+ * @p buckets ambient-load levels. Full scale is twice the worker count:
+ * at inflight <= workers the service is below saturation (low buckets);
+ * queue build-up beyond that climbs toward the top bucket.
+ */
+int quantizeLoad(int inflight, int workers, int buckets);
+
+/** Deterministic partition of a SoC's PU classes among co-runners. */
+class PuLeaseManager
+{
+  public:
+    /**
+     * @param max_groups most co-runner partitions ever formed; clamped
+     *        to the PU-class count (every lease keeps >= 1 PU).
+     */
+    PuLeaseManager(const platform::SocDescription& soc, int max_groups);
+
+    /** Partition count at ambient-load bucket @p load_bucket: 1 at
+     *  bucket 0, one more per bucket, capped at maxGroups(). */
+    int groupsAt(int load_bucket) const;
+
+    /**
+     * PU classes leased to group @p group of @p groups (round-robin by
+     * class index: group g of n gets every PU with index % n == g).
+     * Disjoint across groups and covering the device.
+     */
+    std::vector<int> lease(int group, int groups) const;
+
+    int maxGroups() const { return maxGroups_; }
+    int numPus() const { return numPus_; }
+
+  private:
+    int numPus_;
+    int maxGroups_;
+};
+
+} // namespace bt::service
+
+#endif // BT_SERVICE_LEASE_HPP

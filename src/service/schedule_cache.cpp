@@ -1,0 +1,140 @@
+#include "service/schedule_cache.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/logging.hpp"
+
+namespace bt::service {
+
+namespace {
+
+void
+mixHash(std::size_t& h, std::size_t v)
+{
+    // boost::hash_combine-style mixing.
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+}
+
+} // namespace
+
+std::size_t
+ScheduleKeyHash::operator()(const ScheduleKey& k) const
+{
+    std::size_t h = std::hash<std::string>{}(k.app);
+    mixHash(h, std::hash<std::string>{}(k.platform));
+    mixHash(h, static_cast<std::size_t>(k.loadBucket));
+    mixHash(h, static_cast<std::size_t>(k.lease));
+    mixHash(h, static_cast<std::size_t>(k.leaseGroups));
+    mixHash(h, static_cast<std::size_t>(k.plannerFingerprint));
+    return h;
+}
+
+ScheduleCache::ScheduleCache(ScheduleCacheConfig cfg)
+    : shardCapacity_((std::max<std::size_t>(cfg.capacity, 1)
+                      + static_cast<std::size_t>(std::max(cfg.shards, 1))
+                      - 1)
+                     / static_cast<std::size_t>(std::max(cfg.shards, 1))),
+      shards_(static_cast<std::size_t>(std::max(cfg.shards, 1)))
+{
+}
+
+ScheduleCache::Shard&
+ScheduleCache::shardFor(const ScheduleKey& key)
+{
+    const std::size_t h = ScheduleKeyHash{}(key);
+    // The map uses the same hash; spread shards over the high bits so
+    // shard selection and in-shard bucketing stay independent.
+    return shards_[(h >> 17) % shards_.size()];
+}
+
+std::optional<CachedPlan>
+ScheduleCache::lookup(const ScheduleKey& key)
+{
+    Shard& shard = shardFor(key);
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    it->second->lastUse.store(
+        tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->plan;
+}
+
+bool
+ScheduleCache::insert(const ScheduleKey& key, CachedPlan plan)
+{
+    Shard& shard = shardFor(key);
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    if (shard.map.contains(key)) {
+        raced_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (shard.map.size() >= shardCapacity_) {
+        // Evict the shard's least-recently-used entry.
+        auto victim = shard.map.begin();
+        std::uint64_t oldest
+            = victim->second->lastUse.load(std::memory_order_relaxed);
+        for (auto it = std::next(shard.map.begin());
+             it != shard.map.end(); ++it) {
+            const std::uint64_t use
+                = it->second->lastUse.load(std::memory_order_relaxed);
+            if (use < oldest) {
+                oldest = use;
+                victim = it;
+            }
+        }
+        shard.map.erase(victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->plan = std::move(plan);
+    entry->lastUse.store(
+        tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    shard.map.emplace(key, std::move(entry));
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+ScheduleCacheStats
+ScheduleCache::stats() const
+{
+    ScheduleCacheStats st;
+    st.hits = hits_.load(std::memory_order_relaxed);
+    st.misses = misses_.load(std::memory_order_relaxed);
+    st.evictions = evictions_.load(std::memory_order_relaxed);
+    st.insertions = insertions_.load(std::memory_order_relaxed);
+    st.racedInsertions = raced_.load(std::memory_order_relaxed);
+    st.size = size();
+    return st;
+}
+
+std::size_t
+ScheduleCache::size() const
+{
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        total += shard.map.size();
+    }
+    return total;
+}
+
+std::vector<std::pair<ScheduleKey, CachedPlan>>
+ScheduleCache::snapshot() const
+{
+    std::vector<std::pair<ScheduleKey, CachedPlan>> out;
+    for (const auto& shard : shards_) {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        for (const auto& [key, entry] : shard.map)
+            out.emplace_back(key, entry->plan);
+    }
+    return out;
+}
+
+} // namespace bt::service

@@ -1,0 +1,397 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "core/autotuner.hpp"
+#include "core/sim_executor.hpp"
+
+namespace bt::service {
+
+namespace {
+
+double
+secondsBetween(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+} // namespace
+
+void
+ServiceReport::writeJson(std::ostream& os) const
+{
+    os << "{\n";
+    os << "  \"submitted\": " << submitted << ",\n";
+    os << "  \"completed\": " << completed << ",\n";
+    os << "  \"dropped\": " << dropped << ",\n";
+    os << "  \"failed\": " << failed << ",\n";
+    os << "  \"wall_seconds\": " << wallSeconds << ",\n";
+    os << "  \"throughput_rps\": " << throughputRps << ",\n";
+    os << "  \"latency_ms\": { \"p50\": " << p50Ms << ", \"p99\": "
+       << p99Ms << ", \"mean\": " << meanMs << ", \"max\": " << maxMs
+       << " },\n";
+    os << "  \"plans\": " << plans << ",\n";
+    os << "  \"plan_seconds\": " << planSeconds << ",\n";
+    os << "  \"batches\": " << batches << ",\n";
+    os << "  \"cache\": { \"hits\": " << cache.hits << ", \"misses\": "
+       << cache.misses << ", \"evictions\": " << cache.evictions
+       << ", \"insertions\": " << cache.insertions
+       << ", \"raced_insertions\": " << cache.racedInsertions
+       << ", \"size\": " << cache.size << ", \"hit_rate\": "
+       << cache.hitRate() << " },\n";
+    os << "  \"sessions\": {";
+    bool first = true;
+    for (const auto& [session, count] : perSession) {
+        os << (first ? " " : ", ") << '"' << session << "\": " << count;
+        first = false;
+    }
+    os << " }\n";
+    os << "}\n";
+}
+
+Service::Service(const platform::SocDescription& soc, ServiceConfig cfg)
+    : soc_(soc), cfg_(std::move(cfg)), model_(soc_), backend_(model_),
+      leases_(soc_, cfg_.maxLeaseGroups > 0
+                  ? cfg_.maxLeaseGroups
+                  : std::min(std::max(cfg_.workers, 1), soc_.numPus())),
+      plannerFingerprint_(cfg_.optimizer.fingerprint()),
+      cache_(cfg_.cache)
+{
+    BT_ASSERT(cfg_.workers >= 1, "service needs at least one worker");
+    BT_ASSERT(cfg_.queueCapacity >= 1, "admission queue needs capacity");
+    BT_ASSERT(cfg_.loadBuckets >= 1, "need at least one load bucket");
+    BT_ASSERT(cfg_.maxBatch >= 1, "batch size must be positive");
+}
+
+Service::~Service()
+{
+    stop();
+}
+
+void
+Service::registerApp(core::Application app)
+{
+    BT_ASSERT(!running_, "cannot register apps on a running service");
+    std::string name = app.name();
+    apps_.insert_or_assign(std::move(name), std::move(app));
+}
+
+const core::Application&
+Service::appOf(const std::string& name) const
+{
+    const auto it = apps_.find(name);
+    BT_ASSERT(it != apps_.end(), "request names an unregistered app");
+    return it->second;
+}
+
+ScheduleKey
+Service::keyFor(const std::string& app_name, int load_bucket,
+                int lease_group, int lease_groups) const
+{
+    ScheduleKey key;
+    key.app = app_name;
+    key.platform = soc_.name;
+    key.loadBucket = load_bucket;
+    key.lease = lease_group;
+    key.leaseGroups = lease_groups;
+    key.plannerFingerprint = plannerFingerprint_;
+    return key;
+}
+
+CachedPlan
+Service::freshPlan(const std::string& app_name, int /*load_bucket*/,
+                   int lease_group, int lease_groups) const
+{
+    const auto t0 = Clock::now();
+    const core::Application& app = appOf(app_name);
+
+    // The planner pass mirrors BetterTogether::run: interference-aware
+    // profiling, then lease-constrained schedule generation.
+    const core::Profiler profiler(model_, cfg_.profiler);
+    const core::ProfileResult profile = profiler.profile(app);
+
+    core::OptimizerConfig ocfg = cfg_.optimizer;
+    ocfg.allowedPus = leases_.lease(lease_group, lease_groups);
+    core::Optimizer optimizer(soc_, profile.interference, ocfg);
+    const std::vector<core::Candidate> candidates = optimizer.optimize();
+    BT_ASSERT(!candidates.empty(), "optimizer found no schedule");
+
+    CachedPlan plan;
+    if (cfg_.autotune) {
+        runtime::RunConfig exec = cfg_.run;
+        exec.recordTrace = false;
+        exec.sessionId = -1;
+        const core::SimExecutor executor(model_, exec);
+        const core::AutoTuner tuner(executor);
+        const core::TuningReport tuning = tuner.tune(app, candidates);
+        plan.schedule = tuning.best().candidate.schedule;
+        plan.predictedLatencySeconds = tuning.best().measuredLatency;
+    } else {
+        plan.schedule = candidates.front().schedule;
+        plan.predictedLatencySeconds = candidates.front().predictedLatency;
+    }
+    plan.planWallSeconds = secondsBetween(t0, Clock::now());
+    return plan;
+}
+
+void
+Service::start()
+{
+    BT_ASSERT(!running_, "service already running");
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        stopping_ = false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        startTime_ = Clock::now();
+    }
+    running_ = true;
+    workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+    for (int w = 0; w < cfg_.workers; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+bool
+Service::submit(Request req)
+{
+    if (!running_) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        if (static_cast<int>(queue_.size()) >= cfg_.queueCapacity) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        Pending pending;
+        pending.req = std::move(req);
+        pending.id = nextId_.fetch_add(1, std::memory_order_relaxed);
+        pending.admitted = Clock::now();
+        queue_.push_back(std::move(pending));
+    }
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    queueCv_.notify_one();
+    return true;
+}
+
+void
+Service::drain()
+{
+    std::unique_lock<std::mutex> lock(queueMutex_);
+    idleCv_.wait(lock,
+                 [this] { return queue_.empty() && busyWorkers_ == 0; });
+}
+
+void
+Service::stop()
+{
+    if (!running_)
+        return;
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        stopping_ = true;
+    }
+    queueCv_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+    workers_.clear();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        wallSecondsStopped_ += secondsBetween(startTime_, Clock::now());
+    }
+    running_ = false;
+}
+
+void
+Service::workerLoop(int worker_index)
+{
+    for (;;) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueCv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                BT_ASSERT(stopping_);
+                return;
+            }
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+            // Opportunistic batching: coalesce the contiguous run of
+            // same-application requests at the head of the queue (FIFO
+            // order is preserved; only the head run is taken).
+            while (static_cast<int>(batch.size()) < cfg_.maxBatch
+                   && !queue_.empty()
+                   && queue_.front().req.app == batch.front().req.app) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            ++busyWorkers_;
+        }
+
+        serveBatch(std::move(batch), worker_index);
+
+        {
+            std::lock_guard<std::mutex> lock(queueMutex_);
+            --busyWorkers_;
+            if (queue_.empty() && busyWorkers_ == 0)
+                idleCv_.notify_all();
+        }
+    }
+}
+
+void
+Service::serveBatch(std::vector<Pending> batch, int worker_index)
+{
+    const auto pickup = Clock::now();
+    const core::Application& app = appOf(batch.front().req.app);
+
+    // Ambient load -> lease partition -> cache key. The bucket is
+    // quantized (lease.hpp) so nearby load levels share cache entries.
+    const int inflight = inflight_.load(std::memory_order_relaxed);
+    const int bucket
+        = quantizeLoad(inflight, cfg_.workers, cfg_.loadBuckets);
+    const int groups = leases_.groupsAt(bucket);
+    const int group = worker_index % groups;
+    const ScheduleKey key = keyFor(app.name(), bucket, group, groups);
+
+    CachedPlan plan;
+    bool hit = false;
+    bool planned = false;
+    if (cfg_.cacheEnabled) {
+        if (auto cached = cache_.lookup(key)) {
+            plan = std::move(*cached);
+            hit = true;
+        }
+    }
+    if (!hit) {
+        // Plan on the miss path; first writer wins the insert race
+        // (both plans are byte-identical by the key contract).
+        plan = freshPlan(app.name(), bucket, group, groups);
+        planned = true;
+        plans_.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            planSeconds_ += plan.planWallSeconds;
+        }
+        if (cfg_.cacheEnabled)
+            cache_.insert(key, plan);
+    }
+
+    bool recordTrace = false;
+    if (cfg_.collectTraces) {
+        std::lock_guard<std::mutex> lock(traceMutex_);
+        if (tracedRequests_ < cfg_.maxTracedRequests) {
+            ++tracedRequests_;
+            recordTrace = true;
+        }
+    }
+
+    runtime::RunConfig rcfg = cfg_.run;
+    rcfg.recordTrace = recordTrace;
+    rcfg.sessionId = batch.front().req.session;
+    // A batch is one pipeline run over the coalesced task stream.
+    rcfg.numTasks = cfg_.run.numTasks * static_cast<int>(batch.size());
+
+    const runtime::RunResult run
+        = backend_.run(app, plan.schedule, rcfg);
+    const auto done = Clock::now();
+    const bool ok = run.validationErrors.empty();
+
+    if (recordTrace) {
+        Clock::time_point epoch;
+        {
+            std::lock_guard<std::mutex> statsLock(statsMutex_);
+            epoch = startTime_;
+        }
+        std::lock_guard<std::mutex> lock(traceMutex_);
+        trace_.merge(run.trace, secondsBetween(epoch, pickup));
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        for (const Pending& pending : batch) {
+            latencies_.push_back(
+                secondsBetween(pending.admitted, done));
+            ++perSession_[pending.req.session];
+        }
+    }
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(static_cast<std::int64_t>(batch.size()),
+                         std::memory_order_relaxed);
+    if (!ok)
+        failed_.fetch_add(static_cast<std::int64_t>(batch.size()),
+                          std::memory_order_relaxed);
+    inflight_.fetch_sub(static_cast<int>(batch.size()),
+                        std::memory_order_relaxed);
+
+    for (const Pending& pending : batch) {
+        if (!pending.req.onDone)
+            continue;
+        RequestResult result;
+        result.id = pending.id;
+        result.session = pending.req.session;
+        result.ok = ok;
+        result.cacheHit = hit;
+        result.planned = planned;
+        result.queueSeconds = secondsBetween(pending.admitted, pickup);
+        result.serviceSeconds = secondsBetween(pickup, done);
+        result.latencySeconds = secondsBetween(pending.admitted, done);
+        result.schedule = plan.schedule;
+        result.run = run;
+        pending.req.onDone(result);
+    }
+}
+
+ServiceReport
+Service::report() const
+{
+    ServiceReport report;
+    report.submitted = submitted_.load(std::memory_order_relaxed);
+    report.completed = completed_.load(std::memory_order_relaxed);
+    report.dropped = dropped_.load(std::memory_order_relaxed);
+    report.failed = failed_.load(std::memory_order_relaxed);
+    report.plans = plans_.load(std::memory_order_relaxed);
+    report.batches = batches_.load(std::memory_order_relaxed);
+    report.cache = cache_.stats();
+
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        report.wallSeconds = wallSecondsStopped_;
+        if (running_)
+            report.wallSeconds
+                += secondsBetween(startTime_, Clock::now());
+        report.planSeconds = planSeconds_;
+        report.perSession = perSession_;
+        if (!latencies_.empty()) {
+            report.p50Ms = percentile(latencies_, 50.0) * 1e3;
+            report.p99Ms = percentile(latencies_, 99.0) * 1e3;
+            report.meanMs = mean(latencies_) * 1e3;
+            report.maxMs
+                = *std::max_element(latencies_.begin(), latencies_.end())
+                * 1e3;
+        }
+    }
+    if (report.wallSeconds > 0.0)
+        report.throughputRps
+            = static_cast<double>(report.completed) / report.wallSeconds;
+
+    {
+        std::lock_guard<std::mutex> lock(traceMutex_);
+        report.trace = trace_;
+    }
+    return report;
+}
+
+} // namespace bt::service

@@ -10,12 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <sstream>
 
+#include "apps/features.hpp"
 #include "apps/octree_app.hpp"
 #include "core/dynamic_executor.hpp"
 #include "core/native_executor.hpp"
@@ -47,13 +49,8 @@ TEST(RunConfig, ResolveBuffersDefaultsToSlotsPlusOne)
 
 TEST(RunTypes, LegacyResultTypesAreTheUnifiedResult)
 {
-    // The aliases are deprecated but must stay the unified result until
-    // removal; this is the one place still allowed to name them.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    static_assert(std::is_same_v<ExecutionResult, runtime::RunResult>);
-    static_assert(std::is_same_v<NativeResult, runtime::RunResult>);
-#pragma GCC diagnostic pop
+    // The deprecated ExecutionResult/NativeResult aliases are gone;
+    // the config aliases remain the unified RunConfig.
     static_assert(std::is_same_v<SimExecConfig, runtime::RunConfig>);
     static_assert(std::is_same_v<NativeExecConfig, runtime::RunConfig>);
     static_assert(
@@ -305,6 +302,110 @@ TEST(TraceTimeline, ChromeJsonRoundTripsThroughParser)
     EXPECT_EQ(parsed.keyCount("displayTimeUnit"), 1);
     EXPECT_GT(parsed.objects(),
               soc.numPus() + static_cast<int>(run.trace.size()));
+}
+
+// ---------------------------------------------------------------------
+// Merging session-tagged timelines (the multi-tenant serving path).
+
+TEST(TraceTimeline, MergeKeepsSessionsDistinguishable)
+{
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto octree = apps::octreeApp();
+    const auto features = apps::featuresApp();
+
+    // Two tenants, different applications, distinct session ids.
+    SimExecConfig cfgA;
+    cfgA.numTasks = 4;
+    cfgA.sessionId = 7;
+    const auto runA = SimExecutor(model, cfgA).execute(
+        octree, Schedule::homogeneous(octree.numStages(), 0));
+
+    SimExecConfig cfgB;
+    cfgB.numTasks = 3;
+    cfgB.sessionId = 12;
+    const auto runB = SimExecutor(model, cfgB).execute(
+        features, Schedule::homogeneous(features.numStages(), 1));
+
+    ASSERT_FALSE(runA.trace.empty());
+    ASSERT_FALSE(runB.trace.empty());
+    EXPECT_EQ(runA.trace.sessionId(), 7);
+    EXPECT_EQ(runB.trace.sessionId(), 12);
+
+    // Merge into a default-constructed service-wide timeline, with
+    // wall-clock offsets like a serving front end applies.
+    runtime::TraceTimeline merged;
+    merged.merge(runA.trace, 0.5);
+    merged.merge(runB.trace, 2.0);
+    EXPECT_EQ(merged.size(), runA.trace.size() + runB.trace.size());
+
+    const auto st = merged.stats();
+    EXPECT_NEAR(st.makespanSeconds,
+                std::max(0.5 + runA.trace.stats().makespanSeconds,
+                         2.0 + runB.trace.stats().makespanSeconds),
+                1e-12);
+
+    // Round-trip the merged export through the JSON parser: every
+    // stage event carries its session id, and names resolve through
+    // the per-session stage tables with an "s<id>:" prefix.
+    const std::string json = merged.chromeJson();
+    MiniJson parsed(json);
+    ASSERT_TRUE(parsed.parse()) << json.substr(0, 200);
+    EXPECT_EQ(parsed.keyCount("session"),
+              static_cast<int>(merged.size()));
+    EXPECT_NE(json.find("\"s7:" + octree.stage(0).name()),
+              std::string::npos);
+    EXPECT_NE(json.find("\"s12:" + features.stage(0).name()),
+              std::string::npos);
+    // No cross-tenant leakage: session 12 never shows octree names.
+    EXPECT_EQ(json.find("\"s12:" + octree.stage(0).name()),
+              std::string::npos);
+
+    // Merging is associative over already-merged timelines.
+    runtime::TraceTimeline outer;
+    outer.merge(merged, 0.0);
+    EXPECT_EQ(outer.size(), merged.size());
+    MiniJson outerParsed(outer.chromeJson());
+    EXPECT_TRUE(outerParsed.parse());
+
+    // Untagged runs keep the legacy export: no session args at all.
+    SimExecConfig plain;
+    plain.numTasks = 2;
+    const auto runPlain = SimExecutor(model, plain).execute(
+        octree, Schedule::homogeneous(octree.numStages(), 0));
+    MiniJson plainParsed(runPlain.trace.chromeJson());
+    ASSERT_TRUE(plainParsed.parse());
+    EXPECT_EQ(plainParsed.keyCount("session"), 0);
+}
+
+TEST(TraceTimeline, MergeResolvesNamesPerRunWithinOneSession)
+{
+    const auto soc = platform::pixel7a();
+    const platform::PerfModel model(soc);
+    const auto octree = apps::octreeApp();
+    const auto features = apps::featuresApp();
+
+    // One tenant session running two different applications: each
+    // merged run must keep resolving against the stage names it ran
+    // with (name tables travel per run, not per session).
+    SimExecConfig cfg;
+    cfg.numTasks = 2;
+    cfg.sessionId = 3;
+    const auto runA = SimExecutor(model, cfg).execute(
+        octree, Schedule::homogeneous(octree.numStages(), 0));
+    const auto runB = SimExecutor(model, cfg).execute(
+        features, Schedule::homogeneous(features.numStages(), 0));
+
+    runtime::TraceTimeline merged;
+    merged.merge(runA.trace, 0.0);
+    merged.merge(runB.trace, 1.0);
+    const std::string json = merged.chromeJson();
+    MiniJson parsed(json);
+    ASSERT_TRUE(parsed.parse());
+    EXPECT_NE(json.find("\"s3:" + octree.stage(0).name()),
+              std::string::npos);
+    EXPECT_NE(json.find("\"s3:" + features.stage(0).name()),
+              std::string::npos);
 }
 
 // ---------------------------------------------------------------------
