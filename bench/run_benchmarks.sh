@@ -35,6 +35,12 @@
 #                        schedule-cache serving speedup (achieved_rps)
 #                        at equal offered load; BM_Serve_OpenLoop
 #                        sweeps offered QPS
+#   BENCH_contention.json contention_micro — two-tenant planning on
+#                        the contention rig: Blind vs Aware pin the
+#                        DRAM oversubscription (demand_sum_gbps vs
+#                        roofline_gbps) and the worst-tenant co-run
+#                        latency (worst_corun_ms) with and without the
+#                        C6 budget
 #
 # Every snapshot context records bt_build_type so trajectory
 # comparisons can reject mixed-mode deltas (the benchmark library's own
@@ -65,7 +71,7 @@ if [[ "$build_type" != "Release" ]]; then
 fi
 cmake --build "$build_dir" -j "$(nproc)" --target \
     kernels_micro spsc_micro pipeline_micro faults_micro \
-    optimizer_throughput service_load > /dev/null
+    optimizer_throughput service_load contention_micro > /dev/null
 
 run_one() {
     local binary="$1" out="$2"
@@ -90,6 +96,9 @@ run_one "$build_dir/bench/faults_micro" "$repo_root/BENCH_faults.json"
 run_one "$build_dir/bench/optimizer_throughput" \
         "$repo_root/BENCH_optimizer.json"
 run_one "$build_dir/bench/service_load" "$repo_root/BENCH_service.json"
+run_one "$build_dir/bench/contention_micro" \
+        "$repo_root/BENCH_contention.json"
 
 echo "done: BENCH_kernels.json, BENCH_spsc.json, BENCH_pipeline.json," \
-     "BENCH_faults.json, BENCH_optimizer.json, BENCH_service.json"
+     "BENCH_faults.json, BENCH_optimizer.json, BENCH_service.json," \
+     "BENCH_contention.json"

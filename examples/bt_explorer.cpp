@@ -173,10 +173,18 @@ runCheck(const Options& opt)
  * requests from --serve-sessions tenants runs through the worker pool,
  * and the serving report (throughput, latency percentiles, schedule
  * cache hit rate) is printed and optionally written as JSON.
+ *
+ * With --json the mode behaves like the others: the machine-readable
+ * ServiceReport goes to the named file ("-" = stdout) and the human
+ * summary moves to stderr, so piped consumers see only JSON.
  */
 int
 runServe(const Options& opt, const platform::SocDescription& soc)
 {
+    // Human-readable lines: stdout normally, stderr when a JSON
+    // consumer owns stdout's role.
+    std::FILE* hout = opt.json_file.empty() ? stdout : stderr;
+
     service::ServiceConfig cfg;
     cfg.workers = opt.serve_workers;
     cfg.queueCapacity = std::max(opt.serve_requests, 1);
@@ -192,10 +200,11 @@ runServe(const Options& opt, const platform::SocDescription& soc)
         = {apps::alexnetDense().name(), apps::alexnetSparse().name(),
            apps::octreeApp().name()};
 
-    std::printf("serving on %s: %d workers, %d tenant sessions, %d "
-                "requests\n",
-                soc.name.c_str(), cfg.workers, opt.serve_sessions,
-                opt.serve_requests);
+    std::fprintf(hout,
+                 "serving on %s: %d workers, %d tenant sessions, %d "
+                 "requests\n",
+                 soc.name.c_str(), cfg.workers, opt.serve_sessions,
+                 opt.serve_requests);
     svc.start();
     for (int i = 0; i < opt.serve_requests; ++i) {
         service::Request req;
@@ -208,40 +217,48 @@ runServe(const Options& opt, const platform::SocDescription& soc)
     const auto report = svc.report();
     svc.stop();
 
-    std::printf("served %lld/%lld requests (%lld dropped, %lld "
-                "failed) in %.1f ms\n",
-                static_cast<long long>(report.completed),
-                static_cast<long long>(report.submitted),
-                static_cast<long long>(report.dropped),
-                static_cast<long long>(report.failed),
-                report.wallSeconds * 1e3);
-    std::printf("throughput: %.0f req/s | latency p50 %.3f ms, p99 "
-                "%.3f ms\n",
-                report.throughputRps, report.p50Ms, report.p99Ms);
-    std::printf("schedule cache: %.1f%% hit rate (%llu hits, %llu "
-                "misses, %llu evictions); %lld planner runs took "
-                "%.1f ms total\n",
-                report.cache.hitRate() * 1e2,
-                static_cast<unsigned long long>(report.cache.hits),
-                static_cast<unsigned long long>(report.cache.misses),
-                static_cast<unsigned long long>(report.cache.evictions),
-                static_cast<long long>(report.plans),
-                report.planSeconds * 1e3);
+    std::fprintf(hout,
+                 "served %lld/%lld requests (%lld dropped, %lld "
+                 "failed) in %.1f ms\n",
+                 static_cast<long long>(report.completed),
+                 static_cast<long long>(report.submitted),
+                 static_cast<long long>(report.dropped),
+                 static_cast<long long>(report.failed),
+                 report.wallSeconds * 1e3);
+    std::fprintf(hout,
+                 "throughput: %.0f req/s | latency p50 %.3f ms, p99 "
+                 "%.3f ms\n",
+                 report.throughputRps, report.p50Ms, report.p99Ms);
+    std::fprintf(hout,
+                 "schedule cache: %.1f%% hit rate (%llu hits, %llu "
+                 "misses, %llu evictions); %lld planner runs took "
+                 "%.1f ms total\n",
+                 report.cache.hitRate() * 1e2,
+                 static_cast<unsigned long long>(report.cache.hits),
+                 static_cast<unsigned long long>(report.cache.misses),
+                 static_cast<unsigned long long>(
+                     report.cache.evictions),
+                 static_cast<long long>(report.plans),
+                 report.planSeconds * 1e3);
     for (const auto& [session, count] : report.perSession)
-        std::printf("  session %d: %lld requests\n", session,
-                    static_cast<long long>(count));
+        std::fprintf(hout, "  session %d: %lld requests\n", session,
+                     static_cast<long long>(count));
 
     if (!opt.trace_file.empty()) {
         std::ofstream out(opt.trace_file);
         report.trace.writeChromeJson(out);
-        std::printf("wrote merged serving timeline to %s\n",
-                    opt.trace_file.c_str());
+        std::fprintf(hout, "wrote merged serving timeline to %s\n",
+                     opt.trace_file.c_str());
     }
     if (!opt.json_file.empty()) {
-        std::ofstream out(opt.json_file);
-        report.writeJson(out);
-        std::printf("wrote serving report to %s\n",
-                    opt.json_file.c_str());
+        if (opt.json_file == "-") {
+            report.writeJson(std::cout);
+        } else {
+            std::ofstream out(opt.json_file);
+            report.writeJson(out);
+            std::fprintf(hout, "wrote serving report to %s\n",
+                         opt.json_file.c_str());
+        }
     }
     return report.completed == report.submitted
             && report.failed == 0

@@ -38,6 +38,9 @@ OptimizerConfig::fingerprint() const
     mix(allowedPus.size());
     for (const int pu : allowedPus)
         mix(static_cast<std::uint64_t>(pu));
+    mixDouble(contention.ambientGbps);
+    mixDouble(contention.budgetGbps);
+    mix(contention.realTime ? 1 : 0);
     return h;
 }
 
@@ -49,6 +52,9 @@ namespace {
 /// ones. Latencies are in seconds (~1e-3), so the offsets dominate.
 constexpr double kGapnessPenalty = 1e6;
 constexpr double kFeasibilityPenalty = 2e6;
+/// C6 violations (aggregate demand over budget) sort after everything,
+/// including out-of-class schedules.
+constexpr double kC6Penalty = 4e6;
 
 /** Variable layout helper: x(i, c) is true iff stage i runs on PU c. */
 struct VarGrid
@@ -168,14 +174,128 @@ blockChunk(solver::Model& model, const VarGrid& grid,
     model.addClause(std::move(clause));
 }
 
+/** Stretched copy of @p base: each cell scaled by the contention
+ *  profile's slowdown under @p bucket. Empty for bucket 0 (unused;
+ *  predictions bind to the base table directly). */
+ProfilingTable
+makeStretchedTable(const ProfilingTable& base,
+                   const platform::ContentionProfile* profile,
+                   int bucket)
+{
+    if (bucket == 0)
+        return {};
+    ProfilingTable t(base.stages(), base.pus());
+    for (int s = 0; s < base.numStages(); ++s) {
+        for (int p = 0; p < base.numPus(); ++p) {
+            t.set(s, p, base.at(s, p) * profile->stretch(s, p, bucket));
+            t.setStddev(s, p, base.stddevAt(s, p));
+        }
+    }
+    return t;
+}
+
+/// Transversal-count ceiling before C6 falls back to the pairwise
+/// over-approximation (the exact predicate still filters downstream).
+constexpr std::int64_t kMaxC6Transversals = 20000;
+
+/**
+ * C6: cap the schedule's aggregate DRAM demand - the sum over used PUs
+ * of the hungriest stage placed there - at the budget, so co-scheduled
+ * tenants cannot oversubscribe the shared roofline.
+ *
+ * Exact pseudo-boolean encoding: for every transversal sigma picking
+ * one stage per allowed PU, add
+ *
+ *     sum_c  d(sigma(c), c) * x(sigma(c), c)  <=  budget.
+ *
+ * Under any assignment each such sum counts at most one placed stage
+ * per PU, so it never exceeds the schedule's aggregate demand; the
+ * transversal picking each PU's hungriest placed stage attains it.
+ * The family is therefore equivalent to the aggregate cap. Constraint
+ * count is numStages^|allowedPus|; past kMaxC6Transversals we emit
+ * only the single- and pairwise-placement bans (a sound relaxation -
+ * every clause bans a provably infeasible placement) and rely on the
+ * callers' exact demandOk predicate for the rest.
+ */
+void
+addC6(solver::Model& model, const VarGrid& grid,
+      const platform::ContentionProfile& profile,
+      std::int64_t budget_milli, const std::vector<int>& allowed_pus)
+{
+    const int n = grid.numStages;
+    std::int64_t count = 1;
+    for (std::size_t k = 0;
+         k < allowed_pus.size() && count <= kMaxC6Transversals; ++k)
+        count *= n;
+    if (count <= kMaxC6Transversals) {
+        std::vector<int> sigma(allowed_pus.size(), 0);
+        while (true) {
+            std::int64_t total = 0;
+            for (std::size_t k = 0; k < sigma.size(); ++k)
+                total += profile.demandMilli(
+                    sigma[k], allowed_pus[k]);
+            if (total > budget_milli) { // non-vacuous only
+                std::vector<solver::PbTerm> terms;
+                for (std::size_t k = 0; k < sigma.size(); ++k) {
+                    const std::int64_t d = profile.demandMilli(
+                        sigma[k], allowed_pus[k]);
+                    if (d > 0)
+                        terms.push_back(
+                            {solver::pos(grid.at(sigma[k],
+                                                 allowed_pus[k])),
+                             d});
+                }
+                model.addLinearLe(std::move(terms), budget_milli);
+            }
+            std::size_t k = 0;
+            for (; k < sigma.size(); ++k) {
+                if (++sigma[k] < n)
+                    break;
+                sigma[k] = 0;
+            }
+            if (k == sigma.size())
+                break;
+        }
+        return;
+    }
+
+    for (std::size_t a = 0; a < allowed_pus.size(); ++a) {
+        const int ca = allowed_pus[a];
+        for (int i = 0; i < n; ++i) {
+            const std::int64_t di = profile.demandMilli(i, ca);
+            if (di > budget_milli) {
+                model.addClause({solver::neg(grid.at(i, ca))});
+                continue;
+            }
+            for (std::size_t b = a + 1; b < allowed_pus.size(); ++b) {
+                const int cb = allowed_pus[b];
+                for (int j = 0; j < n; ++j)
+                    if (di + profile.demandMilli(j, cb) > budget_milli)
+                        model.addClause(
+                            {solver::neg(grid.at(i, ca)),
+                             solver::neg(grid.at(j, cb))});
+            }
+        }
+    }
+}
+
 } // namespace
 
 Optimizer::Optimizer(const platform::SocDescription& soc_,
                      const ProfilingTable& table_, OptimizerConfig cfg,
-                     ScheduleEvaluator* shared_eval)
-    : soc(soc_), table(table_), config(cfg), powerModel(soc_)
+                     ScheduleEvaluator* shared_eval,
+                     const platform::ContentionProfile* contention)
+    : soc(soc_), baseTable_(table_), config(std::move(cfg)),
+      contention_(contention),
+      bucket_(contention_ != nullptr && !config.contention.realTime
+                  ? contention_->bucketOf(config.contention.ambientGbps)
+                  : 0),
+      stretchedStorage_(
+          makeStretchedTable(baseTable_, contention_, bucket_)),
+      table(bucket_ > 0 ? stretchedStorage_ : baseTable_),
+      powerModel(soc_)
 {
-    BT_ASSERT(table.numPus() == soc.numPus(),
+    BT_ASSERT(baseTable_.numPus() == soc.numPus(),
               "profiling table PU count does not match device");
     BT_ASSERT(config.numCandidates > 0);
     BT_ASSERT(config.gapnessSlack >= 0.0);
@@ -183,13 +303,41 @@ Optimizer::Optimizer(const platform::SocDescription& soc_,
     for (const int p : config.allowedPus)
         BT_ASSERT(p >= 0 && p < soc.numPus(),
                   "allowedPus names unknown PU ", p);
+    if (contention_ != nullptr)
+        BT_ASSERT(contention_->numStages == baseTable_.numStages()
+                      && contention_->numPus == baseTable_.numPus(),
+                  "contention profile grid does not match table");
+
+    if (contention_ != nullptr && config.contention.budgetGbps > 0.0) {
+        budgetMilli_ = platform::ContentionModel::milliGbps(
+            config.contention.budgetGbps);
+        // Feasibility pre-check: the frugalest schedule is the single
+        // chunk on the allowed PU with the smallest worst-stage
+        // demand. A budget below that admits nothing - relax C6 and
+        // report it instead of returning an empty candidate list.
+        std::int64_t min_demand
+            = std::numeric_limits<std::int64_t>::max();
+        for (int c = 0; c < soc.numPus(); ++c) {
+            if (!puAllowed(c))
+                continue;
+            std::int64_t d = 0;
+            for (int i = 0; i < baseTable_.numStages(); ++i)
+                d = std::max(d, contention_->demandMilli(i, c));
+            min_demand = std::min(min_demand, d);
+        }
+        if (budgetMilli_ >= min_demand)
+            c6Active_ = true;
+        else
+            c6Relaxed_ = true;
+    }
+
     if (shared_eval != nullptr) {
-        BT_ASSERT(&shared_eval->table() == &table,
+        BT_ASSERT(&shared_eval->table() == &baseTable_,
                   "shared evaluator built over a different table");
         eval_ = shared_eval;
     } else if (config.memoize) {
-        ownedEval_ = std::make_unique<ScheduleEvaluator>(soc, table,
-                                                         powerModel);
+        ownedEval_ = std::make_unique<ScheduleEvaluator>(
+            soc, baseTable_, powerModel, contention_);
         eval_ = ownedEval_.get();
     }
 }
@@ -204,16 +352,35 @@ Optimizer::puAllowed(int pu) const
         != config.allowedPus.end();
 }
 
+bool
+Optimizer::demandOk(std::span<const int> stage_to_pu) const
+{
+    if (!c6Active_)
+        return true;
+    return contention_->aggregateDemandMilli(stage_to_pu)
+        <= budgetMilli_;
+}
+
+bool
+Optimizer::demandOk(const Schedule& s) const
+{
+    if (!c6Active_)
+        return true;
+    const auto assign = s.toAssignment();
+    return demandOk(std::span<const int>(assign));
+}
+
 Candidate
 Optimizer::makeCandidate(const Schedule& s) const
 {
     if (eval_ != nullptr) {
-        const Prediction& p = eval_->predict(s);
+        const Prediction& p = eval_->predict(s, bucket_);
         Candidate c;
         c.schedule = s;
         c.predictedLatency = p.latency;
         c.predictedGapness = p.gapness;
         c.predictedEnergyJ = p.energyJ;
+        c.predictedDemandGbps = p.demandGbps;
         return c;
     }
 
@@ -221,6 +388,17 @@ Optimizer::makeCandidate(const Schedule& s) const
     c.schedule = s;
     c.predictedLatency = s.bottleneckTime(table);
     c.predictedGapness = s.gapness(table);
+    if (contention_ != nullptr) {
+        // Aggregate demand: per chunk, the hungriest stage; summed.
+        std::int64_t demand = 0;
+        for (const auto& chunk : s.chunks()) {
+            std::int64_t d = 0;
+            for (int i = chunk.firstStage; i <= chunk.lastStage; ++i)
+                d = std::max(d, contention_->demandMilli(i, chunk.pu));
+            demand += d;
+        }
+        c.predictedDemandGbps = static_cast<double>(demand) / 1000.0;
+    }
 
     // Predicted per-task energy: each used PU is active for its chunk
     // time (duty-cycled against the bottleneck interval), idle for the
@@ -307,6 +485,9 @@ Optimizer::optimize()
     stats_ = OptimizeStats{};
     stats_.latencyBound = std::numeric_limits<double>::infinity();
     stats_.gapnessBound = std::numeric_limits<double>::infinity();
+    stats_.demandBudgetGbps
+        = c6Active_ ? config.contention.budgetGbps : 0.0;
+    stats_.c6Relaxed = c6Relaxed_;
     auto cands = config.engine == OptimizerConfig::Engine::Exhaustive
         ? optimizeExhaustive()
         : optimizeWithSolver();
@@ -340,6 +521,17 @@ Optimizer::optimizeWithSolver()
             for (int i = 0; i < n; ++i)
                 model.addClause({solver::neg(grid.at(i, c))});
 
+    // C6: aggregate-bandwidth cap over the allowed columns. The
+    // feasibility pre-check in the constructor guarantees the model
+    // stays satisfiable.
+    if (c6Active_) {
+        std::vector<int> allowed;
+        for (int c = 0; c < m; ++c)
+            if (puAllowed(c))
+                allowed.push_back(c);
+        addC6(model, grid, *contention_, budgetMilli_, allowed);
+    }
+
     if (eval_ != nullptr) {
         // Throughput path. Every solver level minimizes a fixed
         // objective (the bounds each level derives only feed *later*
@@ -370,10 +562,15 @@ Optimizer::optimizeWithSolver()
                     BT_ASSERT(chosen >= 0, "stage ", i, " unassigned");
                     assign_scratch[static_cast<std::size_t>(i)] = chosen;
                 }
+                // C6's fallback encoding over-admits; apply the exact
+                // integer predicate here so every downstream level
+                // replays over the feasible space only.
+                if (!demandOk(assign_scratch))
+                    return true;
                 flat.insert(flat.end(), assign_scratch.begin(),
                             assign_scratch.end());
                 preds.push_back(eval_->predict(
-                    std::span<const int>(assign_scratch)));
+                    std::span<const int>(assign_scratch), bucket_));
                 return true;
             });
             stats_.solverNodes += s.nodesExplored();
@@ -503,8 +700,15 @@ Optimizer::optimizeWithSolver()
         return cands;
     }
 
+    // From-scratch path. The C6 fallback encoding can leave violating
+    // assignments in the model; every callback pushes them past all
+    // feasible scores (kC6Penalty), so a violating winner proves the
+    // feasible space is exhausted - mirroring the harvest filter above.
     auto latencyOf = [&](const solver::Assignment& a) {
-        return scheduleFromAssignment(grid, a).bottleneckTime(table);
+        const Schedule sched = scheduleFromAssignment(grid, a);
+        if (!demandOk(sched))
+            return kC6Penalty + sched.bottleneckTime(table);
+        return sched.bottleneckTime(table);
     };
 
     // Level 1a: unrestricted latency optimum (defines the Tmax bound).
@@ -528,6 +732,8 @@ Optimizer::optimizeWithSolver()
             solver::Solver s(model);
             auto best = s.minimize([&](const solver::Assignment& a) {
                 const Schedule sched = scheduleFromAssignment(grid, a);
+                if (!demandOk(sched))
+                    return kC6Penalty + sched.bottleneckTime(table);
                 if (sched.numChunks() < r)
                     return kFeasibilityPenalty
                         + sched.bottleneckTime(table);
@@ -539,7 +745,8 @@ Optimizer::optimizeWithSolver()
                     = scheduleFromAssignment(grid, *best);
                 if (sched.numChunks() >= r
                     && sched.bottleneckTime(table)
-                        <= stats_.latencyBound) {
+                        <= stats_.latencyBound
+                    && demandOk(sched)) {
                     stats_.requiredPus = r;
                     break;
                 }
@@ -551,6 +758,8 @@ Optimizer::optimizeWithSolver()
         solver::Solver s(model);
         auto best = s.minimize([&](const solver::Assignment& a) {
             const Schedule sched = scheduleFromAssignment(grid, a);
+            if (!demandOk(sched))
+                return kC6Penalty + sched.gapness(table);
             if (sched.numChunks() < stats_.requiredPus
                 || sched.bottleneckTime(table) > stats_.latencyBound)
                 return kFeasibilityPenalty + sched.gapness(table);
@@ -579,6 +788,8 @@ Optimizer::optimizeWithSolver()
                 = makeCandidate(scheduleFromAssignment(grid, a));
             const int cls = rankClass(c);
             const double score = rankScore(c);
+            if (!demandOk(c.schedule))
+                return kC6Penalty + score;
             switch (cls) {
               case 2:
                 return kFeasibilityPenalty + score;
@@ -592,6 +803,8 @@ Optimizer::optimizeWithSolver()
         if (!next.has_value())
             break; // space exhausted
         const Schedule sched = scheduleFromAssignment(grid, *next);
+        if (!demandOk(sched))
+            break; // only C6-violating assignments remain
         cands.push_back(makeCandidate(sched));
         blockSchedule(model, grid, sched);
 
@@ -620,6 +833,8 @@ Optimizer::optimizeExhaustive()
             admitted = admitted && puAllowed(chunk.pu);
         if (!admitted)
             continue; // excluded class (degradation re-plan hook)
+        if (!demandOk(s))
+            continue; // over the C6 aggregate-demand budget
         cands.push_back(makeCandidate(s));
         best_latency
             = std::min(best_latency, cands.back().predictedLatency);

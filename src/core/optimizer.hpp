@@ -99,6 +99,42 @@ struct OptimizerConfig
     Objective objective = Objective::Latency;
 
     /**
+     * Cross-tenant contention knobs (only meaningful when the
+     * optimizer is constructed with a ContentionProfile; all-default
+     * values plan exactly like a contention-unaware build).
+     */
+    struct Contention
+    {
+        /**
+         * DRAM bandwidth demand (GB/s) of co-runners outside this
+         * plan's pipeline - other tenants sharing the SoC. Quantized
+         * to the profile's ambient bucket; predictions then use the
+         * bucket's stretched chunk times, so the plan optimizes for
+         * the co-run it will actually experience.
+         */
+        double ambientGbps = 0.0;
+
+        /**
+         * Aggregate-demand cap (GB/s) for the C6 constraint family:
+         * the schedule's summed per-PU bandwidth draw must stay under
+         * this budget, so co-scheduled tenants cannot oversubscribe
+         * the shared roofline. 0 disables C6. If even the frugalest
+         * single-chunk schedule exceeds the budget, C6 is relaxed
+         * (reported via OptimizeStats::c6Relaxed) rather than
+         * producing an empty candidate list.
+         */
+        double budgetGbps = 0.0;
+
+        /**
+         * Real-time tenant: its slices are throttle-protected by the
+         * serving layer (co-runners absorb the degradation), so it
+         * plans at ambient bucket 0 regardless of ambientGbps.
+         */
+        bool realTime = false;
+    };
+    Contention contention;
+
+    /**
      * Stable 64-bit fingerprint of every knob that can change which
      * schedule the optimizer returns - the planner component of a
      * schedule-cache key (bt::service keys its cache by application,
@@ -117,6 +153,9 @@ struct Candidate
     double predictedLatency = 0.0; ///< bottleneck chunk time, seconds
     double predictedGapness = 0.0; ///< seconds
     double predictedEnergyJ = 0.0; ///< per-task SoC energy, joules
+    /** Aggregate DRAM demand (GB/s) of the schedule; 0 without a
+     *  contention profile. */
+    double predictedDemandGbps = 0.0;
 
     /** Energy-delay product (J*s), the EnergyDelay ranking key. */
     double
@@ -137,6 +176,12 @@ struct OptimizeStats
     std::uint64_t solverNodes = 0;    ///< search nodes across all calls
     int candidatesWithinBound = 0;
 
+    /** C6 aggregate-demand budget applied (GB/s; 0 when C6 is off). */
+    double demandBudgetGbps = 0.0;
+    /** True when the budget was infeasible (below the frugalest
+     *  single-chunk schedule) and C6 was therefore dropped. */
+    bool c6Relaxed = false;
+
     /** Prediction-cache counters (since evaluator construction; a
      *  shared evaluator accumulates across replans). Zero when
      *  memoization is off. */
@@ -156,10 +201,15 @@ class Optimizer
      *        the *same* table; lets short-lived optimizers (fault-time
      *        replans) reuse a warm prediction cache. When null and
      *        cfg.memoize is set, the optimizer owns a private one.
+     * @param contention optional per-application contention snapshot
+     *        (must match the table's grid and outlive the optimizer);
+     *        enables cfg.contention - ambient-aware predictions and
+     *        the C6 aggregate-bandwidth constraint family.
      */
     Optimizer(const platform::SocDescription& soc,
               const ProfilingTable& table, OptimizerConfig cfg = {},
-              ScheduleEvaluator* shared_eval = nullptr);
+              ScheduleEvaluator* shared_eval = nullptr,
+              const platform::ContentionProfile* contention = nullptr);
 
     /**
      * Run levels 1 and 2.
@@ -177,6 +227,9 @@ class Optimizer
     Candidate makeCandidate(const Schedule& s) const;
     /** Whether config.allowedPus admits @p pu (empty list = all). */
     bool puAllowed(int pu) const;
+    /** C6 predicate: aggregate demand within budget (true if C6 off). */
+    bool demandOk(std::span<const int> stage_to_pu) const;
+    bool demandOk(const Schedule& s) const;
     /** 0 = fully feasible, 1 = over gapness budget, 2 = out of class. */
     int rankClass(const Candidate& c) const;
     int rankClassOf(double latency, double gapness,
@@ -186,10 +239,20 @@ class Optimizer
     double rankScoreOf(double latency, double energy_j) const;
     void sortCandidates(std::vector<Candidate>& cands) const;
 
+    // Declaration order matters to the initializer list: the stretched
+    // table is built from baseTable_ x contention stretch, and `table`
+    // then binds to whichever of the two this plan predicts against.
     const platform::SocDescription& soc;
-    const ProfilingTable& table;
+    const ProfilingTable& baseTable_;
     OptimizerConfig config;
+    const platform::ContentionProfile* contention_;
+    int bucket_;               ///< ambient bucket this plan targets
+    ProfilingTable stretchedStorage_; ///< base x stretch, bucket > 0
+    const ProfilingTable& table; ///< what predictions fold over
     platform::PerfModel powerModel;
+    std::int64_t budgetMilli_ = 0; ///< C6 cap, milli-GB/s
+    bool c6Active_ = false;
+    bool c6Relaxed_ = false;
     OptimizeStats stats_;
     std::unique_ptr<ScheduleEvaluator> ownedEval_;
     ScheduleEvaluator* eval_ = nullptr; ///< null = from-scratch path

@@ -69,6 +69,12 @@ Profiler::profile(const Application& app) const
     result.isolated = ProfilingTable(stage_names, pu_labels);
     result.interference = ProfilingTable(stage_names, pu_labels);
 
+    std::vector<platform::WorkProfile> works;
+    works.reserve(static_cast<std::size_t>(app.numStages()));
+    for (const auto& s : app.stages())
+        works.push_back(s.work());
+    result.contention = model.contention().profileStages(model, works);
+
     double cost = 0.0;
     for (int s = 0; s < app.numStages(); ++s) {
         const auto& work = app.stage(s).work();

@@ -44,6 +44,11 @@ struct ProfileResult
 {
     ProfilingTable isolated;
     ProfilingTable interference;
+    /** Per-(stage, PU) bandwidth demand and ambient-bucket stretch
+     *  factors, for contention-aware planning (solver C6, evaluator
+     *  buckets, service leases). Noise-free: derived analytically from
+     *  the same model the timing measurements sample. */
+    platform::ContentionProfile contention;
     double profilingCostSeconds = 0.0;
 
     /**

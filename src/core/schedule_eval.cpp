@@ -8,13 +8,20 @@ namespace bt::core {
 
 ScheduleEvaluator::ScheduleEvaluator(
     const platform::SocDescription& soc, const ProfilingTable& table,
-    const platform::PerfModel& power_model)
+    const platform::PerfModel& power_model,
+    const platform::ContentionProfile* contention)
     : soc_(soc), table_(table), powerModel_(power_model),
-      numStages_(table.numStages()), numPus_(table.numPus()),
+      contention_(contention), numStages_(table.numStages()),
+      numPus_(table.numPus()),
       keyed_(numStages_ <= 16 && numPus_ <= 16)
 {
     BT_ASSERT(table_.numPus() == soc_.numPus(),
               "profiling table PU count does not match device");
+    if (contention_) {
+        BT_ASSERT(contention_->numStages == numStages_
+                      && contention_->numPus == numPus_,
+                  "contention profile grid does not match table");
+    }
 
     // Fill the chunk-time table by extending each range one stage at a
     // time: time(f, l) = time(f, l - 1) + at(l, p). This is the exact
@@ -40,12 +47,44 @@ ScheduleEvaluator::ScheduleEvaluator(
     usedScratch_.resize(static_cast<std::size_t>(numPus_));
 }
 
+const std::vector<double>&
+ScheduleEvaluator::chunkTable(int bucket)
+{
+    if (bucket == 0)
+        return chunkTimes_;
+    BT_ASSERT(contention_ != nullptr,
+              "bucketed prediction without a contention profile");
+    BT_ASSERT(bucket > 0 && bucket < contention_->numBuckets,
+              "ambient bucket ", bucket, " out of range");
+    auto it = bucketChunkTimes_.find(bucket);
+    if (it != bucketChunkTimes_.end())
+        return it->second;
+
+    // Same left-fold as the base table, over stretched cells: each
+    // stage's contribution is its base time times the profile's
+    // slowdown under this ambient bucket.
+    std::vector<double> times(chunkTimes_.size(), 0.0);
+    for (int p = 0; p < numPus_; ++p) {
+        for (int first = 0; first < numStages_; ++first) {
+            double acc = 0.0;
+            for (int last = first; last < numStages_; ++last) {
+                acc += table_.at(last, p)
+                    * contention_->stretch(last, p, bucket);
+                times[chunkIndex(first, last, p)] = acc;
+            }
+        }
+    }
+    return bucketChunkTimes_.emplace(bucket, std::move(times))
+        .first->second;
+}
+
 Prediction
-ScheduleEvaluator::evaluate(std::span<const int> stage_to_pu)
+ScheduleEvaluator::evaluate(std::span<const int> stage_to_pu, int bucket)
 {
     BT_ASSERT(static_cast<int>(stage_to_pu.size()) == numStages_,
               "assignment covers ", stage_to_pu.size(), " of ",
               numStages_, " stages");
+    const std::vector<double>& times = chunkTable(bucket);
 
     // Chunk boundaries and times, in stage order - the same chunk walk
     // Schedule::fromAssignment would produce. Latency and gapness are
@@ -68,7 +107,7 @@ ScheduleEvaluator::evaluate(std::span<const int> stage_to_pu)
         BT_ASSERT(!usedScratch_[static_cast<std::size_t>(pu)],
                   "PU ", pu, " used by two chunks (violates C2)");
         usedScratch_[static_cast<std::size_t>(pu)] = 1;
-        const double t = chunkTime(first, s - 1, pu);
+        const double t = times[chunkIndex(first, s - 1, pu)];
         worst = std::max(worst, t);
         if (pred.numChunks == 0) {
             lo = t;
@@ -77,11 +116,22 @@ ScheduleEvaluator::evaluate(std::span<const int> stage_to_pu)
             lo = std::min(lo, t);
             hi = std::max(hi, t);
         }
+        if (contention_) {
+            // A chunk's DRAM draw is its hungriest stage (stages run
+            // back-to-back); the schedule's aggregate is the sum over
+            // chunks, matching aggregateDemandMilli.
+            std::int64_t chunk_demand = 0;
+            for (int i = first; i < s; ++i)
+                chunk_demand = std::max(
+                    chunk_demand, contention_->demandMilli(i, pu));
+            pred.demandMilli += chunk_demand;
+        }
         ++pred.numChunks;
         first = s;
     }
     pred.latency = worst;
     pred.gapness = hi - lo;
+    pred.demandGbps = static_cast<double>(pred.demandMilli) / 1000.0;
 
     // Predicted per-task energy: each used PU is active for its chunk
     // time (duty-cycled against the bottleneck interval), idle for the
@@ -96,7 +146,7 @@ ScheduleEvaluator::evaluate(std::span<const int> stage_to_pu)
                 == stage_to_pu[static_cast<std::size_t>(first)])
             continue;
         const int pu = stage_to_pu[static_cast<std::size_t>(first)];
-        const double active = chunkTime(first, s - 1, pu);
+        const double active = times[chunkIndex(first, s - 1, pu)];
         energy += active * powerModel_.activePowerW(pu, busy_others)
             + std::max(0.0, interval - active)
                 * soc_.pu(pu).idlePowerW;
@@ -110,34 +160,38 @@ ScheduleEvaluator::evaluate(std::span<const int> stage_to_pu)
 }
 
 const Prediction&
-ScheduleEvaluator::predict(std::span<const int> stage_to_pu)
+ScheduleEvaluator::predict(std::span<const int> stage_to_pu, int bucket)
 {
     if (!keyed_) {
         ++stats_.unkeyed;
-        scratch_ = evaluate(stage_to_pu);
+        scratch_ = evaluate(stage_to_pu, bucket);
         return scratch_;
     }
+    // The packed key uses all 64 bits, so each bucket memoizes into
+    // its own map (bucket 0 keeps the original hot path).
+    auto& memo = bucket == 0 ? memo_ : bucketMemo_[bucket];
     std::uint64_t key = 0;
     for (const int pu : stage_to_pu)
         key = (key << 4) | static_cast<std::uint64_t>(pu);
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) {
+    const auto it = memo.find(key);
+    if (it != memo.end()) {
         ++stats_.hits;
         return it->second;
     }
     ++stats_.misses;
-    return memo_.emplace(key, evaluate(stage_to_pu)).first->second;
+    return memo.emplace(key, evaluate(stage_to_pu, bucket))
+        .first->second;
 }
 
 const Prediction&
-ScheduleEvaluator::predict(const Schedule& schedule)
+ScheduleEvaluator::predict(const Schedule& schedule, int bucket)
 {
     // toAssignment without the allocation: flatten into the reused
     // scratch vector.
     for (const auto& c : schedule.chunks())
         for (int s = c.firstStage; s <= c.lastStage; ++s)
             assignScratch_[static_cast<std::size_t>(s)] = c.pu;
-    return predict(std::span<const int>(assignScratch_));
+    return predict(std::span<const int>(assignScratch_), bucket);
 }
 
 } // namespace bt::core

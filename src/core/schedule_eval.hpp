@@ -20,6 +20,15 @@
  *     shared across solver objective callbacks, exhaustive enumeration,
  *     and graceful-degradation replans against the same table.
  *
+ * Cross-tenant co-placement rides the same machinery: when constructed
+ * with a ContentionProfile, predictions can be asked for under an
+ * ambient-bandwidth *bucket* (a co-runner's quantized DRAM demand).
+ * Each bucket gets its own chunk-time table - the base table's cells
+ * multiplied by the profile's per-(stage, PU, bucket) stretch factors,
+ * built lazily on first use - and its own memo, so scoring a schedule
+ * against any co-runner level is a cached lookup. Bucket 0 is the
+ * uncontended baseline and shares the bit-exactness contract below.
+ *
  * Bit-exactness contract: every number an evaluator returns is the
  * exact double the unmemoized path (Schedule::bottleneckTime /
  * Schedule::gapness / Optimizer's from-scratch energy model) would
@@ -57,6 +66,11 @@ struct Prediction
     double gapness = 0.0;  ///< longest minus shortest chunk, seconds
     double energyJ = 0.0;  ///< predicted per-task SoC energy, joules
     int numChunks = 0;     ///< distinct PU classes used
+    /** Aggregate DRAM demand of the assignment: sum over used PUs of
+     *  the hungriest stage placed there. 0 without a contention
+     *  profile. Milli-GB/s (exact integers) plus the GB/s view. */
+    std::int64_t demandMilli = 0;
+    double demandGbps = 0.0;
 };
 
 /** Cache effectiveness counters (for stats and the bench harness). */
@@ -75,9 +89,16 @@ struct EvalStats
 class ScheduleEvaluator
 {
   public:
+    /**
+     * @p contention (optional) enables bucketed predictions; it must
+     * describe the same (stage, PU) grid as @p table and outlive the
+     * evaluator. Without it only bucket 0 is valid.
+     */
     ScheduleEvaluator(const platform::SocDescription& soc,
                       const ProfilingTable& table,
-                      const platform::PerfModel& power_model);
+                      const platform::PerfModel& power_model,
+                      const platform::ContentionProfile* contention
+                      = nullptr);
 
     const ProfilingTable& table() const { return table_; }
 
@@ -91,13 +112,15 @@ class ScheduleEvaluator
 
     /**
      * Predict @p stage_to_pu (one PU index per stage, contiguity
-     * C2-respecting). Memoized by packed key when the instance fits
-     * 16 stages x 16 PU classes; computed directly otherwise.
+     * C2-respecting) under ambient bucket @p bucket. Memoized by
+     * packed key when the instance fits 16 stages x 16 PU classes;
+     * computed directly otherwise.
      */
-    const Prediction& predict(std::span<const int> stage_to_pu);
+    const Prediction& predict(std::span<const int> stage_to_pu,
+                              int bucket = 0);
 
     /** Convenience overload scoring a built Schedule. */
-    const Prediction& predict(const Schedule& schedule);
+    const Prediction& predict(const Schedule& schedule, int bucket = 0);
 
     /** Memo effectiveness since construction. */
     const EvalStats& stats() const { return stats_; }
@@ -114,17 +137,25 @@ class ScheduleEvaluator
     }
 
     /** From-scratch-shaped evaluation over the cached chunk times. */
-    Prediction evaluate(std::span<const int> stage_to_pu);
+    Prediction evaluate(std::span<const int> stage_to_pu, int bucket);
+
+    /** Chunk-time table of @p bucket, building it on first use. */
+    const std::vector<double>& chunkTable(int bucket);
 
     const platform::SocDescription& soc_;
     const ProfilingTable& table_;
     const platform::PerfModel& powerModel_;
+    const platform::ContentionProfile* contention_;
     int numStages_;
     int numPus_;
     bool keyed_; ///< assignments pack into 64 bits
 
     std::vector<double> chunkTimes_; ///< [first][last][pu], left-fold
     std::unordered_map<std::uint64_t, Prediction> memo_;
+    /** Lazily built stretched chunk tables and memos, bucket > 0. */
+    std::unordered_map<int, std::vector<double>> bucketChunkTimes_;
+    std::unordered_map<int, std::unordered_map<std::uint64_t, Prediction>>
+        bucketMemo_;
     Prediction scratch_; ///< returned for unkeyed instances
     EvalStats stats_;
     std::vector<int> assignScratch_; ///< Schedule -> assignment, reused

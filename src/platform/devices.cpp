@@ -172,6 +172,48 @@ nativeHost()
     return soc;
 }
 
+SocDescription
+contentionRig()
+{
+    SocDescription soc;
+    soc.name = "Contention rig";
+    soc.vendor = "synthetic";
+    soc.gpuApi = "SIMT emulation";
+    soc.seed = 0x9006;
+    soc.noiseSigma = 0.0; // deterministic: planner == backend numbers
+    soc.basePowerW = 1.0;
+    // DRAM roofline (10 GB/s) far below the 27.6 GB/s the four links
+    // can demand together; foreign traffic counts almost in full
+    // (0.9), so co-running tenants genuinely fight over the pool.
+    soc.mem = MemorySystem{10.0, 1.0, 1.0, 0.9};
+
+    // Interleaved low/high bandwidth classes: round-robin leases over
+    // two groups give each tenant one frugal and one hungry PU. The
+    // little links (4.8) sit just under an equal two-tenant share of
+    // the roofline (5.0), so a C6-budgeted plan has a feasible
+    // placement that is *not* bandwidth-starved, while big/gpu links
+    // individually exceed the budget.
+    soc.pus.push_back(makePu(
+        "littleA", "synthetic low-bandwidth CPU", PuKind::Cpu,
+        /*cores=*/2, /*freq=*/1.50, /*ops=*/4.0,
+        Eff{0.20, 0.20, 0.20, 0.20},
+        /*bw=*/4.8, /*overhead=*/1.0, /*busy=*/1.0,
+        /*activeW=*/0.8, /*idleW=*/0.05));
+    soc.pus.push_back(makePu(
+        "littleB", "synthetic low-bandwidth CPU", PuKind::Cpu,
+        2, 1.50, 4.0, Eff{0.20, 0.20, 0.20, 0.20},
+        4.8, 1.0, 1.0, 0.8, 0.05));
+    soc.pus.push_back(makePu(
+        "big", "synthetic high-bandwidth CPU", PuKind::Cpu,
+        2, 2.80, 8.0, Eff{0.30, 0.30, 0.30, 0.30},
+        6.0, 1.0, 1.0, 2.4, 0.10));
+    soc.pus.push_back(makePu(
+        "gpu", "synthetic high-bandwidth GPU", PuKind::Gpu,
+        8, 1.00, 16.0, Eff{0.40, 0.40, 0.40, 0.40},
+        12.0, 5.0, 1.0, 3.0, 0.20));
+    return soc;
+}
+
 std::vector<SocDescription>
 paperDevices()
 {

@@ -33,6 +33,16 @@ SocDescription jetsonOrinNanoLp();
 /** The machine this process runs on, for native pipeline execution. */
 SocDescription nativeHost();
 
+/**
+ * A bandwidth-starved test rig for cross-tenant contention scenarios:
+ * four PU classes whose aggregate link bandwidth far exceeds the DRAM
+ * roofline, noise-free so planner and backend numbers are exact. Two
+ * round-robin lease groups each get one low-bandwidth and one
+ * high-bandwidth class, so contention-aware planning has a real
+ * placement choice to make. Not a paper device.
+ */
+SocDescription contentionRig();
+
 /** All four paper devices, in the order the paper's tables use. */
 std::vector<SocDescription> paperDevices();
 

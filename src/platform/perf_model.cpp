@@ -8,7 +8,8 @@
 
 namespace bt::platform {
 
-PerfModel::PerfModel(const SocDescription& soc_) : desc(soc_)
+PerfModel::PerfModel(const SocDescription& soc_)
+    : desc(soc_), contention_(soc_)
 {
     desc.validate();
 }
@@ -17,27 +18,13 @@ double
 PerfModel::computeTime(const WorkProfile& w, const PuModel& p,
                        double freq_ghz) const
 {
-    const double eff = p.eff[static_cast<std::size_t>(w.pattern)];
-    const double single_core_ops = freq_ghz * 1e9 * p.opsPerCycle * eff;
-    const double flops = p.kind == PuKind::Cpu
-        ? w.flops * w.cpuWorkScale
-        : w.flops;
-    const double t1 = flops / single_core_ops;
-    // Amdahl: serial fraction stays on one core/CU.
-    const double pf = std::clamp(w.parallelFraction, 0.0, 1.0);
-    return t1 * ((1.0 - pf) + pf / p.cores);
+    return contention_.computeSeconds(w, p, freq_ghz);
 }
 
 double
 PerfModel::memIntensity(const WorkProfile& w, const PuModel& p) const
 {
-    const double comp = computeTime(w, p, p.freqGhz);
-    const double mem = (w.bytes * desc.mem.llcFactorIsolated)
-        / (p.memBwGbps * 1e9);
-    const double denom = std::max(comp, mem);
-    if (denom <= 0.0)
-        return 0.0;
-    return mem / denom;
+    return contention_.memIntensity(w, p);
 }
 
 double
@@ -81,14 +68,31 @@ PerfModel::systemPowerW(const std::vector<bool>& pu_active) const
 double
 PerfModel::timeOf(std::size_t idx, std::span<const Load> active) const
 {
-    return timeOf(idx, active, {});
+    return timeOfImpl(idx, active, {}, 0.0);
 }
 
 double
 PerfModel::timeOf(std::size_t idx, std::span<const Load> active,
                   std::span<const double> clock_scale) const
 {
+    return timeOfImpl(idx, active, clock_scale, 0.0);
+}
+
+double
+PerfModel::timeOf(std::size_t idx, std::span<const Load> active,
+                  std::span<const double> clock_scale,
+                  double ambient_gbps) const
+{
+    return timeOfImpl(idx, active, clock_scale, ambient_gbps);
+}
+
+double
+PerfModel::timeOfImpl(std::size_t idx, std::span<const Load> active,
+                      std::span<const double> clock_scale,
+                      double ambient_gbps) const
+{
     BT_ASSERT(idx < active.size(), "load index out of range");
+    BT_ASSERT(ambient_gbps >= 0.0, "ambient demand must be nonnegative");
     const Load& self = active[idx];
     BT_ASSERT(self.work != nullptr);
     const PuModel& p = desc.pu(self.pu);
@@ -105,7 +109,7 @@ PerfModel::timeOf(std::size_t idx, std::span<const Load> active,
             other_classes.insert(l.pu);
     }
     const int busy_others = static_cast<int>(other_classes.size());
-    const bool contended = busy_others > 0;
+    const bool contended = busy_others > 0 || ambient_gbps > 0.0;
 
     double freq = effectiveFreqGhz(self.pu, busy_others);
     if (!clock_scale.empty()) {
@@ -115,24 +119,22 @@ PerfModel::timeOf(std::size_t idx, std::span<const Load> active,
     }
     double comp = computeTime(*self.work, p, freq);
 
-    // Memory side: demand-proportional DRAM sharing.
-    const double llc = contended ? desc.mem.llcFactorContended
-                                 : desc.mem.llcFactorIsolated;
+    // Memory side: demand-proportional DRAM sharing (ContentionModel).
+    const double llc = contention_.llcFactor(contended);
     double demand_total = 0.0;
     for (std::size_t i = 0; i < active.size(); ++i) {
         const Load& l = active[i];
         const PuModel& lp = desc.pu(l.pu);
-        const double demand
-            = lp.memBwGbps * memIntensity(*l.work, lp);
+        const double demand = contention_.demandGbps(*l.work, lp);
         // Other PUs' traffic is partially absorbed by bank-level
         // parallelism; our own demand counts in full.
-        demand_total += l.pu == self.pu
-            ? demand
-            : demand * desc.mem.contendedDemandWeight;
+        demand_total
+            += contention_.weightedDemand(demand, l.pu == self.pu);
     }
-    const double scale = demand_total > desc.mem.dramBwGbps
-        ? desc.mem.dramBwGbps / demand_total
-        : 1.0;
+    // Cross-tenant ambient traffic joins the pool like any foreign
+    // PU's demand (adding 0.0 keeps the fold bit-identical).
+    demand_total += contention_.weightedDemand(ambient_gbps, false);
+    const double scale = contention_.bandwidthScale(demand_total);
     const double bw = p.memBwGbps * scale;
     double mem = (self.work->bytes * llc) / (bw * 1e9);
 
@@ -153,8 +155,16 @@ PerfModel::isolatedTime(const WorkProfile& w, int pu) const
 double
 PerfModel::interferenceHeavyTime(const WorkProfile& w, int pu) const
 {
+    return interferenceHeavyTime(w, pu, 0.0);
+}
+
+double
+PerfModel::interferenceHeavyTime(const WorkProfile& w, int pu,
+                                 double ambient_gbps) const
+{
     // The profiler's interference-heavy mode: every other PU class runs
-    // the same computation while we measure `pu` (paper Sec. 3.2).
+    // the same computation while we measure `pu` (paper Sec. 3.2),
+    // optionally with cross-tenant ambient bandwidth demand on top.
     std::vector<Load> loads;
     loads.reserve(static_cast<std::size_t>(desc.numPus()));
     std::size_t self_idx = 0;
@@ -163,7 +173,7 @@ PerfModel::interferenceHeavyTime(const WorkProfile& w, int pu) const
             self_idx = loads.size();
         loads.push_back(Load{&w, i});
     }
-    return timeOf(self_idx, loads);
+    return timeOfImpl(self_idx, loads, {}, ambient_gbps);
 }
 
 } // namespace bt::platform

@@ -14,6 +14,12 @@
  *     OnePlus A510 cluster under heavy CPU load,
  *  3. shared-LLC degradation under contention (Jetson).
  *
+ * The memory side (bandwidth demand, roofline sharing, LLC factors) is
+ * delegated to the shared ContentionModel (contention.hpp), so the
+ * solver's C6 constraints, the schedule evaluator's ambient buckets,
+ * and the serving layer's leases all reason over the exact same curves
+ * this model executes.
+ *
  * The model is deterministic; measurement noise is added by its callers
  * (profiler / executor).
  */
@@ -23,6 +29,7 @@
 
 #include <span>
 
+#include "platform/contention.hpp"
 #include "platform/soc.hpp"
 
 namespace bt::platform {
@@ -45,6 +52,10 @@ class PerfModel
 
     const SocDescription& soc() const { return desc; }
 
+    /** The shared DRAM-contention model every memory-side number of
+     *  this class comes from. */
+    const ContentionModel& contention() const { return contention_; }
+
     /**
      * Execution time (seconds) of active[idx] given that every entry of
      * @p active runs concurrently. Entries sharing a PU timeslice it.
@@ -60,6 +71,16 @@ class PerfModel
     double timeOf(std::size_t idx, std::span<const Load> active,
                   std::span<const double> clock_scale) const;
 
+    /**
+     * Cross-tenant variant: @p ambient_gbps is DRAM bandwidth demand
+     * drawn by co-runners *outside* @p active (other tenants sharing
+     * the SoC). It joins the demand fold weighted like any foreign
+     * PU's traffic; 0.0 is bit-identical to the two-argument overload.
+     */
+    double timeOf(std::size_t idx, std::span<const Load> active,
+                  std::span<const double> clock_scale,
+                  double ambient_gbps) const;
+
     /** Execution time of @p w on @p pu with nothing else running. */
     double isolatedTime(const WorkProfile& w, int pu) const;
 
@@ -68,6 +89,11 @@ class PerfModel
      * computation - the profiler's interference-heavy mode (Sec. 3.2).
      */
     double interferenceHeavyTime(const WorkProfile& w, int pu) const;
+
+    /** Interference-heavy time with additional cross-tenant ambient
+     *  bandwidth demand on top (the contention-profile stretch basis). */
+    double interferenceHeavyTime(const WorkProfile& w, int pu,
+                                 double ambient_gbps) const;
 
     /** Effective clock of @p pu (GHz) when @p busy_others other PU
      *  classes are active. Exposed for the Fig. 7 analysis. */
@@ -88,6 +114,15 @@ class PerfModel
     double systemPowerW(const std::vector<bool>& pu_active) const;
 
   private:
+    /**
+     * The one slowdown-fold implementation every public timeOf overload
+     * forwards to (they differ only in defaulted arguments; the
+     * regression tests pin the forwarding bit-exact).
+     */
+    double timeOfImpl(std::size_t idx, std::span<const Load> active,
+                      std::span<const double> clock_scale,
+                      double ambient_gbps) const;
+
     /** Compute-side time, before memory effects. */
     double computeTime(const WorkProfile& w, const PuModel& p,
                        double freq_ghz) const;
@@ -95,6 +130,7 @@ class PerfModel
     double memIntensity(const WorkProfile& w, const PuModel& p) const;
 
     const SocDescription& desc;
+    ContentionModel contention_;
 };
 
 } // namespace bt::platform

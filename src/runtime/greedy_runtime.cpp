@@ -89,7 +89,9 @@ GreedyRuntime::run(const core::Application& app, const RunConfig& cfg,
                 pu};
         }
         for (std::size_t i = 0; i < active.size(); ++i)
-            rates[i] = 1.0 / model_.timeOf(i, loads);
+            rates[i] = 1.0
+                / model_.timeOf(i, loads, {},
+                                cfg.ambientBandwidthGbps);
     });
 
     EnergyMeter meter(model_, [&](std::vector<bool>& active) {

@@ -282,6 +282,25 @@ HostTimeBackend::run(const core::Application& app,
                                 end = secondsSince(t0);
                             }
                         }
+                        if (cfg.ambientBandwidthGbps > 0.0) {
+                            // Cross-tenant co-runners: sleep out the
+                            // contention model's predicted slowdown of
+                            // this stage under the ambient demand, so
+                            // native makespans track the planner's
+                            // stretched predictions.
+                            const auto& w = app.stage(s).work();
+                            const double ambient_stretch
+                                = model.interferenceHeavyTime(
+                                      w, cur_pu,
+                                      cfg.ambientBandwidthGbps)
+                                / model.interferenceHeavyTime(w,
+                                                              cur_pu);
+                            if (ambient_stretch > 1.0) {
+                                sleepSeconds((end - start)
+                                             * (ambient_stretch - 1.0));
+                                end = secondsSince(t0);
+                            }
+                        }
                         session.recordEvent(TraceEvent{
                             task, s, c, cur_pu,
                             s == ch.firstStage && attempt == 0

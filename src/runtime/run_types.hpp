@@ -63,6 +63,15 @@ struct RunConfig
      */
     int sessionId = -1;
 
+    /**
+     * DRAM bandwidth demand (GB/s) of co-runners outside this pipeline
+     * - other tenants sharing the SoC. The virtual backends fold it
+     * into every stage time exactly like the planner's ambient bucket;
+     * the host backend sleeps out the model's predicted stretch. 0 is
+     * bit-identical to a single-tenant run.
+     */
+    double ambientBandwidthGbps = 0.0;
+
     /** Faults to inject (empty = none; the fault-free fast path is
      *  bit-identical to a build without the fault layer). */
     FaultPlan faults;

@@ -142,7 +142,9 @@ VirtualTimeBackend::run(const core::Application& app,
                 chunk_pu[static_cast<std::size_t>(active[i].tag)]};
         }
         for (std::size_t i = 0; i < active.size(); ++i)
-            rates[i] = 1.0 / model_.timeOf(i, loads, clock_scale);
+            rates[i] = 1.0
+                / model_.timeOf(i, loads, clock_scale,
+                                cfg.ambientBandwidthGbps);
     });
 
     EnergyMeter meter(model_, [&](std::vector<bool>& active) {

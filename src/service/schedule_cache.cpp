@@ -26,6 +26,7 @@ ScheduleKeyHash::operator()(const ScheduleKey& k) const
     mixHash(h, static_cast<std::size_t>(k.loadBucket));
     mixHash(h, static_cast<std::size_t>(k.lease));
     mixHash(h, static_cast<std::size_t>(k.leaseGroups));
+    mixHash(h, static_cast<std::size_t>(k.bandwidthBucket));
     mixHash(h, static_cast<std::size_t>(k.plannerFingerprint));
     return h;
 }

@@ -47,6 +47,11 @@ struct ScheduleKey
     int lease = 0;        ///< PU-lease group the plan was made for
     int leaseGroups = 1;  ///< co-runner partition count at that load
 
+    /** Quantized co-runner DRAM-demand bucket the plan targets (0 =
+     *  uncontended / real-time tenant); extends the key so
+     *  contention-aware plans stay byte-identical per key. */
+    int bandwidthBucket = 0;
+
     /** core::OptimizerConfig::fingerprint() of the planner knobs. */
     std::uint64_t plannerFingerprint = 0;
 
@@ -63,6 +68,9 @@ struct CachedPlan
 {
     core::Schedule schedule;
     double predictedLatencySeconds = 0.0;
+    /** Aggregate DRAM demand (GB/s) the plan draws; what co-tenant
+     *  budgets are accounted against. */
+    double predictedDemandGbps = 0.0;
     double planWallSeconds = 0.0; ///< wall time the planner spent
 };
 

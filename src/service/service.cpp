@@ -76,9 +76,34 @@ Service::~Service()
 void
 Service::registerApp(core::Application app)
 {
+    registerApp(std::move(app), TenantOptions{});
+}
+
+void
+Service::registerApp(core::Application app, TenantOptions opts)
+{
     BT_ASSERT(!running_, "cannot register apps on a running service");
     std::string name = app.name();
+    tenantOpts_.insert_or_assign(name, opts);
     apps_.insert_or_assign(std::move(name), std::move(app));
+}
+
+bool
+Service::tenantRealTime(const std::string& app_name) const
+{
+    const auto it = tenantOpts_.find(app_name);
+    return it != tenantOpts_.end() && it->second.realTime;
+}
+
+double
+Service::ambientFor(const std::string& app_name, int groups) const
+{
+    if (!cfg_.contentionAware || groups <= 1
+        || tenantRealTime(app_name))
+        return 0.0;
+    const double roofline = model_.contention().rooflineGbps();
+    return roofline * static_cast<double>(groups - 1)
+        / static_cast<double>(groups);
 }
 
 const core::Application&
@@ -99,6 +124,8 @@ Service::keyFor(const std::string& app_name, int load_bucket,
     key.loadBucket = load_bucket;
     key.lease = lease_group;
     key.leaseGroups = lease_groups;
+    key.bandwidthBucket = model_.contention().bucketOf(
+        ambientFor(app_name, lease_groups));
     key.plannerFingerprint = plannerFingerprint_;
     return key;
 }
@@ -117,7 +144,27 @@ Service::freshPlan(const std::string& app_name, int /*load_bucket*/,
 
     core::OptimizerConfig ocfg = cfg_.optimizer;
     ocfg.allowedPus = leases_.lease(lease_group, lease_groups);
-    core::Optimizer optimizer(soc_, profile.interference, ocfg);
+
+    // Contention-aware co-placement: with n lease groups sharing the
+    // SoC, each tenant's plan gets an equal 1/n share of the DRAM
+    // roofline as its C6 budget and is predicted under the remaining
+    // (n-1)/n as ambient demand. A real-time tenant keeps the budget
+    // but plans uncontended - its slices are throttle-protected and
+    // the co-tenants absorb the degradation. (The budget caps what a
+    // tenant *draws*; the ambient a co-tenant *feels* is weighted by
+    // the model's contendedDemandWeight inside the slowdown fold.)
+    const platform::ContentionProfile* contention = nullptr;
+    if (cfg_.contentionAware && lease_groups > 1) {
+        const double roofline = model_.contention().rooflineGbps();
+        ocfg.contention.budgetGbps
+            = roofline / static_cast<double>(lease_groups);
+        ocfg.contention.realTime = tenantRealTime(app_name);
+        ocfg.contention.ambientGbps
+            = ambientFor(app_name, lease_groups);
+        contention = &profile.contention;
+    }
+    core::Optimizer optimizer(soc_, profile.interference, ocfg,
+                              nullptr, contention);
     const std::vector<core::Candidate> candidates = optimizer.optimize();
     BT_ASSERT(!candidates.empty(), "optimizer found no schedule");
 
@@ -131,9 +178,13 @@ Service::freshPlan(const std::string& app_name, int /*load_bucket*/,
         const core::TuningReport tuning = tuner.tune(app, candidates);
         plan.schedule = tuning.best().candidate.schedule;
         plan.predictedLatencySeconds = tuning.best().measuredLatency;
+        plan.predictedDemandGbps
+            = tuning.best().candidate.predictedDemandGbps;
     } else {
         plan.schedule = candidates.front().schedule;
         plan.predictedLatencySeconds = candidates.front().predictedLatency;
+        plan.predictedDemandGbps
+            = candidates.front().predictedDemandGbps;
     }
     plan.planWallSeconds = secondsBetween(t0, Clock::now());
     return plan;
@@ -302,6 +353,9 @@ Service::serveBatch(std::vector<Pending> batch, int worker_index)
     rcfg.sessionId = batch.front().req.session;
     // A batch is one pipeline run over the coalesced task stream.
     rcfg.numTasks = cfg_.run.numTasks * static_cast<int>(batch.size());
+    // Execute under the same co-runner demand the plan was made for
+    // (0 for real-time tenants: their slices are protected).
+    rcfg.ambientBandwidthGbps = ambientFor(app.name(), groups);
 
     const runtime::RunResult run
         = backend_.run(app, plan.schedule, rcfg);

@@ -84,6 +84,18 @@ struct Request
     std::function<void(const RequestResult&)> onDone;
 };
 
+/** Per-tenant serving options (see registerApp). */
+struct TenantOptions
+{
+    /**
+     * Real-time tenant: its leased slices are throttle-protected. It
+     * plans and runs as if uncontended (ambient bucket 0) - the
+     * service reserves its share of the C6 slack - while best-effort
+     * co-tenants absorb the degradation its traffic causes.
+     */
+    bool realTime = false;
+};
+
 /** Every serving knob, one struct. */
 struct ServiceConfig
 {
@@ -95,6 +107,16 @@ struct ServiceConfig
 
     /** Most PU-lease partitions ever formed; 0 = min(workers, PUs). */
     int maxLeaseGroups = 0;
+
+    /**
+     * Contention-aware leases: when tenants share the SoC (more than
+     * one lease group), each plan is budgeted an equal share of the
+     * DRAM roofline (the C6 constraint) and predicted under its
+     * co-runners' ambient bandwidth, instead of pretending disjoint
+     * PU leases make tenants independent. Single-group operation is
+     * bit-identical either way.
+     */
+    bool contentionAware = true;
 
     /** Serve plans from the schedule cache (false = plan per request,
      *  the cold-path baseline the load bench compares against). */
@@ -173,6 +195,9 @@ class Service
     /** Register a tenant workload; not allowed while running. */
     void registerApp(core::Application app);
 
+    /** Register with per-tenant options (e.g. a real-time tenant). */
+    void registerApp(core::Application app, TenantOptions opts);
+
     /** Spawn the worker pool and begin accepting requests. */
     void start();
 
@@ -221,15 +246,33 @@ class Service
     void workerLoop(int worker_index);
     void serveBatch(std::vector<Pending> batch, int worker_index);
     const core::Application& appOf(const std::string& name) const;
+    bool tenantRealTime(const std::string& app_name) const;
+
+    /**
+     * Deterministic equal-share ambient policy: the DRAM demand a
+     * tenant of @p app_name should assume its co-runners draw when
+     * the leases are partitioned into @p groups. Roofline * (n-1)/n
+     * for best-effort tenants sharing with n-1 others; 0 for a
+     * real-time tenant, a single group, or contentionAware = false.
+     */
+    double ambientFor(const std::string& app_name, int groups) const;
 
     platform::SocDescription soc_;
     ServiceConfig cfg_;
     platform::PerfModel model_;
     runtime::VirtualTimeBackend backend_;
     PuLeaseManager leases_;
+    /**
+     * Base-config optimizer fingerprint. The contention knobs derived
+     * per plan (budget, ambient, real-time) are pure functions of key
+     * fields that are already in the ScheduleKey (app name via its
+     * tenant options, leaseGroups, bandwidthBucket), so the key
+     * contract - one key, one byte-identical plan - holds unchanged.
+     */
     std::uint64_t plannerFingerprint_;
 
     std::unordered_map<std::string, core::Application> apps_;
+    std::unordered_map<std::string, TenantOptions> tenantOpts_;
 
     ScheduleCache cache_;
 
