@@ -41,7 +41,7 @@ deployedLatencyMs(const platform::SocDescription& soc,
                   const core::ProfileResult& profile, const Variant& v)
 {
     const platform::PerfModel model(soc);
-    core::OptimizerConfig cfg;
+    core::PlannerSpec cfg;
     cfg.utilizationFilter = v.gapness_filter;
     const auto& tbl
         = v.interference_table ? profile.interference : profile.isolated;

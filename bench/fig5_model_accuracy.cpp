@@ -62,7 +62,7 @@ main()
                   {"strategy", "rank", "predicted_ms", "measured_ms"});
 
     for (const auto& strat : strategies) {
-        core::OptimizerConfig cfg;
+        core::PlannerSpec cfg;
         cfg.utilizationFilter = strat.utilization_filter;
         const auto& tbl = strat.interference_table
             ? profile.interference

@@ -30,7 +30,7 @@ correlationFor(const platform::SocDescription& soc,
                const core::ProfileResult& profile, bool bt_mode)
 {
     const platform::PerfModel model(soc);
-    core::OptimizerConfig cfg;
+    core::PlannerSpec cfg;
     cfg.utilizationFilter = bt_mode;
     const auto& tbl
         = bt_mode ? profile.interference : profile.isolated;

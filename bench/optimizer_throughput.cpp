@@ -36,11 +36,11 @@ namespace {
 
 using namespace bt;
 
-core::OptimizerConfig
+core::PlannerSpec
 exhaustiveConfig(bool memoize)
 {
-    core::OptimizerConfig cfg;
-    cfg.engine = core::OptimizerConfig::Engine::Exhaustive;
+    core::PlannerSpec cfg;
+    cfg.engine = core::PlannerEngine::Exhaustive;
     cfg.memoize = memoize;
     return cfg;
 }
@@ -104,7 +104,7 @@ BM_PlanEndToEnd(benchmark::State& state, bool memoize, int threads)
     exec_cfg.noiseSalt = bench::benchNoiseSalt();
     const core::SimExecutor executor(model, exec_cfg);
 
-    core::OptimizerConfig opt_cfg;
+    core::PlannerSpec opt_cfg;
     opt_cfg.memoize = memoize;
 
     double best_measured = 0.0;
@@ -194,5 +194,52 @@ BENCHMARK(BM_ReplanAfterDropout_SeedPath)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ReplanAfterDropout_Throughput)
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Large-instance tier: the annealed engine plans the 14-stage deep
+ * pipeline on the 8-class manycore rig - ~1.7e8 schedules over 112
+ * assignment variables, far past the exact engines' enumeration limit
+ * (they refuse the instance outright; exact_enumerable records the
+ * refusal predicate) - under an active C6 budget, inside a fixed move
+ * budget. Single flavour: there is no from-scratch exact baseline at
+ * this scale, which is the point of the tier.
+ */
+void
+BM_LargeInstanceAnnealed(benchmark::State& state)
+{
+    const auto soc = platform::manycoreRig();
+    const auto table = bench::deepPipelineTable(soc);
+    const auto contention = bench::deepPipelineContention(soc, table);
+
+    core::PlannerSpec spec;
+    spec.engine = core::PlannerEngine::Annealed;
+    spec.contention.budgetGbps = soc.mem.dramBwGbps;
+    spec.contentionProfile = &contention;
+
+    double best_latency = 0.0;
+    bool c6_feasible = false;
+    std::uint64_t space = 0;
+    std::int64_t proposed = 0;
+    for (auto _ : state) {
+        core::Optimizer optimizer(soc, table, spec);
+        const auto cands = optimizer.optimize();
+        best_latency = cands.front().predictedLatency;
+        c6_feasible = cands.front().predictedDemandGbps
+            <= spec.contention.budgetGbps + 1e-9;
+        space = optimizer.stats().spaceSize;
+        proposed = optimizer.stats().annealProposed;
+        benchmark::ClobberMemory();
+    }
+    state.counters["assignment_variables"] = static_cast<double>(
+        table.numStages() * soc.numPus());
+    state.counters["schedule_space"] = static_cast<double>(space);
+    state.counters["exact_enumerable"]
+        = space <= spec.exactSpaceLimit ? 1.0 : 0.0;
+    state.counters["moves_proposed"] = static_cast<double>(proposed);
+    state.counters["annealed_best_latency_ms"] = best_latency * 1e3;
+    state.counters["c6_feasible"] = c6_feasible ? 1.0 : 0.0;
+    state.SetItemsProcessed(state.iterations() * proposed);
+}
+BENCHMARK(BM_LargeInstanceAnnealed)->Unit(benchmark::kMillisecond);
 
 } // namespace

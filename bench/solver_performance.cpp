@@ -15,6 +15,7 @@
 #include "common/table.hpp"
 #include "core/optimizer.hpp"
 #include "core/profiler.hpp"
+#include "core/schedule.hpp"
 
 using namespace bt;
 using namespace bt::bench;
@@ -71,5 +72,51 @@ main()
                       std::to_string(tier)});
     }
     table.print(std::cout);
+
+    // Large-instance tier: the annealed engine where exact planning is
+    // off the table. 14 stages on the 8-class manycore rig is ~1.7e8
+    // schedules (112 assignment variables); the exact engines refuse
+    // anything past their enumeration limit, the annealed engine plans
+    // it within its fixed move budget.
+    std::printf("\nLarge-instance tier: deep pipeline (%d stages) on "
+                "the manycore rig (8 PUs)\n",
+                bench::kDeepPipelineStages);
+    const auto rig = platform::manycoreRig();
+    const auto deep = deepPipelineTable(rig);
+    const auto contention = deepPipelineContention(rig, deep);
+
+    core::PlannerSpec spec;
+    const std::uint64_t space
+        = core::scheduleSpaceSize(deep.numStages(), rig.numPus());
+    std::printf("Schedule space: %llu (exact engines refuse above "
+                "%llu)\n",
+                static_cast<unsigned long long>(space),
+                static_cast<unsigned long long>(spec.exactSpaceLimit));
+
+    spec.engine = core::PlannerEngine::Annealed;
+    spec.contention.budgetGbps = rig.mem.dramBwGbps;
+    spec.contentionProfile = &contention;
+    std::vector<double> anneal_ms;
+    for (int rep = 0; rep < 3; ++rep) {
+        core::Optimizer opt(rig, deep, spec);
+        const auto t0 = Clock::now();
+        cands = opt.optimize();
+        const auto t1 = Clock::now();
+        anneal_ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    const Summary as = summarize(anneal_ms);
+    std::printf("Annealed optimize(): mean %.2f ms (min %.2f, max "
+                "%.2f) over %zu runs\n",
+                as.mean, as.min, as.max, anneal_ms.size());
+    std::printf("Best plan: %.3f ms predicted latency, %.2f GB/s "
+                "demand (budget %.2f, feasible: %s)\n",
+                cands.front().predictedLatency * 1e3,
+                cands.front().predictedDemandGbps,
+                spec.contention.budgetGbps,
+                cands.front().predictedDemandGbps
+                        <= spec.contention.budgetGbps + 1e-9
+                    ? "yes"
+                    : "NO");
     return 0;
 }

@@ -6,6 +6,7 @@
  * and data-parallel baselines and report energy.
  *
  *     bt_explorer --device pixel --app octree
+ *     bt_explorer --device manycore --app dense --engine annealed
  *     bt_explorer --device jetson --app sparse --no-autotune --energy
  *     bt_explorer --device oneplus --app dense \
  *                 --save-profile /tmp/p.csv
@@ -18,10 +19,12 @@
  *     bt_explorer --serve --serve-requests 400 --json serve.json
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "apps/alexnet.hpp"
@@ -45,6 +48,7 @@ struct Options
 {
     std::string device = "pixel";
     std::string app = "octree";
+    std::string engine = "solver";
     int candidates = 20;
     bool no_autotune = false;
     bool energy = false;
@@ -65,14 +69,37 @@ struct Options
     int serve_sessions = 4;
 };
 
+/**
+ * The planner's objective value of @p c under @p spec — what the
+ * selected engine ranked by, echoed as "plan_cost" in every JSON
+ * report so engines can be compared like for like.
+ */
+double
+planCost(const core::Candidate& c, const core::PlannerSpec& spec)
+{
+    switch (spec.objective) {
+      case core::PlannerSpec::Objective::EnergyDelay:
+        return c.predictedEnergyJ * c.predictedLatency;
+      case core::PlannerSpec::Objective::EnergyKDelay:
+        return std::pow(c.predictedEnergyJ, spec.energyExponent)
+            * c.predictedLatency;
+      default:
+        return c.predictedLatency;
+    }
+}
+
 bool
 parse(int argc, char** argv, Options& opt)
 {
     FlagSet flags("bt_explorer");
     flags.value("--device", &opt.device, "NAME",
-                "pixel|oneplus|jetson|jetson-lp (default pixel)");
+                "pixel|oneplus|jetson|jetson-lp|manycore (default "
+                "pixel)");
     flags.value("--app", &opt.app, "NAME",
                 "dense|sparse|octree (default octree)");
+    flags.value("--engine", &opt.engine, "NAME",
+                "planner engine: solver|exhaustive|annealed (default "
+                "solver; every mode honors it)");
     flags.value("--candidates", &opt.candidates, "K",
                 "optimizer output size (default 20)");
     flags.flag("--no-autotune", &opt.no_autotune,
@@ -140,7 +167,12 @@ runCheckFixtures()
     return all_flagged ? 0 : 1;
 }
 
-/** `--check`: sweep the selected workload(s) under bt::check. */
+core::Application pickApp(const std::string& name);
+platform::SocDescription pickDevice(const std::string& name);
+
+/** `--check`: sweep the selected workload(s) under bt::check, then
+ *  plan each of them with the selected engine so the report also says
+ *  what the planner would deploy on the chosen device. */
 int
 runCheck(const Options& opt)
 {
@@ -158,9 +190,42 @@ runCheck(const Options& opt)
         merged.merge(std::move(report));
     }
     merged.print(std::cout);
+
+    // Planning pass: same engine selection as --app / --serve.
+    const auto soc = pickDevice(opt.device);
+    const platform::PerfModel model(soc);
+    core::PlannerSpec spec;
+    spec.engine = core::plannerEngineFromName(opt.engine);
+    std::string planning_json = "  \"planning\": {\"engine\": \""
+        + std::string(core::plannerEngineName(spec.engine))
+        + "\", \"apps\": [";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto app = pickApp(names[i]);
+        const auto profile = core::Profiler(model).profile(app);
+        core::Optimizer optimizer(soc, profile.interference, spec);
+        const auto cands = optimizer.optimize();
+        const double cost = planCost(cands.front(), spec);
+        std::printf("[%s] planned with the %s engine on %s: front "
+                    "cost %.3f ms over %llu schedules\n",
+                    names[i].c_str(),
+                    core::plannerEngineName(spec.engine),
+                    soc.name.c_str(), cost * 1e3,
+                    static_cast<unsigned long long>(
+                        optimizer.stats().spaceSize));
+        planning_json += std::string(i == 0 ? "" : ", ")
+            + "{\"app\": \"" + names[i] + "\", \"plan_cost\": "
+            + std::to_string(cost) + "}";
+    }
+    planning_json += "]}\n";
+
     if (!opt.json_file.empty()) {
+        std::ostringstream json;
+        merged.writeJson(json);
+        std::string text = json.str();
+        // Splice the planning block into the check report object.
+        text.insert(text.rfind('}'), ",\n" + planning_json);
         std::ofstream out(opt.json_file);
-        merged.writeJson(out);
+        out << text;
         std::printf("wrote check report to %s\n",
                     opt.json_file.c_str());
     }
@@ -190,6 +255,7 @@ runServe(const Options& opt, const platform::SocDescription& soc)
     cfg.queueCapacity = std::max(opt.serve_requests, 1);
     cfg.run.numTasks = 12;
     cfg.collectTraces = !opt.trace_file.empty();
+    cfg.optimizer.engine = core::plannerEngineFromName(opt.engine);
 
     service::Service svc(soc, cfg);
     svc.registerApp(apps::alexnetDense());
@@ -240,6 +306,11 @@ runServe(const Options& opt, const platform::SocDescription& soc)
                      report.cache.evictions),
                  static_cast<long long>(report.plans),
                  report.planSeconds * 1e3);
+    std::fprintf(hout,
+                 "planner: %s engine (%lld tenants fell back to "
+                 "annealed)\n",
+                 report.plannerEngine.c_str(),
+                 static_cast<long long>(report.annealedFallbacks));
     for (const auto& [session, count] : report.perSession)
         std::fprintf(hout, "  session %d: %lld requests\n", session,
                      static_cast<long long>(count));
@@ -277,6 +348,8 @@ pickDevice(const std::string& name)
         return platform::jetsonOrinNano();
     if (name == "jetson-lp")
         return platform::jetsonOrinNanoLp();
+    if (name == "manycore")
+        return platform::manycoreRig();
     bt::fatal("unknown device: ", name);
 }
 
@@ -344,14 +417,22 @@ main(int argc, char** argv)
     profile.interference.print(std::cout);
 
     // Optimize (+ autotune).
-    core::OptimizerConfig ocfg;
+    core::PlannerSpec ocfg;
+    ocfg.engine = core::plannerEngineFromName(opt.engine);
     ocfg.numCandidates = opt.candidates;
     ocfg.latencySlack = opt.latency_slack;
     ocfg.gapnessSlack = opt.gapness_slack;
     if (opt.edp_objective)
-        ocfg.objective = core::OptimizerConfig::Objective::EnergyDelay;
+        ocfg.objective = core::PlannerSpec::Objective::EnergyDelay;
     core::Optimizer optimizer(soc, profile.interference, ocfg);
     const auto candidates = optimizer.optimize();
+    const double front_cost = planCost(candidates.front(), ocfg);
+    std::printf("\nplanner: %s engine, %llu-schedule space, front "
+                "cost %.3f ms\n",
+                core::plannerEngineName(ocfg.engine),
+                static_cast<unsigned long long>(
+                    optimizer.stats().spaceSize),
+                front_cost * 1e3);
 
     // Tuning always measures fault-free; an injected FaultPlan applies
     // only to the deployment run below.
@@ -475,6 +556,9 @@ main(int argc, char** argv)
         out << "{\n"
             << "  \"device\": \"" << soc.name << "\",\n"
             << "  \"app\": \"" << app.name() << "\",\n"
+            << "  \"engine\": \""
+            << core::plannerEngineName(ocfg.engine) << "\",\n"
+            << "  \"plan_cost\": " << front_cost << ",\n"
             << "  \"schedule\": \"" << best.toString(soc, names)
             << "\",\n"
             << "  \"tasks\": " << run.tasks << ",\n"

@@ -11,7 +11,7 @@
  *
  * bt::Framework runs the whole paper flow from a single FrameworkConfig
  * that composes the per-component knobs (ProfilerConfig,
- * OptimizerConfig, runtime::RunConfig). Because RunConfig carries the
+ * core::PlannerSpec, runtime::RunConfig). Because RunConfig carries the
  * FaultPlan and RecoveryPolicy, fault-tolerant deployments need no
  * extra API surface - describe the faults in the same config.
  */
@@ -41,7 +41,7 @@ using service::ServiceReport;
 struct FrameworkConfig
 {
     core::ProfilerConfig profiler;
-    core::OptimizerConfig optimizer;
+    core::PlannerSpec optimizer;
 
     /** Deployment knobs, shared by every backend - including the
      *  FaultPlan / RecoveryPolicy of the fault-tolerant runtime. */

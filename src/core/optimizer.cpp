@@ -1,6 +1,7 @@
 #include "core/optimizer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <map>
@@ -9,12 +10,39 @@
 #include <tuple>
 
 #include "common/logging.hpp"
+#include "core/anneal.hpp"
 #include "solver/solver.hpp"
 
 namespace bt::core {
 
+const char*
+plannerEngineName(PlannerEngine engine)
+{
+    switch (engine) {
+      case PlannerEngine::Exhaustive:
+        return "exhaustive";
+      case PlannerEngine::Annealed:
+        return "annealed";
+      default:
+        return "solver";
+    }
+}
+
+PlannerEngine
+plannerEngineFromName(const std::string& name)
+{
+    if (name == "solver" || name == "constraint_solver")
+        return PlannerEngine::Solver;
+    if (name == "exhaustive")
+        return PlannerEngine::Exhaustive;
+    if (name == "annealed")
+        return PlannerEngine::Annealed;
+    bt::fatal("unknown planner engine '", name,
+              "' (expected solver|exhaustive|annealed)");
+}
+
 std::uint64_t
-OptimizerConfig::fingerprint() const
+PlannerSpec::fingerprint() const
 {
     // FNV-1a over the semantic knobs, field by field.
     std::uint64_t h = 14695981039346656037ull;
@@ -34,13 +62,28 @@ OptimizerConfig::fingerprint() const
     mixDouble(gapnessSlack);
     mixDouble(latencySlack);
     mix(static_cast<std::uint64_t>(maxPerTier));
-    mix(objective == Objective::EnergyDelay ? 1 : 0);
+    // Latency/EnergyDelay keep their pre-PlannerSpec encodings (0/1)
+    // so existing cached plans stay addressable.
+    mix(static_cast<std::uint64_t>(objective));
+    if (objective == Objective::EnergyKDelay)
+        mixDouble(energyExponent);
     mix(allowedPus.size());
     for (const int pu : allowedPus)
         mix(static_cast<std::uint64_t>(pu));
     mixDouble(contention.ambientGbps);
     mixDouble(contention.budgetGbps);
     mix(contention.realTime ? 1 : 0);
+    // Exact engines (and memoize) are bit-identical by contract and
+    // stay out of the hash; a non-exactness-preserving engine's result
+    // depends on its identity and every annealing knob, so mix them in.
+    if (!exactnessPreserving()) {
+        mix(0xA22EA1EDull); // annealed-engine marker
+        mix(anneal.seed);
+        mix(static_cast<std::uint64_t>(anneal.moveBudget));
+        mix(static_cast<std::uint64_t>(anneal.restarts));
+        mixDouble(anneal.initialTemperature);
+        mixDouble(anneal.finalTemperature);
+    }
     return h;
 }
 
@@ -282,11 +325,21 @@ addC6(solver::Model& model, const VarGrid& grid,
 } // namespace
 
 Optimizer::Optimizer(const platform::SocDescription& soc_,
-                     const ProfilingTable& table_, OptimizerConfig cfg,
+                     const ProfilingTable& table_, PlannerSpec spec,
                      ScheduleEvaluator* shared_eval,
                      const platform::ContentionProfile* contention)
-    : soc(soc_), baseTable_(table_), config(std::move(cfg)),
-      contention_(contention),
+    : Optimizer(soc_, table_, [&] {
+          spec.sharedEvaluator = shared_eval;
+          spec.contentionProfile = contention;
+          return std::move(spec);
+      }())
+{
+}
+
+Optimizer::Optimizer(const platform::SocDescription& soc_,
+                     const ProfilingTable& table_, PlannerSpec spec)
+    : soc(soc_), baseTable_(table_), config(std::move(spec)),
+      contention_(config.contentionProfile),
       bucket_(contention_ != nullptr && !config.contention.realTime
                   ? contention_->bucketOf(config.contention.ambientGbps)
                   : 0),
@@ -331,11 +384,14 @@ Optimizer::Optimizer(const platform::SocDescription& soc_,
             c6Relaxed_ = true;
     }
 
-    if (shared_eval != nullptr) {
-        BT_ASSERT(&shared_eval->table() == &baseTable_,
+    if (config.sharedEvaluator != nullptr) {
+        BT_ASSERT(&config.sharedEvaluator->table() == &baseTable_,
                   "shared evaluator built over a different table");
-        eval_ = shared_eval;
-    } else if (config.memoize) {
+        eval_ = config.sharedEvaluator;
+    } else if (config.memoize
+               || config.engine == PlannerEngine::Annealed) {
+        // The annealed engine always evaluates through the memo - its
+        // whole premise is that move evaluation is a cache lookup.
         ownedEval_ = std::make_unique<ScheduleEvaluator>(
             soc, baseTable_, powerModel, contention_);
         eval_ = ownedEval_.get();
@@ -426,9 +482,15 @@ Optimizer::makeCandidate(const Schedule& s) const
 double
 Optimizer::rankScoreOf(double latency, double energy_j) const
 {
-    return config.objective == OptimizerConfig::Objective::EnergyDelay
-        ? energy_j * latency
-        : latency;
+    switch (config.objective) {
+      case PlannerSpec::Objective::EnergyDelay:
+        return energy_j * latency;
+      case PlannerSpec::Objective::EnergyKDelay:
+        // The e^k * d family; k = 1 coincides with EnergyDelay.
+        return std::pow(energy_j, config.energyExponent) * latency;
+      default:
+        return latency;
+    }
 }
 
 double
@@ -483,14 +545,32 @@ std::vector<Candidate>
 Optimizer::optimize()
 {
     stats_ = OptimizeStats{};
+    stats_.engine = config.engine;
     stats_.latencyBound = std::numeric_limits<double>::infinity();
     stats_.gapnessBound = std::numeric_limits<double>::infinity();
     stats_.demandBudgetGbps
         = c6Active_ ? config.contention.budgetGbps : 0.0;
     stats_.c6Relaxed = c6Relaxed_;
-    auto cands = config.engine == OptimizerConfig::Engine::Exhaustive
+
+    int allowed_count = 0;
+    for (int c = 0; c < soc.numPus(); ++c)
+        allowed_count += puAllowed(c) ? 1 : 0;
+    BT_ASSERT(allowed_count > 0, "allowedPus admits no PU");
+    stats_.spaceSize
+        = scheduleSpaceSize(table.numStages(), allowed_count);
+    if (config.exactnessPreserving() && config.exactSpaceLimit > 0)
+        BT_ASSERT(stats_.spaceSize <= config.exactSpaceLimit,
+                  "schedule space of ", stats_.spaceSize,
+                  " schedules exceeds exactSpaceLimit ",
+                  config.exactSpaceLimit,
+                  "; the exact engines refuse instances this large - "
+                  "switch to PlannerEngine::Annealed");
+
+    auto cands = config.engine == PlannerEngine::Exhaustive
         ? optimizeExhaustive()
-        : optimizeWithSolver();
+        : config.engine == PlannerEngine::Annealed
+            ? optimizeAnnealed()
+            : optimizeWithSolver();
     sortCandidates(cands);
     if (static_cast<int>(cands.size()) > config.numCandidates)
         cands.resize(static_cast<std::size_t>(config.numCandidates));
@@ -826,7 +906,6 @@ Optimizer::optimizeExhaustive()
 
     std::vector<Candidate> cands;
     cands.reserve(all.size());
-    double best_latency = std::numeric_limits<double>::infinity();
     for (const auto& s : all) {
         bool admitted = true;
         for (const auto& chunk : s.chunks())
@@ -836,10 +915,18 @@ Optimizer::optimizeExhaustive()
         if (!demandOk(s))
             continue; // over the C6 aggregate-demand budget
         cands.push_back(makeCandidate(s));
-        best_latency
-            = std::min(best_latency, cands.back().predictedLatency);
     }
     BT_ASSERT(!cands.empty(), "allowedPus admits no schedule");
+    return selectDiverse(std::move(cands));
+}
+
+std::vector<Candidate>
+Optimizer::selectDiverse(std::vector<Candidate> cands)
+{
+    BT_ASSERT(!cands.empty(), "no admissible schedule to select from");
+    double best_latency = std::numeric_limits<double>::infinity();
+    for (const auto& c : cands)
+        best_latency = std::min(best_latency, c.predictedLatency);
     stats_.unrestrictedLatency = best_latency;
 
     if (config.utilizationFilter) {
@@ -896,6 +983,134 @@ Optimizer::optimizeExhaustive()
         }
     }
     return picked;
+}
+
+std::vector<Candidate>
+Optimizer::optimizeAnnealed()
+{
+    BT_ASSERT(eval_ != nullptr); // the constructor forces one
+    std::vector<int> allowed;
+    for (int c = 0; c < soc.numPus(); ++c)
+        if (puAllowed(c))
+            allowed.push_back(c);
+    const int m_eff = static_cast<int>(allowed.size());
+
+    Annealer annealer(soc, *eval_, config.anneal, bucket_,
+                      std::move(allowed), contention_,
+                      c6Active_ ? budgetMilli_ : 0);
+
+    // A swept pool is already the full enumeration; phases could only
+    // re-visit it, so skip straight to the harvest.
+    if (!annealer.exhausted())
+        runAnnealPhases(annealer, m_eff);
+
+    // Harvest: the pool is this engine's "enumeration"; the final
+    // selection applies the exact engines' level arithmetic over it,
+    // which is why annealed results are cost-equal to the exact
+    // solver whenever the pool covers the relevant optima.
+    std::vector<Candidate> cands;
+    cands.reserve(annealer.pool().size());
+    for (const auto& e : annealer.pool()) {
+        Candidate c;
+        c.schedule = Schedule::fromAssignment(e.assignment);
+        c.predictedLatency = e.pred.latency;
+        c.predictedGapness = e.pred.gapness;
+        c.predictedEnergyJ = e.pred.energyJ;
+        c.predictedDemandGbps = e.pred.demandGbps;
+        cands.push_back(std::move(c));
+    }
+    const Annealer::Stats as = annealer.stats();
+    stats_.annealProposed = as.proposed;
+    stats_.annealAccepted = as.accepted;
+    stats_.annealFiltered = as.filtered;
+    stats_.annealDistinct = as.distinct;
+    stats_.annealChains = as.chains;
+    return selectDiverse(std::move(cands));
+}
+
+void
+Optimizer::runAnnealPhases(Annealer& annealer, int m_eff)
+{
+    const std::int64_t budget
+        = std::max<std::int64_t>(config.anneal.moveBudget, 1);
+    std::int64_t spent = 0;
+    const auto slice = [&](int permille) {
+        const std::int64_t s
+            = std::min(budget - spent, budget * permille / 1000);
+        spent += s;
+        return s;
+    };
+    // Provisional level-1 bounds over the pool visited so far, using
+    // the exact engines' arithmetic; later phases guide against them
+    // and the final selection re-derives them over the full pool.
+    const auto poolBounds = [&] {
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto& e : annealer.pool())
+            best = std::min(best, e.pred.latency);
+        stats_.unrestrictedLatency = best;
+        stats_.latencyBound
+            = best * (1.0 + config.latencySlack) + 1e-12;
+        stats_.requiredPus = 1;
+        for (const auto& e : annealer.pool())
+            if (e.pred.latency <= stats_.latencyBound)
+                stats_.requiredPus
+                    = std::max(stats_.requiredPus, e.pred.numChunks);
+        double min_gap = std::numeric_limits<double>::infinity();
+        for (const auto& e : annealer.pool())
+            if (e.pred.latency <= stats_.latencyBound
+                && e.pred.numChunks >= stats_.requiredPus)
+                min_gap = std::min(min_gap, e.pred.gapness);
+        stats_.minimalGapness = min_gap;
+        stats_.gapnessBound
+            = min_gap * (1.0 + config.gapnessSlack) + 1e-9;
+    };
+
+    // The phase sequence mirrors the exact engines' levels: 1a hunt
+    // the unrestricted latency optimum, 1b maximize PU-class count
+    // within the bound, 1c minimize gapness within the class, then
+    // level 2's ranking objective.
+    annealer.runPhase([](const Prediction& p) { return p.latency; },
+                      slice(config.utilizationFilter ? 350 : 600));
+    if (config.utilizationFilter) {
+        poolBounds();
+        {
+            const double bound = stats_.latencyBound;
+            annealer.runPhase(
+                [bound, m_eff](const Prediction& p) {
+                    // One unit per missing PU class dominates any
+                    // in-bound latency (seconds); the bound penalty
+                    // dominates both.
+                    return (p.latency > bound ? kFeasibilityPenalty
+                                              : 0.0)
+                        + static_cast<double>(m_eff - p.numChunks)
+                        + p.latency;
+                },
+                slice(200));
+        }
+        poolBounds();
+        {
+            const double bound = stats_.latencyBound;
+            const int req = stats_.requiredPus;
+            annealer.runPhase(
+                [bound, req](const Prediction& p) {
+                    return (p.latency > bound || p.numChunks < req)
+                        ? kFeasibilityPenalty + p.gapness
+                        : p.gapness;
+                },
+                slice(150));
+        }
+        poolBounds();
+    }
+    annealer.runPhase(
+        [this](const Prediction& p) {
+            const int cls
+                = rankClassOf(p.latency, p.gapness, p.numChunks);
+            const double score = rankScoreOf(p.latency, p.energyJ);
+            return cls == 2 ? kFeasibilityPenalty + score
+                : cls == 1  ? kGapnessPenalty + score
+                            : score;
+        },
+        budget - spent);
 }
 
 } // namespace bt::core

@@ -12,13 +12,17 @@
  *     was profiled under without sacrificing latency.
  *  2. *Ranking*: enumerate K diverse candidates (blocking clauses C5,
  *     with a per-performance-tier cap) ordered by the configured
- *     objective (latency, or energy-delay product).
+ *     objective (latency, energy-delay, or the e^k*d family).
  *  3. *Autotuning* is a separate component (autotuner.hpp) because it
  *     needs an executor.
  *
- * Two interchangeable engines produce identical results: the constraint
- * solver (the Z3 stand-in) and brute-force enumeration of the schedule
- * space; tests cross-validate them.
+ * Three engines. The constraint solver (the Z3 stand-in) and
+ * brute-force enumeration are *exact* and produce identical results;
+ * tests cross-validate them. The annealed engine (anneal.hpp) is a
+ * seeded local search over the same evaluator for instances whose
+ * schedule space exceeds PlannerSpec::exactSpaceLimit - it is
+ * deterministic per seed but not exactness-preserving, which the
+ * planner fingerprint reflects.
  */
 
 #ifndef BT_CORE_OPTIMIZER_HPP
@@ -26,8 +30,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/anneal.hpp"
 #include "core/profiling_table.hpp"
 #include "core/schedule.hpp"
 #include "core/schedule_eval.hpp"
@@ -36,8 +42,34 @@
 
 namespace bt::core {
 
-/** Optimizer knobs. */
-struct OptimizerConfig
+/**
+ * Planning engine. Solver and Exhaustive are exact and bit-identical
+ * to each other; Annealed is a seeded local search (deterministic per
+ * PlannerSpec::anneal, but it only guarantees feasibility, not
+ * optimality). Exact engines refuse instances whose schedule space
+ * exceeds PlannerSpec::exactSpaceLimit.
+ */
+enum class PlannerEngine
+{
+    Solver,
+    Exhaustive,
+    Annealed,
+    ConstraintSolver = Solver, ///< deprecated spelling (pre-PlannerSpec)
+};
+
+/** "solver" / "exhaustive" / "annealed". */
+const char* plannerEngineName(PlannerEngine engine);
+
+/** Inverse of plannerEngineName; panics on unknown names. */
+PlannerEngine plannerEngineFromName(const std::string& name);
+
+/**
+ * The planner specification: every knob of a planning run, passed to
+ * Optimizer as one struct. This replaces the old (config, shared_eval,
+ * contention) constructor parameter list; `OptimizerConfig` remains as
+ * an alias for one release.
+ */
+struct PlannerSpec
 {
     /** K: number of candidate schedules handed to autotuning. */
     int numCandidates = 20;
@@ -65,9 +97,21 @@ struct OptimizerConfig
      */
     int maxPerTier = 3;
 
-    /** Use the exact constraint solver or plain enumeration. */
-    enum class Engine { ConstraintSolver, Exhaustive };
-    Engine engine = Engine::ConstraintSolver;
+    using Engine = PlannerEngine; ///< deprecated spelling
+    PlannerEngine engine = PlannerEngine::Solver;
+
+    /** Knobs of the annealed engine (ignored by the exact ones). */
+    AnnealSpec anneal;
+
+    /**
+     * Refusal threshold of the exact engines: when the closed-form
+     * schedule-space size (scheduleSpaceSize over the allowed PUs)
+     * exceeds this, Solver/Exhaustive panic instead of attempting an
+     * enumeration that would not terminate in reasonable time - the
+     * caller must switch to the annealed engine (bt::Service does so
+     * automatically for large tenants). 0 disables the check.
+     */
+    std::uint64_t exactSpaceLimit = 200'000;
 
     /**
      * Memoized schedule evaluation (the throughput-oriented planning
@@ -76,7 +120,8 @@ struct OptimizerConfig
      * predictions are served from a keyed cache shared by every solver
      * objective callback. Bit-identical to the from-scratch path (the
      * tests cross-validate over entire schedule spaces); disable only
-     * to measure the baseline.
+     * to measure the baseline. The annealed engine always evaluates
+     * through a memoized evaluator regardless of this knob.
      */
     bool memoize = true;
 
@@ -91,17 +136,21 @@ struct OptimizerConfig
     /**
      * Ranking objective within the feasibility class (extension):
      * Latency reproduces the paper; EnergyDelay ranks by predicted
-     * energy-delay product, trading a little latency for schedules
-     * that keep expensive PUs idle longer - the natural objective for
-     * battery-powered deployments.
+     * energy-delay product; EnergyKDelay generalizes it to the
+     * e^k * d family (energy^energyExponent x delay, SET-style), so
+     * k < 1 leans toward latency and k > 1 toward battery life. All
+     * engines share the objective.
      */
-    enum class Objective { Latency, EnergyDelay };
+    enum class Objective { Latency, EnergyDelay, EnergyKDelay };
     Objective objective = Objective::Latency;
 
+    /** k of the e^k * d family (EnergyKDelay only). */
+    double energyExponent = 1.0;
+
     /**
-     * Cross-tenant contention knobs (only meaningful when the
-     * optimizer is constructed with a ContentionProfile; all-default
-     * values plan exactly like a contention-unaware build).
+     * Cross-tenant contention knobs (only meaningful together with
+     * contentionProfile; all-default values plan exactly like a
+     * contention-unaware build).
      */
     struct Contention
     {
@@ -135,16 +184,51 @@ struct OptimizerConfig
     Contention contention;
 
     /**
+     * Optional externally-owned evaluator built over the *same* table;
+     * lets short-lived optimizers (fault-time replans, autotuner
+     * campaigns) reuse a warm prediction cache. Null: the optimizer
+     * owns a private one when memoize is set (or the engine is
+     * Annealed). Not part of the fingerprint - sharing never changes
+     * results, only cache temperature.
+     */
+    ScheduleEvaluator* sharedEvaluator = nullptr;
+
+    /**
+     * Optional per-application contention snapshot (must match the
+     * table's grid and outlive the optimizer); enables the contention
+     * knobs above - ambient-aware predictions and the C6
+     * aggregate-bandwidth constraint family.
+     */
+    const platform::ContentionProfile* contentionProfile = nullptr;
+
+    /** Whether this spec's engine returns the exact optimum (and is
+     *  bit-identical to every other exactness-preserving engine). */
+    bool
+    exactnessPreserving() const
+    {
+        return engine != PlannerEngine::Annealed;
+    }
+
+    /**
      * Stable 64-bit fingerprint of every knob that can change which
      * schedule the optimizer returns - the planner component of a
      * schedule-cache key (bt::service keys its cache by application,
      * platform, ambient-load bucket, PU lease, and this fingerprint).
-     * Engine and memoize are deliberately excluded: both paths are
-     * bit-identical by contract (the tests cross-validate them), so
-     * flipping them must keep hitting the same cache entries.
+     * The exact engines (and the memoize flag) are deliberately
+     * folded together: they are bit-identical by contract, so
+     * flipping between them must keep hitting the same cache entries.
+     * The annealed engine is NOT exactness-preserving, so its identity
+     * and every annealing knob (seed, budget, restarts, temperatures)
+     * are mixed in - a cache can never serve an annealed plan where an
+     * exact one was requested, or vice versa. The sharedEvaluator /
+     * contentionProfile pointers are excluded (sharing and storage
+     * location never change results).
      */
     std::uint64_t fingerprint() const;
 };
+
+/** Pre-PlannerSpec name, kept as an alias for one release. */
+using OptimizerConfig = PlannerSpec;
 
 /** One optimizer output with its model-predicted costs. */
 struct Candidate
@@ -168,6 +252,11 @@ struct Candidate
 /** Summary of one optimization run. */
 struct OptimizeStats
 {
+    PlannerEngine engine = PlannerEngine::Solver; ///< engine that ran
+    /** Closed-form schedule-space size over the allowed PUs
+     *  (saturating; what the exact-engine refusal checks). */
+    std::uint64_t spaceSize = 0;
+
     double unrestrictedLatency = 0.0; ///< predicted optimum, no filter
     double latencyBound = 0.0;        ///< C3-style Tmax bound applied
     int requiredPus = 1;              ///< utilization level achieved
@@ -187,6 +276,13 @@ struct OptimizeStats
      *  memoization is off. */
     std::uint64_t evalHits = 0;
     std::uint64_t evalMisses = 0;
+
+    /** Annealed-engine counters (zero for the exact engines). */
+    std::int64_t annealProposed = 0; ///< moves drawn (vs. moveBudget)
+    std::int64_t annealAccepted = 0; ///< moves taken
+    std::int64_t annealFiltered = 0; ///< moves cut by the C6 filter
+    std::int64_t annealDistinct = 0; ///< distinct feasible pool size
+    int annealChains = 0;            ///< restart chains run
 };
 
 /**
@@ -196,19 +292,17 @@ struct OptimizeStats
 class Optimizer
 {
   public:
-    /**
-     * @param shared_eval optional externally-owned evaluator built over
-     *        the *same* table; lets short-lived optimizers (fault-time
-     *        replans) reuse a warm prediction cache. When null and
-     *        cfg.memoize is set, the optimizer owns a private one.
-     * @param contention optional per-application contention snapshot
-     *        (must match the table's grid and outlive the optimizer);
-     *        enables cfg.contention - ambient-aware predictions and
-     *        the C6 aggregate-bandwidth constraint family.
-     */
     Optimizer(const platform::SocDescription& soc,
-              const ProfilingTable& table, OptimizerConfig cfg = {},
-              ScheduleEvaluator* shared_eval = nullptr,
+              const ProfilingTable& table, PlannerSpec spec = {});
+
+    /** Pre-PlannerSpec shim: fold @p shared_eval / @p contention into
+     *  the spec instead (PlannerSpec::sharedEvaluator /
+     *  PlannerSpec::contentionProfile). */
+    [[deprecated("pass sharedEvaluator/contentionProfile inside "
+                 "PlannerSpec")]]
+    Optimizer(const platform::SocDescription& soc,
+              const ProfilingTable& table, PlannerSpec spec,
+              ScheduleEvaluator* shared_eval,
               const platform::ContentionProfile* contention = nullptr);
 
     /**
@@ -224,8 +318,23 @@ class Optimizer
   private:
     std::vector<Candidate> optimizeWithSolver();
     std::vector<Candidate> optimizeExhaustive();
+    std::vector<Candidate> optimizeAnnealed();
+    /** The annealed engine's phase schedule (skipped when the annealer
+     *  swept the whole space at construction): split the move budget
+     *  across guide phases mirroring the exact engines' levels. */
+    void runAnnealPhases(Annealer& annealer, int m_eff);
+    /**
+     * The shared level-1/level-2 selection arithmetic over a set of
+     * admissible candidates: derive the latency bound, required PU
+     * count and gapness bound from the set, then pick up to K diverse
+     * candidates (C5 blocking + per-tier caps). The exhaustive engine
+     * feeds it the whole space; the annealed engine feeds it the
+     * visited pool - which is exactly why their results agree whenever
+     * the pool covers the relevant optima.
+     */
+    std::vector<Candidate> selectDiverse(std::vector<Candidate> cands);
     Candidate makeCandidate(const Schedule& s) const;
-    /** Whether config.allowedPus admits @p pu (empty list = all). */
+    /** Whether spec allowedPus admits @p pu (empty list = all). */
     bool puAllowed(int pu) const;
     /** C6 predicate: aggregate demand within budget (true if C6 off). */
     bool demandOk(std::span<const int> stage_to_pu) const;
@@ -244,7 +353,7 @@ class Optimizer
     // then binds to whichever of the two this plan predicts against.
     const platform::SocDescription& soc;
     const ProfilingTable& baseTable_;
-    OptimizerConfig config;
+    PlannerSpec config;
     const platform::ContentionProfile* contention_;
     int bucket_;               ///< ambient bucket this plan targets
     ProfilingTable stretchedStorage_; ///< base x stretch, bucket > 0

@@ -21,7 +21,7 @@ namespace bt::core {
 struct BetterTogetherConfig
 {
     ProfilerConfig profiler;
-    OptimizerConfig optimizer;
+    PlannerSpec optimizer;
     SimExecConfig executor;
     bool autotune = true; ///< run level 3; else take the predicted best
 

@@ -1,6 +1,7 @@
 #include "core/schedule.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -199,6 +200,42 @@ countSchedules(int num_stages, int num_pus)
     std::vector<Chunk> acc;
     enumerateRec(0, num_stages, num_pus, 0u, acc, nullptr, &count);
     return count;
+}
+
+std::uint64_t
+scheduleSpaceSize(int num_stages, int num_pus)
+{
+    BT_ASSERT(num_stages > 0 && num_pus > 0,
+              "scheduleSpaceSize needs positive stage/PU counts");
+    constexpr std::uint64_t kSat = std::numeric_limits<std::uint64_t>::max();
+    const auto n = static_cast<unsigned __int128>(num_stages);
+    const auto m = static_cast<unsigned __int128>(num_pus);
+
+    unsigned __int128 total = 0;
+    unsigned __int128 binom = 1; // C(n-1, k-1), updated incrementally
+    unsigned __int128 perm = m;  // m * (m-1) * ... * (m-k+1)
+    const int kmax = std::min(num_stages, num_pus);
+    for (int k = 1; k <= kmax; ++k) {
+        if (k > 1) {
+            // C(n-1, k-1) = C(n-1, k-2) * (n-k+1) / (k-1); the product
+            // before division is exact because C(n-1, k-2)*(n-k+1) is
+            // divisible by k-1.
+            binom = binom * (n - static_cast<unsigned>(k) + 1) /
+                    static_cast<unsigned>(k - 1);
+            perm *= m - static_cast<unsigned>(k) + 1;
+        }
+        const unsigned __int128 term = binom * perm;
+        // A single term past 2^64 (or an overflowing product) saturates
+        // the whole sum; every factor here fits 2^64 individually so
+        // the 128-bit products themselves cannot wrap for any num_stages
+        // and num_pus that fit an int.
+        if (binom > kSat || term / perm != binom)
+            return kSat;
+        total += term;
+        if (total > kSat)
+            return kSat;
+    }
+    return static_cast<std::uint64_t>(total);
 }
 
 } // namespace bt::core

@@ -96,6 +96,20 @@ std::vector<Schedule> enumerateSchedules(int num_stages, int num_pus);
 /** Count of schedules enumerateSchedules would return. */
 std::uint64_t countSchedules(int num_stages, int num_pus);
 
+/**
+ * Closed-form size of the schedule space:
+ *
+ *     sum_{k=1}^{min(n,m)} C(n-1, k-1) * m! / (m-k)!
+ *
+ * (choose the k-1 chunk boundaries, then an ordered selection of k
+ * distinct PUs). Equal to countSchedules but O(min(n,m)) instead of
+ * walking the whole enumeration tree, so it serves as the cheap
+ * refusal predicate of the exact planner engines
+ * (PlannerSpec::exactSpaceLimit). Saturates at UINT64_MAX for spaces
+ * past 2^64.
+ */
+std::uint64_t scheduleSpaceSize(int num_stages, int num_pus);
+
 } // namespace bt::core
 
 #endif // BT_CORE_SCHEDULE_HPP

@@ -18,7 +18,9 @@
  *  2. a *keyed prediction cache*: full Prediction records (latency,
  *     gapness, energy, chunk count) memoized by a packed assignment key,
  *     shared across solver objective callbacks, exhaustive enumeration,
- *     and graceful-degradation replans against the same table.
+ *     the annealed engine's move loop (anneal.hpp - millions of move
+ *     evaluations become cache lookups), and graceful-degradation
+ *     replans against the same table.
  *
  * Cross-tenant co-placement rides the same machinery: when constructed
  * with a ContentionProfile, predictions can be asked for under an
@@ -101,6 +103,14 @@ class ScheduleEvaluator
                       = nullptr);
 
     const ProfilingTable& table() const { return table_; }
+
+    int numStages() const { return numStages_; }
+    int numPus() const { return numPus_; }
+
+    /** Whether assignments pack into 64-bit memo keys (instance fits
+     *  16 stages x 16 PU classes). The annealed engine reuses the same
+     *  condition for its visited-pool dedup keys. */
+    bool keyed() const { return keyed_; }
 
     /** Chunk time of stages [first, last] on @p pu; bit-identical to
      *  table().rangeTime(first, last, pu), O(1). */

@@ -214,6 +214,47 @@ contentionRig()
     return soc;
 }
 
+SocDescription
+manycoreRig()
+{
+    SocDescription soc;
+    soc.name = "Manycore rig";
+    soc.vendor = "synthetic";
+    soc.gpuApi = "SIMT emulation";
+    soc.seed = 0x9007;
+    soc.noiseSigma = 0.0; // deterministic: annealed plans reproduce
+    soc.basePowerW = 2.0;
+    // Roofline (16 GB/s) far under the ~50 GB/s the eight links can
+    // draw together; frugal classes sit well below any equal-share
+    // budget, so a C6-feasible placement always exists.
+    soc.mem = MemorySystem{16.0, 1.0, 1.0, 0.9};
+
+    struct Row
+    {
+        const char* label;
+        PuKind kind;
+        double freq, ops, eff, bw, overhead_us, active_w;
+    };
+    // Staggered speed (freq x ops x eff) and link bandwidth: no class
+    // dominates, so good schedules genuinely interleave classes.
+    const Row rows[] = {
+        {"c0", PuKind::Cpu, 1.20, 4.0, 0.20, 3.0, 1.0, 0.6},
+        {"c1", PuKind::Cpu, 1.50, 4.0, 0.24, 3.5, 1.0, 0.8},
+        {"c2", PuKind::Cpu, 1.80, 4.0, 0.28, 4.0, 1.0, 1.0},
+        {"c3", PuKind::Cpu, 2.10, 8.0, 0.22, 5.0, 1.0, 1.4},
+        {"c4", PuKind::Cpu, 2.40, 8.0, 0.26, 6.0, 1.0, 1.8},
+        {"c5", PuKind::Cpu, 2.70, 8.0, 0.30, 7.0, 1.0, 2.2},
+        {"g0", PuKind::Gpu, 0.90, 16.0, 0.35, 9.0, 4.0, 2.6},
+        {"g1", PuKind::Gpu, 1.10, 16.0, 0.40, 12.0, 5.0, 3.0},
+    };
+    for (const Row& r : rows)
+        soc.pus.push_back(makePu(
+            r.label, "synthetic class", r.kind, /*cores=*/2, r.freq,
+            r.ops, Eff{r.eff, r.eff, r.eff, r.eff}, r.bw,
+            r.overhead_us, /*busy=*/1.0, r.active_w, /*idleW=*/0.1));
+    return soc;
+}
+
 std::vector<SocDescription>
 paperDevices()
 {

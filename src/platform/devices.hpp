@@ -43,6 +43,16 @@ SocDescription nativeHost();
  */
 SocDescription contentionRig();
 
+/**
+ * An 8-class rig for large-instance planning: enough PU classes that
+ * even a modest pipeline's schedule space is far beyond exhaustive
+ * enumeration (14 stages x 8 PUs ~ 1.7e8 schedules), noise-free so
+ * annealed-planner results are exactly reproducible. Link bandwidths
+ * are staggered around the DRAM roofline so C6 budgets genuinely
+ * constrain placement. Not a paper device.
+ */
+SocDescription manycoreRig();
+
 /** All four paper devices, in the order the paper's tables use. */
 std::vector<SocDescription> paperDevices();
 

@@ -54,15 +54,15 @@ modelTable(const platform::PerfModel& model,
 
 namespace {
 
-/** The optimizer configuration every degradation replan uses. */
-core::OptimizerConfig
+/** The planner spec every degradation replan uses. */
+core::PlannerSpec
 replanConfig(const platform::SocDescription& soc,
              const std::vector<bool>& alive)
 {
     BT_ASSERT(alive.size() == static_cast<std::size_t>(soc.numPus()));
-    core::OptimizerConfig cfg;
+    core::PlannerSpec cfg;
     cfg.numCandidates = 1;
-    cfg.engine = core::OptimizerConfig::Engine::Exhaustive;
+    cfg.engine = core::PlannerEngine::Exhaustive;
     for (int p = 0; p < soc.numPus(); ++p)
         if (alive[static_cast<std::size_t>(p)])
             cfg.allowedPus.push_back(p);
@@ -105,8 +105,9 @@ ReplanPlanner::replan(const std::vector<bool>& alive)
         eval_ = std::make_unique<core::ScheduleEvaluator>(soc, *table_,
                                                           model_);
     }
-    core::Optimizer optimizer(soc, *table_, replanConfig(soc, alive),
-                              eval_.get());
+    core::PlannerSpec spec = replanConfig(soc, alive);
+    spec.sharedEvaluator = eval_.get();
+    core::Optimizer optimizer(soc, *table_, std::move(spec));
     return bestOnSurvivors(optimizer);
 }
 

@@ -14,7 +14,7 @@
  *    more lease groups, so co-scheduled pipelines land on disjoint
  *    hardware instead of interfering.
  *
- * Leases feed the optimizer through its OptimizerConfig::allowedPus
+ * Leases feed the optimizer through its PlannerSpec::allowedPus
  * hook - the same graceful-degradation mechanism fault recovery uses -
  * so each tenant's schedule is planned, not clamped, within its lease.
  * The (bucket, group, groups) triple is part of the schedule-cache key,

@@ -52,7 +52,7 @@ struct ScheduleKey
      *  contention-aware plans stay byte-identical per key. */
     int bandwidthBucket = 0;
 
-    /** core::OptimizerConfig::fingerprint() of the planner knobs. */
+    /** core::PlannerSpec::fingerprint() of the planner knobs. */
     std::uint64_t plannerFingerprint = 0;
 
     bool operator==(const ScheduleKey&) const = default;

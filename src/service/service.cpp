@@ -7,6 +7,7 @@
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "core/autotuner.hpp"
+#include "core/schedule.hpp"
 #include "core/sim_executor.hpp"
 
 namespace bt::service {
@@ -38,6 +39,9 @@ ServiceReport::writeJson(std::ostream& os) const
     os << "  \"plans\": " << plans << ",\n";
     os << "  \"plan_seconds\": " << planSeconds << ",\n";
     os << "  \"batches\": " << batches << ",\n";
+    os << "  \"planner\": { \"engine\": \"" << plannerEngine
+       << "\", \"annealed_fallbacks\": " << annealedFallbacks
+       << " },\n";
     os << "  \"cache\": { \"hits\": " << cache.hits << ", \"misses\": "
        << cache.misses << ", \"evictions\": " << cache.evictions
        << ", \"insertions\": " << cache.insertions
@@ -59,7 +63,6 @@ Service::Service(const platform::SocDescription& soc, ServiceConfig cfg)
       leases_(soc_, cfg_.maxLeaseGroups > 0
                   ? cfg_.maxLeaseGroups
                   : std::min(std::max(cfg_.workers, 1), soc_.numPus())),
-      plannerFingerprint_(cfg_.optimizer.fingerprint()),
       cache_(cfg_.cache)
 {
     BT_ASSERT(cfg_.workers >= 1, "service needs at least one worker");
@@ -126,8 +129,53 @@ Service::keyFor(const std::string& app_name, int load_bucket,
     key.leaseGroups = lease_groups;
     key.bandwidthBucket = model_.contention().bucketOf(
         ambientFor(app_name, lease_groups));
-    key.plannerFingerprint = plannerFingerprint_;
+    key.plannerFingerprint
+        = plannerSpecFor(app_name, lease_group, lease_groups)
+              .fingerprint();
     return key;
+}
+
+core::PlannerSpec
+Service::plannerSpecFor(const std::string& app_name, int lease_group,
+                        int lease_groups) const
+{
+    core::PlannerSpec spec = cfg_.optimizer;
+    spec.allowedPus = leases_.lease(lease_group, lease_groups);
+
+    // Contention-aware co-placement: with n lease groups sharing the
+    // SoC, each tenant's plan gets an equal 1/n share of the DRAM
+    // roofline as its C6 budget and is predicted under the remaining
+    // (n-1)/n as ambient demand. A real-time tenant keeps the budget
+    // but plans uncontended - its slices are throttle-protected and
+    // the co-tenants absorb the degradation. (The budget caps what a
+    // tenant *draws*; the ambient a co-tenant *feels* is weighted by
+    // the model's contendedDemandWeight inside the slowdown fold.)
+    if (cfg_.contentionAware && lease_groups > 1) {
+        const double roofline = model_.contention().rooflineGbps();
+        spec.contention.budgetGbps
+            = roofline / static_cast<double>(lease_groups);
+        spec.contention.realTime = tenantRealTime(app_name);
+        spec.contention.ambientGbps
+            = ambientFor(app_name, lease_groups);
+    }
+
+    // Large-tenant fallback: an exact engine refuses any schedule
+    // space beyond exactSpaceLimit, and relaxing C6 to shrink the
+    // space would break the budget contract - so the service anneals
+    // the plan instead of failing it. The flip lives in the spec, so
+    // keyFor()'s fingerprint covers it (plus the annealing seed and
+    // budget): an annealed plan can never be served from a key minted
+    // for an exact one.
+    if (spec.exactnessPreserving() && spec.exactSpaceLimit > 0) {
+        const int allowed = spec.allowedPus.empty()
+            ? soc_.numPus()
+            : static_cast<int>(spec.allowedPus.size());
+        const std::uint64_t space = core::scheduleSpaceSize(
+            appOf(app_name).numStages(), allowed);
+        if (space > spec.exactSpaceLimit)
+            spec.engine = core::PlannerEngine::Annealed;
+    }
+    return spec;
 }
 
 CachedPlan
@@ -142,29 +190,15 @@ Service::freshPlan(const std::string& app_name, int /*load_bucket*/,
     const core::Profiler profiler(model_, cfg_.profiler);
     const core::ProfileResult profile = profiler.profile(app);
 
-    core::OptimizerConfig ocfg = cfg_.optimizer;
-    ocfg.allowedPus = leases_.lease(lease_group, lease_groups);
-
-    // Contention-aware co-placement: with n lease groups sharing the
-    // SoC, each tenant's plan gets an equal 1/n share of the DRAM
-    // roofline as its C6 budget and is predicted under the remaining
-    // (n-1)/n as ambient demand. A real-time tenant keeps the budget
-    // but plans uncontended - its slices are throttle-protected and
-    // the co-tenants absorb the degradation. (The budget caps what a
-    // tenant *draws*; the ambient a co-tenant *feels* is weighted by
-    // the model's contendedDemandWeight inside the slowdown fold.)
-    const platform::ContentionProfile* contention = nullptr;
-    if (cfg_.contentionAware && lease_groups > 1) {
-        const double roofline = model_.contention().rooflineGbps();
-        ocfg.contention.budgetGbps
-            = roofline / static_cast<double>(lease_groups);
-        ocfg.contention.realTime = tenantRealTime(app_name);
-        ocfg.contention.ambientGbps
-            = ambientFor(app_name, lease_groups);
-        contention = &profile.contention;
-    }
-    core::Optimizer optimizer(soc_, profile.interference, ocfg,
-                              nullptr, contention);
+    core::PlannerSpec ocfg
+        = plannerSpecFor(app_name, lease_group, lease_groups);
+    if (!ocfg.exactnessPreserving()
+        && cfg_.optimizer.exactnessPreserving())
+        annealedFallbacks_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.contentionAware && lease_groups > 1)
+        ocfg.contentionProfile = &profile.contention;
+    core::Optimizer optimizer(soc_, profile.interference,
+                              std::move(ocfg));
     const std::vector<core::Candidate> candidates = optimizer.optimize();
     BT_ASSERT(!candidates.empty(), "optimizer found no schedule");
 
@@ -418,6 +452,10 @@ Service::report() const
     report.failed = failed_.load(std::memory_order_relaxed);
     report.plans = plans_.load(std::memory_order_relaxed);
     report.batches = batches_.load(std::memory_order_relaxed);
+    report.plannerEngine
+        = core::plannerEngineName(cfg_.optimizer.engine);
+    report.annealedFallbacks
+        = annealedFallbacks_.load(std::memory_order_relaxed);
     report.cache = cache_.stats();
 
     {

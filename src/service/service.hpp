@@ -128,7 +128,7 @@ struct ServiceConfig
     int maxBatch = 1;
 
     core::ProfilerConfig profiler;
-    core::OptimizerConfig optimizer;
+    core::PlannerSpec optimizer;
 
     /** Per-request execution knobs (tasks per request, noise salt,
      *  faults...). recordTrace/sessionId are managed by the service. */
@@ -163,6 +163,14 @@ struct ServiceReport
     std::int64_t plans = 0;     ///< planner invocations
     double planSeconds = 0.0;   ///< total wall time spent planning
     std::int64_t batches = 0;   ///< pipeline runs (>= 1 request each)
+
+    /** Configured planner engine ("solver" / "exhaustive" /
+     *  "annealed"). */
+    std::string plannerEngine;
+    /** Plans where an exact engine was configured but the tenant's
+     *  schedule space exceeded exactSpaceLimit, so the service fell
+     *  back to the annealed engine instead of failing. */
+    std::int64_t annealedFallbacks = 0;
 
     ScheduleCacheStats cache;
 
@@ -257,19 +265,24 @@ class Service
      */
     double ambientFor(const std::string& app_name, int groups) const;
 
+    /**
+     * The exact planner spec a fresh plan of (app, group, groups)
+     * would run: the base config plus the per-plan lease, contention
+     * knobs, and - when the tenant's schedule space is too large for
+     * an exact engine - the annealed fallback. keyFor() fingerprints
+     * this spec, so the key contract - one key, one byte-identical
+     * plan - holds: an annealed plan can never be served where an
+     * exact one was requested, or vice versa.
+     */
+    core::PlannerSpec plannerSpecFor(const std::string& app_name,
+                                     int lease_group,
+                                     int lease_groups) const;
+
     platform::SocDescription soc_;
     ServiceConfig cfg_;
     platform::PerfModel model_;
     runtime::VirtualTimeBackend backend_;
     PuLeaseManager leases_;
-    /**
-     * Base-config optimizer fingerprint. The contention knobs derived
-     * per plan (budget, ambient, real-time) are pure functions of key
-     * fields that are already in the ScheduleKey (app name via its
-     * tenant options, leaseGroups, bandwidthBucket), so the key
-     * contract - one key, one byte-identical plan - holds unchanged.
-     */
-    std::uint64_t plannerFingerprint_;
 
     std::unordered_map<std::string, core::Application> apps_;
     std::unordered_map<std::string, TenantOptions> tenantOpts_;
@@ -294,6 +307,8 @@ class Service
     std::atomic<std::int64_t> failed_{0};
     std::atomic<std::int64_t> plans_{0};
     std::atomic<std::int64_t> batches_{0};
+    /** Mutable: freshPlan is const (a test hook) but still counts. */
+    mutable std::atomic<std::int64_t> annealedFallbacks_{0};
 
     Clock::time_point startTime_;
     double wallSecondsStopped_ = 0.0;

@@ -349,21 +349,19 @@ TEST_F(ContentionRig, EvaluatorBucketsMatchAManuallyStretchedTable)
 
 TEST_F(ContentionRig, C6EnginesAndMemoizationAgree)
 {
-    OptimizerConfig cfg;
+    PlannerSpec cfg;
     cfg.contention.budgetGbps = 5.0;
     cfg.contention.ambientGbps = 5.0;
+    cfg.contentionProfile = &result.contention;
 
-    OptimizerConfig brute = cfg;
-    brute.engine = OptimizerConfig::Engine::Exhaustive;
-    OptimizerConfig unmemoized = cfg;
+    PlannerSpec brute = cfg;
+    brute.engine = PlannerEngine::Exhaustive;
+    PlannerSpec unmemoized = cfg;
     unmemoized.memoize = false;
 
-    Optimizer a(soc, result.interference, cfg, nullptr,
-                &result.contention);
-    Optimizer b(soc, result.interference, brute, nullptr,
-                &result.contention);
-    Optimizer c(soc, result.interference, unmemoized, nullptr,
-                &result.contention);
+    Optimizer a(soc, result.interference, cfg);
+    Optimizer b(soc, result.interference, brute);
+    Optimizer c(soc, result.interference, unmemoized);
     const auto ca = a.optimize();
     const auto cb = b.optimize();
     const auto cc = c.optimize();
@@ -383,10 +381,10 @@ TEST_F(ContentionRig, C6EnginesAndMemoizationAgree)
 
 TEST_F(ContentionRig, C6CandidatesRespectTheBudget)
 {
-    OptimizerConfig cfg;
+    PlannerSpec cfg;
     cfg.contention.budgetGbps = 5.0;
-    Optimizer opt(soc, result.interference, cfg, nullptr,
-                  &result.contention);
+    cfg.contentionProfile = &result.contention;
+    Optimizer opt(soc, result.interference, cfg);
     const auto cands = opt.optimize();
     ASSERT_FALSE(cands.empty());
     EXPECT_DOUBLE_EQ(opt.stats().demandBudgetGbps, 5.0);
@@ -404,8 +402,9 @@ TEST_F(ContentionRig, WithoutC6ThePlannerOversubscribes)
 {
     // The whole point of the rig: unconstrained latency optimization
     // puts memory-block stages on the fat links.
-    Optimizer opt(soc, result.interference, {}, nullptr,
-                  &result.contention);
+    PlannerSpec cfg;
+    cfg.contentionProfile = &result.contention;
+    Optimizer opt(soc, result.interference, cfg);
     const auto cands = opt.optimize();
     ASSERT_FALSE(cands.empty());
     EXPECT_DOUBLE_EQ(opt.stats().demandBudgetGbps, 0.0);
@@ -416,18 +415,19 @@ TEST_F(ContentionRig, InfeasibleBudgetRelaxesC6InsteadOfFailing)
 {
     // Even the frugalest single-chunk schedule draws 4.8 GB/s; a
     // budget below that cannot be honored.
-    OptimizerConfig cfg;
+    PlannerSpec cfg;
     cfg.contention.budgetGbps = 0.5;
-    Optimizer relaxed(soc, result.interference, cfg, nullptr,
-                      &result.contention);
+    cfg.contentionProfile = &result.contention;
+    Optimizer relaxed(soc, result.interference, cfg);
     const auto cands = relaxed.optimize();
     ASSERT_FALSE(cands.empty());
     EXPECT_TRUE(relaxed.stats().c6Relaxed);
     EXPECT_DOUBLE_EQ(relaxed.stats().demandBudgetGbps, 0.0);
 
     // Relaxation means: plan exactly as if C6 were off.
-    Optimizer off(soc, result.interference, {}, nullptr,
-                  &result.contention);
+    PlannerSpec off_cfg;
+    off_cfg.contentionProfile = &result.contention;
+    Optimizer off(soc, result.interference, off_cfg);
     const auto base = off.optimize();
     ASSERT_EQ(cands.size(), base.size());
     for (std::size_t i = 0; i < cands.size(); ++i)
@@ -438,8 +438,9 @@ TEST_F(ContentionRig, DefaultContentionConfigIsByteIdentical)
 {
     // A contention profile with all-default knobs must not perturb a
     // single bit of the contention-unaware planner's output.
-    Optimizer with(soc, result.interference, {}, nullptr,
-                   &result.contention);
+    PlannerSpec aware;
+    aware.contentionProfile = &result.contention;
+    Optimizer with(soc, result.interference, aware);
     Optimizer without(soc, result.interference, {});
     const auto a = with.optimize();
     const auto b = without.optimize();
@@ -454,20 +455,19 @@ TEST_F(ContentionRig, DefaultContentionConfigIsByteIdentical)
 
 TEST_F(ContentionRig, RealTimeTenantPlansAtBucketZero)
 {
-    OptimizerConfig ambient;
+    PlannerSpec ambient;
     ambient.contention.budgetGbps = 5.0;
     ambient.contention.ambientGbps = 5.0;
-    OptimizerConfig rt = ambient;
+    ambient.contentionProfile = &result.contention;
+    PlannerSpec rt = ambient;
     rt.contention.realTime = true;
-    OptimizerConfig quiet;
+    PlannerSpec quiet;
     quiet.contention.budgetGbps = 5.0;
+    quiet.contentionProfile = &result.contention;
 
-    Optimizer rtOpt(soc, result.interference, rt, nullptr,
-                    &result.contention);
-    Optimizer quietOpt(soc, result.interference, quiet, nullptr,
-                       &result.contention);
-    Optimizer ambientOpt(soc, result.interference, ambient, nullptr,
-                         &result.contention);
+    Optimizer rtOpt(soc, result.interference, rt);
+    Optimizer quietOpt(soc, result.interference, quiet);
+    Optimizer ambientOpt(soc, result.interference, ambient);
     const auto rtCands = rtOpt.optimize();
     const auto quietCands = quietOpt.optimize();
     const auto ambientCands = ambientOpt.optimize();

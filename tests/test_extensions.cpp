@@ -220,9 +220,9 @@ TEST(EnergyObjective, EdpModeNeverPicksWorseEdpThanLatencyMode)
     const Profiler profiler(model);
     const auto profile = profiler.profile(app);
 
-    OptimizerConfig lat_cfg;
-    OptimizerConfig edp_cfg;
-    edp_cfg.objective = OptimizerConfig::Objective::EnergyDelay;
+    PlannerSpec lat_cfg;
+    PlannerSpec edp_cfg;
+    edp_cfg.objective = PlannerSpec::Objective::EnergyDelay;
     Optimizer lat_opt(soc, profile.interference, lat_cfg);
     Optimizer edp_opt(soc, profile.interference, edp_cfg);
     const auto by_latency = lat_opt.optimize();

@@ -171,7 +171,7 @@ TEST(IntegrationHeadline, InterferenceTableBeatsIsolatedOnSparse)
     const SimExecutor executor(model);
 
     auto correlation = [&](bool interference_aware) {
-        OptimizerConfig cfg;
+        PlannerSpec cfg;
         cfg.utilizationFilter = interference_aware;
         Optimizer opt(soc,
                       interference_aware ? profile.interference

@@ -107,10 +107,10 @@ TEST_F(ProfiledPixel, MoreRepsTightenNothingButStillPositive)
 
 TEST_F(ProfiledPixel, SolverAndExhaustiveAgreeOnRanking)
 {
-    OptimizerConfig solver_cfg;
-    solver_cfg.engine = OptimizerConfig::Engine::ConstraintSolver;
-    OptimizerConfig brute_cfg = solver_cfg;
-    brute_cfg.engine = OptimizerConfig::Engine::Exhaustive;
+    PlannerSpec solver_cfg;
+    solver_cfg.engine = PlannerEngine::Solver;
+    PlannerSpec brute_cfg = solver_cfg;
+    brute_cfg.engine = PlannerEngine::Exhaustive;
 
     Optimizer with_solver(soc, result.interference, solver_cfg);
     Optimizer with_brute(soc, result.interference, brute_cfg);
@@ -194,9 +194,9 @@ TEST_F(ProfiledPixel, UtilizationFilterMaximizesPuCountUnderBound)
 
 TEST_F(ProfiledPixel, LatencyOnlyModeFindsGlobalLatencyOptimum)
 {
-    OptimizerConfig cfg;
+    PlannerSpec cfg;
     cfg.utilizationFilter = false;
-    cfg.engine = OptimizerConfig::Engine::Exhaustive;
+    cfg.engine = PlannerEngine::Exhaustive;
     Optimizer opt(soc, result.interference, cfg);
     const auto cands = opt.optimize();
 
@@ -320,7 +320,7 @@ TEST(Optimizer, CandidateCountRespectsK)
     for (int s = 0; s < 3; ++s)
         for (int p = 0; p < 2; ++p)
             table.set(s, p, 1.0 + s * 0.5 + p * 0.25);
-    OptimizerConfig cfg;
+    PlannerSpec cfg;
     cfg.numCandidates = 5;
     Optimizer opt(soc, table, cfg);
     EXPECT_LE(opt.optimize().size(), 5u);
@@ -333,7 +333,7 @@ TEST(Optimizer, ExhaustsSpaceWhenKExceedsIt)
     for (int s = 0; s < 2; ++s)
         for (int p = 0; p < 2; ++p)
             table.set(s, p, 1.0 + s + p);
-    OptimizerConfig cfg;
+    PlannerSpec cfg;
     cfg.numCandidates = 50;
     cfg.utilizationFilter = false;
     Optimizer opt(soc, table, cfg);
@@ -378,7 +378,7 @@ TEST_F(ProfiledPixel, EvaluatorBitIdenticalOverAllSchedules)
  *  candidates, same predicted numbers, same stats. */
 void
 expectSamePlan(const platform::SocDescription& soc,
-               const ProfilingTable& table, OptimizerConfig cfg)
+               const ProfilingTable& table, PlannerSpec cfg)
 {
     cfg.memoize = true;
     Optimizer memo(soc, table, cfg);
@@ -418,15 +418,15 @@ expectSamePlan(const platform::SocDescription& soc,
 
 TEST_F(ProfiledPixel, MemoizedExhaustivePlanBitIdentical)
 {
-    OptimizerConfig cfg;
-    cfg.engine = OptimizerConfig::Engine::Exhaustive;
+    PlannerSpec cfg;
+    cfg.engine = PlannerEngine::Exhaustive;
     expectSamePlan(soc, result.interference, cfg);
 }
 
 TEST_F(ProfiledPixel, MemoizedSolverPlanBitIdentical)
 {
-    OptimizerConfig cfg;
-    cfg.engine = OptimizerConfig::Engine::ConstraintSolver;
+    PlannerSpec cfg;
+    cfg.engine = PlannerEngine::Solver;
     expectSamePlan(soc, result.interference, cfg);
 
     // The solver's minimize calls revisit assignments, so the keyed
@@ -438,9 +438,9 @@ TEST_F(ProfiledPixel, MemoizedSolverPlanBitIdentical)
 
 TEST_F(ProfiledPixel, MemoizedEnergyDelayPlanBitIdentical)
 {
-    OptimizerConfig cfg;
-    cfg.engine = OptimizerConfig::Engine::Exhaustive;
-    cfg.objective = OptimizerConfig::Objective::EnergyDelay;
+    PlannerSpec cfg;
+    cfg.engine = PlannerEngine::Exhaustive;
+    cfg.objective = PlannerSpec::Objective::EnergyDelay;
     expectSamePlan(soc, result.interference, cfg);
 }
 
@@ -448,8 +448,8 @@ TEST_F(ProfiledPixel, MemoizedReplanShapeBitIdentical)
 {
     // The graceful-degradation configuration: one candidate on a
     // restricted PU set.
-    OptimizerConfig cfg;
-    cfg.engine = OptimizerConfig::Engine::Exhaustive;
+    PlannerSpec cfg;
+    cfg.engine = PlannerEngine::Exhaustive;
     cfg.numCandidates = 1;
     cfg.allowedPus = {0, 1, 2};
     expectSamePlan(soc, result.interference, cfg);
@@ -459,16 +459,17 @@ TEST_F(ProfiledPixel, SharedEvaluatorServesSecondOptimizerFromCache)
 {
     const auto& table = result.interference;
     ScheduleEvaluator eval(soc, table, *model);
-    OptimizerConfig cfg;
-    cfg.engine = OptimizerConfig::Engine::Exhaustive;
+    PlannerSpec cfg;
+    cfg.engine = PlannerEngine::Exhaustive;
     cfg.numCandidates = 1;
+    cfg.sharedEvaluator = &eval;
 
-    Optimizer first(soc, table, cfg, &eval);
+    Optimizer first(soc, table, cfg);
     const auto plan_a = first.optimize();
     const auto misses_after_first = eval.stats().misses;
 
     cfg.allowedPus = {0, 1, 2}; // a replan against the same table
-    Optimizer second(soc, table, cfg, &eval);
+    Optimizer second(soc, table, cfg);
     const auto plan_b = second.optimize();
     // Nothing new to predict: the first pass scored the full space.
     EXPECT_EQ(eval.stats().misses, misses_after_first);

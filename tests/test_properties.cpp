@@ -235,7 +235,7 @@ TEST(OptimizerContract, TopCandidateEqualsUnrestrictedOptimum)
     for (int s = 0; s < 4; ++s)
         for (int p = 0; p < 2; ++p)
             t.set(s, p, rng.nextRange(0.2, 2.0));
-    core::OptimizerConfig cfg;
+    core::PlannerSpec cfg;
     cfg.utilizationFilter = false;
     core::Optimizer opt(soc, t, cfg);
     const auto cands = opt.optimize();
@@ -255,7 +255,7 @@ TEST(OptimizerContract, TierCapLimitsRepeatedCriticalChunks)
     for (int s = 0; s < 5; ++s)
         for (int p = 0; p < 4; ++p)
             t.set(s, p, rng.nextRange(0.2, 2.0));
-    core::OptimizerConfig cfg;
+    core::PlannerSpec cfg;
     cfg.maxPerTier = 2;
     core::Optimizer opt(soc, t, cfg);
     const auto cands = opt.optimize();
