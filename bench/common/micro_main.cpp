@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared main() for the google-benchmark micro binaries, replacing
+ * benchmark::benchmark_main so every snapshot's context records the
+ * active SIMD tier. Trajectory comparisons (BENCH_*.json) must reject
+ * deltas between different tiers the same way they reject mixed build
+ * types: an avx2 run and a forced-scalar run are different machines as
+ * far as kernel-body numbers are concerned.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/simd.hpp"
+#include "kernels/simd_ops.hpp"
+
+int
+main(int argc, char** argv)
+{
+    const bt::kernels::SimdTier tier = bt::kernels::simdTier();
+    benchmark::AddCustomContext("bt_simd_isa",
+                                bt::simd::isaName(tier.isa));
+    benchmark::AddCustomContext("bt_simd_lanes",
+                                std::to_string(tier.lanes));
+    benchmark::AddCustomContext("bt_simd_dispatch",
+                                tier.forced ? "forced" : "runtime");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -19,6 +19,7 @@
 #include "kernels/pooling.hpp"
 #include "kernels/prefix_sum.hpp"
 #include "kernels/radix_tree.hpp"
+#include "kernels/simd_ops.hpp"
 #include "kernels/sort.hpp"
 #include "kernels/sparse_conv.hpp"
 #include "kernels/unique.hpp"
@@ -421,5 +422,75 @@ BM_GemmConv(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * shape.out().elems());
 }
 BENCHMARK(BM_GemmConv)->Arg(8)->Arg(32);
+
+// SIMD-vs-scalar tier pairs: same shape and data, dispatch pinned to
+// the widest available tier vs the scalar fallback. The Simd/Scalar
+// ratio inside one snapshot prices the vector layer without the
+// cross-host noise of comparing two BENCH_kernels.json files; the CI
+// bench smoke asserts the expected margins (skipped when the host's
+// best tier is already scalar).
+
+/** Pin @p simd ? widest built+supported tier : scalar for the loop. */
+class ScopedBenchTier
+{
+  public:
+    explicit ScopedBenchTier(bool simd)
+    {
+        bt::simd::Isa isa = simd ? bt::simd::bestCpuIsa()
+                                 : bt::simd::Isa::Scalar;
+        // The CPU may support a tier the build left out
+        // (-DBT_ENABLE_AVX2=OFF): clamp like the runtime dispatcher.
+        while (!simdTierAvailable(isa))
+            isa = bt::simd::fallbackIsa(isa);
+        setSimdIsaForTesting(isa);
+    }
+    ~ScopedBenchTier() { resetSimdIsaForTesting(); }
+    ScopedBenchTier(const ScopedBenchTier&) = delete;
+    ScopedBenchTier& operator=(const ScopedBenchTier&) = delete;
+};
+
+void
+BM_GemmSimdTier(benchmark::State& state, bool simd)
+{
+    const ScopedBenchTier tier(simd);
+    const int m = 64;
+    const int n = 256;
+    const int k = 288;
+    const auto a = randomFloats(static_cast<std::size_t>(m) * k, 32);
+    const auto b = randomFloats(static_cast<std::size_t>(k) * n, 33);
+    std::vector<float> c(static_cast<std::size_t>(m) * n);
+    for (auto _ : state) {
+        gemmCpu(CpuExec{nullptr}, m, n, k, a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2
+                            * static_cast<std::int64_t>(m) * n * k);
+    state.SetLabel(bt::simd::isaName(simdTier().isa));
+}
+BENCHMARK_CAPTURE(BM_GemmSimdTier, Simd, true);
+BENCHMARK_CAPTURE(BM_GemmSimdTier, Scalar, false);
+
+void
+BM_Conv2dSimdTier(benchmark::State& state, bool simd)
+{
+    const ScopedBenchTier tier(simd);
+    const ConvShape shape{Shape3{32, 16, 16}, 64};
+    const auto in = randomFloats(static_cast<std::size_t>(
+        shape.in.elems()), 34);
+    const auto w = randomFloats(static_cast<std::size_t>(
+        shape.weightElems()), 35);
+    const auto b = randomFloats(static_cast<std::size_t>(shape.outC),
+                                36);
+    std::vector<float> out(static_cast<std::size_t>(
+        shape.out().elems()));
+    for (auto _ : state) {
+        conv2dCpu(CpuExec{nullptr}, shape, in, w, b, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * shape.out().elems());
+    state.SetLabel(bt::simd::isaName(simdTier().isa));
+}
+BENCHMARK_CAPTURE(BM_Conv2dSimdTier, Simd, true);
+BENCHMARK_CAPTURE(BM_Conv2dSimdTier, Scalar, false);
 
 } // namespace

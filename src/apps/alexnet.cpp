@@ -154,13 +154,18 @@ referenceForward(const Weights& weights, std::span<const float> image,
 constexpr double kActCacheFactor = 0.35;
 
 /**
- * The host-side direct convolution (naive triple loop, Fig. 3 style)
- * executes ~8x the useful flops in address arithmetic and non-SIMD
- * issue slots; the GPU kernel maps near-roofline. This reproduces the
- * paper's wide CPU/GPU dense gap without distorting lean dense stages
- * such as Morton encoding or pooling.
+ * The host-side direct convolution costs ~4x its useful flops: the
+ * SIMD row-saxpy body (kernels/simd_body.hpp) recovers the issue-width
+ * gap of the old scalar loops (which sat near 8x), but the tap-sweep
+ * formulation still streams the output plane once per (ic, ky, kx) tap
+ * and so stays well short of the packed-GEMM roofline the lean kernels
+ * reach. Measured as the conv2dCpu / conv2dGemmCpu ratio on the
+ * BM_Conv2dDense vs BM_GemmConv micro pair (BENCH_kernels.json); the
+ * GPU kernel maps near-roofline. This reproduces the paper's wide
+ * CPU/GPU dense gap without distorting lean dense stages such as
+ * Morton encoding or pooling.
  */
-constexpr double kDirectConvCpuScale = 8.0;
+constexpr double kDirectConvCpuScale = 4.0;
 
 WorkProfile
 convProfile(const ConvShape& shape, int batch, bool sparse,

@@ -1,0 +1,84 @@
+#include "common/simd.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace bt::simd {
+
+const char*
+isaName(Isa isa)
+{
+    switch (isa) {
+    case Isa::Scalar:
+        return "scalar";
+    case Isa::Sse2:
+        return "sse2";
+    case Isa::Avx2:
+        return "avx2";
+    case Isa::Neon:
+        return "neon";
+    }
+    return "scalar";
+}
+
+bool
+cpuSupports(Isa isa)
+{
+    switch (isa) {
+    case Isa::Scalar:
+        return true;
+    case Isa::Sse2:
+#if defined(__x86_64__) || defined(__i386__)
+        return true; // x86-64 baseline
+#else
+        return false;
+#endif
+    case Isa::Avx2:
+#if defined(__x86_64__) || defined(__i386__)
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+    case Isa::Neon:
+#if defined(__aarch64__)
+        return true; // aarch64 baseline
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Isa
+bestCpuIsa()
+{
+    if (cpuSupports(Isa::Avx2))
+        return Isa::Avx2;
+    if (cpuSupports(Isa::Sse2))
+        return Isa::Sse2;
+    if (cpuSupports(Isa::Neon))
+        return Isa::Neon;
+    return Isa::Scalar;
+}
+
+SimdRequest
+simdRequestFromEnv()
+{
+    const char* env = std::getenv("BT_SIMD");
+    if (env == nullptr || *env == '\0')
+        return {};
+    const std::string v(env);
+    if (v == "native" || v == "auto")
+        return {};
+    for (Isa isa : {Isa::Scalar, Isa::Sse2, Isa::Avx2, Isa::Neon}) {
+        if (v == isaName(isa))
+            return {isa, true};
+    }
+    fatal("BT_SIMD=", v,
+          " is not a SIMD tier (expected scalar|sse2|avx2|neon|native)");
+    return {};
+}
+
+} // namespace bt::simd

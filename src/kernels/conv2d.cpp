@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "kernels/simd_ops.hpp"
 
 namespace bt::kernels {
 
@@ -75,6 +76,11 @@ conv2dCpu(const CpuExec& exec, const ConvShape& shape,
           std::span<const float> bias, std::span<float> out)
 {
     checkSizes(shape, in, weights, bias, out);
+    if (const detail::SimdOps* ops = detail::simdOps()) {
+        ops->conv2d(exec, shape, in.data(), weights.data(), bias.data(),
+                    out.data());
+        return;
+    }
     const int h = shape.in.h;
     const int w = shape.in.w;
     const std::int64_t plane = static_cast<std::int64_t>(h) * w;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "kernels/simd_ops.hpp"
 
 namespace bt::kernels {
 
@@ -17,6 +18,10 @@ im2col(const CpuExec& exec, const Shape3& in_shape,
     BT_ASSERT(in.size() >= static_cast<std::size_t>(in_shape.elems()));
     BT_ASSERT(cols.size() >= static_cast<std::size_t>(rows * pixels));
 
+    if (const detail::SimdOps* ops = detail::simdOps()) {
+        ops->im2col(exec, in_shape, in.data(), cols.data());
+        return;
+    }
     exec.forEach(rows, [&](std::int64_t r) {
         const int ic = static_cast<int>(r / 9);
         const int ky = static_cast<int>((r % 9) / 3);
@@ -102,25 +107,35 @@ gemmCpu(const CpuExec& exec, int m, int n, int k,
     BT_ASSERT(c.size() >= static_cast<std::size_t>(m)
                   * static_cast<std::size_t>(n));
 
-    // Parallelize over MR-row tiles; each tile streams B once and reuses
-    // every strip MR times, cutting B traffic by the row-blocking factor.
+    if (const detail::SimdOps* ops = detail::simdOps()) {
+        ops->gemm(exec, m, n, k, a.data(), b.data(), c.data());
+        return;
+    }
+    // Parallelize over the full (MR-row tile x NR-column strip) grid:
+    // each tile still streams B strip-by-strip and reuses every strip MR
+    // times, but small-M/large-N shapes (the im2col conv layout) now
+    // spread over the team instead of serializing on a handful of row
+    // tiles. Output elements are independent, so the decomposition
+    // change cannot affect results.
     const std::int64_t tiles = (m + kGemmMr - 1) / kGemmMr;
-    exec.forEachBlock(tiles, [&](std::int64_t t0, std::int64_t t1) {
-        for (std::int64_t t = t0; t < t1; ++t) {
-            const int r0 = static_cast<int>(t) * kGemmMr;
+    const std::int64_t strips = (n + kGemmNr - 1) / kGemmNr;
+    exec.forEachBlock(tiles * strips, [&](std::int64_t lo,
+                                          std::int64_t hi) {
+        for (std::int64_t u = lo; u < hi; ++u) {
+            const int r0 = static_cast<int>(u / strips) * kGemmMr;
+            const int nc = static_cast<int>(u % strips) * kGemmNr;
             const int rows = std::min(kGemmMr, m - r0);
+            const int cols = std::min(kGemmNr, n - nc);
             const float* a0 = &a[static_cast<std::size_t>(r0)
                                  * static_cast<std::size_t>(k)];
             float* c0 = &c[static_cast<std::size_t>(r0)
-                           * static_cast<std::size_t>(n)];
-            int nc = 0;
-            if (rows == kGemmMr) {
-                for (; nc + kGemmNr <= n; nc += kGemmNr)
-                    gemmMicroKernel(n, k, a0, k, b.data() + nc, c0 + nc);
-            }
-            for (; nc < n; nc += kGemmNr)
-                gemmEdgeKernel(n, k, rows, std::min(kGemmNr, n - nc), a0,
-                               k, b.data() + nc, c0 + nc);
+                               * static_cast<std::size_t>(n)
+                           + static_cast<std::size_t>(nc)];
+            if (rows == kGemmMr && cols == kGemmNr)
+                gemmMicroKernel(n, k, a0, k, b.data() + nc, c0);
+            else
+                gemmEdgeKernel(n, k, rows, cols, a0, k, b.data() + nc,
+                               c0);
         }
     });
 }
@@ -144,6 +159,10 @@ conv2dGemmCpu(const CpuExec& exec, const ConvShape& shape,
     gemmCpu(exec, shape.outC, static_cast<int>(pixels), k, weights,
             cols_scratch, out);
 
+    if (const detail::SimdOps* ops = detail::simdOps()) {
+        ops->biasRelu(exec, shape.outC, pixels, bias.data(), out.data());
+        return;
+    }
     // Bias + ReLU epilogue: track the channel incrementally instead of
     // dividing per element.
     exec.forEachBlock(shape.out().elems(),

@@ -1,6 +1,7 @@
 #include "kernels/linear.hpp"
 
 #include "common/logging.hpp"
+#include "kernels/simd_ops.hpp"
 
 namespace bt::kernels {
 
@@ -40,6 +41,11 @@ linearCpu(const CpuExec& exec, int in_features, int out_features,
           std::span<const float> bias, std::span<float> out)
 {
     checkSizes(in_features, out_features, in, weights, bias, out);
+    if (const detail::SimdOps* ops = detail::simdOps()) {
+        ops->linear(exec, in_features, out_features, in.data(),
+                    weights.data(), bias.data(), out.data());
+        return;
+    }
     exec.forEachBlock(out_features,
                       [&](std::int64_t lo, std::int64_t hi) {
                           for (std::int64_t row = lo; row < hi; ++row)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "kernels/simd_ops.hpp"
 
 namespace bt::kernels {
 
@@ -58,6 +59,10 @@ maxpoolCpu(const CpuExec& exec, const Shape3& in_shape,
            std::span<const float> in, std::span<float> out)
 {
     checkSizes(in_shape, in, out);
+    if (const detail::SimdOps* ops = detail::simdOps()) {
+        ops->maxpool(exec, in_shape, in.data(), out.data());
+        return;
+    }
     const Shape3 os = pooledShape(in_shape);
     const std::int64_t rows = static_cast<std::int64_t>(os.c) * os.h;
     // Host path: one output row per unit of work, walking the two input

@@ -1,0 +1,600 @@
+/**
+ * @file
+ * Vectorized host kernel bodies, templated over a Vec implementation
+ * (common/simd.hpp). Included only by the per-ISA tier TUs
+ * (simd_tier_*.cpp); everything here is an implementation detail of
+ * the SimdOps dispatch table.
+ *
+ * Bit-identity discipline (tested exhaustively in tests/test_simd.cpp):
+ * every kernel vectorizes across *independent output elements* — W
+ * adjacent pixels of a row saxpy, W output rows of a linear layer, W
+ * C-matrix columns of a GEMM register tile — so each output element
+ * accumulates exactly the scalar body's terms in exactly the scalar
+ * order. Combined with Vec's unfused mulAdd and std::max-semantics max
+ * (see simd.hpp), outputs are bit-identical to the scalar fallback at
+ * any tier, thread count, and shape.
+ *
+ * The GEMM additionally cache-blocks over K (kGemmKc panels): panel
+ * results accumulate into C memory, and since float loads/stores are
+ * exact, splitting the k loop across panels preserves the per-element
+ * ascending-k accumulation order.
+ */
+
+#ifndef BT_KERNELS_SIMD_BODY_HPP
+#define BT_KERNELS_SIMD_BODY_HPP
+
+#include <algorithm>
+#include <cstdint>
+
+#include "kernels/simd_ops.hpp"
+
+namespace bt::kernels::detail {
+
+// ---------------------------------------------------------------- rows
+//
+// Tails: masked partials when the ISA has them in registers
+// (V::fastPartial), otherwise a plain scalar remainder — the emulated
+// partials bounce through a stack buffer and eat a store-forwarding
+// stall per call, which dominates short rows. Both tails compute the
+// identical per-element expression, so outputs match bit-for-bit.
+
+template <typename V>
+inline void
+fillRow(float* dst, float value, std::int64_t n)
+{
+    const V b = V::broadcast(value);
+    std::int64_t i = 0;
+    for (; i + V::width <= n; i += V::width)
+        b.storeu(dst + i);
+    if constexpr (V::fastPartial) {
+        if (i < n)
+            b.storePartial(dst + i, static_cast<int>(n - i));
+    } else {
+        for (; i < n; ++i)
+            dst[i] = value;
+    }
+}
+
+template <typename V>
+inline void
+copyRow(float* dst, const float* src, std::int64_t n)
+{
+    std::int64_t i = 0;
+    for (; i + V::width <= n; i += V::width)
+        V::loadu(src + i).storeu(dst + i);
+    if constexpr (V::fastPartial) {
+        if (i < n) {
+            const int r = static_cast<int>(n - i);
+            V::loadPartial(src + i, r).storePartial(dst + i, r);
+        }
+    } else {
+        for (; i < n; ++i)
+            dst[i] = src[i];
+    }
+}
+
+/** dst[i] += w * src[i] — the shifted-tap inner loop of both convs. */
+template <typename V>
+inline void
+saxpyRow(float* dst, const float* src, float w, std::int64_t n)
+{
+    const V vw = V::broadcast(w);
+    std::int64_t i = 0;
+    // Two accumulator streams per iteration: a row is a chain of
+    // independent loads/stores, and the extra stream keeps the FP add
+    // port busy while the first iteration's store retires.
+    for (; i + 2 * V::width <= n; i += 2 * V::width) {
+        V::mulAdd(vw, V::loadu(src + i), V::loadu(dst + i))
+            .storeu(dst + i);
+        V::mulAdd(vw, V::loadu(src + i + V::width),
+                  V::loadu(dst + i + V::width))
+            .storeu(dst + i + V::width);
+    }
+    for (; i + V::width <= n; i += V::width) {
+        V::mulAdd(vw, V::loadu(src + i), V::loadu(dst + i))
+            .storeu(dst + i);
+    }
+    if constexpr (V::fastPartial) {
+        if (i < n) {
+            const int r = static_cast<int>(n - i);
+            V::mulAdd(vw, V::loadPartial(src + i, r),
+                      V::loadPartial(dst + i, r))
+                .storePartial(dst + i, r);
+        }
+    } else {
+        for (; i < n; ++i) {
+            const float prod = w * src[i];
+            dst[i] = prod + dst[i];
+        }
+    }
+}
+
+/** dst[i] = max(dst[i], 0) — the ReLU epilogue. */
+template <typename V>
+inline void
+reluRow(float* dst, std::int64_t n)
+{
+    const V z = V::zero();
+    std::int64_t i = 0;
+    for (; i + V::width <= n; i += V::width)
+        V::max(V::loadu(dst + i), z).storeu(dst + i);
+    if constexpr (V::fastPartial) {
+        if (i < n) {
+            const int r = static_cast<int>(n - i);
+            V::max(V::loadPartial(dst + i, r), z)
+                .storePartial(dst + i, r);
+        }
+    } else {
+        for (; i < n; ++i)
+            dst[i] = dst[i] < 0.0f ? 0.0f : dst[i];
+    }
+}
+
+// ---------------------------------------------------------------- conv
+
+template <typename V>
+void
+conv2dCpuV(const CpuExec& exec, const ConvShape& shape, const float* in,
+           const float* weights, const float* bias, float* out)
+{
+    const int h = shape.in.h;
+    const int w = shape.in.w;
+    const std::int64_t plane = static_cast<std::int64_t>(h) * w;
+    exec.forEachBlock(shape.outC, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t oc = lo; oc < hi; ++oc) {
+            float* dst_plane = out + oc * plane;
+            fillRow<V>(dst_plane, bias[oc], plane);
+            const float* wrow = weights
+                + oc * static_cast<std::int64_t>(shape.in.c) * 9;
+            for (int ic = 0; ic < shape.in.c; ++ic, wrow += 9) {
+                const float* src_plane = in + ic * plane;
+                for (int ky = 0; ky < 3; ++ky) {
+                    const int dy = ky - 1;
+                    const int y0 = dy < 0 ? -dy : 0;
+                    const int y1 = dy > 0 ? h - dy : h;
+                    for (int kx = 0; kx < 3; ++kx) {
+                        const int dx = kx - 1;
+                        const int x0 = dx < 0 ? -dx : 0;
+                        const int x1 = dx > 0 ? w - dx : w;
+                        const float wv = wrow[ky * 3 + kx];
+                        for (int y = y0; y < y1; ++y) {
+                            const float* src = src_plane
+                                + static_cast<std::int64_t>(y + dy) * w
+                                + dx;
+                            float* dst = dst_plane
+                                + static_cast<std::int64_t>(y) * w;
+                            saxpyRow<V>(dst + x0, src + x0, wv, x1 - x0);
+                        }
+                    }
+                }
+            }
+            reluRow<V>(dst_plane, plane);
+        }
+    });
+}
+
+template <typename V>
+void
+sparseConvCpuV(const CpuExec& exec, const ConvShape& shape,
+               const float* in, const CsrMatrix& weights,
+               const float* bias, float* out)
+{
+    const int h = shape.in.h;
+    const int w = shape.in.w;
+    const std::int64_t plane = static_cast<std::int64_t>(h) * w;
+    exec.forEachBlock(shape.outC, [&](std::int64_t lo_oc,
+                                      std::int64_t hi_oc) {
+        for (std::int64_t oc = lo_oc; oc < hi_oc; ++oc) {
+            float* dst_plane = out + oc * plane;
+            fillRow<V>(dst_plane, bias[oc], plane);
+            const std::uint32_t lo
+                = weights.rowPtr[static_cast<std::size_t>(oc)];
+            const std::uint32_t hi
+                = weights.rowPtr[static_cast<std::size_t>(oc) + 1];
+            for (std::uint32_t k = lo; k < hi; ++k) {
+                const std::uint32_t col = weights.colIdx[k];
+                const int ic = static_cast<int>(col / 9);
+                const int dy = static_cast<int>((col % 9) / 3) - 1;
+                const int dx = static_cast<int>(col % 3) - 1;
+                const float wv = weights.values[k];
+                const float* src_plane = in + ic * plane;
+                const int y0 = dy < 0 ? -dy : 0;
+                const int y1 = dy > 0 ? h - dy : h;
+                const int x0 = dx < 0 ? -dx : 0;
+                const int x1 = dx > 0 ? w - dx : w;
+                for (int y = y0; y < y1; ++y) {
+                    const float* src = src_plane
+                        + static_cast<std::int64_t>(y + dy) * w + dx;
+                    float* dst = dst_plane
+                        + static_cast<std::int64_t>(y) * w;
+                    saxpyRow<V>(dst + x0, src + x0, wv, x1 - x0);
+                }
+            }
+            reluRow<V>(dst_plane, plane);
+        }
+    });
+}
+
+// ------------------------------------------------------------- maxpool
+
+template <typename V>
+void
+maxpoolCpuV(const CpuExec& exec, const Shape3& in_shape, const float* in,
+            float* out)
+{
+    const int oh = in_shape.h / 2;
+    const int ow = in_shape.w / 2;
+    const std::int64_t rows = static_cast<std::int64_t>(in_shape.c) * oh;
+    exec.forEachBlock(rows, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t r = lo; r < hi; ++r) {
+            const std::int64_t c = r / oh;
+            const std::int64_t y = r - c * oh;
+            const float* row0 = in
+                + (c * in_shape.h + 2 * y) * in_shape.w;
+            const float* row1 = row0 + in_shape.w;
+            float* dst = out + r * ow;
+            int x = 0;
+            for (; x + V::width <= ow; x += V::width) {
+                V e0;
+                V o0;
+                V e1;
+                V o1;
+                V::deinterleave2(row0 + 2 * x, e0, o0);
+                V::deinterleave2(row1 + 2 * x, e1, o1);
+                V::max(V::max(e0, o0), V::max(e1, o1)).storeu(dst + x);
+            }
+            for (; x < ow; ++x) {
+                const float a
+                    = row0[2 * x] < row0[2 * x + 1] ? row0[2 * x + 1]
+                                                    : row0[2 * x];
+                const float b
+                    = row1[2 * x] < row1[2 * x + 1] ? row1[2 * x + 1]
+                                                    : row1[2 * x];
+                dst[x] = a < b ? b : a;
+            }
+        }
+    });
+}
+
+// -------------------------------------------------------------- im2col
+
+template <typename V>
+void
+im2colV(const CpuExec& exec, const Shape3& in_shape, const float* in,
+        float* cols)
+{
+    const int h = in_shape.h;
+    const int w = in_shape.w;
+    const std::int64_t pixels = static_cast<std::int64_t>(h) * w;
+    const std::int64_t rows = static_cast<std::int64_t>(in_shape.c) * 9;
+    exec.forEach(rows, [&](std::int64_t r) {
+        const int ic = static_cast<int>(r / 9);
+        const int dy = static_cast<int>((r % 9) / 3) - 1;
+        const int dx = static_cast<int>(r % 3) - 1;
+        const int x0 = dx < 0 ? -dx : 0;
+        const int x1 = dx > 0 ? w - dx : w;
+        float* dst = cols + r * pixels;
+        const float* src_plane = in + static_cast<std::int64_t>(ic) * pixels;
+        for (int y = 0; y < h; ++y) {
+            float* drow = dst + static_cast<std::int64_t>(y) * w;
+            const int iy = y + dy;
+            if (iy < 0 || iy >= h) {
+                fillRow<V>(drow, 0.0f, w);
+                continue;
+            }
+            const float* srow = src_plane
+                + static_cast<std::int64_t>(iy) * w + dx;
+            for (int x = 0; x < x0; ++x)
+                drow[x] = 0.0f;
+            copyRow<V>(drow + x0, srow + x0, x1 - x0);
+            for (int x = x1; x < w; ++x)
+                drow[x] = 0.0f;
+        }
+    });
+}
+
+// -------------------------------------------------------------- linear
+
+template <typename V>
+void
+linearCpuV(const CpuExec& exec, int in_features, int out_features,
+           const float* in, const float* weights, const float* bias,
+           float* out)
+{
+    exec.forEachBlock(out_features, [&](std::int64_t lo,
+                                        std::int64_t hi) {
+        std::int64_t row = lo;
+        // W output rows at a time: acc lane r is exactly the scalar
+        // dotRow for row+r (bias start, ascending i, unfused ops).
+        for (; row + V::width <= hi; row += V::width) {
+            V acc = V::loadu(bias + row);
+            const float* wbase = weights + row * in_features;
+            for (int i = 0; i < in_features; ++i) {
+                acc = V::mulAdd(V::gatherStride(wbase + i, in_features),
+                                V::broadcast(in[i]), acc);
+            }
+            acc.storeu(out + row);
+        }
+        for (; row < hi; ++row) {
+            float acc = bias[row];
+            const float* wrow = weights + row * in_features;
+            for (int i = 0; i < in_features; ++i) {
+                acc += wrow[i] * in[i];
+            }
+            out[row] = acc;
+        }
+    });
+}
+
+// ------------------------------------------------------- bias epilogue
+
+template <typename V>
+void
+biasReluPlanesV(const CpuExec& exec, int planes, std::int64_t plane,
+                const float* bias, float* out)
+{
+    exec.forEachBlock(planes, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t p = lo; p < hi; ++p) {
+            const V vb = V::broadcast(bias[p]);
+            const V z = V::zero();
+            float* dst = out + p * plane;
+            std::int64_t i = 0;
+            for (; i + V::width <= plane; i += V::width) {
+                V::max(V::add(V::loadu(dst + i), vb), z)
+                    .storeu(dst + i);
+            }
+            if constexpr (V::fastPartial) {
+                if (i < plane) {
+                    const int r = static_cast<int>(plane - i);
+                    V::max(V::add(V::loadPartial(dst + i, r), vb), z)
+                        .storePartial(dst + i, r);
+                }
+            } else {
+                for (; i < plane; ++i) {
+                    const float s = dst[i] + bias[p];
+                    dst[i] = s < 0.0f ? 0.0f : s;
+                }
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------- gemm
+
+/// Register tile: kGemmVMr rows of C, 2 vectors (2*W columns) per row.
+inline constexpr int kGemmVMr = 4;
+/// K cache-block: one packed A/B panel's K extent (fits L1/L2 streams).
+inline constexpr int kGemmKc = 256;
+
+/**
+ * Scalar remainder tile for the columns right of the last full vector
+ * strip (cols < 2*W <= 16). `first` selects fresh accumulators vs
+ * continuing from the previous K panel's partial sums in C.
+ */
+inline void
+gemmPanelEdge(std::int64_t n, int kblk, int rows, int cols,
+              const float* a0, std::int64_t lda, const float* b0,
+              float* c0, bool first)
+{
+    float acc[kGemmVMr][16];
+    for (int mr = 0; mr < rows; ++mr) {
+        for (int j = 0; j < cols; ++j)
+            acc[mr][j] = first ? 0.0f : c0[mr * n + j];
+    }
+    for (int kk = 0; kk < kblk; ++kk) {
+        const float* brow = b0 + static_cast<std::int64_t>(kk) * n;
+        for (int mr = 0; mr < rows; ++mr) {
+            const float av = a0[mr * lda + kk];
+            for (int j = 0; j < cols; ++j)
+                acc[mr][j] += av * brow[j];
+        }
+    }
+    for (int mr = 0; mr < rows; ++mr) {
+        for (int j = 0; j < cols; ++j)
+            c0[mr * n + j] = acc[mr][j];
+    }
+}
+
+/**
+ * Full MR x 2W register tile over a packed A tile ([kk][MR], aligned)
+ * and packed B strip ([kk][2W], aligned).
+ */
+template <typename V, int MR>
+inline void
+gemmMicroPacked(int kblk, const float* ap, const float* bp, float* c0,
+                std::int64_t n, bool first)
+{
+    constexpr int W = V::width;
+    V acc0[MR];
+    V acc1[MR];
+    for (int mr = 0; mr < MR; ++mr) {
+        if (first) {
+            acc0[mr] = V::zero();
+            acc1[mr] = V::zero();
+        } else {
+            acc0[mr] = V::loadu(c0 + mr * n);
+            acc1[mr] = V::loadu(c0 + mr * n + W);
+        }
+    }
+    for (int kk = 0; kk < kblk; ++kk) {
+        const float* bk = bp + static_cast<std::int64_t>(kk) * 2 * W;
+        const V b0 = V::load(bk);
+        const V b1 = V::load(bk + W);
+        const float* ak = ap + static_cast<std::int64_t>(kk) * MR;
+        for (int mr = 0; mr < MR; ++mr) {
+            const V av = V::broadcast(ak[mr]);
+            acc0[mr] = V::mulAdd(av, b0, acc0[mr]);
+            acc1[mr] = V::mulAdd(av, b1, acc1[mr]);
+        }
+    }
+    for (int mr = 0; mr < MR; ++mr) {
+        acc0[mr].storeu(c0 + mr * n);
+        acc1[mr].storeu(c0 + mr * n + W);
+    }
+}
+
+/** Last row tile (rows < MR): same kernel with runtime row bound. */
+template <typename V>
+inline void
+gemmMicroPackedRows(int rows, int kblk, const float* ap, const float* bp,
+                    float* c0, std::int64_t n, bool first)
+{
+    constexpr int W = V::width;
+    V acc0[kGemmVMr];
+    V acc1[kGemmVMr];
+    for (int mr = 0; mr < rows; ++mr) {
+        if (first) {
+            acc0[mr] = V::zero();
+            acc1[mr] = V::zero();
+        } else {
+            acc0[mr] = V::loadu(c0 + mr * n);
+            acc1[mr] = V::loadu(c0 + mr * n + W);
+        }
+    }
+    for (int kk = 0; kk < kblk; ++kk) {
+        const float* bk = bp + static_cast<std::int64_t>(kk) * 2 * W;
+        const V b0 = V::load(bk);
+        const V b1 = V::load(bk + W);
+        const float* ak = ap + static_cast<std::int64_t>(kk) * kGemmVMr;
+        for (int mr = 0; mr < rows; ++mr) {
+            const V av = V::broadcast(ak[mr]);
+            acc0[mr] = V::mulAdd(av, b0, acc0[mr]);
+            acc1[mr] = V::mulAdd(av, b1, acc1[mr]);
+        }
+    }
+    for (int mr = 0; mr < rows; ++mr) {
+        acc0[mr].storeu(c0 + mr * n);
+        acc1[mr].storeu(c0 + mr * n + W);
+    }
+}
+
+/** Pack A rows [0, m) x K panel [k0, k0+kblk) as [tile][kk][MR],
+ *  zero-padding the last tile's missing rows. */
+inline void
+packGemmA(int m, int k0, int kblk, const float* a, std::int64_t lda,
+          float* pa)
+{
+    const int tiles = (m + kGemmVMr - 1) / kGemmVMr;
+    for (int t = 0; t < tiles; ++t) {
+        const int r0 = t * kGemmVMr;
+        const int rows = std::min(kGemmVMr, m - r0);
+        float* dst = pa
+            + static_cast<std::int64_t>(t) * kblk * kGemmVMr;
+        for (int kk = 0; kk < kblk; ++kk) {
+            for (int mr = 0; mr < kGemmVMr; ++mr) {
+                dst[static_cast<std::int64_t>(kk) * kGemmVMr + mr]
+                    = mr < rows
+                    ? a[static_cast<std::int64_t>(r0 + mr) * lda + k0
+                        + kk]
+                    : 0.0f;
+            }
+        }
+    }
+}
+
+/** Pack B's full vector strips of the K panel as [strip][kk][NR]. */
+template <typename V>
+inline void
+packGemmB(int strips, int k0, int kblk, const float* b, std::int64_t n,
+          float* pb)
+{
+    constexpr int NR = 2 * V::width;
+    for (int s = 0; s < strips; ++s) {
+        const float* src = b + static_cast<std::int64_t>(k0) * n
+            + static_cast<std::int64_t>(s) * NR;
+        float* dst = pb + static_cast<std::int64_t>(s) * kblk * NR;
+        for (int kk = 0; kk < kblk; ++kk) {
+            const float* srow = src + static_cast<std::int64_t>(kk) * n;
+            float* drow = dst + static_cast<std::int64_t>(kk) * NR;
+            V::loadu(srow).store(drow);
+            V::loadu(srow + V::width).store(drow + V::width);
+        }
+    }
+}
+
+/**
+ * Packed-panel GEMM: C = A * B, K blocked into kGemmKc panels whose
+ * A tiles / B strips are packed for unit-stride aligned streams, with
+ * an MR x 2W vector register tile. Work is parallelized over the full
+ * (row tile x column strip) grid, so small-M/large-N shapes (the
+ * im2col conv layout) still spread across the team.
+ */
+template <typename V>
+void
+gemmCpuV(const CpuExec& exec, int m, int n, int k, const float* a,
+         const float* b, float* c)
+{
+    constexpr int NR = 2 * V::width;
+    const int tiles = (m + kGemmVMr - 1) / kGemmVMr;
+    const int strips = n / NR;
+    const int remCols = n - strips * NR;
+    const int unitsPerTile = strips + (remCols != 0 ? 1 : 0);
+    thread_local simd::AlignedVector<float> packedA;
+    thread_local simd::AlignedVector<float> packedB;
+    for (int k0 = 0; k0 < k; k0 += kGemmKc) {
+        const int kblk = std::min(kGemmKc, k - k0);
+        const bool first = k0 == 0;
+        packedA.resize(static_cast<std::size_t>(tiles) * kblk * kGemmVMr);
+        packedB.resize(static_cast<std::size_t>(strips) * kblk * NR);
+        packGemmA(m, k0, kblk, a, k, packedA.data());
+        packGemmB<V>(strips, k0, kblk, b, n, packedB.data());
+        const float* pa = packedA.data();
+        const float* pb = packedB.data();
+        exec.forEachBlock(
+            static_cast<std::int64_t>(tiles) * unitsPerTile,
+            [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t u = lo; u < hi; ++u) {
+                    const int t = static_cast<int>(u / unitsPerTile);
+                    const int s = static_cast<int>(u % unitsPerTile);
+                    const int r0 = t * kGemmVMr;
+                    const int rows = std::min(kGemmVMr, m - r0);
+                    float* c0 = c + static_cast<std::int64_t>(r0) * n;
+                    if (s < strips) {
+                        const float* ap = pa
+                            + static_cast<std::int64_t>(t) * kblk
+                                * kGemmVMr;
+                        const float* bp = pb
+                            + static_cast<std::int64_t>(s) * kblk * NR;
+                        float* ct = c0 + static_cast<std::int64_t>(s) * NR;
+                        if (rows == kGemmVMr) {
+                            gemmMicroPacked<V, kGemmVMr>(kblk, ap, bp, ct,
+                                                         n, first);
+                        } else {
+                            gemmMicroPackedRows<V>(rows, kblk, ap, bp, ct,
+                                                   n, first);
+                        }
+                    } else {
+                        gemmPanelEdge(
+                            n, kblk, rows, remCols,
+                            a + static_cast<std::int64_t>(r0) * k + k0, k,
+                            b + static_cast<std::int64_t>(k0) * n
+                                + static_cast<std::int64_t>(strips) * NR,
+                            c0 + static_cast<std::int64_t>(strips) * NR,
+                            first);
+                    }
+                }
+            });
+    }
+}
+
+// ------------------------------------------------------------ factory
+
+template <typename V>
+SimdOps
+makeSimdOps(simd::Isa isa)
+{
+    SimdOps ops;
+    ops.isa = isa;
+    ops.gemm = &gemmCpuV<V>;
+    ops.conv2d = &conv2dCpuV<V>;
+    ops.sparseConv = &sparseConvCpuV<V>;
+    ops.maxpool = &maxpoolCpuV<V>;
+    ops.im2col = &im2colV<V>;
+    ops.linear = &linearCpuV<V>;
+    ops.biasRelu = &biasReluPlanesV<V>;
+    return ops;
+}
+
+} // namespace bt::kernels::detail
+
+#endif // BT_KERNELS_SIMD_BODY_HPP

@@ -1,0 +1,108 @@
+#include "kernels/simd_ops.hpp"
+
+#include "common/logging.hpp"
+
+namespace bt::kernels {
+
+namespace {
+
+using detail::SimdOps;
+
+const SimdOps*
+opsFor(simd::Isa isa)
+{
+    switch (isa) {
+    case simd::Isa::Sse2:
+        return detail::sse2Ops();
+    case simd::Isa::Avx2:
+        return detail::avx2Ops();
+    case simd::Isa::Neon:
+        return detail::neonOps();
+    case simd::Isa::Scalar:
+        break;
+    }
+    return nullptr;
+}
+
+bool
+tierAvailable(simd::Isa isa)
+{
+    return isa == simd::Isa::Scalar
+        || (simd::cpuSupports(isa) && opsFor(isa) != nullptr);
+}
+
+/** Walk the fallback chain until a tier is runnable here. */
+simd::Isa
+clampToAvailable(simd::Isa want)
+{
+    simd::Isa got = want;
+    while (!tierAvailable(got))
+        got = simd::fallbackIsa(got);
+    if (got != want) {
+        warn("SIMD tier ", simd::isaName(want),
+             " unavailable on this host/build; falling back to ",
+             simd::isaName(got));
+    }
+    return got;
+}
+
+struct ActiveTier
+{
+    simd::Isa isa;
+    bool forced;
+};
+
+ActiveTier
+resolveTier()
+{
+    const simd::SimdRequest req = simd::simdRequestFromEnv();
+    const simd::Isa want = req.forced ? req.isa : simd::bestCpuIsa();
+    return {clampToAvailable(want), req.forced};
+}
+
+ActiveTier&
+activeTier()
+{
+    static ActiveTier tier = resolveTier();
+    return tier;
+}
+
+} // namespace
+
+SimdTier
+simdTier()
+{
+    const ActiveTier& tier = activeTier();
+    return {tier.isa, simd::isaLanes(tier.isa), tier.forced};
+}
+
+bool
+simdTierAvailable(simd::Isa isa)
+{
+    return tierAvailable(isa);
+}
+
+void
+setSimdIsaForTesting(simd::Isa isa)
+{
+    BT_ASSERT(tierAvailable(isa), "requested SIMD tier not available");
+    activeTier() = {isa, true};
+}
+
+void
+resetSimdIsaForTesting()
+{
+    activeTier() = resolveTier();
+}
+
+namespace detail {
+
+const SimdOps*
+simdOps()
+{
+    return opsFor(activeTier().isa);
+}
+
+} // namespace detail
+
+} // namespace bt::kernels

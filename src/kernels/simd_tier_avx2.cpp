@@ -1,0 +1,44 @@
+/**
+ * @file
+ * AVX2 kernel tier: the shared bodies instantiated over VecAvx2.
+ *
+ * This is the only TU built with -mavx2 (see src/kernels/CMakeLists.txt
+ * and the BT_ENABLE_AVX2 option); runtime dispatch guarantees it is
+ * only entered on CPUs with AVX2. It is deliberately NOT built with
+ * -mfma: the bit-identity contract requires unfused multiply+add, and
+ * keeping FMA out of the ISA makes contraction impossible rather than
+ * merely disabled.
+ */
+
+#include "kernels/simd_ops.hpp"
+
+#if defined(__AVX2__)
+
+#include "common/simd_x86.hpp"
+#include "kernels/simd_body.hpp"
+
+namespace bt::kernels::detail {
+
+const SimdOps*
+avx2Ops()
+{
+    static const SimdOps ops
+        = makeSimdOps<simd::VecAvx2>(simd::Isa::Avx2);
+    return &ops;
+}
+
+} // namespace bt::kernels::detail
+
+#else
+
+namespace bt::kernels::detail {
+
+const SimdOps*
+avx2Ops()
+{
+    return nullptr;
+}
+
+} // namespace bt::kernels::detail
+
+#endif

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * NEON kernel tier: the shared bodies instantiated over VecNeon.
+ * NEON is the aarch64 baseline, so no extra compile flags; on other
+ * targets this TU compiles to the nullptr stub.
+ */
+
+#include "kernels/simd_ops.hpp"
+
+#if defined(__ARM_NEON)
+
+#include "common/simd_neon.hpp"
+#include "kernels/simd_body.hpp"
+
+namespace bt::kernels::detail {
+
+const SimdOps*
+neonOps()
+{
+    static const SimdOps ops
+        = makeSimdOps<simd::VecNeon>(simd::Isa::Neon);
+    return &ops;
+}
+
+} // namespace bt::kernels::detail
+
+#else
+
+namespace bt::kernels::detail {
+
+const SimdOps*
+neonOps()
+{
+    return nullptr;
+}
+
+} // namespace bt::kernels::detail
+
+#endif

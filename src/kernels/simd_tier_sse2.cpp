@@ -1,0 +1,39 @@
+/**
+ * @file
+ * SSE2 kernel tier: the shared bodies instantiated over VecSse2. SSE2
+ * is the x86-64 baseline, so this TU needs no extra compile flags and
+ * is the tier every x86 build can fall back to.
+ */
+
+#include "kernels/simd_ops.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include "common/simd_x86.hpp"
+#include "kernels/simd_body.hpp"
+
+namespace bt::kernels::detail {
+
+const SimdOps*
+sse2Ops()
+{
+    static const SimdOps ops
+        = makeSimdOps<simd::VecSse2>(simd::Isa::Sse2);
+    return &ops;
+}
+
+} // namespace bt::kernels::detail
+
+#else
+
+namespace bt::kernels::detail {
+
+const SimdOps*
+sse2Ops()
+{
+    return nullptr;
+}
+
+} // namespace bt::kernels::detail
+
+#endif

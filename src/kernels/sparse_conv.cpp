@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "kernels/simd_ops.hpp"
 
 namespace bt::kernels {
 
@@ -82,6 +83,11 @@ sparseConvCpu(const CpuExec& exec, const ConvShape& shape,
               std::span<const float> bias, std::span<float> out)
 {
     checkSizes(shape, in, weights, bias, out);
+    if (const detail::SimdOps* ops = detail::simdOps()) {
+        ops->sparseConv(exec, shape, in.data(), weights, bias.data(),
+                        out.data());
+        return;
+    }
     const int h = shape.in.h;
     const int w = shape.in.w;
     const std::int64_t plane = static_cast<std::int64_t>(h) * w;
