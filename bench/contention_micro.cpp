@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "core/application.hpp"
 #include "core/sim_executor.hpp"
 #include "platform/contention.hpp"
@@ -117,8 +118,8 @@ twoTenantPlan(benchmark::State& state, bool aware)
         // optimize) under their round-robin leases, exactly what a
         // two-tenant service pays on a cold cache.
         service::Service svc(soc, rigConfig(aware));
-        svc.registerApp(heavy);
-        svc.registerApp(light);
+        BT_ASSERT(svc.registerApp(heavy));
+        BT_ASSERT(svc.registerApp(light));
         const auto a = svc.freshPlan("MemHeavy", 0, 0, 2);
         const auto b = svc.freshPlan("MemLight", 0, 1, 2);
         planHeavy = a.schedule;

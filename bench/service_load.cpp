@@ -81,8 +81,8 @@ void
 BM_Serve(benchmark::State& state, bool cached)
 {
     Service svc(platform::pixel7a(), servingConfig(cached));
-    svc.registerApp(apps::octreeApp());
-    svc.registerApp(apps::featuresApp());
+    BT_ASSERT(svc.registerApp(apps::octreeApp()));
+    BT_ASSERT(svc.registerApp(apps::featuresApp()));
 
     double last_round_rps = 0.0;
     ServiceReport prev = svc.report();
@@ -126,8 +126,8 @@ BM_Serve_OpenLoop(benchmark::State& state)
     auto cfg = servingConfig(true);
     cfg.queueCapacity = 256; // bounded: overload shows up as drops
     Service svc(platform::pixel7a(), cfg);
-    svc.registerApp(apps::octreeApp());
-    svc.registerApp(apps::featuresApp());
+    BT_ASSERT(svc.registerApp(apps::octreeApp()));
+    BT_ASSERT(svc.registerApp(apps::featuresApp()));
 
     constexpr int kOpenRequests = 200;
     const auto interval

@@ -16,7 +16,14 @@
  *                 --faults plan.json --json report.json
  *     bt_explorer --check --app all --json check.json
  *     bt_explorer --check-fixtures
+ *     bt_explorer --lint --app all --json lint.json
+ *     bt_explorer --lint --faults plan.json
+ *     bt_explorer --lint-fixtures
  *     bt_explorer --serve --serve-requests 400 --json serve.json
+ *
+ * Exit codes (uniform across every mode): 0 = clean, 1 = usage error
+ * or fixture failure, 2 = findings (check/lint findings, an invalid
+ * deployed run, failed serving requests).
  */
 
 #include <cmath>
@@ -33,6 +40,8 @@
 #include "check/fixtures.hpp"
 #include "common/flags.hpp"
 #include "common/logging.hpp"
+#include "lint/fixtures.hpp"
+#include "lint/lint.hpp"
 #include "core/data_parallel.hpp"
 #include "core/dynamic_executor.hpp"
 #include "core/pipeline.hpp"
@@ -63,6 +72,8 @@ struct Options
     std::string json_file;
     bool check = false;
     bool check_fixtures = false;
+    bool lint = false;
+    bool lint_fixtures = false;
     bool serve = false;
     int serve_requests = 200;
     int serve_workers = 4;
@@ -134,6 +145,14 @@ parse(int argc, char** argv, Options& opt)
     flags.flag("--check-fixtures", &opt.check_fixtures,
                "run the seeded-defect fixtures; exit 1 unless bt::check "
                "flags every one");
+    flags.flag("--lint", &opt.lint,
+               "statically analyze the app's pipeline, planner spec and "
+               "run config (bt::lint) without executing anything; "
+               "--app all sweeps every workload, --faults lints the "
+               "plan too; exit 2 on findings");
+    flags.flag("--lint-fixtures", &opt.lint_fixtures,
+               "run the seeded-defect lint fixtures; exit 1 unless "
+               "bt::lint flags every one");
     flags.flag("--serve", &opt.serve,
                "run the multi-tenant serving demo (bt::Service): a "
                "worker pool with PU leasing and the keyed schedule "
@@ -167,8 +186,82 @@ runCheckFixtures()
     return all_flagged ? 0 : 1;
 }
 
+/** `--lint-fixtures`: negative control - every seeded defect must
+ *  lint with its expected diagnostic kind. */
+int
+runLintFixtures()
+{
+    bool all_flagged = true;
+    for (const auto& r : lint::runSeededDefects()) {
+        std::printf("%-22s expect %-22s -> %s (%zu findings)\n",
+                    r.name.c_str(),
+                    std::string(lint::diagnosticKindName(r.expected))
+                        .c_str(),
+                    r.flagged ? "flagged" : "MISSED", r.totalFindings);
+        all_flagged = all_flagged && r.flagged;
+    }
+    std::printf("%s\n", all_flagged
+                            ? "all seeded defects flagged"
+                            : "seeded defects MISSED - linter broken");
+    return all_flagged ? 0 : 1;
+}
+
 core::Application pickApp(const std::string& name);
 platform::SocDescription pickDevice(const std::string& name);
+
+/** `--lint`: static preflight of the selected workload(s) - pipeline
+ *  IO, planner spec, run config and fault plan - with no execution. */
+int
+runLint(const Options& opt)
+{
+    std::vector<std::string> names;
+    if (opt.app == "all")
+        names = {"dense", "sparse", "octree"};
+    else
+        names = {opt.app};
+
+    const auto soc = pickDevice(opt.device);
+    core::PlannerSpec spec;
+    spec.engine = core::plannerEngineFromName(opt.engine);
+    spec.numCandidates = opt.candidates;
+    spec.latencySlack = opt.latency_slack;
+    spec.gapnessSlack = opt.gapness_slack;
+    if (opt.edp_objective)
+        spec.objective = core::PlannerSpec::Objective::EnergyDelay;
+
+    runtime::RunConfig run;
+    if (!opt.faults_file.empty()) {
+        std::ifstream in(opt.faults_file);
+        runtime::PlanParseError perr;
+        auto plan = runtime::FaultPlan::fromJson(in, perr);
+        if (!plan) {
+            std::fprintf(stderr,
+                         "could not parse fault plan %s: %s\n",
+                         opt.faults_file.c_str(),
+                         perr.toString().c_str());
+            return 1;
+        }
+        run.faults = *plan;
+    }
+
+    lint::Report merged;
+    for (const auto& name : names) {
+        auto report = lint::lintPreflight(soc, pickApp(name), spec,
+                                          run);
+        std::printf("[%s] %s\n", name.c_str(),
+                    report.summary().c_str());
+        merged.merge(std::move(report));
+    }
+    merged.print(std::cout);
+
+    if (!opt.json_file.empty()) {
+        std::ofstream out(opt.json_file);
+        merged.writeJson(out);
+        std::printf("wrote lint report to %s\n",
+                    opt.json_file.c_str());
+    }
+    return merged.clean() ? 0 : 2;
+}
 
 /** `--check`: sweep the selected workload(s) under bt::check, then
  *  plan each of them with the selected engine so the report also says
@@ -331,10 +424,11 @@ runServe(const Options& opt, const platform::SocDescription& soc)
                          opt.json_file.c_str());
         }
     }
+    // Findings (lost or failed requests) exit 2, like --check/--lint.
     return report.completed == report.submitted
             && report.failed == 0
         ? 0
-        : 1;
+        : 2;
 }
 
 platform::SocDescription
@@ -376,8 +470,12 @@ main(int argc, char** argv)
 
     if (opt.check_fixtures)
         return runCheckFixtures();
+    if (opt.lint_fixtures)
+        return runLintFixtures();
     if (opt.check)
         return runCheck(opt);
+    if (opt.lint)
+        return runLint(opt);
     if (opt.serve)
         return runServe(opt, pickDevice(opt.device));
 
@@ -451,10 +549,13 @@ main(int argc, char** argv)
     core::SimExecConfig deploy_cfg;
     if (!opt.faults_file.empty()) {
         std::ifstream in(opt.faults_file);
-        auto plan = runtime::FaultPlan::fromJson(in);
+        runtime::PlanParseError perr;
+        auto plan = runtime::FaultPlan::fromJson(in, perr);
         if (!plan) {
-            std::fprintf(stderr, "could not parse fault plan %s\n",
-                         opt.faults_file.c_str());
+            std::fprintf(stderr,
+                         "could not parse fault plan %s: %s\n",
+                         opt.faults_file.c_str(),
+                         perr.toString().c_str());
             return 1;
         }
         plan->validate(soc.numPus());
@@ -594,6 +695,13 @@ main(int argc, char** argv)
             << "}\n";
         std::printf("wrote JSON report to %s\n",
                     opt.json_file.c_str());
+    }
+    // A deployed run with invalid outputs is a finding: exit 2, like
+    // --check/--lint, so CI sweeps can rely on one contract.
+    if (!run.valid()) {
+        std::fprintf(stderr,
+                     "deployed run produced invalid outputs\n");
+        return 2;
     }
     return 0;
 }

@@ -88,6 +88,17 @@ makeApp()
 {
     core::Application app("ImagePipe", "Image", "Demo");
 
+    // Declared IO makes the pipeline statically checkable: the
+    // Framework lints these declarations before profiling anything.
+    const auto imageBytes
+        = static_cast<std::int64_t>(kPixels * sizeof(float));
+    app.declareBuffer({"image", imageBytes, /*input=*/true});
+    app.declareBuffer({"blurred", imageBytes});
+    app.declareBuffer(
+        {"histogram",
+         static_cast<std::int64_t>(256 * sizeof(std::uint32_t)), false,
+         /*output=*/true});
+
     platform::WorkProfile gamma{2.0 * kPixels, 8.0 * kPixels, 0.999,
                                 platform::Pattern::Dense};
     platform::WorkProfile blur{4.0 * kPixels, 12.0 * kPixels, 0.99,
@@ -95,17 +106,28 @@ makeApp()
     platform::WorkProfile hist{3.0 * kPixels, 8.0 * kPixels, 0.2,
                                platform::Pattern::Irregular};
 
-    app.addStage(core::Stage(
+    core::Stage gamma_stage(
         "gamma", gamma,
         [](core::KernelCtx& c) { gammaStage(c, false); },
-        [](core::KernelCtx& c) { gammaStage(c, true); }));
-    app.addStage(core::Stage(
+        [](core::KernelCtx& c) { gammaStage(c, true); });
+    gamma_stage.setIo(
+        {{{"image", imageBytes}}, {{"image", imageBytes}}});
+    app.addStage(std::move(gamma_stage));
+    core::Stage blur_stage(
         "blur", blur, [](core::KernelCtx& c) { blurStage(c, false); },
-        [](core::KernelCtx& c) { blurStage(c, true); }));
-    app.addStage(core::Stage(
+        [](core::KernelCtx& c) { blurStage(c, true); });
+    blur_stage.setIo(
+        {{{"image", imageBytes}}, {{"blurred", imageBytes}}});
+    app.addStage(std::move(blur_stage));
+    core::Stage hist_stage(
         "histogram", hist,
         [](core::KernelCtx& c) { histogramStage(c, false); },
-        [](core::KernelCtx& c) { histogramStage(c, true); }));
+        [](core::KernelCtx& c) { histogramStage(c, true); });
+    hist_stage.setIo(
+        {{{"blurred", imageBytes}},
+         {{"histogram",
+           static_cast<std::int64_t>(256 * sizeof(std::uint32_t))}}});
+    app.addStage(std::move(hist_stage));
 
     app.setTaskFactory([](std::int64_t index, std::uint64_t seed) {
         auto task = std::make_unique<core::TaskObject>();

@@ -230,6 +230,22 @@ buildAlexNet(const AlexNetConfig& cfg)
         cfg.sparse ? "AlexNet-Sparse" : "AlexNet-Dense", "Image",
         cfg.sparse ? "Sparse Linear Algebra" : "Dense Linear Algebra");
 
+    // Static IO metadata for bt::lint: every activation plus the
+    // logits, with the exact sizes the task factory allocates below.
+    // (Weights live in shared_ptr closures, not in the TaskObject.)
+    const auto actBytes = [&shapes, batch](int a) {
+        return static_cast<std::int64_t>(
+                   shapes[static_cast<std::size_t>(a)].elems())
+            * batch * static_cast<std::int64_t>(sizeof(float));
+    };
+    app.declareBuffer({actName(0), actBytes(0), /*input=*/true});
+    for (int a = 1; a < 9; ++a)
+        app.declareBuffer({actName(a), actBytes(a)});
+    app.declareBuffer(
+        {"out", static_cast<std::int64_t>(kFcOut) * batch
+                    * static_cast<std::int64_t>(sizeof(float)),
+         false, /*output=*/true});
+
     // Stages: conv/pool x4, then the classifier.
     for (std::size_t l = 0; l < 4; ++l) {
         const ConvShape shape = kConvPlan[l];
@@ -273,11 +289,14 @@ buildAlexNet(const AlexNetConfig& cfg)
                 }
             }
         };
-        app.addStage(core::Stage(
+        core::Stage conv_stage(
             "conv" + std::to_string(l + 1),
             convProfile(shape, batch, cfg.sparse, nnz),
             [conv_body](core::KernelCtx& ctx) { conv_body(ctx, false); },
-            [conv_body](core::KernelCtx& ctx) { conv_body(ctx, true); }));
+            [conv_body](core::KernelCtx& ctx) { conv_body(ctx, true); });
+        conv_stage.setIo({{{actName(in_act), actBytes(in_act)}},
+                          {{actName(in_act + 1), actBytes(in_act + 1)}}});
+        app.addStage(std::move(conv_stage));
 
         const Shape3 conv_out = shape.out();
         auto pool_body = [conv_out, batch, in_act](core::KernelCtx& ctx,
@@ -302,10 +321,13 @@ buildAlexNet(const AlexNetConfig& cfg)
                                         conv_out, ib, ob);
             }
         };
-        app.addStage(core::Stage(
+        core::Stage pool_stage(
             "pool" + std::to_string(l + 1), poolProfile(conv_out, batch),
             [pool_body](core::KernelCtx& ctx) { pool_body(ctx, false); },
-            [pool_body](core::KernelCtx& ctx) { pool_body(ctx, true); }));
+            [pool_body](core::KernelCtx& ctx) { pool_body(ctx, true); });
+        pool_stage.setIo({{{actName(in_act + 1), actBytes(in_act + 1)}},
+                          {{actName(in_act + 2), actBytes(in_act + 2)}}});
+        app.addStage(std::move(pool_stage));
     }
 
     auto fc_body = [weights, batch](core::KernelCtx& ctx, bool gpu) {
@@ -325,10 +347,15 @@ buildAlexNet(const AlexNetConfig& cfg)
                                    weights->fcB, ob);
         }
     };
-    app.addStage(core::Stage(
+    core::Stage fc_stage(
         "fc", fcProfile(batch, cfg.sparse),
         [fc_body](core::KernelCtx& ctx) { fc_body(ctx, false); },
-        [fc_body](core::KernelCtx& ctx) { fc_body(ctx, true); }));
+        [fc_body](core::KernelCtx& ctx) { fc_body(ctx, true); });
+    fc_stage.setIo({{{actName(8), actBytes(8)}},
+                    {{"out", static_cast<std::int64_t>(kFcOut) * batch
+                                 * static_cast<std::int64_t>(
+                                     sizeof(float))}}});
+    app.addStage(std::move(fc_stage));
 
     // TaskObject layout: all activations plus the logits.
     app.setTaskFactory([shapes, batch](std::int64_t task_index,

@@ -48,7 +48,7 @@ checkScaledApp(std::string_view name, const check::CheckerConfig& config)
         cfg.withValidator = true;
         return checkApplication(octreeApp(cfg), config);
     }
-    panic("unknown app for checked run: ", name);
+    BT_PANIC("app.unknown", "unknown app for checked run: ", name);
 }
 
 } // namespace bt::apps

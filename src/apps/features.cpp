@@ -95,7 +95,7 @@ profileOf(const std::string& s, double px)
         // ~0.5% corner density, 512 clamped gathers per corner.
         w = {3.0 * px, 10.0 * px, 0.95, Pattern::Irregular};
     } else {
-        panic("unknown features stage ", s);
+        BT_PANIC("app.unknown_stage", "unknown features stage ", s);
     }
     return w;
 }

@@ -90,6 +90,14 @@ fillPoints(core::TaskObject& task, const OctreeConfig& cfg,
     }
 }
 
+/** Attach declared IO to a freshly built stage (bt::lint metadata). */
+core::Stage
+withIo(core::Stage s, core::StageIo io)
+{
+    s.setIo(std::move(io));
+    return s;
+}
+
 WorkProfile
 profileOf(const char* stage, double n)
 {
@@ -116,7 +124,7 @@ profileOf(const char* stage, double n)
     } else if (s == "build_octree") {
         w = {50.0 * n, 48.0 * n, 0.92, Pattern::Mixed};
     } else {
-        panic("unknown octree stage ", s);
+        BT_PANIC("app.unknown_stage", "unknown octree stage ", s);
     }
     return w;
 }
@@ -132,12 +140,39 @@ octreeApp(OctreeConfig cfg)
 
     core::Application app("Octree", "PC", "Mixed Sparse & Dense");
 
+    // Static buffer metadata for bt::lint, matching the task factory's
+    // worst-case allocations below. Stage accesses whose extent depends
+    // on the runtime unique-code count k use bytes = -1.
+    const auto u32 = static_cast<std::int64_t>(sizeof(std::uint32_t));
+    const std::int64_t codeBytes = n * u32;
+    const std::int64_t pairBytes = 2 * n * u32;
+    const std::int64_t nodeBytes = kernels::maxOctreeNodes(n) * u32;
+    app.declareBuffer({"points",
+                       3 * n * static_cast<std::int64_t>(sizeof(float)),
+                       /*input=*/true});
+    app.declareBuffer({"morton", codeBytes});
+    app.declareBuffer({"sorted", codeBytes});
+    app.declareBuffer({"sort_scratch", codeBytes, false, false,
+                       /*scratch=*/true});
+    app.declareBuffer({"unique", codeBytes});
+    app.declareBuffer({"flags", codeBytes, false, false,
+                       /*scratch=*/true});
+    for (const char* name : {"rt_left", "rt_right", "rt_parent",
+                             "rt_leafparent", "rt_prefixlen",
+                             "rt_first", "rt_last"})
+        app.declareBuffer({name, codeBytes});
+    app.declareBuffer({"counts", pairBytes});
+    app.declareBuffer({"offsets", pairBytes});
+    for (const char* name : {"oct_prefix", "oct_level", "oct_parent",
+                             "oct_childmask", "oct_first", "oct_count"})
+        app.declareBuffer({name, nodeBytes, false, /*output=*/true});
+
     // Stages are declared as a task graph: the pipeline is mostly
     // linear, but Build Octree consumes the outputs of Duplicate
     // Removal (codes), Build Radix Tree, and Prefix Sum directly.
     core::TaskGraph graph;
 
-    const int s_morton = graph.addNode(core::Stage(
+    const int s_morton = graph.addNode(withIo(core::Stage(
         "morton", profileOf("morton", nd),
         [n](core::KernelCtx& ctx) {
             kernels::mortonEncodeCpu(hostExec(ctx),
@@ -154,7 +189,10 @@ octreeApp(OctreeConfig cfg)
                                      ctx.task.view<std::uint32_t>(
                                          "morton"),
                                      n);
-        }));
+        }),
+        {{{"points",
+           3 * n * static_cast<std::int64_t>(sizeof(float))}},
+         {{"morton", codeBytes}}}));
 
     auto sortInto = [n](core::TaskObject& task) {
         const auto src = task.view<const std::uint32_t>("morton");
@@ -163,7 +201,7 @@ octreeApp(OctreeConfig cfg)
                     static_cast<std::size_t>(n) * sizeof(std::uint32_t));
         return dst.subspan(0, static_cast<std::size_t>(n));
     };
-    const int s_sort = graph.addNode(core::Stage(
+    const int s_sort = graph.addNode(withIo(core::Stage(
         "sort", profileOf("sort", nd),
         [sortInto](core::KernelCtx& ctx) {
             auto keys = sortInto(ctx.task);
@@ -177,9 +215,11 @@ octreeApp(OctreeConfig cfg)
                                   ctx.task.view<std::uint32_t>(
                                       "sort_scratch"),
                                   ctx.observer);
-        }));
+        }),
+        {{{"morton", codeBytes}},
+         {{"sorted", codeBytes}, {"sort_scratch", codeBytes}}}));
 
-    const int s_unique = graph.addNode(core::Stage(
+    const int s_unique = graph.addNode(withIo(core::Stage(
         "unique", profileOf("unique", nd),
         [n](core::KernelCtx& ctx) {
             const auto sorted = ctx.task.view<const std::uint32_t>(
@@ -197,13 +237,15 @@ octreeApp(OctreeConfig cfg)
                 sorted, ctx.task.view<std::uint32_t>("unique"),
                 ctx.task.view<std::uint32_t>("flags"), ctx.observer);
             ctx.task.setScalar("unique_count", k);
-        }));
+        }),
+        {{{"sorted", codeBytes}},
+         {{"unique", -1}, {"flags", -1}}}));
 
     auto uniqueCodes = [](core::TaskObject& task, std::int64_t k) {
         return task.view<const std::uint32_t>("unique").subspan(
             0, static_cast<std::size_t>(k));
     };
-    const int s_tree = graph.addNode(core::Stage(
+    const int s_tree = graph.addNode(withIo(core::Stage(
         "radix_tree", profileOf("radix_tree", nd),
         [uniqueCodes](core::KernelCtx& ctx) {
             const std::int64_t k = ctx.task.scalar("unique_count");
@@ -216,9 +258,17 @@ octreeApp(OctreeConfig cfg)
             kernels::buildRadixTreeGpu(deviceExec(ctx),
                                        uniqueCodes(ctx.task, k), k,
                                        treeView(ctx.task, k));
-        }));
+        }),
+        {{{"unique", -1}},
+         {{"rt_left", -1},
+          {"rt_right", -1},
+          {"rt_parent", -1},
+          {"rt_leafparent", -1},
+          {"rt_prefixlen", -1},
+          {"rt_first", -1},
+          {"rt_last", -1}}}));
 
-    const int s_edges = graph.addNode(core::Stage(
+    const int s_edges = graph.addNode(withIo(core::Stage(
         "edge_count", profileOf("edge_count", nd),
         [](core::KernelCtx& ctx) {
             const std::int64_t k = ctx.task.scalar("unique_count");
@@ -231,9 +281,17 @@ octreeApp(OctreeConfig cfg)
             kernels::countOctreeNodesGpu(
                 deviceExec(ctx), treeView(ctx.task, k), k,
                 ctx.task.view<std::uint32_t>("counts"));
-        }));
+        }),
+        {{{"rt_left", -1},
+          {"rt_right", -1},
+          {"rt_parent", -1},
+          {"rt_leafparent", -1},
+          {"rt_prefixlen", -1},
+          {"rt_first", -1},
+          {"rt_last", -1}},
+         {{"counts", -1}}}));
 
-    const int s_scan = graph.addNode(core::Stage(
+    const int s_scan = graph.addNode(withIo(core::Stage(
         "prefix_sum", profileOf("prefix_sum", nd),
         [](core::KernelCtx& ctx) {
             const std::int64_t k = ctx.task.scalar("unique_count");
@@ -256,7 +314,8 @@ octreeApp(OctreeConfig cfg)
                 ctx.observer);
             ctx.task.setScalar("oct_total",
                                static_cast<std::int64_t>(total));
-        }));
+        }),
+        {{{"counts", -1}}, {{"offsets", -1}}}));
 
     auto buildBody = [uniqueCodes](core::KernelCtx& ctx, bool gpu) {
         const std::int64_t k = ctx.task.scalar("unique_count");
@@ -279,10 +338,27 @@ octreeApp(OctreeConfig cfg)
                 octView(ctx.task));
         ctx.task.setScalar("oct_nodes", nodes);
     };
-    const int s_build = graph.addNode(core::Stage(
-        "build_octree", profileOf("build_octree", nd),
-        [buildBody](core::KernelCtx& ctx) { buildBody(ctx, false); },
-        [buildBody](core::KernelCtx& ctx) { buildBody(ctx, true); }));
+    const int s_build = graph.addNode(withIo(
+        core::Stage(
+            "build_octree", profileOf("build_octree", nd),
+            [buildBody](core::KernelCtx& ctx) { buildBody(ctx, false); },
+            [buildBody](core::KernelCtx& ctx) { buildBody(ctx, true); }),
+        {{{"unique", -1},
+          {"rt_left", -1},
+          {"rt_right", -1},
+          {"rt_parent", -1},
+          {"rt_leafparent", -1},
+          {"rt_prefixlen", -1},
+          {"rt_first", -1},
+          {"rt_last", -1},
+          {"counts", -1},
+          {"offsets", -1}},
+         {{"oct_prefix", -1},
+          {"oct_level", -1},
+          {"oct_parent", -1},
+          {"oct_childmask", -1},
+          {"oct_first", -1},
+          {"oct_count", -1}}}));
 
     // Pipeline chain plus the extra data dependencies of the final
     // stage (paper Sec. 3.1: it reads stages 3, 4 and 6 directly).

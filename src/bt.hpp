@@ -19,10 +19,15 @@
 #ifndef BT_BT_HPP
 #define BT_BT_HPP
 
+#include <string>
+#include <utility>
+
+#include "common/logging.hpp"
 #include "core/application.hpp"
 #include "core/dynamic_executor.hpp"
 #include "core/native_executor.hpp"
 #include "core/pipeline.hpp"
+#include "lint/lint.hpp"
 #include "platform/devices.hpp"
 #include "platform/perf_model.hpp"
 #include "runtime/fault_plan.hpp"
@@ -55,6 +60,14 @@ struct FrameworkConfig
     int tunerThreads = 1;
 };
 
+/** BetterTogetherReport plus the static preflight's lint findings. */
+struct FrameworkReport : core::BetterTogetherReport
+{
+    /** bt::lint preflight over (app, spec, run config): warnings and
+     *  infos land here; errors abort run() before anything executes. */
+    lint::Report preflight;
+};
+
 /**
  * The one-object API: profile the application, optimize the schedule
  * space, autotune the candidates, and deploy the winner - all against
@@ -65,17 +78,50 @@ class Framework
   public:
     explicit Framework(const platform::SocDescription& soc,
                        FrameworkConfig cfg = {})
-        : flow_(soc, core::BetterTogetherConfig{
-                         cfg.profiler, cfg.optimizer, cfg.run,
-                         cfg.autotune, cfg.tunerThreads})
+        : soc_(soc), cfg_(std::move(cfg)),
+          flow_(soc_, core::BetterTogetherConfig{
+                          cfg_.profiler, cfg_.optimizer, cfg_.run,
+                          cfg_.autotune, cfg_.tunerThreads})
     {
     }
 
-    /** Profile -> optimize -> autotune -> deploy @p app. */
-    core::BetterTogetherReport
+    /**
+     * Statically analyze (@p app, optimizer spec, run config) without
+     * executing anything - the same report run() computes first.
+     */
+    lint::Report
+    preflight(const core::Application& app) const
+    {
+        return lint::lintPreflight(soc_, app, cfg_.optimizer, cfg_.run);
+    }
+
+    /**
+     * Profile -> optimize -> autotune -> deploy @p app.
+     *
+     * Runs the static preflight first: errors (a schedule space the
+     * exact engines refuse, a C6 budget below the demand floor, a
+     * fault plan that starves every PU...) panic with every finding
+     * and its remediation before any simulated time is spent;
+     * warnings ride along in the report's `preflight` member.
+     */
+    FrameworkReport
     run(const core::Application& app) const
     {
-        return flow_.run(app);
+        lint::Report pre = preflight(app);
+        if (pre.errors() > 0) {
+            std::string detail;
+            for (const auto& d : pre.diagnostics)
+                if (d.severity == lint::Severity::Error)
+                    detail += "\n  " + d.toString();
+            BT_PANIC("lint.preflight", "static preflight of '",
+                     app.name(), "' found ", pre.errors(),
+                     " error(s); fix them before running:", detail);
+        }
+        FrameworkReport report;
+        static_cast<core::BetterTogetherReport&>(report)
+            = flow_.run(app);
+        report.preflight = std::move(pre);
+        return report;
     }
 
     /** Homogeneous baseline latency of @p app on PU class @p pu. */
@@ -89,6 +135,8 @@ class Framework
     const platform::PerfModel& model() const { return flow_.model(); }
 
   private:
+    platform::SocDescription soc_;
+    FrameworkConfig cfg_;
     core::BetterTogether flow_;
 };
 

@@ -166,7 +166,8 @@ class FlagSet
     add(Flag f)
     {
         if (find(f.name) != nullptr)
-            panic("duplicate flag registration: ", f.name);
+            BT_PANIC("flags.duplicate", "duplicate flag registration: ",
+                     f.name);
         flags_.push_back(std::move(f));
     }
 

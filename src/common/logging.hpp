@@ -74,14 +74,35 @@ inform(Args&&... args)
 }
 
 /**
+ * Panic with a stable, machine-matchable error kind. The message reads
+ *
+ *     panic: [<kind>] <message> at <file>:<line>
+ *
+ * Death tests and lint fixtures match on the bracketed kind instead of
+ * the full text, so messages can be reworded without breaking them.
+ * Kinds are dotted lowercase paths ("schedule.coverage", "flags.duplicate").
+ */
+#define BT_PANIC(kind, ...)                                                \
+    ::bt::panic("[", (kind), "] ",                                         \
+                ::bt::detail::concat(__VA_ARGS__), " at ", __FILE__, ":",  \
+                __LINE__)
+
+/** BT_PANIC's sibling for user errors (exit 1 instead of abort). */
+#define BT_FATAL(kind, ...)                                                \
+    ::bt::fatal("[", (kind), "] ",                                         \
+                ::bt::detail::concat(__VA_ARGS__), " at ", __FILE__, ":",  \
+                __LINE__)
+
+/**
  * Internal invariant check that is active in all build types (unlike
- * assert). On failure it panics with the stringified condition.
+ * assert). On failure it panics with the stringified condition under
+ * the stable "[assert]" kind.
  */
 #define BT_ASSERT(cond, ...)                                               \
     do {                                                                   \
         if (!(cond)) {                                                     \
-            ::bt::panic("assertion failed: ", #cond, " at ", __FILE__,     \
-                        ":", __LINE__, " ", ##__VA_ARGS__);                \
+            ::bt::panic("[assert] assertion failed: ", #cond, " at ",      \
+                        __FILE__, ":", __LINE__, " ", ##__VA_ARGS__);      \
         }                                                                  \
     } while (0)
 

@@ -40,6 +40,13 @@ Stage::run(KernelCtx& ctx, platform::PuKind kind) const
         runCpu(ctx);
 }
 
+Stage&
+Stage::setIo(StageIo io)
+{
+    io_ = std::move(io);
+    return *this;
+}
+
 Application::Application(std::string name, std::string input_kind,
                          std::string characteristics)
     : name_(std::move(name)), inputKind_(std::move(input_kind)),
@@ -51,6 +58,25 @@ void
 Application::addStage(Stage stage)
 {
     stages_.push_back(std::move(stage));
+}
+
+void
+Application::declareBuffer(BufferDecl decl)
+{
+    BT_ASSERT(!decl.name.empty(), "buffer declaration needs a name");
+    for (const auto& d : buffers_)
+        BT_ASSERT(d.name != decl.name, "buffer ", decl.name,
+                  " declared twice");
+    buffers_.push_back(std::move(decl));
+}
+
+bool
+Application::hasIoDeclarations() const
+{
+    if (!buffers_.empty())
+        return true;
+    return std::any_of(stages_.begin(), stages_.end(),
+                       [](const Stage& s) { return s.hasIo(); });
 }
 
 const Stage&

@@ -10,6 +10,7 @@
 #ifndef BT_CORE_APPLICATION_HPP
 #define BT_CORE_APPLICATION_HPP
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -38,6 +39,45 @@ struct KernelCtx
 using KernelFn = std::function<void(KernelCtx&)>;
 
 /**
+ * One declared buffer access of a stage. Kernels are opaque closures,
+ * so the runtime cannot see what they touch; stages that *declare*
+ * their reads/writes here become statically analyzable by bt::lint
+ * (def-before-use, dead outputs, size mismatches) without executing.
+ */
+struct BufferAccess
+{
+    std::string name;        ///< TaskObject buffer name
+    std::int64_t bytes = -1; ///< bytes touched; -1 = data-dependent
+};
+
+/** Declared IO of one stage (empty = undeclared, lint skips it). */
+struct StageIo
+{
+    std::vector<BufferAccess> reads;
+    std::vector<BufferAccess> writes;
+
+    bool empty() const { return reads.empty() && writes.empty(); }
+};
+
+/**
+ * Declared TaskObject buffer of an application: its size and its role
+ * in the task lifecycle. `input` buffers are filled by the task
+ * factory/refresher, `output` buffers are consumed by the validator or
+ * the caller, `scratch` buffers are stage-private workspace, and
+ * `shared` marks state aliased across in-flight tasks (e.g. weights) -
+ * which bt::lint flags as a hazard if any stage writes it.
+ */
+struct BufferDecl
+{
+    std::string name;
+    std::int64_t bytes = -1; ///< allocation size; -1 = data-dependent
+    bool input = false;
+    bool output = false;
+    bool scratch = false;
+    bool shared = false;
+};
+
+/**
  * A pipeline stage: name, analytic work profile (drives the simulated
  * performance model) and its two kernel implementations. Stages without a
  * GPU kernel fall back to the CPU kernel under SIMT emulation, mirroring
@@ -61,11 +101,18 @@ class Stage
     /** Dispatch by PU kind. */
     void run(KernelCtx& ctx, platform::PuKind kind) const;
 
+    /** Declare the buffers this stage reads and writes (chainable). */
+    Stage& setIo(StageIo io);
+
+    const StageIo& io() const { return io_; }
+    bool hasIo() const { return !io_.empty(); }
+
   private:
     std::string name_;
     platform::WorkProfile work_;
     KernelFn cpu_;
     KernelFn gpu_;
+    StageIo io_;
 };
 
 /** Creates a fresh TaskObject carrying streaming input @p task_index. */
@@ -108,6 +155,14 @@ class Application
     void setTaskRefresher(TaskRefresher f) { refresher_ = std::move(f); }
     void setValidator(TaskValidator f) { validator_ = std::move(f); }
 
+    /** Declare one TaskObject buffer (static metadata for bt::lint). */
+    void declareBuffer(BufferDecl decl);
+
+    const std::vector<BufferDecl>& buffers() const { return buffers_; }
+
+    /** Any static IO metadata at all (buffer decls or stage IO)? */
+    bool hasIoDeclarations() const;
+
     /** Create the TaskObject for @p task_index. */
     std::unique_ptr<TaskObject> makeTask(std::int64_t task_index,
                                          std::uint64_t seed) const;
@@ -127,6 +182,7 @@ class Application
     std::string inputKind_;
     std::string traits_;
     std::vector<Stage> stages_;
+    std::vector<BufferDecl> buffers_;
     TaskFactory factory_;
     TaskRefresher refresher_;
     TaskValidator validator_;

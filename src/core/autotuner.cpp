@@ -23,9 +23,10 @@ TuningReport::autotuningGain() const
     // Every well-formed report carries the optimizer's first-ranked
     // candidate; its absence means the report was truncated or stitched
     // together by hand. Returning a silent 1.0 here used to mask that.
-    panic("malformed TuningReport: no candidate with rankPredicted == 0 "
-          "among ",
-          all.size(), " tuned candidates");
+    BT_PANIC("tuning.malformed",
+             "malformed TuningReport: no candidate with rankPredicted "
+             "== 0 among ",
+             all.size(), " tuned candidates");
 }
 
 TuningReport

@@ -558,13 +558,13 @@ Optimizer::optimize()
     BT_ASSERT(allowed_count > 0, "allowedPus admits no PU");
     stats_.spaceSize
         = scheduleSpaceSize(table.numStages(), allowed_count);
-    if (config.exactnessPreserving() && config.exactSpaceLimit > 0)
-        BT_ASSERT(stats_.spaceSize <= config.exactSpaceLimit,
-                  "schedule space of ", stats_.spaceSize,
-                  " schedules exceeds exactSpaceLimit ",
-                  config.exactSpaceLimit,
-                  "; the exact engines refuse instances this large - "
-                  "switch to PlannerEngine::Annealed");
+    if (config.exactnessPreserving() && config.exactSpaceLimit > 0
+        && stats_.spaceSize > config.exactSpaceLimit)
+        BT_PANIC("planner.exact_space", "schedule space of ",
+                 stats_.spaceSize, " schedules exceeds exactSpaceLimit ",
+                 config.exactSpaceLimit,
+                 "; the exact engines refuse instances this large - "
+                 "switch to PlannerEngine::Annealed");
 
     auto cands = config.engine == PlannerEngine::Exhaustive
         ? optimizeExhaustive()

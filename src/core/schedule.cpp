@@ -63,7 +63,8 @@ Schedule::puOfStage(int s) const
     for (const auto& c : chunks_)
         if (s >= c.firstStage && s <= c.lastStage)
             return c.pu;
-    panic("stage ", s, " not covered by schedule");
+    BT_PANIC("schedule.coverage", "stage ", s,
+             " not covered by schedule");
 }
 
 std::vector<int>

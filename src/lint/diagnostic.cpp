@@ -1,0 +1,191 @@
+#include "lint/diagnostic.hpp"
+
+#include <iterator>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace bt::lint {
+
+namespace {
+
+void
+jsonEscape(std::ostream& os, std::string_view s)
+{
+    for (const char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default: os << c; break;
+        }
+    }
+}
+
+} // namespace
+
+std::string_view
+diagnosticKindName(DiagnosticKind kind)
+{
+    switch (kind) {
+    case DiagnosticKind::UseBeforeDef: return "use_before_def";
+    case DiagnosticKind::DeadOutput: return "dead_output";
+    case DiagnosticKind::SizeMismatch: return "size_mismatch";
+    case DiagnosticKind::AliasHazard: return "alias_hazard";
+    case DiagnosticKind::UnknownBuffer: return "unknown_buffer";
+    case DiagnosticKind::NoIoDeclarations: return "no_io_declarations";
+    case DiagnosticKind::ScheduleCoverage: return "schedule_coverage";
+    case DiagnosticKind::UnknownPu: return "unknown_pu";
+    case DiagnosticKind::DisallowedPu: return "disallowed_pu";
+    case DiagnosticKind::ExactSpaceExceeded:
+        return "exact_space_exceeded";
+    case DiagnosticKind::QueueUndersized: return "queue_undersized";
+    case DiagnosticKind::PipelineUnderfilled:
+        return "pipeline_underfilled";
+    case DiagnosticKind::WarmupExceedsTasks:
+        return "warmup_exceeds_tasks";
+    case DiagnosticKind::SpecRange: return "spec_range";
+    case DiagnosticKind::FaultRange: return "fault_range";
+    case DiagnosticKind::DropoutStarvation:
+        return "dropout_starvation";
+    case DiagnosticKind::WatchdogTooTight: return "watchdog_too_tight";
+    case DiagnosticKind::RetryFutile: return "retry_futile";
+    case DiagnosticKind::OverlappingSlowdowns:
+        return "overlapping_slowdowns";
+    case DiagnosticKind::BandwidthOverBudget:
+        return "bandwidth_over_budget";
+    case DiagnosticKind::LeaseUncovered: return "lease_uncovered";
+    case DiagnosticKind::RealTimeShared: return "real_time_shared";
+    }
+    BT_PANIC("lint.kind", "unknown DiagnosticKind ",
+             static_cast<int>(kind));
+}
+
+std::string_view
+severityName(Severity severity)
+{
+    switch (severity) {
+    case Severity::Info: return "info";
+    case Severity::Warn: return "warn";
+    case Severity::Error: return "error";
+    }
+    BT_PANIC("lint.severity", "unknown Severity ",
+             static_cast<int>(severity));
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << '[' << diagnosticKindName(kind)
+       << "] " << subject;
+    if (!buffer.empty())
+        os << " buffer '" << buffer << '\'';
+    if (stage >= 0)
+        os << " stage " << stage;
+    if (chunk >= 0)
+        os << " chunk " << chunk;
+    if (pu >= 0)
+        os << " pu " << pu;
+    os << ": " << message;
+    return os.str();
+}
+
+void
+LintStats::add(const LintStats& other)
+{
+    subjects += other.subjects;
+    stages += other.stages;
+    buffers += other.buffers;
+    chunks += other.chunks;
+    faultRules += other.faultRules;
+    passes += other.passes;
+}
+
+int
+Report::errors() const
+{
+    int n = 0;
+    for (const auto& d : diagnostics)
+        n += d.severity == Severity::Error ? 1 : 0;
+    return n;
+}
+
+int
+Report::warnings() const
+{
+    int n = 0;
+    for (const auto& d : diagnostics)
+        n += d.severity == Severity::Warn ? 1 : 0;
+    return n;
+}
+
+int
+Report::infos() const
+{
+    int n = 0;
+    for (const auto& d : diagnostics)
+        n += d.severity == Severity::Info ? 1 : 0;
+    return n;
+}
+
+std::string
+Report::summary() const
+{
+    std::ostringstream os;
+    os << "lint: " << errors() << " error(s), " << warnings()
+       << " warning(s), " << infos() << " info(s) across "
+       << stats.subjects << " subject(s), " << stats.passes
+       << " pass(es)";
+    return os.str();
+}
+
+void
+Report::print(std::ostream& os) const
+{
+    os << summary() << '\n';
+    for (const auto& d : diagnostics)
+        os << "  " << d.toString() << '\n';
+}
+
+void
+Report::writeJson(std::ostream& os) const
+{
+    os << "{\"clean\": " << (clean() ? "true" : "false")
+       << ", \"errors\": " << errors()
+       << ", \"warnings\": " << warnings()
+       << ", \"infos\": " << infos() << ", \"stats\": {\"subjects\": "
+       << stats.subjects << ", \"stages\": " << stats.stages
+       << ", \"buffers\": " << stats.buffers
+       << ", \"chunks\": " << stats.chunks
+       << ", \"fault_rules\": " << stats.faultRules
+       << ", \"passes\": " << stats.passes
+       << "}, \"diagnostics\": [";
+    for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+        const auto& d = diagnostics[i];
+        os << (i ? ", " : "") << "{\"kind\": \""
+           << diagnosticKindName(d.kind) << "\", \"severity\": \""
+           << severityName(d.severity) << "\", \"subject\": \"";
+        jsonEscape(os, d.subject);
+        os << "\", \"buffer\": \"";
+        jsonEscape(os, d.buffer);
+        os << "\", \"stage\": " << d.stage << ", \"chunk\": " << d.chunk
+           << ", \"pu\": " << d.pu << ", \"message\": \"";
+        jsonEscape(os, d.message);
+        os << "\"}";
+    }
+    os << "]}";
+}
+
+void
+Report::merge(Report other)
+{
+    diagnostics.insert(diagnostics.end(),
+                       std::make_move_iterator(other.diagnostics.begin()),
+                       std::make_move_iterator(other.diagnostics.end()));
+    stats.add(other.stats);
+}
+
+} // namespace bt::lint

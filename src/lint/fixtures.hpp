@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Seeded-defect fixtures for bt::lint: small in-memory configurations
+ * that each contain exactly one deliberate defect - a use-before-def,
+ * a dead output, a starving dropout set, an over-budget C6 bound, and
+ * so on, one per diagnostic kind. The analyzer must flag every one of
+ * them with its expected kind; this is the negative control proving
+ * the passes actually fire, run by tests and by
+ * `bt_explorer --lint-fixtures` in CI (mirroring PR 5's checker
+ * fixtures).
+ */
+
+#ifndef BT_LINT_FIXTURES_HPP
+#define BT_LINT_FIXTURES_HPP
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+
+namespace bt::lint {
+
+struct FixtureResult
+{
+    std::string name;
+    DiagnosticKind expected{};
+    bool flagged = false;         ///< expected kind was reported
+    std::size_t totalFindings = 0;
+
+    /** The full report the fixture's lint produced. */
+    Report report;
+};
+
+/**
+ * Lint every seeded-defect configuration; each result says whether its
+ * expected diagnostic kind was reported. Deterministic: same fixtures,
+ * same order, byte-identical reports on every call.
+ */
+std::vector<FixtureResult> runSeededDefects();
+
+} // namespace bt::lint
+
+#endif // BT_LINT_FIXTURES_HPP

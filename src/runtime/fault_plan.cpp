@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <initializer_list>
 #include <istream>
 #include <limits>
 #include <map>
@@ -224,7 +225,118 @@ field(const std::map<std::string, double>& row, const char* name,
     return it == row.end() ? fallback : it->second;
 }
 
+bool
+contains(std::initializer_list<const char*> names,
+         const std::string& name)
+{
+    for (const char* n : names)
+        if (name == n)
+            return true;
+    return false;
+}
+
+/**
+ * Strict row shape check: every field in @p required must be present,
+ * and every field present must be in @p required or @p optional.
+ */
+/** "<section>[<index>].<name>" / "<section>[<index>]" (no name). */
+std::string
+rowRef(const char* section, std::size_t index, const char* name)
+{
+    std::string ref(section);
+    ref += '[';
+    ref += std::to_string(index);
+    ref += ']';
+    if (name != nullptr) {
+        ref += '.';
+        ref += name;
+    }
+    return ref;
+}
+
+bool
+checkRow(const std::map<std::string, double>& row, const char* section,
+         std::size_t index, std::initializer_list<const char*> required,
+         std::initializer_list<const char*> optional,
+         PlanParseError& err)
+{
+    for (const char* name : required) {
+        if (row.count(name) == 0) {
+            err.kind = PlanParseErrorKind::MissingField;
+            err.message = rowRef(section, index, nullptr);
+            err.message += " is missing required field \"";
+            err.message += name;
+            err.message += '"';
+            return false;
+        }
+    }
+    for (const auto& [name, value] : row) {
+        (void)value;
+        if (!contains(required, name) && !contains(optional, name)) {
+            err.kind = PlanParseErrorKind::UnknownField;
+            err.message = rowRef(section, index, nullptr);
+            err.message += " has unknown field \"";
+            err.message += name;
+            err.message += '"';
+            return false;
+        }
+    }
+    return true;
+}
+
+/** A PU / stage id field must be a whole number >= @p floor - 1.5 or
+ *  -3 as a PU id is a plan bug, not a cast. */
+bool
+checkId(double v, int floor, const char* section, std::size_t index,
+        const char* name, PlanParseError& err)
+{
+    if (v != static_cast<double>(static_cast<int>(v))
+        || static_cast<int>(v) < floor) {
+        err.kind = PlanParseErrorKind::Range;
+        err.message = rowRef(section, index, name);
+        err.message += " must be a whole number >= ";
+        err.message += std::to_string(floor);
+        return false;
+    }
+    return true;
+}
+
+bool
+rangeError(const char* section, std::size_t index, const char* name,
+           const char* domain, PlanParseError& err)
+{
+    err.kind = PlanParseErrorKind::Range;
+    err.message = rowRef(section, index, name);
+    err.message += " must be ";
+    err.message += domain;
+    return false;
+}
+
 } // namespace
+
+std::string_view
+planParseErrorKindName(PlanParseErrorKind kind)
+{
+    switch (kind) {
+      case PlanParseErrorKind::Syntax: return "syntax";
+      case PlanParseErrorKind::UnknownSection: return "unknown_section";
+      case PlanParseErrorKind::UnknownField: return "unknown_field";
+      case PlanParseErrorKind::MissingField: return "missing_field";
+      case PlanParseErrorKind::Range: return "range";
+      case PlanParseErrorKind::Overlap: return "overlap";
+    }
+    return "?";
+}
+
+std::string
+PlanParseError::toString() const
+{
+    std::string text("[");
+    text += planParseErrorKindName(kind);
+    text += "] ";
+    text += message;
+    return text;
+}
 
 void
 FaultPlan::validate(int num_pus) const
@@ -255,48 +367,168 @@ FaultPlan::validate(int num_pus) const
 }
 
 std::optional<FaultPlan>
-FaultPlan::fromJson(std::istream& is)
+FaultPlan::fromJson(std::istream& is, PlanParseError& err)
 {
     PlanReader reader(is);
     std::map<std::string, std::vector<std::map<std::string, double>>>
         sections;
     std::map<std::string, double> scalars;
-    if (!reader.parse(sections, scalars))
+    if (!reader.parse(sections, scalars)) {
+        err.kind = PlanParseErrorKind::Syntax;
+        err.message = "not the documented fault-plan JSON subset (one "
+                      "object of numeric scalars and arrays of flat "
+                      "numeric objects)";
         return std::nullopt;
+    }
+    for (const auto& [name, rows] : sections) {
+        (void)rows;
+        if (!contains({"slowdowns", "transients", "stragglers",
+                       "dropouts"},
+                      name)) {
+            err.kind = PlanParseErrorKind::UnknownSection;
+            err.message = "unknown section \"";
+            err.message += name;
+            err.message += '"';
+            return std::nullopt;
+        }
+    }
+    for (const auto& [name, value] : scalars) {
+        (void)value;
+        if (name != "faultSeed") {
+            err.kind = PlanParseErrorKind::UnknownSection;
+            err.message = "unknown scalar member \"";
+            err.message += name;
+            err.message += '"';
+            return std::nullopt;
+        }
+    }
 
     FaultPlan plan;
+    std::size_t i = 0;
     for (const auto& row : sections["slowdowns"]) {
+        if (!checkRow(row, "slowdowns", i, {"pu", "start", "end"},
+                      {"clockFactor"}, err))
+            return std::nullopt;
         SlowdownWindow w;
+        if (!checkId(field(row, "pu", 0), 0, "slowdowns", i, "pu", err))
+            return std::nullopt;
         w.pu = static_cast<int>(field(row, "pu", 0));
         w.startSeconds = field(row, "start", 0.0);
         w.endSeconds = field(row, "end", 0.0);
         w.clockFactor = field(row, "clockFactor", 0.5);
+        if (w.startSeconds < 0.0 || w.endSeconds <= w.startSeconds) {
+            rangeError("slowdowns", i, "start/end",
+                       "a non-empty window with start >= 0", err);
+            return std::nullopt;
+        }
+        if (w.clockFactor <= 0.0 || w.clockFactor > 1.0) {
+            rangeError("slowdowns", i, "clockFactor", "in (0, 1]",
+                       err);
+            return std::nullopt;
+        }
         plan.slowdowns.push_back(w);
+        ++i;
     }
+    i = 0;
     for (const auto& row : sections["transients"]) {
+        if (!checkRow(row, "transients", i, {"probability"},
+                      {"stage", "pu"}, err))
+            return std::nullopt;
         TransientFaultRule t;
+        if (!checkId(field(row, "stage", -1), -1, "transients", i,
+                     "stage", err)
+            || !checkId(field(row, "pu", -1), -1, "transients", i,
+                        "pu", err))
+            return std::nullopt;
         t.stage = static_cast<int>(field(row, "stage", -1));
         t.pu = static_cast<int>(field(row, "pu", -1));
         t.probability = field(row, "probability", 0.0);
+        if (t.probability < 0.0 || t.probability > 1.0) {
+            rangeError("transients", i, "probability", "in [0, 1]",
+                       err);
+            return std::nullopt;
+        }
         plan.transients.push_back(t);
+        ++i;
     }
+    i = 0;
     for (const auto& row : sections["stragglers"]) {
+        if (!checkRow(row, "stragglers", i, {"probability"},
+                      {"stage", "factor"}, err))
+            return std::nullopt;
         StragglerRule s;
+        if (!checkId(field(row, "stage", -1), -1, "stragglers", i,
+                     "stage", err))
+            return std::nullopt;
         s.stage = static_cast<int>(field(row, "stage", -1));
         s.probability = field(row, "probability", 0.0);
         s.factor = field(row, "factor", 8.0);
+        if (s.probability < 0.0 || s.probability > 1.0) {
+            rangeError("stragglers", i, "probability", "in [0, 1]",
+                       err);
+            return std::nullopt;
+        }
+        if (s.factor < 1.0) {
+            rangeError("stragglers", i, "factor", ">= 1", err);
+            return std::nullopt;
+        }
         plan.stragglers.push_back(s);
+        ++i;
     }
+    i = 0;
     for (const auto& row : sections["dropouts"]) {
+        if (!checkRow(row, "dropouts", i, {"pu", "at"}, {}, err))
+            return std::nullopt;
         PuDropout d;
+        if (!checkId(field(row, "pu", 0), 0, "dropouts", i, "pu", err))
+            return std::nullopt;
         d.pu = static_cast<int>(field(row, "pu", 0));
         d.atSeconds = field(row, "at", 0.0);
+        if (d.atSeconds < 0.0) {
+            rangeError("dropouts", i, "at", ">= 0", err);
+            return std::nullopt;
+        }
         plan.dropouts.push_back(d);
+        ++i;
     }
+
+    // Same-PU overlapping windows compound multiplicatively at run
+    // time, which is nearly always an authoring mistake - reject at
+    // parse time where the plan can still be fixed.
+    for (std::size_t a = 0; a < plan.slowdowns.size(); ++a) {
+        for (std::size_t b = a + 1; b < plan.slowdowns.size(); ++b) {
+            const auto& wa = plan.slowdowns[a];
+            const auto& wb = plan.slowdowns[b];
+            if (wa.pu == wb.pu && wa.startSeconds < wb.endSeconds
+                && wb.startSeconds < wa.endSeconds) {
+                err.kind = PlanParseErrorKind::Overlap;
+                err.message = rowRef("slowdowns", a, nullptr);
+                err.message += " and ";
+                err.message += rowRef("slowdowns", b, nullptr);
+                err.message += " overlap on pu ";
+                err.message += std::to_string(wa.pu);
+                return std::nullopt;
+            }
+        }
+    }
+
     const auto seed = scalars.find("faultSeed");
-    if (seed != scalars.end())
+    if (seed != scalars.end()) {
+        if (seed->second < 0.0) {
+            err.kind = PlanParseErrorKind::Range;
+            err.message = "faultSeed must be >= 0";
+            return std::nullopt;
+        }
         plan.faultSeed = static_cast<std::uint64_t>(seed->second);
+    }
     return plan;
+}
+
+std::optional<FaultPlan>
+FaultPlan::fromJson(std::istream& is)
+{
+    PlanParseError err;
+    return fromJson(is, err);
 }
 
 void

@@ -31,9 +31,35 @@
 #include <iosfwd>
 #include <limits>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace bt::runtime {
+
+/** Why a fault plan failed to parse (FaultPlan::fromJson). */
+enum class PlanParseErrorKind
+{
+    Syntax,         ///< not the documented JSON subset
+    UnknownSection, ///< top-level member that is not a plan section
+    UnknownField,   ///< row field no rule of that section defines
+    MissingField,   ///< required row field absent
+    Range,          ///< field value outside its documented domain
+    Overlap,        ///< same-PU slowdown windows overlap in time
+};
+
+/** Stable snake_case name of @p kind ("unknown_field", ...). */
+std::string_view planParseErrorKindName(PlanParseErrorKind kind);
+
+/** Typed parse failure: what went wrong, and where, in one line. */
+struct PlanParseError
+{
+    PlanParseErrorKind kind = PlanParseErrorKind::Syntax;
+    std::string message;
+
+    /** "[<kind>] <message>" - what drivers print. */
+    std::string toString() const;
+};
 
 /**
  * Clock throttling of one PU class over a time window (thermal
@@ -110,8 +136,21 @@ struct FaultPlan
      *  "transients":[{"stage":2,"probability":0.05}],
      *  "stragglers":[{"probability":0.01,"factor":10}],
      *  "dropouts":[{"pu":3,"at":0.2}], "faultSeed":7}
-     * @return the plan, or std::nullopt on malformed input.
+     *
+     * Parsing is strict: unknown sections or fields, missing required
+     * fields (slowdowns need pu/start/end, transients and stragglers
+     * need probability, dropouts need pu/at), out-of-domain values
+     * (negative or fractional PU ids, clockFactor outside (0, 1],
+     * probabilities outside [0, 1], empty windows), and same-PU
+     * overlapping slowdown windows are all typed errors - never UB or
+     * a silent default.
+     *
+     * @return the plan, or std::nullopt with @p err filled in.
      */
+    static std::optional<FaultPlan> fromJson(std::istream& is,
+                                             PlanParseError& err);
+
+    /** As above, discarding the error detail. */
     static std::optional<FaultPlan> fromJson(std::istream& is);
 
     /** Serialize in the format fromJson accepts. */

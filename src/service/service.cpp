@@ -9,6 +9,7 @@
 #include "core/autotuner.hpp"
 #include "core/schedule.hpp"
 #include "core/sim_executor.hpp"
+#include "lint/lint.hpp"
 
 namespace bt::service {
 
@@ -31,6 +32,7 @@ ServiceReport::writeJson(std::ostream& os) const
     os << "  \"completed\": " << completed << ",\n";
     os << "  \"dropped\": " << dropped << ",\n";
     os << "  \"failed\": " << failed << ",\n";
+    os << "  \"tenants_rejected\": " << tenantsRejected << ",\n";
     os << "  \"wall_seconds\": " << wallSeconds << ",\n";
     os << "  \"throughput_rps\": " << throughputRps << ",\n";
     os << "  \"latency_ms\": { \"p50\": " << p50Ms << ", \"p99\": "
@@ -76,19 +78,48 @@ Service::~Service()
     stop();
 }
 
-void
+bool
 Service::registerApp(core::Application app)
 {
-    registerApp(std::move(app), TenantOptions{});
+    return registerApp(std::move(app), TenantOptions{});
 }
 
-void
+lint::Report
+Service::lintTenant(const core::Application& app,
+                    TenantOptions opts) const
+{
+    // Mirror plannerSpecFor's large-tenant fallback: a schedule space
+    // an exact engine would refuse is annealed at serve time, not
+    // failed, so it must not read as an admission error either.
+    core::PlannerSpec spec = cfg_.optimizer;
+    if (spec.exactnessPreserving() && spec.exactSpaceLimit > 0
+        && core::scheduleSpaceSize(app.numStages(), soc_.numPus())
+            > spec.exactSpaceLimit)
+        spec.engine = core::PlannerEngine::Annealed;
+
+    lint::TenantLintInput tenant;
+    tenant.realTime = opts.realTime;
+    tenant.contentionAware = cfg_.contentionAware;
+    tenant.leaseGroups = leases_.maxGroups();
+    return lint::lintTenant(soc_, app, spec, cfg_.run, tenant);
+}
+
+bool
 Service::registerApp(core::Application app, TenantOptions opts)
 {
     BT_ASSERT(!running_, "cannot register apps on a running service");
+    const lint::Report report = lintTenant(app, opts);
+    if (report.errors() > 0) {
+        tenantsRejected_.fetch_add(1, std::memory_order_relaxed);
+        warn("tenant '", app.name(),
+             "' refused at admission - static lint found errors: ",
+             report.summary());
+        return false;
+    }
     std::string name = app.name();
     tenantOpts_.insert_or_assign(name, opts);
     apps_.insert_or_assign(std::move(name), std::move(app));
+    return true;
 }
 
 bool
@@ -450,6 +481,8 @@ Service::report() const
     report.completed = completed_.load(std::memory_order_relaxed);
     report.dropped = dropped_.load(std::memory_order_relaxed);
     report.failed = failed_.load(std::memory_order_relaxed);
+    report.tenantsRejected
+        = tenantsRejected_.load(std::memory_order_relaxed);
     report.plans = plans_.load(std::memory_order_relaxed);
     report.batches = batches_.load(std::memory_order_relaxed);
     report.plannerEngine

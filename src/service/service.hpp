@@ -48,6 +48,7 @@
 #include "core/application.hpp"
 #include "core/optimizer.hpp"
 #include "core/profiler.hpp"
+#include "lint/diagnostic.hpp"
 #include "platform/perf_model.hpp"
 #include "runtime/run_types.hpp"
 #include "runtime/virtual_backend.hpp"
@@ -151,6 +152,9 @@ struct ServiceReport
     std::int64_t completed = 0;
     std::int64_t dropped = 0; ///< admission-queue overflow
     std::int64_t failed = 0;  ///< completed but invalid outputs
+    /** Applications refused by registerApp: their static lint found
+     *  errors, so they never became tenants. */
+    std::int64_t tenantsRejected = 0;
 
     double wallSeconds = 0.0;    ///< start() to stop() (or to now)
     double throughputRps = 0.0;  ///< completed / wallSeconds
@@ -200,11 +204,22 @@ class Service
     Service(const Service&) = delete;
     Service& operator=(const Service&) = delete;
 
-    /** Register a tenant workload; not allowed while running. */
-    void registerApp(core::Application app);
+    /**
+     * Register a tenant workload; not allowed while running. The
+     * application is statically linted at admission (bt::lint): a
+     * tenant whose pipeline, planner spec or run config lints with
+     * errors is refused - returns false, counts toward the report's
+     * tenantsRejected, and never serves. Warnings admit.
+     */
+    bool registerApp(core::Application app);
 
     /** Register with per-tenant options (e.g. a real-time tenant). */
-    void registerApp(core::Application app, TenantOptions opts);
+    bool registerApp(core::Application app, TenantOptions opts);
+
+    /** The admission lint registerApp would run for (@p app, @p opts):
+     *  errors there mean registerApp(app, opts) returns false. */
+    lint::Report lintTenant(const core::Application& app,
+                            TenantOptions opts = {}) const;
 
     /** Spawn the worker pool and begin accepting requests. */
     void start();
@@ -305,6 +320,7 @@ class Service
     std::atomic<std::int64_t> dropped_{0};
     std::atomic<std::int64_t> completed_{0};
     std::atomic<std::int64_t> failed_{0};
+    std::atomic<std::int64_t> tenantsRejected_{0};
     std::atomic<std::int64_t> plans_{0};
     std::atomic<std::int64_t> batches_{0};
     /** Mutable: freshPlan is const (a test hook) but still counts. */

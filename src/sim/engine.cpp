@@ -70,7 +70,7 @@ Engine::startTime(TaskId id) const
     for (const auto& t : finishedScratch)
         if (t.id == id)
             return t.started;
-    panic("unknown task id ", id);
+    BT_PANIC("sim.unknown_task", "unknown task id ", id);
 }
 
 bool

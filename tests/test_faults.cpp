@@ -424,5 +424,108 @@ TEST(FaultPlanJson, RoundTripsThroughItsOwnSerialization)
     EXPECT_FALSE(runtime::FaultPlan::fromJson(bad).has_value());
 }
 
+// Every malformed input maps to one typed PlanParseError kind - never
+// UB, a silent default, or a downstream validate() panic.
+TEST(FaultPlanJson, MalformedInputsProduceTypedErrors)
+{
+    const auto parseKind = [](const std::string& text) {
+        std::stringstream ss(text);
+        runtime::PlanParseError err;
+        const auto plan = runtime::FaultPlan::fromJson(ss, err);
+        EXPECT_FALSE(plan.has_value()) << text;
+        return err.kind;
+    };
+
+    // Truncated / non-JSON documents.
+    EXPECT_EQ(parseKind("{\"transients\": [{\"probability\": "),
+              runtime::PlanParseErrorKind::Syntax);
+    EXPECT_EQ(parseKind("nonsense"),
+              runtime::PlanParseErrorKind::Syntax);
+    EXPECT_EQ(parseKind("{} trailing"),
+              runtime::PlanParseErrorKind::Syntax);
+
+    // Unknown sections / scalar members.
+    EXPECT_EQ(parseKind("{\"slowups\": []}"),
+              runtime::PlanParseErrorKind::UnknownSection);
+    EXPECT_EQ(parseKind("{\"seed\": 7}"),
+              runtime::PlanParseErrorKind::UnknownSection);
+
+    // Unknown and missing row fields.
+    EXPECT_EQ(parseKind("{\"dropouts\": [{\"pu\": 1, \"at\": 0.2, "
+                        "\"when\": 3}]}"),
+              runtime::PlanParseErrorKind::UnknownField);
+    EXPECT_EQ(parseKind("{\"slowdowns\": [{\"pu\": 0, \"start\": 0}]}"),
+              runtime::PlanParseErrorKind::MissingField);
+    EXPECT_EQ(parseKind("{\"transients\": [{\"stage\": 1}]}"),
+              runtime::PlanParseErrorKind::MissingField);
+    EXPECT_EQ(parseKind("{\"dropouts\": [{\"pu\": 1}]}"),
+              runtime::PlanParseErrorKind::MissingField);
+
+    // Out-of-range PU / stage ids: negative or fractional.
+    EXPECT_EQ(parseKind("{\"slowdowns\": [{\"pu\": -1, \"start\": 0, "
+                        "\"end\": 1}]}"),
+              runtime::PlanParseErrorKind::Range);
+    EXPECT_EQ(parseKind("{\"dropouts\": [{\"pu\": 1.5, \"at\": 0.2}]}"),
+              runtime::PlanParseErrorKind::Range);
+    EXPECT_EQ(parseKind("{\"transients\": [{\"stage\": -2, "
+                        "\"probability\": 0.1}]}"),
+              runtime::PlanParseErrorKind::Range);
+
+    // Out-of-domain values.
+    EXPECT_EQ(parseKind("{\"slowdowns\": [{\"pu\": 0, \"start\": 0.5, "
+                        "\"end\": 0.5}]}"),
+              runtime::PlanParseErrorKind::Range);
+    EXPECT_EQ(parseKind("{\"slowdowns\": [{\"pu\": 0, \"start\": 0, "
+                        "\"end\": 1, \"clockFactor\": 1.5}]}"),
+              runtime::PlanParseErrorKind::Range);
+    EXPECT_EQ(parseKind("{\"transients\": [{\"probability\": 1.5}]}"),
+              runtime::PlanParseErrorKind::Range);
+    EXPECT_EQ(parseKind("{\"stragglers\": [{\"probability\": 0.1, "
+                        "\"factor\": 0.5}]}"),
+              runtime::PlanParseErrorKind::Range);
+    EXPECT_EQ(parseKind("{\"faultSeed\": -1}"),
+              runtime::PlanParseErrorKind::Range);
+
+    // Same-PU overlapping slowdown windows.
+    EXPECT_EQ(parseKind("{\"slowdowns\": ["
+                        "{\"pu\": 1, \"start\": 0, \"end\": 1}, "
+                        "{\"pu\": 1, \"start\": 0.5, \"end\": 2}]}"),
+              runtime::PlanParseErrorKind::Overlap);
+
+    // Disjoint windows on one PU, overlap across PUs: both fine.
+    std::stringstream ok("{\"slowdowns\": ["
+                         "{\"pu\": 1, \"start\": 0, \"end\": 1}, "
+                         "{\"pu\": 1, \"start\": 1, \"end\": 2}, "
+                         "{\"pu\": 0, \"start\": 0.5, \"end\": 3}]}");
+    runtime::PlanParseError err;
+    EXPECT_TRUE(runtime::FaultPlan::fromJson(ok, err).has_value());
+}
+
+TEST(FaultPlanJson, ParseErrorsCarryKindPrefixAndDetail)
+{
+    std::stringstream bad("{\"slowdowns\": [{\"pu\": 0, "
+                          "\"start\": 0}]}");
+    runtime::PlanParseError err;
+    EXPECT_FALSE(runtime::FaultPlan::fromJson(bad, err).has_value());
+    EXPECT_EQ(err.kind, runtime::PlanParseErrorKind::MissingField);
+    const std::string text = err.toString();
+    EXPECT_NE(text.find("[missing_field]"), std::string::npos);
+    EXPECT_NE(text.find("slowdowns[0]"), std::string::npos);
+    EXPECT_NE(text.find("\"end\""), std::string::npos);
+
+    // Round trip: a valid plan's serialization parses strictly with no
+    // error left behind in the typed overload either.
+    runtime::FaultPlan plan;
+    plan.slowdowns.push_back({1, 0.1, 0.5, 0.4});
+    plan.dropouts.push_back({3, 0.2});
+    std::stringstream ss;
+    plan.toJson(ss);
+    runtime::PlanParseError unused;
+    const auto parsed = runtime::FaultPlan::fromJson(ss, unused);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->slowdowns.size(), 1u);
+    EXPECT_EQ(parsed->dropouts.size(), 1u);
+}
+
 } // namespace
 } // namespace bt::core

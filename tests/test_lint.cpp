@@ -1,0 +1,534 @@
+/**
+ * @file
+ * bt::lint tests: the seeded-defect negative control, cleanliness of
+ * every shipped app on every device rig, Report::merge associativity
+ * and JSON round-trip (MiniJson pattern from test_runtime), the
+ * 8-thread concurrent-lint hammer proving the analyzer is read-only
+ * over shared Applications, and the Framework/Service integration
+ * (preflight panic with a stable kind prefix, tenant rejection at
+ * admission).
+ */
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/alexnet.hpp"
+#include "apps/octree_app.hpp"
+#include "bt.hpp"
+#include "lint/fixtures.hpp"
+#include "lint/lint.hpp"
+#include "platform/devices.hpp"
+
+namespace bt {
+namespace {
+
+using core::Application;
+using core::BufferAccess;
+using core::KernelCtx;
+using core::PlannerSpec;
+using core::Stage;
+using core::StageIo;
+using platform::Pattern;
+using platform::WorkProfile;
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser (same pattern as test_runtime/test_service): just
+// enough to genuinely parse Report::writeJson output.
+
+class MiniJson
+{
+  public:
+    explicit MiniJson(const std::string& text) : s_(text) {}
+
+    bool
+    parse()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        ws();
+        return pos_ == s_.size();
+    }
+
+    int objects() const { return objects_; }
+
+    int
+    keyCount(const std::string& key) const
+    {
+        const auto it = keys_.find(key);
+        return it == keys_.end() ? 0 : it->second;
+    }
+
+  private:
+    void
+    ws()
+    {
+        while (pos_ < s_.size()
+               && std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    lit(const char* word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string(std::string* out)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return false;
+        ++pos_;
+        std::string val;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+            }
+            val += s_[pos_++];
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_;
+        if (out)
+            *out = val;
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < s_.size()
+               && (std::isdigit(static_cast<unsigned char>(s_[pos_]))
+                   || s_[pos_] == '.' || s_[pos_] == 'e'
+                   || s_[pos_] == 'E' || s_[pos_] == '-'
+                   || s_[pos_] == '+')) {
+            if (std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                digits = true;
+            ++pos_;
+        }
+        return digits && pos_ > start;
+    }
+
+    bool
+    value()
+    {
+        ws();
+        if (pos_ >= s_.size())
+            return false;
+        const char c = s_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string(nullptr);
+        if (c == 't')
+            return lit("true");
+        if (c == 'f')
+            return lit("false");
+        if (c == 'n')
+            return lit("null");
+        return number();
+    }
+
+    bool
+    object()
+    {
+        ++pos_;
+        ++objects_;
+        ws();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            ws();
+            std::string key;
+            if (!string(&key))
+                return false;
+            ++keys_[key];
+            ws();
+            if (pos_ >= s_.size() || s_[pos_++] != ':')
+                return false;
+            if (!value())
+                return false;
+            ws();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_;
+        ws();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            ws();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    std::string s_;
+    std::size_t pos_ = 0;
+    int objects_ = 0;
+    std::map<std::string, int> keys_;
+};
+
+// ---------------------------------------------------------------------
+// Helpers.
+
+std::string
+toJson(const lint::Report& report)
+{
+    std::ostringstream os;
+    report.writeJson(os);
+    return os.str();
+}
+
+Stage
+ioStage(const std::string& name, StageIo io)
+{
+    Stage s(name, WorkProfile{1e6, 1e4, 0.9, Pattern::Dense},
+            [](KernelCtx&) {}, nullptr);
+    s.setIo(std::move(io));
+    return s;
+}
+
+/** Two declared stages, fully consistent IO. */
+Application
+cleanApp()
+{
+    Application app("clean", "fixture", "");
+    app.declareBuffer({"in", 4096, /*input=*/true});
+    app.declareBuffer({"mid", 4096});
+    app.declareBuffer({"out", 4096, false, /*output=*/true});
+    app.addStage(
+        ioStage("produce", {{{"in", 4096}}, {{"mid", 4096}}}));
+    app.addStage(
+        ioStage("consume", {{{"mid", 4096}}, {{"out", 4096}}}));
+    return app;
+}
+
+/** Reads a buffer nothing defines: lints with a UseBeforeDef error. */
+Application
+brokenApp()
+{
+    Application app("broken", "fixture", "");
+    app.declareBuffer({"in", 4096, /*input=*/true});
+    app.declareBuffer({"mid", 4096});
+    app.declareBuffer({"out", 4096, false, /*output=*/true});
+    app.addStage(
+        ioStage("produce", {{{"in", 4096}}, {{"out", 4096}}}));
+    app.addStage(
+        ioStage("consume", {{{"mid", 4096}}, {{"out", 4096}}}));
+    return app;
+}
+
+// ---------------------------------------------------------------------
+// Negative control: every seeded defect must be flagged with its
+// expected kind, deterministically.
+
+TEST(LintFixtures, EverySeededDefectIsFlaggedWithItsExpectedKind)
+{
+    const auto results = lint::runSeededDefects();
+    EXPECT_GE(results.size(), 10u);
+    for (const auto& r : results) {
+        EXPECT_TRUE(r.flagged)
+            << r.name << " did not produce "
+            << lint::diagnosticKindName(r.expected);
+        EXPECT_GE(r.totalFindings, 1u) << r.name;
+    }
+}
+
+TEST(LintFixtures, FixtureReportsAreByteIdenticalAcrossRuns)
+{
+    const auto a = lint::runSeededDefects();
+    const auto b = lint::runSeededDefects();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(toJson(a[i].report), toJson(b[i].report)) << a[i].name;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Positive control: every shipped app lints clean on every device rig
+// with the default spec and run config (what CI's lint sweep asserts
+// through bt_explorer --lint --app all).
+
+TEST(LintShippedApps, CleanOnEveryDeviceRig)
+{
+    const std::vector<platform::SocDescription> rigs
+        = {platform::pixel7a(), platform::oneplus11(),
+           platform::jetsonOrinNano(), platform::jetsonOrinNanoLp(),
+           platform::manycoreRig()};
+    const std::vector<core::Application> shipped = []() {
+        std::vector<core::Application> apps;
+        apps.push_back(apps::alexnetDense());
+        apps.push_back(apps::alexnetSparse());
+        apps.push_back(apps::octreeApp());
+        return apps;
+    }();
+
+    for (const auto& soc : rigs) {
+        for (const auto& app : shipped) {
+            // Same annealed fallback Service::plannerSpecFor applies:
+            // the exact engines refuse spaces past exactSpaceLimit.
+            PlannerSpec spec;
+            if (spec.exactnessPreserving()
+                && core::scheduleSpaceSize(app.numStages(),
+                                           soc.numPus())
+                       > spec.exactSpaceLimit)
+                spec.engine = core::PlannerEngine::Annealed;
+            const auto report
+                = lint::lintPreflight(soc, app, spec, {});
+            EXPECT_TRUE(report.clean())
+                << app.name() << " on " << soc.name << ":\n"
+                << toJson(report);
+            EXPECT_EQ(report.infos(), 0)
+                << app.name() << " should declare full IO";
+        }
+    }
+}
+
+TEST(LintShippedApps, ManycoreDefaultSpecIsCaughtBeforeThePanic)
+{
+    // The exact engine would panic on this space at optimize() time;
+    // lint reports it statically instead, with remediation.
+    const auto report = lint::lintPreflight(platform::manycoreRig(),
+                                            apps::octreeApp(), {}, {});
+    EXPECT_EQ(report.errors(), 1);
+    ASSERT_FALSE(report.diagnostics.empty());
+    EXPECT_EQ(report.diagnostics[0].kind,
+              lint::DiagnosticKind::ExactSpaceExceeded);
+    EXPECT_NE(report.diagnostics[0].message.find("Annealed"),
+              std::string::npos);
+}
+
+TEST(LintShippedApps, DeclaredIoMatchesTheOctreeTaskLayout)
+{
+    const auto report = lint::lintApplication(apps::octreeApp());
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(report.stats.stages, 7);
+    EXPECT_EQ(report.stats.buffers, 21);
+}
+
+TEST(LintApplication, UndeclaredAppGetsOneInfoAndPasses)
+{
+    Application app("bare", "fixture", "");
+    app.addStage(Stage("only",
+                       WorkProfile{1e6, 1e4, 0.9, Pattern::Dense},
+                       [](KernelCtx&) {}, nullptr));
+    const auto report = lint::lintApplication(app);
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(report.infos(), 1);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].kind,
+              lint::DiagnosticKind::NoIoDeclarations);
+}
+
+// ---------------------------------------------------------------------
+// Report mechanics: stable names, merge associativity, JSON round-trip.
+
+TEST(LintReport, KindAndSeverityNamesAreStable)
+{
+    using lint::DiagnosticKind;
+    EXPECT_EQ(lint::diagnosticKindName(DiagnosticKind::UseBeforeDef),
+              "use_before_def");
+    EXPECT_EQ(
+        lint::diagnosticKindName(DiagnosticKind::ExactSpaceExceeded),
+        "exact_space_exceeded");
+    EXPECT_EQ(
+        lint::diagnosticKindName(DiagnosticKind::BandwidthOverBudget),
+        "bandwidth_over_budget");
+    EXPECT_EQ(lint::severityName(lint::Severity::Error), "error");
+    EXPECT_EQ(lint::severityName(lint::Severity::Warn), "warn");
+    EXPECT_EQ(lint::severityName(lint::Severity::Info), "info");
+}
+
+TEST(LintReport, MergeIsAssociativeAndOrderPreserving)
+{
+    const auto fixtures = lint::runSeededDefects();
+    ASSERT_GE(fixtures.size(), 3u);
+    const lint::Report& a = fixtures[0].report;
+    const lint::Report& b = fixtures[1].report;
+    const lint::Report& c = fixtures[2].report;
+
+    lint::Report left = a;
+    left.merge(b);
+    left.merge(c);
+
+    lint::Report bc = b;
+    bc.merge(c);
+    lint::Report right = a;
+    right.merge(std::move(bc));
+
+    EXPECT_EQ(toJson(left), toJson(right));
+    EXPECT_EQ(left.diagnostics.size(),
+              a.diagnostics.size() + b.diagnostics.size()
+                  + c.diagnostics.size());
+    // Order-preserving: the first merged diagnostic is a's first.
+    ASSERT_FALSE(a.diagnostics.empty());
+    EXPECT_EQ(left.diagnostics[0].toString(),
+              a.diagnostics[0].toString());
+}
+
+TEST(LintReport, JsonRoundTripsThroughParser)
+{
+    lint::Report merged;
+    for (const auto& r : lint::runSeededDefects())
+        merged.merge(r.report);
+
+    const std::string text = toJson(merged);
+    MiniJson json(text);
+    ASSERT_TRUE(json.parse()) << text;
+    EXPECT_EQ(json.keyCount("clean"), 1);
+    EXPECT_EQ(json.keyCount("errors"), 1);
+    EXPECT_EQ(json.keyCount("warnings"), 1);
+    EXPECT_EQ(json.keyCount("stats"), 1);
+    EXPECT_EQ(json.keyCount("diagnostics"), 1);
+    EXPECT_EQ(json.keyCount("kind"),
+              static_cast<int>(merged.diagnostics.size()));
+    EXPECT_EQ(json.keyCount("severity"),
+              static_cast<int>(merged.diagnostics.size()));
+}
+
+// ---------------------------------------------------------------------
+// Thread safety: lint is read-only over a shared Application; 8
+// concurrent linters must produce byte-identical reports.
+
+TEST(LintConcurrency, EightThreadHammerIsByteIdentical)
+{
+    const core::Application app = apps::octreeApp();
+    const auto soc = platform::pixel7a();
+    const std::string reference
+        = toJson(lint::lintPreflight(soc, app, {}, {}));
+
+    constexpr int kThreads = 8;
+    constexpr int kIters = 16;
+    std::vector<std::vector<std::string>> produced(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t]() {
+            for (int i = 0; i < kIters; ++i)
+                produced[static_cast<std::size_t>(t)].push_back(
+                    toJson(lint::lintPreflight(soc, app, {}, {})));
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    for (const auto& per_thread : produced) {
+        ASSERT_EQ(per_thread.size(),
+                  static_cast<std::size_t>(kIters));
+        for (const auto& text : per_thread)
+            EXPECT_EQ(text, reference);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framework preflight: errors panic with the stable kind prefix and
+// the offending diagnostics; warnings ride along in the report.
+
+TEST(LintFramework, PreflightErrorsPanicWithKindPrefix)
+{
+    const auto soc = platform::pixel7a();
+    const Framework framework(soc);
+    EXPECT_DEATH_IF_SUPPORTED((void)framework.run(brokenApp()),
+                              "lint.preflight");
+    EXPECT_DEATH_IF_SUPPORTED((void)framework.run(brokenApp()),
+                              "use_before_def");
+}
+
+TEST(LintFramework, PreflightReportRidesAlongOnCleanRuns)
+{
+    FrameworkConfig cfg;
+    cfg.run.numTasks = 8;
+    cfg.run.warmupTasks = 2;
+    const Framework framework(platform::pixel7a(), cfg);
+    const auto pre = framework.preflight(cleanApp());
+    EXPECT_TRUE(pre.clean());
+
+    const auto report = framework.run(cleanApp());
+    EXPECT_TRUE(report.preflight.clean());
+    EXPECT_GT(report.preflight.stats.passes, 0);
+    EXPECT_GT(report.bestLatencySeconds, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Service admission: tenants that lint with errors are refused and
+// counted; clean tenants register.
+
+TEST(LintService, RegisterAppRejectsErrorLintingTenants)
+{
+    service::Service svc(platform::pixel7a());
+    EXPECT_TRUE(svc.registerApp(cleanApp()));
+    EXPECT_FALSE(svc.registerApp(brokenApp()));
+    EXPECT_FALSE(svc.registerApp(brokenApp()));
+
+    const auto report = svc.report();
+    EXPECT_EQ(report.tenantsRejected, 2);
+
+    const std::string json = [&] {
+        std::ostringstream os;
+        report.writeJson(os);
+        return os.str();
+    }();
+    EXPECT_NE(json.find("\"tenants_rejected\": 2"), std::string::npos)
+        << json;
+    MiniJson parsed(json);
+    EXPECT_TRUE(parsed.parse()) << json;
+}
+
+TEST(LintService, LintTenantExposesTheAdmissionDecision)
+{
+    service::Service svc(platform::pixel7a());
+    EXPECT_EQ(svc.lintTenant(cleanApp()).errors(), 0);
+    EXPECT_GT(svc.lintTenant(brokenApp()).errors(), 0);
+}
+
+} // namespace
+} // namespace bt
